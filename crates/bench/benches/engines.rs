@@ -1,0 +1,77 @@
+//! Micro-benches of the engine and mapper hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cimtpu_core::{MatrixEngine, Simulator, TpuConfig};
+use cimtpu_models::presets;
+use cimtpu_units::{DataType, GemmShape};
+
+fn bench_engine_timing(c: &mut Criterion) {
+    let digital = MatrixEngine::from_kind(TpuConfig::tpuv4i().mxu()).expect("valid");
+    let cim = MatrixEngine::from_kind(TpuConfig::cim_base().mxu()).expect("valid");
+    let shapes = [
+        ("prefill_gemm", GemmShape::new(8192, 7168, 7168).expect("valid")),
+        ("decode_gemv", GemmShape::new(8, 7168, 28672).expect("valid")),
+        ("attention_item", GemmShape::gemv(128, 1280).expect("valid")),
+    ];
+    let mut g = c.benchmark_group("engine_gemm_timing");
+    for (name, shape) in shapes {
+        g.bench_with_input(BenchmarkId::new("digital", name), &shape, |b, &s| {
+            b.iter(|| black_box(digital.gemm_cycles(s, DataType::Int8)))
+        });
+        g.bench_with_input(BenchmarkId::new("cim", name), &shape, |b, &s| {
+            b.iter(|| black_box(cim.gemm_cycles(s, DataType::Int8)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_layer_simulation(c: &mut Criterion) {
+    let sim = Simulator::new(TpuConfig::cim_base()).expect("valid");
+    let prefill = presets::gpt3_30b().prefill_layer(8, 1024).expect("valid");
+    let decode = presets::gpt3_30b().decode_layer(8, 1280).expect("valid");
+    let dit = presets::dit_xl_2().block(8, 512).expect("valid");
+    let mut g = c.benchmark_group("layer_simulation");
+    g.bench_function("gpt3_prefill_layer", |b| {
+        b.iter(|| black_box(sim.run(&prefill).expect("mappable")))
+    });
+    g.bench_function("gpt3_decode_layer", |b| {
+        b.iter(|| black_box(sim.run(&decode).expect("mappable")))
+    });
+    g.bench_function("dit_block", |b| {
+        b.iter(|| black_box(sim.run(&dit).expect("mappable")))
+    });
+    g.finish();
+}
+
+fn bench_bitserial_functional(c: &mut Criterion) {
+    use cimtpu_cim::bitserial::BitSerialMacUnit;
+    let unit = BitSerialMacUnit::new(128);
+    let input: Vec<i8> = (0..128).map(|i| (i % 251) as i8).collect();
+    let weights: Vec<Vec<i8>> = (0..128)
+        .map(|r| (0..256).map(|col| ((r * 7 + col * 3) % 255) as i8).collect())
+        .collect();
+    c.bench_function("bitserial_matvec_128x256", |b| {
+        b.iter(|| black_box(unit.matvec(&input, &weights).expect("valid shapes")))
+    });
+}
+
+fn bench_cycle_sim(c: &mut Criterion) {
+    use cimtpu_systolic::cycle_sim::CycleSim;
+    let sim = CycleSim::new(16, 16).expect("valid");
+    let a: Vec<Vec<i32>> = (0..32).map(|i| (0..16).map(|j| i + j).collect()).collect();
+    let w: Vec<Vec<i32>> = (0..16).map(|i| (0..16).map(|j| i - j).collect()).collect();
+    c.bench_function("cycle_sim_32x16x16", |b| {
+        b.iter(|| black_box(sim.run(&a, &w).expect("valid shapes")))
+    });
+}
+
+criterion_group!(
+    engines,
+    bench_engine_timing,
+    bench_layer_simulation,
+    bench_bitserial_functional,
+    bench_cycle_sim
+);
+criterion_main!(engines);

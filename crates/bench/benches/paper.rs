@@ -1,0 +1,83 @@
+//! Criterion benches: one per reproduced table/figure.
+//!
+//! Each bench exercises the full experiment code path (model building,
+//! mapping, simulation) and asserts nothing — the assertions live in the
+//! test suite; here we measure how fast the simulator regenerates each
+//! artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cimtpu_bench::experiments;
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_mxu_comparison", |b| {
+        b.iter(|| black_box(experiments::table2().expect("table2")))
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_breakdown", |b| {
+        b.iter(|| black_box(experiments::fig2_breakdown().expect("fig2")))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_layer_comparison", |b| {
+        b.iter(|| black_box(experiments::fig6().expect("fig6")))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_exploration");
+    g.sample_size(10); // 10 full-inference sweeps per sample is plenty
+    g.bench_function("ten_design_points", |b| {
+        b.iter(|| black_box(experiments::fig7().expect("fig7")))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_multi_device");
+    g.sample_size(10);
+    g.bench_function("nine_cluster_points", |b| {
+        b.iter(|| black_box(experiments::fig8().expect("fig8")))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    c.bench_function("ablations", |b| {
+        b.iter(|| black_box(experiments::ablations().expect("ablations")))
+    });
+}
+
+fn bench_extension_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extension_sweeps");
+    g.sample_size(10);
+    g.bench_function("batch_sweep", |b| {
+        b.iter(|| black_box(experiments::sweep_batch().expect("sweep")))
+    });
+    g.bench_function("context_sweep", |b| {
+        b.iter(|| black_box(experiments::sweep_context().expect("sweep")))
+    });
+    g.bench_function("hbm_sweep", |b| {
+        b.iter(|| black_box(experiments::sweep_hbm_bandwidth().expect("sweep")))
+    });
+    g.bench_function("moe_study", |b| {
+        b.iter(|| black_box(experiments::moe_study().expect("moe")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_table2,
+    bench_fig2,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_ablations,
+    bench_extension_sweeps
+);
+criterion_main!(paper);

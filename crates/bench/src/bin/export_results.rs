@@ -1,0 +1,42 @@
+//! Exports every experiment's structured results as JSON for plotting.
+//!
+//! Writes one file per experiment into `results/` (created if missing):
+//! `fig2.json`, `table2.json`, `fig6.json`, `fig7.json`, `fig8.json`,
+//! `ablations.json`, `sweep_batch.json`, `sweep_context.json`,
+//! `sweep_hbm.json`, `moe.json`.
+
+use std::fs;
+use std::path::Path;
+
+use cimtpu_bench::experiments;
+
+fn write_json<T: serde::Serialize>(dir: &Path, name: &str, value: &T) {
+    let path = dir.join(name);
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match fs::write(&path, json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("failed to serialize {name}: {e}"),
+    }
+}
+
+fn main() {
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+
+    write_json(dir, "table2.json", &experiments::table2().expect("table2"));
+    write_json(dir, "fig2.json", &experiments::fig2_breakdown().expect("fig2"));
+    write_json(dir, "fig6.json", &experiments::fig6().expect("fig6"));
+    write_json(dir, "fig7.json", &experiments::fig7().expect("fig7"));
+    write_json(dir, "fig8.json", &experiments::fig8().expect("fig8"));
+    write_json(dir, "ablations.json", &experiments::ablations().expect("ablations"));
+    write_json(dir, "sweep_batch.json", &experiments::sweep_batch().expect("sweep"));
+    write_json(dir, "sweep_context.json", &experiments::sweep_context().expect("sweep"));
+    write_json(dir, "sweep_hbm.json", &experiments::sweep_hbm_bandwidth().expect("sweep"));
+    write_json(dir, "moe.json", &experiments::moe_study().expect("moe"));
+    println!("done — load with pandas.read_json or jq");
+}

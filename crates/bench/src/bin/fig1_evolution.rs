@@ -1,0 +1,27 @@
+//! Fig. 1: evolution of the computing performance of CIM-based designs.
+
+use cimtpu_bench::{data, table::Table};
+
+fn main() {
+    println!("Fig. 1 — Evolution of the computing performance of CIM-based designs\n");
+    let mut t = Table::new(vec![
+        "design", "ref", "TOPS", "TFLOPS", "area (mm^2)", "node", "CIM",
+    ]);
+    for d in data::cim_evolution() {
+        t.row(vec![
+            d.venue.to_owned(),
+            d.reference.to_owned(),
+            format!("{:.4}", d.tops),
+            if d.tflops > 0.0 { format!("{:.2}", d.tflops) } else { "-".to_owned() },
+            format!("{:.4}", d.area_mm2),
+            d.node.to_owned(),
+            if d.cim { "yes" } else { "no" }.to_owned(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "CIM designs span {:.1e}x in peak performance over five years;\n\
+         the gap to A100/TPUv4 motivates integrating CIM *into* a TPU."
+        , 52.4 / 0.0177
+    );
+}

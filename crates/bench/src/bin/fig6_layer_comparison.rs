@@ -1,0 +1,49 @@
+//! Fig. 6: comparison between baseline and CIM-based TPU designs on a
+//! GPT-3-30B prefill layer, decode layer, and DiT-XL/2 block.
+
+use cimtpu_bench::experiments;
+use cimtpu_core::Report;
+use cimtpu_models::OpCategory;
+
+fn print_stage(stage: &experiments::StageComparison, paper_latency: &str, paper_energy: &str) {
+    println!("=== {} ===", stage.stage);
+    print_breakdown("baseline TPUv4i", &stage.baseline);
+    print_breakdown("CIM-based TPU", &stage.cim);
+    println!(
+        "latency: {:+.2}% vs baseline (paper: {paper_latency}); \
+         MXU energy: {:.2}x less (paper: {paper_energy})\n",
+        stage.latency_delta * 100.0,
+        stage.cim.mxu_energy_reduction_vs(&stage.baseline),
+    );
+}
+
+fn print_breakdown(label: &str, rep: &Report) {
+    println!(
+        "  {label}: total {:.3} ms, MXU energy {:.3} mJ",
+        rep.total_latency().as_millis(),
+        rep.mxu_energy().as_millijoules()
+    );
+    for cat in OpCategory::FIG6_ORDER {
+        let lat = rep.latency_in(cat);
+        if lat.get() > 0.0 {
+            println!(
+                "    {:<14} {:>9.4} ms ({:>5.1}%)  {:>10.4} mJ",
+                cat.label(),
+                lat.as_millis(),
+                lat / rep.total_latency() * 100.0,
+                rep.mxu_energy_in(cat).as_millijoules(),
+            );
+        }
+    }
+}
+
+fn main() {
+    let f = experiments::fig6().expect("fig6 simulation failed");
+    println!(
+        "Fig. 6 — GPT-3-30B layer + DiT-XL/2 block, batch {}, INT8\n",
+        experiments::BATCH
+    );
+    print_stage(&f.llm_prefill, "+2.43%", "9.21x");
+    print_stage(&f.llm_decode, "-29.9%", "13.4x");
+    print_stage(&f.dit_block, "-6.67%", "10.4x");
+}

@@ -1,0 +1,64 @@
+//! Fig. 7: architecture exploration of different CIM-MXU configurations
+//! (full GPT-3-30B inference with 1024/512 tokens + DiT-XL/2 forward).
+
+use cimtpu_bench::{experiments, table::Table};
+
+fn main() {
+    println!(
+        "Fig. 7 — Exploration over Table IV design points (batch {}, INT8)\n\
+         LLM: GPT-3-30B, input 1024 / output 512 tokens (decode-dominated).\n\
+         DiT: DiT-XL/2 @ 512x512, one forward pass.\n",
+        experiments::BATCH
+    );
+    let rows = experiments::fig7().expect("fig7 sweep failed");
+    let mut t = Table::new(vec![
+        "config",
+        "LLM latency (s)",
+        "LLM norm",
+        "LLM MXU E (J)",
+        "E norm",
+        "DiT latency (ms)",
+        "DiT norm",
+        "DiT MXU E (mJ)",
+        "E norm",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.config.clone(),
+            format!("{:.2}", r.llm_latency.get()),
+            format!("{:.3}", r.llm_latency_norm),
+            format!("{:.1}", r.llm_mxu_energy.get()),
+            format!("{:.4}", r.llm_energy_norm),
+            format!("{:.1}", r.dit_latency.as_millis()),
+            format!("{:.3}", r.dit_latency_norm),
+            format!("{:.1}", r.dit_mxu_energy.as_millijoules()),
+            format!("{:.4}", r.dit_energy_norm),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let best_llm = rows
+        .iter()
+        .min_by(|a, b| a.llm_latency_norm.total_cmp(&b.llm_latency_norm))
+        .expect("non-empty sweep");
+    let best_dit = rows
+        .iter()
+        .min_by(|a, b| a.dit_latency_norm.total_cmp(&b.dit_latency_norm))
+        .expect("non-empty sweep");
+    let small = rows
+        .iter()
+        .find(|r| r.mxu_count == 2 && r.grid == "8x8")
+        .expect("2x(8x8) present");
+    println!(
+        "Headlines (paper in parentheses):\n\
+         - max LLM improvement: {:.1}% ({}) (paper: 44.2%)\n\
+         - max DiT improvement: {:.1}% ({}) (paper: 33.8%)\n\
+         - 2x(8x8): {:+.0}% LLM latency at {:.1}x less MXU energy (paper: +38%, 27.3x)",
+        (1.0 - best_llm.llm_latency_norm) * 100.0,
+        best_llm.config,
+        (1.0 - best_dit.dit_latency_norm) * 100.0,
+        best_dit.config,
+        (small.llm_latency_norm - 1.0) * 100.0,
+        1.0 / small.llm_energy_norm,
+    );
+}

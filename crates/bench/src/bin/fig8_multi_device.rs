@@ -1,0 +1,56 @@
+//! Fig. 8: multi-device inference throughput (1/2/4 TPUs, pipeline
+//! parallelism over the ICI ring).
+
+use cimtpu_bench::{experiments, table::Table};
+
+fn main() {
+    println!(
+        "Fig. 8 — Inference throughput: baseline vs Design A vs Design B\n\
+         GPT-3-30B (1024/512 tokens) and DiT-XL/2 @512x512 (50-step sampler)\n"
+    );
+    let rows = experiments::fig8().expect("fig8 sweep failed");
+    let mut t = Table::new(vec![
+        "config",
+        "TPUs",
+        "LLM tok/s",
+        "MXU J/token",
+        "DiT img/s",
+        "MXU J/image",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.config.clone(),
+            r.devices.to_string(),
+            format!("{:.1}", r.llm_tokens_per_s),
+            format!("{:.4}", r.llm_energy_per_token.get()),
+            format!("{:.3}", r.dit_images_per_s),
+            format!("{:.3}", r.dit_energy_per_image.get()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Average speedups over the baseline at matching device counts.
+    let avg = |name: &str, metric: fn(&experiments::Fig8Row) -> f64| -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for d in [1u64, 2, 4] {
+            let base = rows.iter().find(|r| r.config == "TPUv4i" && r.devices == d);
+            let cfg = rows.iter().find(|r| r.config == name && r.devices == d);
+            if let (Some(b), Some(c)) = (base, cfg) {
+                sum += metric(c) / metric(b);
+                n += 1.0;
+            }
+        }
+        sum / n
+    };
+    println!(
+        "Design A: avg LLM speedup {:.2}x (paper: 1.28x), MXU energy/token {:.1}x lower (paper: 24.2x)",
+        avg("Design A", |r| r.llm_tokens_per_s),
+        1.0 / avg("Design A", |r| r.llm_energy_per_token.get()),
+    );
+    println!(
+        "Design B: avg DiT speedup {:.2}x (paper: 1.33x), MXU energy/image {:.1}x lower (paper: 6.34x)",
+        avg("Design B", |r| r.dit_images_per_s),
+        1.0 / avg("Design B", |r| r.dit_energy_per_image.get()),
+    );
+}

@@ -1,0 +1,30 @@
+//! Extension study: Mixture-of-Experts inference on the CIM-based TPU.
+
+use cimtpu_bench::{experiments, table::Table};
+
+fn main() {
+    println!(
+        "MoE extension — Mixtral-8x7B-like (8 experts, top-2), batch {}, INT8\n",
+        experiments::BATCH
+    );
+    let rows = experiments::moe_study().expect("MoE study failed");
+    let mut t = Table::new(vec![
+        "stage", "baseline (ms)", "CIM (ms)", "speedup", "MXU energy reduction",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.stage.clone(),
+            format!("{:.3}", r.baseline.as_millis()),
+            format!("{:.3}", r.cim.as_millis()),
+            format!("{:.2}x", r.speedup),
+            format!("{:.1}x", r.energy_reduction),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "MoE decoding streams every activated expert's FFN weights each\n\
+         step — the memory-bound, low-reuse regime where the paper's CIM\n\
+         analysis predicts the largest efficiency gains. The trend the paper\n\
+         established for dense LLM decoding carries over to MoE."
+    );
+}

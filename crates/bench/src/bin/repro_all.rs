@@ -1,0 +1,41 @@
+//! Reproduces every table and figure in one run (the full evaluation).
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "fig1_evolution",
+    "fig2_breakdown",
+    "table1_parameters",
+    "table2_mxu",
+    "table3_models",
+    "fig6_layer_comparison",
+    "table4_choices",
+    "fig7_exploration",
+    "fig8_multi_device",
+    "ablations",
+    "sweep_extensions",
+    "moe_study",
+];
+
+fn main() {
+    // When invoked through cargo the sibling binaries sit next to us.
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe has a parent dir");
+    for bin in BINS {
+        println!("\n{}\n### {}\n{}", "=".repeat(78), bin, "=".repeat(78));
+        let path = dir.join(bin);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo for `cargo run --bin repro_all` workflows.
+            Command::new("cargo")
+                .args(["run", "--quiet", "--release", "-p", "cimtpu-bench", "--bin", bin])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e}"),
+        }
+    }
+}

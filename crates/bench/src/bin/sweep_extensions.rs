@@ -1,0 +1,66 @@
+//! Extension sweeps beyond the paper: batch size and context length.
+
+use cimtpu_bench::{experiments, table::Table};
+
+fn main() {
+    println!("Extension sweep 1 — CIM decode benefit vs batch size (GPT-3-30B, ctx 1280)\n");
+    let rows = experiments::sweep_batch().expect("batch sweep failed");
+    let mut t = Table::new(vec![
+        "batch", "baseline (ms)", "CIM (ms)", "speedup", "energy reduction",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.batch.to_string(),
+            format!("{:.3}", r.baseline.as_millis()),
+            format!("{:.3}", r.cim.as_millis()),
+            format!("{:.2}x", r.speedup),
+            format!("{:.1}x", r.energy_reduction),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Batched attention GEMVs multiply with batch size and serialize on\n\
+         the systolic baseline, while staying KV-bandwidth-bound on the\n\
+         CIM-MXU: the latency benefit GROWS with batch, and the\n\
+         ~order-of-magnitude energy advantage persists throughout.\n"
+    );
+
+    println!("Extension sweep 2 — decode cost vs context length (GPT-3-30B, batch 8)\n");
+    let rows = experiments::sweep_context().expect("context sweep failed");
+    let mut t = Table::new(vec![
+        "ctx", "baseline (ms)", "CIM (ms)", "attn share (base)", "speedup",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.ctx.to_string(),
+            format!("{:.3}", r.baseline.as_millis()),
+            format!("{:.3}", r.cim.as_millis()),
+            format!("{:.1}%", r.baseline_attention_fraction * 100.0),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Attention grows linearly with context; since attention GEMVs are\n\
+         exactly where the CIM-MXU wins, long-context serving amplifies the\n\
+         benefit the paper measured at ctx = 1280.\n"
+    );
+
+    println!("Extension sweep 3 — CIM decode benefit vs HBM bandwidth\n");
+    let rows = experiments::sweep_hbm_bandwidth().expect("HBM sweep failed");
+    let mut t = Table::new(vec!["HBM (GB/s)", "baseline (ms)", "CIM (ms)", "speedup"]);
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}", r.hbm_gb_per_s),
+            format!("{:.3}", r.baseline.as_millis()),
+            format!("{:.3}", r.cim.as_millis()),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Faster memory raises the roofline; the baseline's serialized\n\
+         attention becomes the binding constraint, so CIM-based TPUs age\n\
+         well as HBM generations advance."
+    );
+}

@@ -1,0 +1,62 @@
+//! Table I: architecture parameters for the CIM-based TPU.
+
+use cimtpu_bench::table::Table;
+use cimtpu_core::{MxuKind, TpuConfig};
+
+fn describe_mxu(cfg: &TpuConfig) -> (String, String) {
+    match cfg.mxu() {
+        MxuKind::DigitalSystolic(c) => {
+            (format!("{}x{} MACs", c.rows(), c.cols()), "N/A".to_owned())
+        }
+        MxuKind::Cim(c) => (
+            format!("{}x{} CIMs", c.grid_rows(), c.grid_cols()),
+            format!("{} x {}", c.core().rows(), c.core().cols()),
+        ),
+    }
+}
+
+fn main() {
+    let base = TpuConfig::tpuv4i();
+    let cim = TpuConfig::cim_base();
+    let (base_mxu, base_core) = describe_mxu(&base);
+    let (cim_mxu, cim_core) = describe_mxu(&cim);
+
+    println!("Table I — Architecture parameters for CIM-based TPU\n");
+    let mut t = Table::new(vec!["Key parameters", "TPUv4i", "CIM-based TPU"]);
+    t.row(vec!["Tensor Core count".into(), "1".into(), "1".into()]);
+    t.row(vec!["MXU count".into(), base.mxu_count().to_string(), cim.mxu_count().to_string()]);
+    t.row(vec!["MXU dimension".into(), base_mxu, cim_mxu]);
+    t.row(vec!["CIM core dimension".into(), base_core, cim_core]);
+    t.row(vec!["Vector width".into(), "8 x 128".into(), "8 x 128".into()]);
+    t.row(vec![
+        "Vector memory size".into(),
+        format!("{}", base.levels().vmem()),
+        format!("{}", cim.levels().vmem()),
+    ]);
+    t.row(vec![
+        "Common memory size".into(),
+        format!("{}", base.levels().cmem()),
+        format!("{}", cim.levels().cmem()),
+    ]);
+    t.row(vec![
+        "Main memory size".into(),
+        format!("{}", base.hbm_capacity()),
+        format!("{}", cim.hbm_capacity()),
+    ]);
+    t.row(vec![
+        "Main memory bandwidth".into(),
+        format!("{:.0} GB/s", base.levels().hbm_bandwidth().as_gb_per_s()),
+        format!("{:.0} GB/s", cim.levels().hbm_bandwidth().as_gb_per_s()),
+    ]);
+    t.row(vec![
+        "ICI link bandwidth".into(),
+        format!("{:.0} GB/s", base.ici_link_bandwidth().as_gb_per_s()),
+        format!("{:.0} GB/s", cim.ici_link_bandwidth().as_gb_per_s()),
+    ]);
+    t.row(vec![
+        "Peak (INT8, 1.05 GHz)".into(),
+        format!("{:.1} TOPS", base.peak_tops()),
+        format!("{:.1} TOPS", cim.peak_tops()),
+    ]);
+    println!("{}", t.render());
+}

@@ -1,0 +1,29 @@
+//! Table II: comparison between CIM-MXU and digital MXU.
+
+use cimtpu_bench::{experiments, table::Table};
+
+fn main() {
+    let r = experiments::table2().expect("table2 evaluation failed");
+    println!("Table II — Comparison between CIM-MXU and digital MXU (INT8, 22 nm)\n");
+    let mut t = Table::new(vec!["Evaluation Metrics", "Digital MXU", "CIM-MXU", "Speedup"]);
+    t.row(vec![
+        "MACs per cycle".into(),
+        r.macs_per_cycle.0.to_string(),
+        r.macs_per_cycle.1.to_string(),
+        format!("{:.2}x", r.macs_per_cycle.1 as f64 / r.macs_per_cycle.0 as f64),
+    ]);
+    t.row(vec![
+        "Energy Efficiency".into(),
+        format!("{:.2} TOPS/W", r.tops_per_w.0),
+        format!("{:.2} TOPS/W", r.tops_per_w.1),
+        format!("{:.2}x", r.energy_ratio),
+    ]);
+    t.row(vec![
+        "Area Efficiency".into(),
+        format!("{:.3} TOPS/mm2", r.tops_per_mm2.0),
+        format!("{:.3} TOPS/mm2", r.tops_per_mm2.1),
+        format!("{:.2}x", r.area_ratio),
+    ]);
+    println!("{}", t.render());
+    println!("Paper: 0.77 vs 7.26 TOPS/W (9.43x), 0.648 vs 1.31 TOPS/mm2 (2.02x).");
+}

@@ -1,0 +1,48 @@
+//! Table III: configurations of evaluated generative models.
+
+use cimtpu_bench::table::Table;
+use cimtpu_models::presets;
+
+fn main() {
+    println!("Table III — Configurations of evaluated generative models\n");
+    let mut t = Table::new(vec!["Generative model", "# Layers", "# Heads", "d_model", "d_ff"]);
+    let gpt3 = presets::gpt3_30b();
+    t.row(vec![
+        gpt3.name().to_owned(),
+        gpt3.layers().to_string(),
+        gpt3.heads().to_string(),
+        gpt3.d_model().to_string(),
+        gpt3.d_ff().to_string(),
+    ]);
+    let dit = presets::dit_xl_2();
+    let dt = dit.transformer();
+    t.row(vec![
+        dt.name().to_owned(),
+        dit.blocks().to_string(),
+        dt.heads().to_string(),
+        dt.d_model().to_string(),
+        dt.d_ff().to_string(),
+    ]);
+    println!("{}", t.render());
+
+    println!("Additional presets available for scaling studies:\n");
+    let mut t = Table::new(vec!["model", "# Layers", "# Heads", "d_model"]);
+    for m in [presets::gpt3_6_7b(), presets::gpt3_175b(), presets::llama2_13b()] {
+        t.row(vec![
+            m.name().to_owned(),
+            m.layers().to_string(),
+            m.heads().to_string(),
+            m.d_model().to_string(),
+        ]);
+    }
+    for d in [presets::dit_b_2(), presets::dit_l_2()] {
+        let m = d.transformer();
+        t.row(vec![
+            m.name().to_owned(),
+            m.layers().to_string(),
+            m.heads().to_string(),
+            m.d_model().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

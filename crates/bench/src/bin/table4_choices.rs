@@ -1,0 +1,38 @@
+//! Table IV: architecture design choices of the CIM-MXU.
+
+use cimtpu_bench::table::Table;
+use cimtpu_core::TpuConfig;
+
+fn main() {
+    println!("Table IV — Architecture design choices of CIM-MXU\n");
+    let mut t = Table::new(vec!["Parameters", "Architecture Choices", "", ""]);
+    t.row(vec!["Array dimension".into(), "8 x 8".into(), "16 x 8".into(), "16 x 16".into()]);
+    t.row(vec!["CIM-MXU count".into(), "2".into(), "4".into(), "8".into()]);
+    println!("{}", t.render());
+
+    println!("All nine design points (chip-level peak at 1.05 GHz):\n");
+    let mut t = Table::new(vec!["config", "MXU count", "grid", "cores", "peak TOPS", "vs TPUv4i"]);
+    let base_peak = TpuConfig::tpuv4i().peak_tops();
+    for cfg in TpuConfig::table4_designs() {
+        let (grid, cores) = match cfg.mxu() {
+            cimtpu_core::MxuKind::Cim(c) => (
+                format!("{}x{}", c.grid_rows(), c.grid_cols()),
+                (c.core_count() * cfg.mxu_count()).to_string(),
+            ),
+            cimtpu_core::MxuKind::DigitalSystolic(_) => ("-".into(), "-".into()),
+        };
+        t.row(vec![
+            cfg.name().to_owned(),
+            cfg.mxu_count().to_string(),
+            grid,
+            cores,
+            format!("{:.1}", cfg.peak_tops()),
+            format!("{:.2}x", cfg.peak_tops() / base_peak),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Design A = 4x(8x8) (optimized for LLMs); Design B = 8x(16x8)\n\
+         (optimized for DiTs). See fig7_exploration for the evaluation."
+    );
+}

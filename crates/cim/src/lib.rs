@@ -1,0 +1,195 @@
+//! Digital SRAM compute-in-memory (CIM) macro and CIM-MXU model.
+//!
+//! This crate models the paper's replacement for the TPU matrix unit:
+//!
+//! - [`CimCoreConfig`] — one digital CIM macro (by default 128×256 bitcells
+//!   organized as 32 banks × 32 sub-arrays × 8 local columns, Fig. 4),
+//!   computing with **bit-serial input broadcast** over weight-stationary
+//!   SRAM rows and supporting **simultaneous MAC + weight update** through a
+//!   dedicated weight I/O port (the [Mori, ISSCC'23]-style feature);
+//! - [`CimMxuConfig`] — a 2-D systolic grid of CIM cores (16×8 by default):
+//!   inputs propagate across grid columns, weights propagate down grid rows,
+//!   partial sums accumulate along the contraction dimension;
+//! - [`bitserial`] — a *functional* bit-serial INT8 MAC engine that computes
+//!   real dot products the way the macro hardware does (bit-plane AND +
+//!   adder tree + shift-accumulate) and is validated against an integer
+//!   reference;
+//! - [`fp`] — the BF16 pre/post-processing pipeline (exponent alignment,
+//!   mantissa shift, wide accumulation, rounding) validated against an
+//!   `f32` reference;
+//! - [`CimMxu`] — analytical timing/energy for GEMM/GEMV, calibrated to the
+//!   paper's Table II CIM column (7.26 TOPS/W, 1.31 TOPS/mm²).
+//!
+//! # Why CIM wins on GEMV
+//!
+//! On a weight-stationary systolic array, a matrix-vector product must still
+//! traverse the full `R + C − 2` pipeline skew and pay an `R`-cycle weight
+//! load per tile. In the CIM core the input vector is **broadcast** to all
+//! output channels bit-serially — no traversal of preceding MAC units — and
+//! weight updates overlap with computation. [`CimMxu::gemm_timing`] captures
+//! exactly this asymmetry.
+//!
+//! # Examples
+//!
+//! ```
+//! use cimtpu_cim::{CimMxu, CimMxuConfig};
+//! use cimtpu_units::{DataType, GemmShape};
+//!
+//! let mxu = CimMxu::new(CimMxuConfig::paper_default())?; // 16x8 grid
+//! assert_eq!(mxu.peak_macs_per_cycle(), 16384);
+//!
+//! let gemv = mxu.gemm_timing(GemmShape::gemv(2048, 2048)?, DataType::Int8);
+//! let gemm = mxu.gemm_timing(GemmShape::new(8192, 2048, 2048)?, DataType::Int8);
+//! // A weight GEMV is bound by weight delivery, not by MAC-array skew —
+//! // its compute phase is a single bit-serial wave plus grid fill…
+//! assert!(gemv.compute().get() < 1000);
+//! // …while large GEMMs still reach near-peak utilization.
+//! assert!(gemm.utilization() > 0.9);
+//! # Ok::<(), cimtpu_units::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitserial;
+mod energy;
+mod floorplan;
+pub mod fp;
+mod geometry;
+mod timing;
+
+pub use energy::{CimEnergyModel, CimGemmEnergy};
+pub use floorplan::{CimCoreFloorplan, MacEnergyBreakdown};
+pub use geometry::{CimCoreConfig, CimMxuConfig};
+pub use timing::CimGemmTiming;
+
+use cimtpu_units::{Area, DataType, GemmShape, Result, Watts};
+
+/// Analytical model of one CIM-MXU (a systolic grid of CIM cores).
+///
+/// See the [crate-level documentation](crate) for the hardware background.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CimMxu {
+    config: CimMxuConfig,
+    energy: CimEnergyModel,
+}
+
+impl CimMxu {
+    /// Creates an MXU model with the default (22 nm-calibrated) energy model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `config` is internally inconsistent.
+    pub fn new(config: CimMxuConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(CimMxu {
+            config,
+            energy: CimEnergyModel::tsmc22_cim(),
+        })
+    }
+
+    /// Creates an MXU model with a custom energy model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `config` is internally inconsistent.
+    pub fn with_energy_model(config: CimMxuConfig, energy: CimEnergyModel) -> Result<Self> {
+        config.validate()?;
+        Ok(CimMxu { config, energy })
+    }
+
+    /// The MXU configuration.
+    pub fn config(&self) -> &CimMxuConfig {
+        &self.config
+    }
+
+    /// The energy model in use.
+    pub fn energy_model(&self) -> &CimEnergyModel {
+        &self.energy
+    }
+
+    /// Peak MAC throughput (cores × per-core throughput).
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.config.peak_macs_per_cycle()
+    }
+
+    /// Analytical cycle count for one GEMM, including (possibly overlapped)
+    /// weight updates.
+    pub fn gemm_timing(&self, shape: GemmShape, dtype: DataType) -> CimGemmTiming {
+        timing::gemm_timing(&self.config, shape, dtype)
+    }
+
+    /// Energy spent executing one GEMM.
+    pub fn gemm_energy(&self, shape: GemmShape, dtype: DataType) -> CimGemmEnergy {
+        let timing = self.gemm_timing(shape, dtype);
+        self.energy.gemm_energy(&self.config, shape, dtype, &timing)
+    }
+
+    /// Total silicon area of the MXU.
+    pub fn area(&self) -> Area {
+        self.energy.mxu_area(&self.config)
+    }
+
+    /// Leakage power of the whole MXU.
+    pub fn static_power(&self) -> Watts {
+        self.energy.static_power(&self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimtpu_units::Frequency;
+
+    #[test]
+    fn table2_cim_column_is_reproduced() {
+        // Paper Table II: CIM-MXU, 16384 MACs/cycle,
+        // 7.26 TOPS/W and 1.31 TOPS/mm^2 (INT8, 22 nm, ~1.05 GHz).
+        let mxu = CimMxu::new(CimMxuConfig::paper_default()).unwrap();
+        assert_eq!(mxu.peak_macs_per_cycle(), 16384);
+
+        let clock = Frequency::from_ghz(1.05);
+        let peak_tops = mxu.peak_macs_per_cycle() as f64 * 2.0 * clock.as_hz() / 1e12;
+        let dyn_w = mxu.peak_macs_per_cycle() as f64
+            * mxu.energy_model().mac_energy(DataType::Int8).get()
+            * clock.as_hz();
+        let power = dyn_w + mxu.static_power().get();
+        let tops_per_w = peak_tops / power;
+        assert!(
+            (tops_per_w - 7.26).abs() / 7.26 < 0.03,
+            "expected ~7.26 TOPS/W, got {tops_per_w:.3}"
+        );
+        let tops_per_mm2 = peak_tops / mxu.area().as_mm2();
+        assert!(
+            (tops_per_mm2 - 1.31).abs() / 1.31 < 0.03,
+            "expected ~1.31 TOPS/mm^2, got {tops_per_mm2:.3}"
+        );
+    }
+
+    #[test]
+    fn cim_beats_systolic_ratios_from_table2() {
+        // 9.43x energy efficiency and 2.02x area efficiency vs the digital
+        // constants (cross-checked against cimtpu-systolic in integration
+        // tests; here we verify against the published digital numbers).
+        let mxu = CimMxu::new(CimMxuConfig::paper_default()).unwrap();
+        let clock = Frequency::from_ghz(1.05);
+        let peak_tops = mxu.peak_macs_per_cycle() as f64 * 2.0 * clock.as_hz() / 1e12;
+        let dyn_w = mxu.peak_macs_per_cycle() as f64
+            * mxu.energy_model().mac_energy(DataType::Int8).get()
+            * clock.as_hz();
+        let eff = peak_tops / (dyn_w + mxu.static_power().get());
+        assert!((eff / 0.77 - 9.43).abs() / 9.43 < 0.05);
+        let area_eff = peak_tops / mxu.area().as_mm2();
+        assert!((area_eff / 0.648 - 2.02).abs() / 2.02 < 0.05);
+    }
+
+    #[test]
+    fn same_peak_half_area_vs_digital() {
+        // "Our CIM-MXU contains 128 CIM cores, delivering the same peak
+        // performance as the baseline MXU with only 50% area."
+        let mxu = CimMxu::new(CimMxuConfig::paper_default()).unwrap();
+        let digital_area_mm2 = 16384.0 * 3241.0 * 1e-6; // from systolic calibration
+        let ratio = mxu.area().as_mm2() / digital_area_mm2;
+        assert!((0.45..0.55).contains(&ratio), "area ratio {ratio:.3}");
+    }
+}

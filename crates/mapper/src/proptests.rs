@@ -1,0 +1,101 @@
+//! Property-based tests of the mapping engine.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use cimtpu_units::{Cycles, DataType, Frequency, GemmShape};
+
+use crate::{candidate_tiles, Mapper, MemoryLevels, TileCostModel};
+
+/// Ideal engine: peak 16384 MACs/cycle, no overheads.
+struct Ideal;
+
+impl TileCostModel for Ideal {
+    fn tile_cycles(&self, s: GemmShape, _d: DataType) -> Cycles {
+        Cycles::new(s.macs().div_ceil(16384))
+    }
+    fn clock(&self) -> Frequency {
+        Frequency::from_ghz(1.05)
+    }
+    fn preferred_k(&self) -> u64 {
+        128
+    }
+    fn preferred_n(&self) -> u64 {
+        128
+    }
+}
+
+fn shape_strategy() -> impl Strategy<Value = GemmShape> {
+    (1u64..4096, 64u64..8192, 64u64..8192)
+        .prop_map(|(m, k, n)| GemmShape::new(m, k, n).expect("non-zero dims"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The chosen mapping is never worse than any other candidate.
+    #[test]
+    fn best_mapping_is_minimal(shape in shape_strategy()) {
+        let mapper = Mapper::new(MemoryLevels::tpuv4i());
+        let best = mapper
+            .best_gemm_mapping(shape, DataType::Int8, &Ideal, false)
+            .expect("mappable");
+        let cands = candidate_tiles(
+            shape,
+            DataType::Int8,
+            128,
+            128,
+            mapper.levels().vmem_tile_budget(),
+        );
+        for tile in cands {
+            let m = mapper
+                .evaluate(shape, DataType::Int8, &Ideal, false, tile)
+                .expect("evaluable");
+            prop_assert!(
+                best.total() <= m.total() * (1.0 + 1e-12),
+                "{shape}: best {} beaten by {:?} at {}",
+                best.total().get(),
+                tile,
+                m.total().get()
+            );
+        }
+    }
+
+    /// Every candidate fits the working-set budget.
+    #[test]
+    fn candidates_respect_budget(shape in shape_strategy()) {
+        let levels = MemoryLevels::tpuv4i();
+        let budget = levels.vmem_tile_budget();
+        for (tm, tk, tn) in candidate_tiles(shape, DataType::Int8, 128, 128, budget) {
+            let bytes = (tm * tk + tk * tn) + tm * tn * 4;
+            prop_assert!(bytes <= budget.get(), "({tm},{tk},{tn})");
+            prop_assert!(tm >= 1 && tk >= 1 && tn >= 1);
+        }
+    }
+
+    /// Mapped latency respects both roofline floors.
+    #[test]
+    fn mapping_respects_floors(shape in shape_strategy()) {
+        let mapper = Mapper::new(MemoryLevels::tpuv4i());
+        let m = mapper
+            .best_gemm_mapping(shape, DataType::Int8, &Ideal, false)
+            .expect("mappable");
+        let compute_floor = shape.macs() as f64 / (16384.0 * 1.05e9);
+        let hbm_floor = shape.weight_bytes(DataType::Int8).get() as f64 / 614e9;
+        prop_assert!(m.total().get() >= compute_floor.max(hbm_floor) * 0.999);
+    }
+
+    /// Resident weights are never slower than streamed weights.
+    #[test]
+    fn residency_never_hurts(shape in shape_strategy()) {
+        let mapper = Mapper::new(MemoryLevels::tpuv4i());
+        let streamed = mapper
+            .best_gemm_mapping(shape, DataType::Int8, &Ideal, false)
+            .expect("mappable");
+        let resident = mapper
+            .best_gemm_mapping(shape, DataType::Int8, &Ideal, true)
+            .expect("mappable");
+        prop_assert!(resident.total() <= streamed.total() * (1.0 + 1e-12));
+    }
+}

@@ -1,0 +1,153 @@
+//! A named list of operators plus aggregate queries.
+
+use serde::{Deserialize, Serialize};
+
+use cimtpu_units::Bytes;
+
+use crate::op::{OpCategory, OpInstance};
+
+/// A workload: an ordered list of [`OpInstance`]s.
+///
+/// # Examples
+///
+/// ```
+/// use cimtpu_models::presets;
+/// let w = presets::dit_xl_2().block(8, 512)?;
+/// assert!(w.total_macs() > 0);
+/// assert!(w.ops().len() > 10);
+/// # Ok::<(), cimtpu_units::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    ops: Vec<OpInstance>,
+}
+
+impl Workload {
+    /// Creates an empty workload.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workload {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// The workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operators in execution order.
+    pub fn ops(&self) -> &[OpInstance] {
+        &self.ops
+    }
+
+    /// Appends an operator.
+    pub fn push(&mut self, op: OpInstance) {
+        self.ops.push(op);
+    }
+
+    /// Appends an operator, builder style.
+    #[must_use]
+    pub fn with(mut self, op: OpInstance) -> Self {
+        self.push(op);
+        self
+    }
+
+    /// Concatenates another workload's ops.
+    pub fn extend_from(&mut self, other: &Workload) {
+        self.ops.extend_from_slice(&other.ops);
+    }
+
+    /// Appends `other`'s ops with their counts multiplied by `times`
+    /// (e.g. one Transformer layer × 48).
+    pub fn extend_repeated(&mut self, other: &Workload, times: u64) {
+        for op in &other.ops {
+            self.ops.push(op.clone().repeated(op.count() * times));
+        }
+    }
+
+    /// Total MACs across all operators and repetitions.
+    pub fn total_macs(&self) -> u64 {
+        self.ops.iter().map(OpInstance::total_macs).sum()
+    }
+
+    /// Total unique main-memory traffic (weights + KV + embeddings).
+    pub fn main_memory_bytes(&self) -> Bytes {
+        self.ops
+            .iter()
+            .map(|i| i.op().main_memory_bytes() * i.count())
+            .sum()
+    }
+
+    /// MACs restricted to one reporting category.
+    pub fn macs_in(&self, category: OpCategory) -> u64 {
+        self.ops
+            .iter()
+            .filter(|i| i.category() == category)
+            .map(OpInstance::total_macs)
+            .sum()
+    }
+
+    /// Iterator over the distinct categories present, in first-seen order.
+    pub fn categories(&self) -> Vec<OpCategory> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            if !seen.contains(&op.category()) {
+                seen.push(op.category());
+            }
+        }
+        seen
+    }
+}
+
+impl Extend<OpInstance> for Workload {
+    fn extend<T: IntoIterator<Item = OpInstance>>(&mut self, iter: T) {
+        self.ops.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use cimtpu_units::{DataType, GemmShape};
+
+    fn gemm(name: &str, m: u64) -> OpInstance {
+        OpInstance::new(
+            name,
+            OpCategory::QkvGen,
+            Op::Gemm {
+                shape: GemmShape::new(m, 16, 16).unwrap(),
+                dtype: DataType::Int8,
+            },
+        )
+    }
+
+    #[test]
+    fn aggregates_sum_over_ops() {
+        let mut w = Workload::new("t");
+        w.push(gemm("a", 2));
+        w.push(gemm("b", 3).repeated(4));
+        assert_eq!(w.total_macs(), 2 * 256 + 4 * 3 * 256);
+        assert_eq!(w.macs_in(OpCategory::QkvGen), w.total_macs());
+        assert_eq!(w.macs_in(OpCategory::Gelu), 0);
+    }
+
+    #[test]
+    fn extend_repeated_multiplies_counts() {
+        let layer = Workload::new("layer").with(gemm("a", 1).repeated(2));
+        let mut model = Workload::new("model");
+        model.extend_repeated(&layer, 48);
+        assert_eq!(model.ops()[0].count(), 96);
+    }
+
+    #[test]
+    fn categories_preserve_first_seen_order() {
+        let mut w = Workload::new("t");
+        w.push(gemm("a", 1));
+        w.push(OpInstance::new("s", OpCategory::Attention, Op::Softmax { rows: 1, cols: 1 }));
+        w.push(gemm("b", 1));
+        assert_eq!(w.categories(), vec![OpCategory::QkvGen, OpCategory::Attention]);
+    }
+}

@@ -1,0 +1,270 @@
+//! The ICI ring topology and its collective cost models.
+
+use serde::{Deserialize, Serialize};
+
+use cimtpu_units::{Bandwidth, Bytes, Error, Result, Seconds};
+
+/// Per-hop software/serialization latency of an ICI transfer.
+const HOP_LATENCY_US: f64 = 1.0;
+
+/// A ring of TPU chips connected over their ICI links.
+///
+/// Each TPUv4i chip has two 100 GB/s ICI links, so a ring uses both —
+/// one to each neighbour — which is the paper's default multi-chip
+/// configuration ("4 TPUs interconnected in a ring topology to fully
+/// utilize the two ICI links on each TPU chip").
+///
+/// # Examples
+///
+/// ```
+/// use cimtpu_multi::RingTopology;
+/// use cimtpu_units::{Bandwidth, Bytes};
+///
+/// let ring = RingTopology::new(4, 2, Bandwidth::from_gb_per_s(100.0))?;
+/// let t = ring.all_reduce_time(Bytes::from_mib(1));
+/// assert!(t.get() > 0.0);
+/// # Ok::<(), cimtpu_units::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingTopology {
+    devices: u64,
+    links_per_chip: u64,
+    link_bandwidth: Bandwidth,
+}
+
+impl RingTopology {
+    /// Creates a ring of `devices` chips.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for zero devices/links or rings
+    /// larger than the two links per chip can form (more than 2 links are
+    /// accepted but unused by the ring).
+    pub fn new(devices: u64, links_per_chip: u64, link_bandwidth: Bandwidth) -> Result<Self> {
+        if devices == 0 {
+            return Err(Error::invalid_config("ring needs at least one device"));
+        }
+        if links_per_chip == 0 {
+            return Err(Error::invalid_config("chips need at least one ICI link"));
+        }
+        Ok(RingTopology {
+            devices,
+            links_per_chip,
+            link_bandwidth,
+        })
+    }
+
+    /// Number of chips in the ring.
+    pub fn devices(&self) -> u64 {
+        self.devices
+    }
+
+    /// ICI links per chip.
+    pub fn links_per_chip(&self) -> u64 {
+        self.links_per_chip
+    }
+
+    /// Bandwidth of one ICI link.
+    pub fn link_bandwidth(&self) -> Bandwidth {
+        self.link_bandwidth
+    }
+
+    fn hop_latency(&self) -> Seconds {
+        Seconds::from_micros(HOP_LATENCY_US)
+    }
+
+    /// Time for a ring all-reduce of `bytes` (per-device payload).
+    ///
+    /// Standard ring cost: `2·(p−1)/p · bytes / link_bw` plus per-step hop
+    /// latency, using both directions of the ring (both links).
+    pub fn all_reduce_time(&self, bytes: Bytes) -> Seconds {
+        let p = self.devices;
+        if p == 1 {
+            return Seconds::ZERO;
+        }
+        let effective_bw = self.link_bandwidth * self.links_per_chip.min(2) as f64;
+        let volume = 2.0 * (p - 1) as f64 / p as f64 * bytes.get() as f64;
+        Seconds::new(volume / effective_bw.get()) + self.hop_latency() * (2 * (p - 1)) as f64
+    }
+
+    /// Time for a ring all-gather of `bytes` (per-device shard).
+    pub fn all_gather_time(&self, bytes: Bytes) -> Seconds {
+        let p = self.devices;
+        if p == 1 {
+            return Seconds::ZERO;
+        }
+        let effective_bw = self.link_bandwidth * self.links_per_chip.min(2) as f64;
+        let volume = (p - 1) as f64 / p as f64 * bytes.get() as f64;
+        Seconds::new(volume / effective_bw.get()) + self.hop_latency() * (p - 1) as f64
+    }
+
+    /// Time to send `bytes` to the ring neighbour (one link).
+    pub fn p2p_time(&self, bytes: Bytes) -> Seconds {
+        if self.devices == 1 {
+            return Seconds::ZERO;
+        }
+        self.link_bandwidth.transfer_time(bytes) + self.hop_latency()
+    }
+}
+
+/// A 2-D torus of TPU chips (TPUv4-pod style), for scaling beyond the
+/// 4-chip ring the paper evaluates.
+///
+/// Collectives decompose into two phases: a ring all-reduce along each row,
+/// then along each column — the standard hierarchical algorithm for torus
+/// interconnects.
+///
+/// # Examples
+///
+/// ```
+/// use cimtpu_multi::{RingTopology, Torus2dTopology};
+/// use cimtpu_units::{Bandwidth, Bytes};
+///
+/// let bw = Bandwidth::from_gb_per_s(100.0);
+/// let torus = Torus2dTopology::new(4, 4, bw)?;
+/// let ring16 = RingTopology::new(16, 2, bw)?;
+/// // A 4x4 torus all-reduces faster than one 16-chip ring.
+/// let bytes = Bytes::from_mib(64);
+/// assert!(torus.all_reduce_time(bytes) < ring16.all_reduce_time(bytes));
+/// # Ok::<(), cimtpu_units::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Torus2dTopology {
+    x: u64,
+    y: u64,
+    link_bandwidth: Bandwidth,
+}
+
+impl Torus2dTopology {
+    /// Creates an `x × y` torus. Each chip needs 4 links (2 per dimension);
+    /// degenerate 1-wide dimensions collapse to a ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if either dimension is zero.
+    pub fn new(x: u64, y: u64, link_bandwidth: Bandwidth) -> Result<Self> {
+        if x == 0 || y == 0 {
+            return Err(Error::invalid_config("torus dimensions must be non-zero"));
+        }
+        Ok(Torus2dTopology { x, y, link_bandwidth })
+    }
+
+    /// Chips along the first dimension.
+    pub fn x(&self) -> u64 {
+        self.x
+    }
+
+    /// Chips along the second dimension.
+    pub fn y(&self) -> u64 {
+        self.y
+    }
+
+    /// Total chips.
+    pub fn devices(&self) -> u64 {
+        self.x * self.y
+    }
+
+    fn row_ring(&self) -> RingTopology {
+        RingTopology::new(self.x.max(1), 2, self.link_bandwidth).expect("validated dims")
+    }
+
+    fn col_ring(&self) -> RingTopology {
+        RingTopology::new(self.y.max(1), 2, self.link_bandwidth).expect("validated dims")
+    }
+
+    /// Hierarchical all-reduce: reduce-scatter + all-gather along rows,
+    /// then the same along columns on `1/x` of the data.
+    pub fn all_reduce_time(&self, bytes: Bytes) -> Seconds {
+        let row = self.row_ring().all_reduce_time(bytes);
+        let col_bytes = Bytes::new(bytes.get().div_ceil(self.x.max(1)));
+        let col = self.col_ring().all_reduce_time(col_bytes);
+        row + col
+    }
+
+    /// Neighbour transfer (one hop on either dimension).
+    pub fn p2p_time(&self, bytes: Bytes) -> Seconds {
+        if self.devices() == 1 {
+            return Seconds::ZERO;
+        }
+        self.link_bandwidth.transfer_time(bytes) + Seconds::from_micros(HOP_LATENCY_US)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(p: u64) -> RingTopology {
+        RingTopology::new(p, 2, Bandwidth::from_gb_per_s(100.0)).unwrap()
+    }
+
+    fn torus(x: u64, y: u64) -> Torus2dTopology {
+        Torus2dTopology::new(x, y, Bandwidth::from_gb_per_s(100.0)).unwrap()
+    }
+
+    #[test]
+    fn torus_validation() {
+        assert!(Torus2dTopology::new(0, 4, Bandwidth::from_gb_per_s(100.0)).is_err());
+        assert_eq!(torus(4, 4).devices(), 16);
+    }
+
+    #[test]
+    fn degenerate_torus_matches_ring() {
+        // A 1 x p torus is a ring plus a trivial second phase.
+        let bytes = Bytes::from_mib(32);
+        let t = torus(1, 4).all_reduce_time(bytes);
+        let r = ring(4).all_reduce_time(bytes);
+        // Row phase over x=1 is free; the column phase carries everything.
+        assert!((t.get() - r.get()).abs() / r.get() < 1e-9);
+    }
+
+    #[test]
+    fn torus_beats_flat_ring_at_scale() {
+        let bytes = Bytes::from_mib(256);
+        for (x, y) in [(4u64, 4u64), (8, 4), (8, 8)] {
+            let t = torus(x, y).all_reduce_time(bytes);
+            let r = ring(x * y).all_reduce_time(bytes);
+            assert!(t < r, "{x}x{y} torus should beat a {}-ring", x * y);
+        }
+    }
+
+    #[test]
+    fn torus_p2p_single_device_free() {
+        assert_eq!(torus(1, 1).p2p_time(Bytes::from_mib(1)), Seconds::ZERO);
+        assert!(torus(2, 2).p2p_time(Bytes::from_mib(1)).get() > 0.0);
+    }
+
+    #[test]
+    fn single_device_collectives_are_free() {
+        assert_eq!(ring(1).all_reduce_time(Bytes::from_mib(64)), Seconds::ZERO);
+        assert_eq!(ring(1).all_gather_time(Bytes::from_mib(64)), Seconds::ZERO);
+        assert_eq!(ring(1).p2p_time(Bytes::from_mib(64)), Seconds::ZERO);
+    }
+
+    #[test]
+    fn all_reduce_cost_follows_ring_formula() {
+        // 4 devices, 200 GB/s effective: 2*(3/4)*bytes/bw + 6 hops.
+        let bytes = Bytes::new(400_000_000);
+        let t = ring(4).all_reduce_time(bytes);
+        let expected = 2.0 * 0.75 * 400e6 / 200e9 + 6.0e-6;
+        assert!((t.get() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn bigger_rings_cost_more_per_byte() {
+        let bytes = Bytes::from_mib(64);
+        assert!(ring(4).all_reduce_time(bytes) > ring(2).all_reduce_time(bytes));
+    }
+
+    #[test]
+    fn all_gather_cheaper_than_all_reduce() {
+        let bytes = Bytes::from_mib(64);
+        assert!(ring(4).all_gather_time(bytes) < ring(4).all_reduce_time(bytes));
+    }
+
+    #[test]
+    fn zero_devices_rejected() {
+        assert!(RingTopology::new(0, 2, Bandwidth::from_gb_per_s(100.0)).is_err());
+        assert!(RingTopology::new(4, 0, Bandwidth::from_gb_per_s(100.0)).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared error type for the workspace.
+
+use std::error;
+use std::fmt;
+
+/// Convenience result alias using the workspace [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while configuring or running the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use cimtpu_units::Error;
+/// let e = Error::invalid_config("vector memory must be non-zero");
+/// assert!(e.to_string().contains("vector memory"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A hardware or workload configuration was internally inconsistent.
+    InvalidConfig(String),
+    /// A tensor/tile shape was invalid (zero dimension, overflow, ...).
+    InvalidShape(String),
+    /// A workload could not be mapped onto the hardware (e.g. a tile that
+    /// does not fit into the smallest buffer even at minimum size).
+    Unmappable(String),
+    /// A named preset (model or architecture) was not found.
+    UnknownPreset(String),
+}
+
+impl Error {
+    /// Creates an [`Error::InvalidConfig`].
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        Error::InvalidConfig(msg.into())
+    }
+
+    /// Creates an [`Error::InvalidShape`].
+    pub fn invalid_shape(msg: impl Into<String>) -> Self {
+        Error::InvalidShape(msg.into())
+    }
+
+    /// Creates an [`Error::Unmappable`].
+    pub fn unmappable(msg: impl Into<String>) -> Self {
+        Error::Unmappable(msg.into())
+    }
+
+    /// Creates an [`Error::UnknownPreset`].
+    pub fn unknown_preset(msg: impl Into<String>) -> Self {
+        Error::UnknownPreset(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+            Error::Unmappable(msg) => write!(f, "workload cannot be mapped: {msg}"),
+            Error::UnknownPreset(msg) => write!(f, "unknown preset: {msg}"),
+        }
+    }
+}
+
+impl error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = Error::unmappable("tile larger than VMEM");
+        let s = e.to_string();
+        assert!(s.starts_with("workload cannot be mapped"));
+        assert!(!s.ends_with('.'));
+    }
+}

@@ -1,0 +1,60 @@
+//! Bottleneck analysis: roofline placement + execution timeline for a
+//! GPT-3-30B decode layer on both architectures, plus the dynamic/static
+//! energy split that explains the paper's 13.4x decode energy reduction.
+//!
+//! Run with: `cargo run --release --example bottleneck_analysis`
+
+use cimtpu::core::roofline::{self, RooflineModel};
+use cimtpu::core::timeline::Timeline;
+use cimtpu::prelude::*;
+
+fn main() -> Result<()> {
+    let gpt3 = presets::gpt3_30b();
+    let layer = gpt3.decode_layer(8, 1280)?;
+
+    for cfg in [TpuConfig::tpuv4i(), TpuConfig::cim_base()] {
+        let sim = Simulator::new(cfg)?;
+        let report = sim.run(&layer)?;
+
+        println!("==== {} ====", sim.config().name());
+
+        // 1. Where does each matrix op sit on the roofline?
+        let model = RooflineModel::of(&sim);
+        println!(
+            "roofline ridge: {:.1} MACs/byte (peak {:.1} TMAC/s, HBM {:.0} GB/s)",
+            model.ridge_intensity(),
+            model.peak_macs_per_s / 1e12,
+            model.hbm_bytes_per_s / 1e9
+        );
+        for p in roofline::analyze(&sim, &layer)? {
+            println!(
+                "  {:<14} intensity {:>7.2} MACs/B  achieved {:>6.2} TMAC/s \
+                 ({:>5.1}% of roofline, {:?}-bound)",
+                p.name,
+                p.intensity,
+                p.achieved_macs_per_s / 1e12,
+                p.roofline_efficiency() * 100.0,
+                p.bound,
+            );
+        }
+
+        // 2. When does each op run?
+        println!("\n{}", Timeline::from_report(&report).render_ascii(56));
+
+        // 3. Where does the MXU energy go?
+        println!(
+            "MXU energy: {:.3} mJ total = {:.3} mJ dynamic + {:.3} mJ leakage\n",
+            report.mxu_energy().as_millijoules(),
+            report.mxu_dynamic_energy().as_millijoules(),
+            report.mxu_static_energy().as_millijoules(),
+        );
+    }
+
+    println!(
+        "Takeaway: every decode op is memory-bound on both chips, but the\n\
+         baseline burns leakage in 16k idle MACs while attention serializes;\n\
+         the CIM-MXU finishes attention at the KV-bandwidth limit and leaks\n\
+         an order of magnitude less."
+    );
+    Ok(())
+}

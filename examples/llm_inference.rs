@@ -1,0 +1,49 @@
+//! End-to-end LLM serving analysis: full GPT-3-30B inference (prefill +
+//! decode) across the baseline, the default CIM TPU, and Design A,
+//! reporting per-stage latency, energy and tokens/s.
+//!
+//! Run with: `cargo run --release --example llm_inference`
+
+use cimtpu::prelude::*;
+
+fn main() -> Result<()> {
+    let gpt3 = presets::gpt3_30b();
+    // The paper's "typical real-world scenario": 1024 in, 512 out, batch 8.
+    let spec = LlmInferenceSpec::paper_fig7(8)?;
+
+    println!(
+        "GPT-3-30B inference: batch {}, {} input + {} output tokens, INT8\n",
+        spec.batch(),
+        spec.input_len(),
+        spec.output_len()
+    );
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "config", "prefill (s)", "decode (s)", "total (s)", "MXU E (J)", "tok/s"
+    );
+
+    for cfg in [
+        TpuConfig::tpuv4i(),
+        TpuConfig::cim_base(),
+        TpuConfig::design_a(),
+        TpuConfig::design_b(),
+    ] {
+        let sim = Simulator::new(cfg)?;
+        let r = inference::run_llm(&sim, &gpt3, spec)?;
+        println!(
+            "{:<18} {:>12.2} {:>12.2} {:>12.2} {:>12.1} {:>10.1}",
+            sim.config().name(),
+            r.prefill_latency.get(),
+            r.decode_latency.get(),
+            r.total_latency().get(),
+            r.total_mxu_energy().get(),
+            r.tokens_per_second(),
+        );
+    }
+
+    println!(
+        "\nObservation (paper Sec. V-A): decoding dominates; Design A trades\n\
+         peak compute for energy, which the memory-bound decode barely notices."
+    );
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Quickstart: compare one GPT-3-30B decoding step on the baseline TPUv4i
+//! and the CIM-based TPU — the paper's headline Fig. 6 result in ~20 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cimtpu::prelude::*;
+
+fn main() -> Result<()> {
+    // The two architectures of Table I.
+    let baseline = Simulator::new(TpuConfig::tpuv4i())?;
+    let cim_tpu = Simulator::new(TpuConfig::cim_base())?;
+
+    // One Transformer layer of GPT-3-30B decoding the 256th output token
+    // after a 1024-token prompt, batch 8, INT8 (the Fig. 6 setup).
+    let gpt3 = presets::gpt3_30b();
+    let layer = gpt3.decode_layer(8, 1024 + 256)?;
+
+    let base = baseline.run(&layer)?;
+    let cim = cim_tpu.run(&layer)?;
+
+    println!("{base}");
+    println!("{cim}");
+    println!(
+        "CIM-based TPU: {:.1}% faster, {:.1}x less MXU energy on LLM decoding",
+        (1.0 - cim.total_latency() / base.total_latency()) * 100.0,
+        cim.mxu_energy_reduction_vs(&base),
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! `cimtpu` — a compute-in-memory TPU architecture simulator.
+//!
+//! Reproduction of *"Leveraging Compute-in-Memory for Efficient Generative
+//! Model Inference in TPUs"* (DATE 2025). This facade crate re-exports the
+//! workspace so downstream users depend on a single crate:
+//!
+//! - [`units`] — quantities, data types, GEMM shapes;
+//! - [`systolic`] — the baseline digital MXU (SCALE-Sim-style);
+//! - [`cim`] — the digital CIM macro and CIM-MXU grid;
+//! - [`models`] — LLM/DiT workload builders and presets;
+//! - [`mapper`] — the tiling/scheduling engine;
+//! - [`core`] — the TPU architecture model and simulator;
+//! - [`multi`] — multi-chip parallelism and throughput.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cimtpu::prelude::*;
+//!
+//! // Build the two TPUs the paper compares.
+//! let baseline = Simulator::new(TpuConfig::tpuv4i())?;
+//! let cim_tpu = Simulator::new(TpuConfig::cim_base())?;
+//!
+//! // One GPT-3-30B decoding step at the 256th output token (Fig. 6).
+//! let layer = presets::gpt3_30b().decode_layer(8, 1280)?;
+//! let base = baseline.run(&layer)?;
+//! let cim = cim_tpu.run(&layer)?;
+//!
+//! println!("decode speedup: {:.2}x", cim.speedup_vs(&base));
+//! println!("MXU energy: {:.1}x less", cim.mxu_energy_reduction_vs(&base));
+//! assert!(cim.speedup_vs(&base) > 1.0);
+//! # Ok::<(), cimtpu::units::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cimtpu_cim as cim;
+pub use cimtpu_core as core;
+pub use cimtpu_mapper as mapper;
+pub use cimtpu_models as models;
+pub use cimtpu_multi as multi;
+pub use cimtpu_systolic as systolic;
+pub use cimtpu_units as units;
+
+/// The most common imports for simulator users.
+pub mod prelude {
+    pub use cimtpu_core::{inference, MatrixEngine, MxuKind, Report, Simulator, TpuConfig};
+    pub use cimtpu_models::{
+        presets, DitConfig, LlmInferenceSpec, LlmModelConfig, MoeConfig, Op, OpCategory,
+        OpInstance,
+        TransformerConfig, Workload,
+    };
+    pub use cimtpu_multi::{MultiTpu, RingTopology};
+    pub use cimtpu_units::{
+        Bandwidth, Bytes, Cycles, DataType, Energy, Error, Frequency, GemmShape, Joules, Result,
+        Seconds, Watts,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compose() {
+        use crate::prelude::*;
+        let cfg = TpuConfig::design_a();
+        let sim = Simulator::new(cfg).expect("preset is valid");
+        assert!(sim.config().peak_tops() > 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Property-based tests on the simulator's core invariants.
+
+use cimtpu::prelude::*;
+use proptest::prelude::*;
+
+fn engines() -> (MatrixEngine, MatrixEngine) {
+    (
+        MatrixEngine::from_kind(TpuConfig::tpuv4i().mxu()).expect("valid"),
+        MatrixEngine::from_kind(TpuConfig::cim_base().mxu()).expect("valid"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Neither engine ever reports more work per cycle than its peak.
+    #[test]
+    fn engines_never_exceed_peak(
+        m in 1u64..4096,
+        k in 1u64..8192,
+        n in 1u64..8192,
+    ) {
+        let shape = GemmShape::new(m, k, n).expect("non-zero dims");
+        for engine in [&engines().0, &engines().1] {
+            let cycles = engine.gemm_cycles(shape, DataType::Int8);
+            prop_assert!(cycles.get() > 0);
+            let implied_macs = cycles.get().saturating_mul(engine.peak_macs_per_cycle());
+            prop_assert!(
+                implied_macs >= shape.macs(),
+                "{shape}: {} cycles implies less work than {} MACs",
+                cycles.get(),
+                shape.macs()
+            );
+        }
+    }
+
+    /// Engine latency is monotone in every GEMM dimension.
+    #[test]
+    fn engine_latency_monotone(
+        m in 1u64..2048,
+        k in 1u64..4096,
+        n in 1u64..4096,
+    ) {
+        let shape = GemmShape::new(m, k, n).expect("non-zero dims");
+        let bigger = GemmShape::new(m + 64, k, n).expect("non-zero dims");
+        for engine in [&engines().0, &engines().1] {
+            prop_assert!(
+                engine.gemm_cycles(bigger, DataType::Int8)
+                    >= engine.gemm_cycles(shape, DataType::Int8)
+            );
+        }
+    }
+
+    /// Dynamic energy is positive and grows with MAC count.
+    #[test]
+    fn dynamic_energy_positive_and_monotone(
+        m in 1u64..1024,
+        k in 64u64..4096,
+        n in 64u64..4096,
+    ) {
+        let shape = GemmShape::new(m, k, n).expect("non-zero dims");
+        let bigger = GemmShape::new(m * 2, k, n).expect("non-zero dims");
+        for engine in [&engines().0, &engines().1] {
+            let e = engine.gemm_dynamic_energy(shape, DataType::Int8);
+            let e2 = engine.gemm_dynamic_energy(bigger, DataType::Int8);
+            prop_assert!(e.get() > 0.0);
+            prop_assert!(e2 > e);
+        }
+    }
+
+    /// Any random decode workload maps and produces consistent totals on
+    /// every Table IV design.
+    #[test]
+    fn random_decode_layers_always_map(
+        batch in 1u64..32,
+        ctx in 1u64..4096,
+        layers_idx in 0usize..3,
+    ) {
+        let model = [presets::gpt3_6_7b(), presets::gpt3_30b(), presets::llama2_13b()]
+            [layers_idx].clone();
+        let layer = model.decode_layer(batch, ctx).expect("valid");
+        let sim = Simulator::new(TpuConfig::design_a()).expect("valid config");
+        let rep = sim.run(&layer).expect("maps");
+        // Totals are the sum of the parts.
+        let sum: Seconds = rep.ops().iter().map(|o| o.latency).sum();
+        prop_assert!((sum.get() - rep.total_latency().get()).abs() <= 1e-12 * sum.get().max(1.0));
+        let cat_sum: Seconds = rep
+            .by_category()
+            .iter()
+            .map(|c| c.latency)
+            .sum();
+        prop_assert!((cat_sum.get() - rep.total_latency().get()).abs() <= 1e-9 * sum.get().max(1.0));
+    }
+
+    /// split_n never loses or duplicates output columns, whatever the split.
+    #[test]
+    fn gemm_split_conserves_columns(
+        m in 1u64..64,
+        k in 1u64..512,
+        n in 1u64..4096,
+        parts in 1u64..16,
+    ) {
+        let shape = GemmShape::new(m, k, n).expect("non-zero dims");
+        let split = shape.split_n(parts);
+        prop_assert_eq!(split.iter().map(|s| s.n()).sum::<u64>(), n);
+        prop_assert!(split.iter().all(|s| s.m() == m && s.k() == k));
+    }
+
+    /// The mapper always returns schedules no faster than both roofline
+    /// bounds (compute at peak; weights over HBM).
+    #[test]
+    fn mapper_respects_rooflines(
+        m in 1u64..2048,
+        k in 128u64..8192,
+        n in 128u64..8192,
+    ) {
+        let shape = GemmShape::new(m, k, n).expect("non-zero dims");
+        let sim = Simulator::new(TpuConfig::tpuv4i()).expect("valid config");
+        let w = Workload::new("prop").with(OpInstance::new(
+            "g",
+            OpCategory::Other,
+            Op::Gemm { shape, dtype: DataType::Int8 },
+        ));
+        let rep = sim.run(&w).expect("maps");
+        let peak = 65536.0 * 1.05e9; // 4 MXUs * 16384 MACs at 1.05 GHz
+        let compute_floor = shape.macs() as f64 / peak;
+        let hbm_floor = shape.weight_bytes(DataType::Int8).get() as f64 / 614e9;
+        let latency = rep.total_latency().get();
+        prop_assert!(
+            latency >= compute_floor.max(hbm_floor) * 0.999,
+            "{shape}: {latency} under floor {}",
+            compute_floor.max(hbm_floor)
+        );
+    }
+
+    /// The batched-matmul path never implies more work per cycle than peak,
+    /// for both dynamic (attention) and static (MoE expert) operands.
+    #[test]
+    fn batched_path_never_exceeds_peak(
+        batch in 1u64..512,
+        m in 1u64..1024,
+        k in 1u64..4096,
+        n in 1u64..4096,
+        static_weights in proptest::bool::ANY,
+    ) {
+        let shape = GemmShape::new(m, k, n).expect("non-zero dims");
+        for engine in [
+            MatrixEngine::from_kind(TpuConfig::tpuv4i().mxu()).expect("valid"),
+            MatrixEngine::from_kind(TpuConfig::cim_base().mxu()).expect("valid"),
+        ] {
+            let cycles = engine.batched_gemm_cycles_with(
+                batch, shape, DataType::Int8, static_weights,
+            );
+            let implied = cycles.get().saturating_mul(engine.peak_macs_per_cycle());
+            prop_assert!(
+                implied >= batch.saturating_mul(shape.macs()),
+                "batch {batch} x {shape}: {} cycles under-counts work",
+                cycles.get()
+            );
+        }
+    }
+
+    /// Static-weight batches are never slower than dynamic ones on the
+    /// systolic array (pre-staging only helps), and identical on CIM.
+    #[test]
+    fn static_weights_only_help(
+        batch in 1u64..64,
+        m in 1u64..512,
+        k in 64u64..2048,
+        n in 64u64..2048,
+    ) {
+        let shape = GemmShape::new(m, k, n).expect("non-zero dims");
+        let digital = MatrixEngine::from_kind(TpuConfig::tpuv4i().mxu()).expect("valid");
+        let cim = MatrixEngine::from_kind(TpuConfig::cim_base().mxu()).expect("valid");
+        prop_assert!(
+            digital.batched_gemm_cycles_with(batch, shape, DataType::Int8, true)
+                <= digital.batched_gemm_cycles_with(batch, shape, DataType::Int8, false)
+        );
+        prop_assert_eq!(
+            cim.batched_gemm_cycles_with(batch, shape, DataType::Int8, true),
+            cim.batched_gemm_cycles_with(batch, shape, DataType::Int8, false)
+        );
+    }
+
+    /// MoE layers conserve MACs: expert scatter changes locality, not work.
+    #[test]
+    fn moe_macs_scale_with_top_k(batch in 1u64..32, ctx in 64u64..2048) {
+        let moe = MoeConfig::mixtral_8x7b_like().expect("valid preset");
+        let layer = moe.decode_layer(batch, ctx).expect("valid");
+        // FFN MACs = batch * top_k * 2 * d * d_ff (up to ceil rounding).
+        let t = moe.transformer();
+        let ffn_macs: u64 = layer
+            .ops()
+            .iter()
+            .filter(|o| o.name().starts_with("Expert FFN"))
+            .map(|o| o.total_macs())
+            .sum();
+        let ideal = batch * moe.top_k() * 2 * t.d_model() * t.d_ff();
+        prop_assert!(ffn_macs >= ideal);
+        prop_assert!(ffn_macs <= ideal * 2, "ceil rounding should stay bounded");
+    }
+
+    /// Ring all-reduce time grows with payload and device count.
+    #[test]
+    fn all_reduce_monotone(bytes in 1u64..(1 << 30), devices in 2u64..16) {
+        let ring = RingTopology::new(devices, 2, Bandwidth::from_gb_per_s(100.0))
+            .expect("valid ring");
+        let t1 = ring.all_reduce_time(Bytes::new(bytes));
+        let t2 = ring.all_reduce_time(Bytes::new(bytes * 2));
+        prop_assert!(t2 >= t1);
+        let bigger = RingTopology::new(devices + 1, 2, Bandwidth::from_gb_per_s(100.0))
+            .expect("valid ring");
+        prop_assert!(bigger.all_reduce_time(Bytes::new(bytes)) >= t1);
+    }
+}
