@@ -1,0 +1,142 @@
+//! Trajectory benchmark: the memoized parallel sweep path vs the
+//! sequential uncached reference (the seed's behaviour).
+//!
+//! Measures the Fig. 7 exploration end to end in both [`SweepMode`]s,
+//! verifies the outputs are identical, prints criterion-style lines, and
+//! exports the speedup to `BENCH_sweep.json` at the workspace root so the
+//! number is tracked as a trajectory artifact:
+//!
+//! ```text
+//! cargo bench -p cimtpu-bench --bench sweep
+//! ```
+
+use std::path::Path;
+use std::time::Instant;
+
+use cimtpu_bench::experiments;
+use cimtpu_bench::sweep::{self, SweepMode};
+use cimtpu_core::{inference, Simulator, TpuConfig};
+use cimtpu_models::{presets, LlmInferenceSpec};
+use serde::Serialize;
+
+/// One measured experiment: reference vs optimized wall-clock.
+#[derive(Debug, Clone, Serialize)]
+struct BenchRow {
+    /// Experiment name.
+    name: String,
+    /// Sequential uncached wall-clock (seconds, min over samples).
+    reference_s: f64,
+    /// Parallel memoized wall-clock (seconds, min over samples).
+    optimized_s: f64,
+    /// reference / optimized.
+    speedup: f64,
+}
+
+/// The exported trajectory artifact.
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    /// Worker threads the parallel path used.
+    workers: usize,
+    /// Timed samples per measurement (min is reported).
+    samples: u32,
+    /// Mapping-cache hit rate over one full-LLM-inference evaluation.
+    run_llm_cache_hit_rate: f64,
+    /// Per-experiment timings.
+    rows: Vec<BenchRow>,
+}
+
+/// Minimum wall-clock of `samples` runs of `f`, discarding results.
+fn time_min<R>(samples: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn print_line(name: &str, seconds: f64) {
+    println!(
+        "{name:<48} time: [min {}]",
+        criterion::format_duration(std::time::Duration::from_secs_f64(seconds))
+    );
+}
+
+fn main() {
+    // `cargo test` runs bench targets with `--test`: single quick sample.
+    let samples: u32 = if std::env::args().any(|a| a == "--test") { 1 } else { 3 };
+    let mut rows = Vec::new();
+
+    // Correctness gate first: both paths must emit identical rows.
+    let fast_rows = experiments::fig7_with(SweepMode::Parallel).expect("fig7 fast path");
+    let ref_rows = experiments::fig7_with(SweepMode::SequentialUncached).expect("fig7 reference");
+    assert_eq!(fast_rows, ref_rows, "sweep modes diverged — refusing to benchmark");
+
+    // Fig. 7: the headline end-to-end sweep (10 design points, full LLM
+    // inference + DiT forward each).
+    let reference_s = time_min(samples, || {
+        experiments::fig7_with(SweepMode::SequentialUncached).expect("fig7 reference")
+    });
+    let optimized_s = time_min(samples, || {
+        experiments::fig7_with(SweepMode::Parallel).expect("fig7 fast path")
+    });
+    print_line("fig7/sequential_uncached", reference_s);
+    print_line("fig7/parallel_memoized", optimized_s);
+    rows.push(BenchRow {
+        name: "fig7_exploration".to_owned(),
+        reference_s,
+        optimized_s,
+        speedup: reference_s / optimized_s,
+    });
+
+    // Single-config full LLM inference: isolates the memoization win from
+    // the parallel fan-out (one simulator, no threading either way).
+    let spec = LlmInferenceSpec::new(
+        experiments::BATCH,
+        experiments::INPUT_LEN,
+        experiments::OUTPUT_LEN,
+    )
+    .expect("valid spec");
+    let gpt3 = presets::gpt3_30b();
+    let reference_s = time_min(samples, || {
+        let sim = Simulator::new(TpuConfig::cim_base()).expect("valid config");
+        sim.mapping_cache().set_enabled(false);
+        inference::run_llm(&sim, &gpt3, spec).expect("maps")
+    });
+    let optimized_s = time_min(samples, || {
+        let sim = Simulator::new(TpuConfig::cim_base()).expect("valid config");
+        inference::run_llm(&sim, &gpt3, spec).expect("maps")
+    });
+    print_line("run_llm/uncached", reference_s);
+    print_line("run_llm/memoized", optimized_s);
+    rows.push(BenchRow {
+        name: "run_llm_gpt3_30b".to_owned(),
+        reference_s,
+        optimized_s,
+        speedup: reference_s / optimized_s,
+    });
+
+    // Cache observability: hit rate over one full inference.
+    let sim = Simulator::new(TpuConfig::cim_base()).expect("valid config");
+    inference::run_llm(&sim, &gpt3, spec).expect("maps");
+    let hit_rate = sim.cache_stats().hit_rate();
+
+    let report = BenchReport {
+        workers: sweep::available_workers(),
+        samples,
+        run_llm_cache_hit_rate: hit_rate,
+        rows,
+    };
+    for row in &report.rows {
+        println!("{:<48} speedup: {:.2}x", row.name, row.speedup);
+    }
+    println!("run_llm cache hit rate: {:.1}%", hit_rate * 100.0);
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

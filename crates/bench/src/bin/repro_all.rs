@@ -1,6 +1,19 @@
 //! Reproduces every table and figure in one run (the full evaluation).
+//!
+//! The reproduction binaries are independent, so they fan out through the
+//! sweep driver's worker pool. The children are themselves internally
+//! parallel, so the available workers are split between the two levels
+//! (a few children at a time, each with its share of the cores) rather
+//! than letting every child claim the whole machine. Each child's
+//! captured output is printed in the canonical order as soon as it — and
+//! everything before it — has finished, so the combined log matches a
+//! sequential run section for section. Set `CIMTPU_WORKERS=1` to
+//! serialize the whole thing (children then inherit all cores).
 
+use std::path::PathBuf;
 use std::process::Command;
+
+use cimtpu_bench::sweep;
 
 const BINS: &[&str] = &[
     "fig1_evolution",
@@ -17,25 +30,66 @@ const BINS: &[&str] = &[
     "moe_study",
 ];
 
+/// Outcome of one child binary.
+struct BinRun {
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+    status: Result<std::process::ExitStatus, String>,
+}
+
+fn run_bin(dir: &std::path::Path, bin: &str, child_workers: usize) -> BinRun {
+    let path = dir.join(bin);
+    let mut command = if path.exists() {
+        Command::new(&path)
+    } else {
+        // Fall back to cargo for `cargo run --bin repro_all` workflows.
+        let mut c = Command::new("cargo");
+        c.args(["run", "--quiet", "--release", "-p", "cimtpu-bench", "--bin", bin]);
+        c
+    };
+    command.env("CIMTPU_WORKERS", child_workers.to_string());
+    match command.output() {
+        Ok(out) => BinRun {
+            stdout: out.stdout,
+            stderr: out.stderr,
+            status: Ok(out.status),
+        },
+        Err(e) => BinRun {
+            stdout: Vec::new(),
+            stderr: Vec::new(),
+            status: Err(format!("failed to launch {bin}: {e}")),
+        },
+    }
+}
+
+fn print_section(bin: &str, run: BinRun) {
+    println!("\n{}\n### {}\n{}", "=".repeat(78), bin, "=".repeat(78));
+    print!("{}", String::from_utf8_lossy(&run.stdout));
+    eprint!("{}", String::from_utf8_lossy(&run.stderr));
+    match run.status {
+        Ok(s) if s.success() => {}
+        Ok(s) => eprintln!("{bin} exited with {s}"),
+        Err(e) => eprintln!("{e}"),
+    }
+}
+
 fn main() {
     // When invoked through cargo the sibling binaries sit next to us.
     let me = std::env::current_exe().expect("current exe path");
-    let dir = me.parent().expect("exe has a parent dir");
-    for bin in BINS {
-        println!("\n{}\n### {}\n{}", "=".repeat(78), bin, "=".repeat(78));
-        let path = dir.join(bin);
-        let status = if path.exists() {
-            Command::new(&path).status()
-        } else {
-            // Fall back to cargo for `cargo run --bin repro_all` workflows.
-            Command::new("cargo")
-                .args(["run", "--quiet", "--release", "-p", "cimtpu-bench", "--bin", bin])
-                .status()
-        };
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => eprintln!("{bin} exited with {s}"),
-            Err(e) => eprintln!("failed to launch {bin}: {e}"),
-        }
-    }
+    let dir: PathBuf = me.parent().expect("exe has a parent dir").to_path_buf();
+
+    // Split the workers between the two levels of parallelism: at most a
+    // few children in flight, each with a fair share of the cores. With
+    // CIMTPU_WORKERS=1 the outer loop is sequential and each child gets
+    // every core (the long fig7 child then parallelizes internally).
+    let workers = sweep::available_workers();
+    let outer = workers.clamp(1, 4).min(BINS.len());
+    let child_workers = (workers / outer).max(1);
+
+    std::env::set_var("CIMTPU_WORKERS", outer.to_string());
+    sweep::parallel_map_consume(
+        BINS,
+        |bin| run_bin(&dir, bin, child_workers),
+        |i, run| print_section(BINS[i], run),
+    );
 }

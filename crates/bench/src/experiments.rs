@@ -1,11 +1,34 @@
 //! One function per paper table/figure (see DESIGN.md §4).
+//!
+//! The multi-point experiments (`fig7`, the extension sweeps, `moe_study`)
+//! fan their independent design points out through [`crate::sweep`]; each
+//! worker evaluates on its own memoized [`Simulator`], so results are
+//! bit-identical to — but much faster than — a sequential uncached run
+//! (see [`fig7_with`] and the `sweep` bench).
 
 use serde::Serialize;
 
+use crate::sweep::{self, SweepMode};
 use cimtpu_core::{inference, Simulator, TpuConfig};
 use cimtpu_models::{presets, LlmInferenceSpec, OpCategory, Workload};
 use cimtpu_multi::MultiTpu;
 use cimtpu_units::{DataType, Frequency, GemmShape, Joules, Result, Seconds};
+
+/// Per-worker pair of simulators (baseline, CIM) built lazily inside the
+/// sweep closure so construction errors propagate into the row `Result`.
+type SimPair = Option<(Simulator, Simulator)>;
+
+/// Returns the worker's `(baseline, cim)` simulators, building them on
+/// first use.
+fn base_cim_pair(state: &mut SimPair) -> Result<&(Simulator, Simulator)> {
+    if state.is_none() {
+        *state = Some((
+            Simulator::new(TpuConfig::tpuv4i())?,
+            Simulator::new(TpuConfig::cim_base())?,
+        ));
+    }
+    Ok(state.as_ref().expect("just initialized"))
+}
 
 /// The evaluation batch size used throughout the paper.
 pub const BATCH: u64 = 8;
@@ -234,12 +257,25 @@ pub struct Fig7Row {
 }
 
 /// Runs the Fig. 7 design-space exploration (baseline + all nine Table IV
-/// points, full LLM inference with 1024/512 tokens + DiT forward).
+/// points, full LLM inference with 1024/512 tokens + DiT forward) on the
+/// parallel memoized fast path.
 ///
 /// # Errors
 ///
 /// Returns an error if any configuration cannot map the workloads.
 pub fn fig7() -> Result<Vec<Fig7Row>> {
+    fig7_with(SweepMode::Parallel)
+}
+
+/// [`fig7`] with an explicit [`SweepMode`].
+///
+/// Both modes produce identical rows; `SequentialUncached` is the
+/// pre-optimization reference path the `sweep` bench measures against.
+///
+/// # Errors
+///
+/// Returns an error if any configuration cannot map the workloads.
+pub fn fig7_with(mode: SweepMode) -> Result<Vec<Fig7Row>> {
     let spec = LlmInferenceSpec::new(BATCH, INPUT_LEN, OUTPUT_LEN)?;
     let gpt3 = presets::gpt3_30b();
     let dit = presets::dit_xl_2();
@@ -247,13 +283,22 @@ pub fn fig7() -> Result<Vec<Fig7Row>> {
     let mut configs = vec![TpuConfig::tpuv4i()];
     configs.extend(TpuConfig::table4_designs());
 
+    // Fan the ten design points out; each is evaluated on its own
+    // simulator, whose mapping cache serves the repeated weight-GEMM
+    // queries across the decode-context samples.
+    let evals = sweep::map_with_mode(mode, &configs, || (), |(), cfg| {
+        let sim = Simulator::new(cfg.clone())?;
+        sim.mapping_cache().set_enabled(mode.cache_enabled());
+        let llm = inference::run_llm(&sim, &gpt3, spec)?;
+        let dit_run = inference::run_dit(&sim, &dit, BATCH, DIT_RESOLUTION)?;
+        Ok::<_, cimtpu_units::Error>((llm, dit_run))
+    });
+
     let mut rows: Vec<Fig7Row> = Vec::new();
     let mut base_llm = (Seconds::new(1.0), Joules::new(1.0));
     let mut base_dit = (Seconds::new(1.0), Joules::new(1.0));
-    for (i, cfg) in configs.into_iter().enumerate() {
-        let sim = Simulator::new(cfg.clone())?;
-        let llm = inference::run_llm(&sim, &gpt3, spec)?;
-        let dit_run = inference::run_dit(&sim, &dit, BATCH, DIT_RESOLUTION)?;
+    for (i, (cfg, eval)) in configs.iter().zip(evals).enumerate() {
+        let (llm, dit_run) = eval?;
         if i == 0 {
             base_llm = (llm.total_latency(), llm.total_mxu_energy());
             base_dit = (dit_run.total_latency, dit_run.total_mxu_energy);
@@ -451,23 +496,23 @@ pub struct BatchSweepRow {
 ///
 /// Returns an error if any workload cannot be mapped.
 pub fn sweep_batch() -> Result<Vec<BatchSweepRow>> {
-    let base = Simulator::new(TpuConfig::tpuv4i())?;
-    let cim = Simulator::new(TpuConfig::cim_base())?;
     let gpt3 = presets::gpt3_30b();
-    let mut rows = Vec::new();
-    for batch in [1u64, 2, 4, 8, 16, 32, 64] {
+    let batches = [1u64, 2, 4, 8, 16, 32, 64];
+    sweep::parallel_map_init(&batches, || SimPair::None, |sims, &batch| {
+        let (base, cim) = base_cim_pair(sims)?;
         let layer = gpt3.decode_layer(batch, INPUT_LEN + FIG6_DECODE_TOKEN)?;
         let b = base.run(&layer)?;
         let c = cim.run(&layer)?;
-        rows.push(BatchSweepRow {
+        Ok(BatchSweepRow {
             batch,
             baseline: b.total_latency(),
             cim: c.total_latency(),
             speedup: c.speedup_vs(&b),
             energy_reduction: c.mxu_energy_reduction_vs(&b),
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// One point of the context-length extension sweep.
@@ -495,24 +540,27 @@ pub struct ContextSweepRow {
 ///
 /// Returns an error if any workload cannot be mapped.
 pub fn sweep_context() -> Result<Vec<ContextSweepRow>> {
-    let base = Simulator::new(TpuConfig::tpuv4i())?;
-    let cim = Simulator::new(TpuConfig::cim_base())?;
     let gpt3 = presets::gpt3_30b();
-    let mut rows = Vec::new();
-    for ctx in [256u64, 512, 1024, 2048, 4096, 8192, 16384] {
+    let contexts = [256u64, 512, 1024, 2048, 4096, 8192, 16384];
+    // Per-worker simulator pairs: the weight GEMMs are identical across
+    // context lengths, so after a worker's first point every non-attention
+    // operator is a mapping-cache hit.
+    sweep::parallel_map_init(&contexts, || SimPair::None, |sims, &ctx| {
+        let (base, cim) = base_cim_pair(sims)?;
         let layer = gpt3.decode_layer(BATCH, ctx)?;
         let b = base.run(&layer)?;
         let c = cim.run(&layer)?;
-        rows.push(ContextSweepRow {
+        Ok(ContextSweepRow {
             ctx,
             baseline: b.total_latency(),
             cim: c.total_latency(),
             baseline_attention_fraction: b.latency_in(OpCategory::Attention)
                 / b.total_latency(),
             speedup: c.speedup_vs(&b),
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// One row of the MoE extension study.
@@ -540,26 +588,25 @@ pub struct MoeStudyRow {
 /// Returns an error if any workload cannot be mapped.
 pub fn moe_study() -> Result<Vec<MoeStudyRow>> {
     use cimtpu_models::MoeConfig;
-    let base = Simulator::new(TpuConfig::tpuv4i())?;
-    let cim = Simulator::new(TpuConfig::cim_base())?;
     let moe = MoeConfig::mixtral_8x7b_like()?;
-
-    let mut rows = Vec::new();
-    for (stage, workload) in [
+    let stages = vec![
         ("MoE prefill layer", moe.prefill_layer(BATCH, INPUT_LEN)?),
         ("MoE decode layer", moe.decode_layer(BATCH, INPUT_LEN + FIG6_DECODE_TOKEN)?),
-    ] {
-        let b = base.run(&workload)?;
-        let c = cim.run(&workload)?;
-        rows.push(MoeStudyRow {
-            stage: stage.to_owned(),
+    ];
+    sweep::parallel_map_init(&stages, || SimPair::None, |sims, (stage, workload)| {
+        let (base, cim) = base_cim_pair(sims)?;
+        let b = base.run(workload)?;
+        let c = cim.run(workload)?;
+        Ok(MoeStudyRow {
+            stage: (*stage).to_owned(),
             baseline: b.total_latency(),
             cim: c.total_latency(),
             speedup: c.speedup_vs(&b),
             energy_reduction: c.mxu_energy_reduction_vs(&b),
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// One point of the HBM-bandwidth sensitivity study.
@@ -589,8 +636,10 @@ pub fn sweep_hbm_bandwidth() -> Result<Vec<HbmSweepRow>> {
     use cimtpu_units::Bandwidth;
     let gpt3 = presets::gpt3_30b();
     let layer = gpt3.decode_layer(BATCH, INPUT_LEN + FIG6_DECODE_TOKEN)?;
-    let mut rows = Vec::new();
-    for gbps in [307.0, 614.0, 1228.0, 2456.0] {
+    let points = [307.0f64, 614.0, 1228.0, 2456.0];
+    // Bandwidth changes the memory hierarchy, so each point needs its own
+    // simulators (a cache is only valid for one configuration).
+    sweep::parallel_map(&points, |&gbps| {
         let levels = |cfg: TpuConfig| {
             let l = cfg.levels().clone().with_hbm_bandwidth(Bandwidth::from_gb_per_s(gbps));
             cfg.with_levels(l)
@@ -599,14 +648,15 @@ pub fn sweep_hbm_bandwidth() -> Result<Vec<HbmSweepRow>> {
         let cim = Simulator::new(levels(TpuConfig::cim_base()))?;
         let b = base.run(&layer)?;
         let c = cim.run(&layer)?;
-        rows.push(HbmSweepRow {
+        Ok(HbmSweepRow {
             hbm_gb_per_s: gbps,
             baseline: b.total_latency(),
             cim: c.total_latency(),
             speedup: c.speedup_vs(&b),
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Quick sanity accessor: the engines' GEMV asymmetry (used by benches).
@@ -711,6 +761,15 @@ mod tests {
         assert!(d_big < d_mid && d_mid < 1.0, "mid {d_mid}, big {d_big}");
         assert!((0.55..0.80).contains(&d_big), "big-config DiT norm {d_big}");
         assert!(d_small > 1.5, "small-config DiT should be much slower: {d_small}");
+    }
+
+    #[test]
+    fn fig7_fast_path_matches_sequential_uncached_reference() {
+        // Acceptance: the memoized parallel sweep must be numerically
+        // identical to the pre-optimization path, row for row.
+        let fast = fig7_with(SweepMode::Parallel).unwrap();
+        let reference = fig7_with(SweepMode::SequentialUncached).unwrap();
+        assert_eq!(fast, reference);
     }
 
     #[test]

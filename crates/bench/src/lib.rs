@@ -10,4 +10,5 @@
 
 pub mod data;
 pub mod experiments;
+pub mod sweep;
 pub mod table;

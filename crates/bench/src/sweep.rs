@@ -1,0 +1,265 @@
+//! Parallel design-space sweep driver.
+//!
+//! The paper's experiments fan the same evaluation over many independent
+//! design points (hardware configurations, batch sizes, context lengths).
+//! This module provides the std-only work-stealing fan-out used by every
+//! sweep binary: [`parallel_map`] and [`parallel_map_init`] mirror rayon's
+//! `par_iter().map()` / `map_init()` idioms over `std::thread::scope`
+//! (rayon itself is gated out — the build environment has no registry
+//! access, and the scoped-thread implementation needs no dependencies).
+//!
+//! Each worker owns its per-worker state — typically one
+//! [`Simulator`](cimtpu_core::Simulator) per design point, whose
+//! [`MappingCache`](cimtpu_core::MappingCache) then serves every repeated
+//! operator query on that worker. Results always return in item order, so
+//! parallel sweeps are output-identical to sequential ones.
+//!
+//! Set `CIMTPU_WORKERS=<n>` to cap the worker count (`1` forces a
+//! sequential run, which the benchmarks use as the reference).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// How a sweep executes: the production fast path or the reference path
+/// benchmarks compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// Parallel fan-out with memoized simulators (the default).
+    #[default]
+    Parallel,
+    /// One worker, mapping caches disabled: the pre-optimization baseline.
+    /// Produces bit-identical results to [`SweepMode::Parallel`].
+    SequentialUncached,
+}
+
+impl SweepMode {
+    /// Whether simulators created for this sweep should memoize pricing.
+    pub fn cache_enabled(self) -> bool {
+        self == SweepMode::Parallel
+    }
+
+    /// The worker count this mode allows for `items` work items.
+    pub fn workers_for(self, items: usize) -> usize {
+        match self {
+            SweepMode::Parallel => available_workers().min(items).max(1),
+            SweepMode::SequentialUncached => 1,
+        }
+    }
+}
+
+/// Worker threads available to sweeps (`CIMTPU_WORKERS` overrides the
+/// detected CPU parallelism).
+pub fn available_workers() -> usize {
+    if let Some(n) = std::env::var("CIMTPU_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Maps `f` over `items` on a worker pool, preserving item order.
+///
+/// Equivalent to rayon's `items.par_iter().map(f).collect()`.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_init(items, || (), |(), item| f(item))
+}
+
+/// Maps `f` over `items` with per-worker state, preserving item order.
+///
+/// `init` runs once per worker thread; the resulting state is threaded
+/// through every item that worker steals. This is the hook for "one warm
+/// simulator per worker": the state's mapping cache accumulates across the
+/// worker's share of the sweep. Equivalent to rayon's
+/// `par_iter().map_init(init, f)`.
+pub fn parallel_map_init<T, S, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    map_with_workers(items, available_workers(), &init, &f)
+}
+
+/// [`parallel_map_init`] with an explicit worker count (used by
+/// [`SweepMode::workers_for`] and the benchmarks).
+pub fn map_with_mode<T, S, R, I, F>(mode: SweepMode, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    map_with_workers(items, mode.workers_for(items.len()), &init, &f)
+}
+
+/// Like [`parallel_map`], but hands each result to `consume` **in item
+/// order as soon as it and all its predecessors are ready**, instead of
+/// waiting for the whole batch. Used by drivers that stream output (e.g.
+/// `repro_all` printing each section as it completes).
+pub fn parallel_map_consume<T, R, F, C>(items: &[T], f: F, mut consume: C)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    pool_run(items, available_workers(), &|| (), &|(), item| f(item), &mut consume);
+}
+
+fn map_with_workers<T, S, R, I, F>(items: &[T], workers: usize, init: &I, f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    // Delivery is in item order, so collecting is a plain push.
+    pool_run(items, workers, init, f, &mut |_, result| out.push(result));
+    out
+}
+
+/// The single worker-pool core every public entry point delegates to:
+/// work-stealing over an atomic cursor, per-worker `init` state, and
+/// in-item-order delivery to `consume` (each result is emitted as soon as
+/// it and all its predecessors are ready).
+fn pool_run<T, S, R, I, F>(
+    items: &[T],
+    workers: usize,
+    init: &I,
+    f: &F,
+    consume: &mut dyn FnMut(usize, R),
+) where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n).max(1);
+    if workers == 1 {
+        let mut state = init();
+        for (i, item) in items.iter().enumerate() {
+            consume(i, f(&mut state, item));
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    // Work stealing: each worker grabs the next unclaimed
+                    // item, so uneven per-item cost balances automatically.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(&mut state, &items[i]);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Receive concurrently with the workers, emitting the longest
+        // ready prefix after every arrival.
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut emitted = 0;
+        for (i, result) in rx {
+            slots[i] = Some(result);
+            while emitted < n {
+                match slots[emitted].take() {
+                    Some(ready) => {
+                        consume(emitted, ready);
+                        emitted += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u64> = parallel_map(&[] as &[u64], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn init_runs_at_most_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_init(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |state, &x| {
+                *state += 1;
+                x
+            },
+        );
+        assert_eq!(out, items);
+        assert!(inits.load(Ordering::Relaxed) <= available_workers().min(items.len()));
+    }
+
+    #[test]
+    fn sequential_mode_uses_one_worker() {
+        assert_eq!(SweepMode::SequentialUncached.workers_for(100), 1);
+        assert!(!SweepMode::SequentialUncached.cache_enabled());
+        assert!(SweepMode::Parallel.cache_enabled());
+        let items: Vec<u64> = (0..10).collect();
+        let out = map_with_mode(SweepMode::SequentialUncached, &items, || (), |(), &x| x + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn consume_delivers_in_order_and_completely() {
+        let items: Vec<u64> = (0..50).collect();
+        let mut seen = Vec::new();
+        parallel_map_consume(&items, |&x| x * 3, |i, r| seen.push((i, r)));
+        assert_eq!(
+            seen,
+            items.iter().map(|&x| (x as usize, x * 3)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn errors_pass_through_as_results() {
+        let items = [1u64, 0, 3];
+        let out = parallel_map(&items, |&x| {
+            if x == 0 { Err("zero") } else { Ok(x) }
+        });
+        assert_eq!(out, vec![Ok(1), Err("zero"), Ok(3)]);
+    }
+}

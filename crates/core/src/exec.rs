@@ -3,6 +3,7 @@
 use cimtpu_models::Op;
 use cimtpu_units::{Bytes, DataType, Joules, Result, Seconds};
 
+use crate::cache::PriceKey;
 use crate::engine::EngineCost;
 use crate::simulator::Simulator;
 
@@ -39,45 +40,52 @@ pub(crate) fn exec_op(sim: &Simulator, op: &Op) -> Result<OpCost> {
 
     match *op {
         Op::Gemm { shape, dtype } => {
-            // Output channels are sharded across the MXUs; each MXU maps its
-            // shard independently against its bandwidth share. The largest
-            // shard bounds latency.
-            let parts = shape.split_n(cfg.mxu_count());
-            let widest = parts[0];
-            let engine_cost = EngineCost::new(sim.engine(), clock);
-            let mapping = sim.per_mxu_mapper().best_gemm_mapping(
-                widest,
-                dtype,
-                &engine_cost,
-                false,
-            )?;
-            Ok(OpCost {
-                latency: mapping.total(),
-                mxu_dynamic: sim.engine().gemm_dynamic_energy(shape, dtype),
-                vpu_energy: Joules::ZERO,
-                hbm_bytes: shape.weight_bytes(dtype),
+            let key = PriceKey::Gemm { shape, dtype, weights_resident: false };
+            sim.mapping_cache().get_or_try_insert(key, || {
+                // Output channels are sharded across the MXUs; each MXU maps
+                // its shard independently against its bandwidth share. The
+                // largest shard bounds latency.
+                let parts = shape.split_n(cfg.mxu_count());
+                let widest = parts[0];
+                let engine_cost = EngineCost::new(sim.engine(), clock);
+                let mapping = sim.per_mxu_mapper().best_gemm_mapping(
+                    widest,
+                    dtype,
+                    &engine_cost,
+                    false,
+                )?;
+                Ok(OpCost {
+                    latency: mapping.total(),
+                    mxu_dynamic: sim.engine().gemm_dynamic_energy(shape, dtype),
+                    vpu_energy: Joules::ZERO,
+                    hbm_bytes: shape.weight_bytes(dtype),
+                })
             })
         }
         Op::BatchedMatmul { batch, shape, dtype, static_weights } => {
-            // Items are distributed round-robin across MXUs; the per-item
-            // weight operands stream from main memory at full chip bandwidth.
-            let items_per_mxu = batch.div_ceil(cfg.mxu_count());
-            let compute = sim
-                .engine()
-                .batched_gemm_cycles_with(items_per_mxu, shape, dtype, static_weights)
-                .at(clock);
-            let kv_bytes = shape.weight_bytes(dtype) * batch;
-            let dma = cfg.levels().hbm_time(kv_bytes);
-            let latency = if cfg.levels().double_buffering() {
-                compute.max(dma)
-            } else {
-                compute + dma
-            };
-            Ok(OpCost {
-                latency,
-                mxu_dynamic: sim.engine().batched_gemm_dynamic_energy(batch, shape, dtype),
-                vpu_energy: Joules::ZERO,
-                hbm_bytes: kv_bytes,
+            let key = PriceKey::Batched { batch, shape, dtype, static_weights };
+            sim.mapping_cache().get_or_try_insert(key, || {
+                // Items are distributed round-robin across MXUs; the per-item
+                // weight operands stream from main memory at full chip
+                // bandwidth.
+                let items_per_mxu = batch.div_ceil(cfg.mxu_count());
+                let compute = sim
+                    .engine()
+                    .batched_gemm_cycles_with(items_per_mxu, shape, dtype, static_weights)
+                    .at(clock);
+                let kv_bytes = shape.weight_bytes(dtype) * batch;
+                let dma = cfg.levels().hbm_time(kv_bytes);
+                let latency = if cfg.levels().double_buffering() {
+                    compute.max(dma)
+                } else {
+                    compute + dma
+                };
+                Ok(OpCost {
+                    latency,
+                    mxu_dynamic: sim.engine().batched_gemm_dynamic_energy(batch, shape, dtype),
+                    vpu_energy: Joules::ZERO,
+                    hbm_bytes: kv_bytes,
+                })
             })
         }
         Op::Softmax { rows, cols } => {

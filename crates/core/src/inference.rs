@@ -210,6 +210,26 @@ mod tests {
     }
 
     #[test]
+    fn decode_sampling_hits_the_mapping_cache() {
+        // The weight GEMMs (QKV, projection, FFN1/2) are identical across
+        // all decode-context samples; only the attention matmuls change
+        // shape with the context. After the first sampled step, every
+        // weight-GEMM query must be a cache hit.
+        let sim = Simulator::new(TpuConfig::tpuv4i()).unwrap();
+        let spec = LlmInferenceSpec::new(8, 256, 64).unwrap();
+        run_llm(&sim, &presets::gpt3_30b(), spec).unwrap();
+        let stats = sim.cache_stats();
+        assert!(stats.hits > 0, "no cache hits during run_llm: {stats:?}");
+        // 9 decode samples share one set of weight-GEMM shapes: the bulk of
+        // matrix queries must be served from the cache.
+        assert!(
+            stats.hit_rate() > 0.5,
+            "decode sampling should be cache-dominated: {stats:?}"
+        );
+        assert_eq!(stats.entries as u64, stats.misses);
+    }
+
+    #[test]
     fn integration_is_exact_for_linear_cost() {
         // Cost linear in step: trapezoid integrates exactly.
         let samples: Vec<(f64, Seconds, Joules)> = (0..=8)

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod arch;
+mod cache;
 mod engine;
 mod exec;
 pub mod inference;
@@ -53,6 +54,7 @@ pub mod timeline;
 mod vpu;
 
 pub use arch::{MxuKind, TpuConfig};
+pub use cache::{CacheStats, MappingCache};
 pub use engine::MatrixEngine;
 pub use report::{CategoryRow, OpReport, Report};
 pub use simulator::Simulator;

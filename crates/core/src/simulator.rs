@@ -5,6 +5,7 @@ use cimtpu_models::{OpInstance, Workload};
 use cimtpu_units::{Bytes, Joules, Result, Watts};
 
 use crate::arch::TpuConfig;
+use crate::cache::{CacheStats, MappingCache};
 use crate::engine::MatrixEngine;
 use crate::exec;
 use crate::report::{OpReport, Report};
@@ -15,6 +16,14 @@ use crate::report::{OpReport, Report};
 /// work is split across the configured number of MXUs and DMA overlaps
 /// compute according to the memory hierarchy's scheduling options.
 ///
+/// Each simulator owns a [`MappingCache`]: every distinct matrix-operator
+/// query runs the map-space search exactly once, and repeats (identical
+/// transformer layers, decode-context samples, sweep re-runs) are answered
+/// from the cache with bit-identical results. Inspect it with
+/// [`cache_stats`](Simulator::cache_stats); disable it with
+/// [`mapping_cache`](Simulator::mapping_cache)`().set_enabled(false)` when
+/// measuring the raw search cost.
+///
 /// See the [crate-level documentation](crate) for an example.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -22,6 +31,8 @@ pub struct Simulator {
     engine: MatrixEngine,
     /// Mapper with per-MXU bandwidth/capacity shares.
     per_mxu_mapper: Mapper,
+    /// Memoized operator pricing (see [`MappingCache`]).
+    cache: MappingCache,
 }
 
 impl Simulator {
@@ -41,6 +52,7 @@ impl Simulator {
         Ok(Simulator {
             engine,
             per_mxu_mapper: Mapper::new(per_mxu_levels),
+            cache: MappingCache::for_config(&config),
             config,
         })
     }
@@ -60,6 +72,16 @@ impl Simulator {
         &self.per_mxu_mapper
     }
 
+    /// The operator-pricing memoization cache.
+    pub fn mapping_cache(&self) -> &MappingCache {
+        &self.cache
+    }
+
+    /// Hit/miss/occupancy counters of the mapping cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Combined leakage of all MXUs (charged over every op's window — the
     /// array leaks whether or not it computes).
     pub fn mxu_static_power(&self) -> Watts {
@@ -72,6 +94,10 @@ impl Simulator {
     ///
     /// Returns an error if any operator cannot be mapped onto the hardware.
     pub fn run(&self, workload: &Workload) -> Result<Report> {
+        debug_assert!(
+            self.cache.matches(&self.config),
+            "mapping cache fingerprint does not match this simulator's config"
+        );
         let mut report = Report::new(workload.name(), self.config.name());
         for inst in workload.ops() {
             report.push(self.run_instance(inst)?);
@@ -207,6 +233,36 @@ mod tests {
         );
         assert!((9.0..20.0).contains(&rd), "decode energy reduction {rd:.2}");
         assert!(rd > rp, "decode should benefit more than prefill");
+    }
+
+    #[test]
+    fn warm_cache_reproduces_cold_reports_exactly() {
+        // Running the same workload twice must produce identical reports,
+        // with the second run answered from the cache.
+        let sim = Simulator::new(TpuConfig::cim_base()).unwrap();
+        let layer = presets::gpt3_30b().decode_layer(8, 1280).unwrap();
+        let cold = sim.run(&layer).unwrap();
+        let misses_after_cold = sim.cache_stats().misses;
+        let warm = sim.run(&layer).unwrap();
+        assert_eq!(cold, warm);
+        let stats = sim.cache_stats();
+        assert_eq!(stats.misses, misses_after_cold, "warm run must not miss");
+        assert!(stats.hits >= misses_after_cold);
+    }
+
+    #[test]
+    fn disabled_cache_matches_enabled_cache() {
+        let cached = Simulator::new(TpuConfig::tpuv4i()).unwrap();
+        let uncached = Simulator::new(TpuConfig::tpuv4i()).unwrap();
+        uncached.mapping_cache().set_enabled(false);
+        let layer = presets::gpt3_30b().prefill_layer(8, 1024).unwrap();
+        // Two passes each: the cached simulator answers the second from
+        // memory, the uncached one recomputes; results must be identical.
+        for _ in 0..2 {
+            assert_eq!(cached.run(&layer).unwrap(), uncached.run(&layer).unwrap());
+        }
+        assert_eq!(uncached.cache_stats().entries, 0);
+        assert!(cached.cache_stats().hits > 0);
     }
 
     #[test]

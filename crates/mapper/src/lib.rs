@@ -50,7 +50,9 @@ mod proptests;
 
 pub use levels::MemoryLevels;
 pub use mapping::Mapping;
-pub use mapspace::candidate_tiles;
+pub use mapspace::{candidate_tiles, for_each_candidate, EdgeBuffers};
+
+use std::cell::RefCell;
 
 use cimtpu_units::{Cycles, DataType, Error, Frequency, GemmShape, Result, Seconds};
 
@@ -74,18 +76,46 @@ pub trait TileCostModel {
     fn preferred_n(&self) -> u64;
 }
 
+/// One GEMM pricing request for the batch API ([`Mapper::map_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmQuery {
+    /// The GEMM to map.
+    pub shape: GemmShape,
+    /// Operand precision.
+    pub dtype: DataType,
+    /// Whether the weights are already resident on chip (skips HBM).
+    pub weights_resident: bool,
+}
+
+impl GemmQuery {
+    /// Creates a query with streamed (non-resident) weights.
+    pub fn streamed(shape: GemmShape, dtype: DataType) -> Self {
+        GemmQuery { shape, dtype, weights_resident: false }
+    }
+}
+
 /// The mapping engine.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Mapper {
     levels: MemoryLevels,
+    /// Reused edge-candidate buffers: the map-space search allocates
+    /// nothing per call once these are warm.
+    scratch: RefCell<EdgeBuffers>,
+}
+
+impl PartialEq for Mapper {
+    fn eq(&self, other: &Self) -> bool {
+        // Scratch buffers are a cache, not state.
+        self.levels == other.levels
+    }
 }
 
 impl Mapper {
     /// Creates a mapper over the given memory hierarchy.
     pub fn new(levels: MemoryLevels) -> Self {
-        Mapper { levels }
+        Mapper { levels, scratch: RefCell::new(EdgeBuffers::default()) }
     }
 
     /// The memory hierarchy this mapper schedules against.
@@ -109,29 +139,99 @@ impl Mapper {
         engine: &dyn TileCostModel,
         weights_resident: bool,
     ) -> Result<Mapping> {
-        let budget = self.levels.vmem_tile_budget();
-        let candidates = mapspace::candidate_tiles(
+        self.best_mapping_with_budget(
             shape,
             dtype,
+            engine,
+            weights_resident,
+            self.levels.vmem_tile_budget(),
             engine.preferred_k(),
             engine.preferred_n(),
-            budget,
-        );
-        if candidates.is_empty() {
-            return Err(Error::unmappable(format!(
-                "no tile of {shape} fits the {budget} VMEM budget"
-            )));
-        }
+        )
+    }
 
+    /// Prices every query in `queries` against one engine, deriving the
+    /// VMEM budget and the engine's preferred granularities exactly once.
+    ///
+    /// Results are returned in query order. This is the bulk entry point
+    /// for sweep drivers that price many operator shapes on a fixed
+    /// hardware configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Error::Unmappable`] encountered.
+    pub fn map_batch(
+        &self,
+        queries: &[GemmQuery],
+        engine: &dyn TileCostModel,
+    ) -> Result<Vec<Mapping>> {
+        let budget = self.levels.vmem_tile_budget();
+        let pref_k = engine.preferred_k();
+        let pref_n = engine.preferred_n();
+        queries
+            .iter()
+            .map(|q| {
+                self.best_mapping_with_budget(
+                    q.shape,
+                    q.dtype,
+                    engine,
+                    q.weights_resident,
+                    budget,
+                    pref_k,
+                    pref_n,
+                )
+            })
+            .collect()
+    }
+
+    /// The streaming search behind [`Mapper::best_gemm_mapping`]: folds the
+    /// candidate iterator directly into the best mapping (no intermediate
+    /// candidate or mapping vectors).
+    #[allow(clippy::too_many_arguments)]
+    fn best_mapping_with_budget(
+        &self,
+        shape: GemmShape,
+        dtype: DataType,
+        engine: &dyn TileCostModel,
+        weights_resident: bool,
+        budget: cimtpu_units::Bytes,
+        pref_k: u64,
+        pref_n: u64,
+    ) -> Result<Mapping> {
         let mut best: Option<Mapping> = None;
-        for tile in candidates {
-            let mapping = self.evaluate(shape, dtype, engine, weights_resident, tile)?;
-            match &best {
-                Some(b) if b.total() <= mapping.total() => {}
-                _ => best = Some(mapping),
-            }
+        let mut failure: Option<Error> = None;
+        // Take the buffers out of the cell for the duration of the search:
+        // a re-entrant cost model (one that calls back into this mapper
+        // from `tile_cycles`) then simply allocates fresh buffers instead
+        // of hitting a RefCell double-borrow panic.
+        let mut scratch = self.scratch.take();
+        mapspace::for_each_candidate(
+            shape,
+            dtype,
+            pref_k,
+            pref_n,
+            budget,
+            &mut scratch,
+            |tile| {
+                if failure.is_some() {
+                    return;
+                }
+                match self.evaluate(shape, dtype, engine, weights_resident, tile) {
+                    Ok(mapping) => match &best {
+                        Some(b) if b.total() <= mapping.total() => {}
+                        _ => best = Some(mapping),
+                    },
+                    Err(e) => failure = Some(e),
+                }
+            },
+        );
+        *self.scratch.borrow_mut() = scratch;
+        if let Some(e) = failure {
+            return Err(e);
         }
-        best.ok_or_else(|| Error::unmappable(format!("empty map-space for {shape}")))
+        best.ok_or_else(|| {
+            Error::unmappable(format!("no tile of {shape} fits the {budget} VMEM budget"))
+        })
     }
 
     /// Evaluates one specific tiling (exposed for map-space studies).
@@ -290,6 +390,65 @@ mod tests {
         assert!(mapper
             .best_gemm_mapping(shape, DataType::Int8, &Ideal, false)
             .is_err());
+    }
+
+    #[test]
+    fn reentrant_cost_model_does_not_panic() {
+        // A cost model that consults the same mapper from inside
+        // `tile_cycles` must not trip the scratch-buffer cell.
+        struct Reentrant<'a> {
+            mapper: &'a Mapper,
+        }
+        impl TileCostModel for Reentrant<'_> {
+            fn tile_cycles(&self, s: GemmShape, d: DataType) -> Cycles {
+                let inner = self
+                    .mapper
+                    .best_gemm_mapping(GemmShape::new(8, 128, 128).unwrap(), d, &Ideal, false)
+                    .unwrap();
+                Cycles::new(s.macs().div_ceil(16384) + inner.tiles())
+            }
+            fn clock(&self) -> Frequency {
+                Frequency::from_ghz(1.05)
+            }
+            fn preferred_k(&self) -> u64 {
+                128
+            }
+            fn preferred_n(&self) -> u64 {
+                128
+            }
+        }
+        let mapper = Mapper::new(MemoryLevels::tpuv4i());
+        let engine = Reentrant { mapper: &mapper };
+        let m = mapper
+            .best_gemm_mapping(GemmShape::new(64, 512, 512).unwrap(), DataType::Int8, &engine, false)
+            .unwrap();
+        assert!(m.total().get() > 0.0);
+    }
+
+    #[test]
+    fn map_batch_matches_single_queries() {
+        let mapper = Mapper::new(MemoryLevels::tpuv4i());
+        let queries = vec![
+            GemmQuery::streamed(GemmShape::new(8, 7168, 7168).unwrap(), DataType::Int8),
+            GemmQuery {
+                shape: GemmShape::new(8192, 7168, 28672).unwrap(),
+                dtype: DataType::Bf16,
+                weights_resident: false,
+            },
+            GemmQuery {
+                shape: GemmShape::new(8, 7168, 7168).unwrap(),
+                dtype: DataType::Int8,
+                weights_resident: true,
+            },
+        ];
+        let batch = mapper.map_batch(&queries, &Ideal).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch) {
+            let single = mapper
+                .best_gemm_mapping(q.shape, q.dtype, &Ideal, q.weights_resident)
+                .unwrap();
+            assert_eq!(*got, single, "{:?}", q);
+        }
     }
 
     #[test]

@@ -1,6 +1,28 @@
 //! Map-space enumeration with LLMCompass/Timeloop-style pruning heuristics.
+//!
+//! Two entry points exist:
+//!
+//! - [`candidate_tiles`] materializes the pruned space into a `Vec` (the
+//!   original API, used by map-space studies and tests);
+//! - [`for_each_candidate`] is the allocation-free fast path used by the
+//!   mapper's search loop: it streams candidates through a closure,
+//!   reusing caller-owned [`EdgeBuffers`] for the per-dimension edge
+//!   lists, so a `best_gemm_mapping` call performs no per-call heap
+//!   allocation once the buffers are warm.
 
 use cimtpu_units::{Bytes, DataType, GemmShape};
+
+/// Reusable scratch for the per-dimension edge-candidate lists.
+///
+/// The three vectors are cleared and refilled on every enumeration; keeping
+/// them alive across calls (the [`Mapper`](crate::Mapper) owns one set)
+/// avoids three heap allocations per mapped GEMM on the simulator hot path.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeBuffers {
+    m: Vec<u64>,
+    k: Vec<u64>,
+    n: Vec<u64>,
+}
 
 /// Enumerates candidate `(tm, tk, tn)` tiles for `shape` that fit `budget`.
 ///
@@ -24,6 +46,28 @@ pub fn candidate_tiles(
     pref_n: u64,
     budget: Bytes,
 ) -> Vec<(u64, u64, u64)> {
+    let mut out = Vec::new();
+    let mut scratch = EdgeBuffers::default();
+    for_each_candidate(shape, dtype, pref_k, pref_n, budget, &mut scratch, |tile| {
+        out.push(tile);
+    });
+    out
+}
+
+/// Streams the pruned candidate tiles of [`candidate_tiles`] through `f`
+/// without materializing them, reusing `scratch` for the edge lists.
+///
+/// Candidates arrive in the same order `candidate_tiles` returns them:
+/// `(tk, tn)` pairs largest-first, each with its largest feasible `tm`.
+pub fn for_each_candidate(
+    shape: GemmShape,
+    dtype: DataType,
+    pref_k: u64,
+    pref_n: u64,
+    budget: Bytes,
+    scratch: &mut EdgeBuffers,
+    mut f: impl FnMut((u64, u64, u64)),
+) {
     let elem = dtype.size_bytes();
     let fits = |tm: u64, tk: u64, tn: u64| -> bool {
         // Accumulators are FP32 regardless of operand width.
@@ -31,50 +75,61 @@ pub fn candidate_tiles(
         bytes <= budget.get()
     };
 
-    let m_cands = edge_candidates(shape.m(), 1);
-    let k_cands = edge_candidates(shape.k(), pref_k);
-    let n_cands = edge_candidates(shape.n(), pref_n);
+    edge_candidates_into(shape.m(), 1, &mut scratch.m);
+    edge_candidates_into(shape.k(), pref_k, &mut scratch.k);
+    edge_candidates_into(shape.n(), pref_n, &mut scratch.n);
 
-    let mut out = Vec::new();
-    for &tk in &k_cands {
-        for &tn in &n_cands {
+    for &tk in &scratch.k {
+        for &tn in &scratch.n {
             // Heuristic 4: prefer covering K fully when possible — partial-K
             // tiles force extra partial-sum passes.
-            for &tm in &m_cands {
+            for &tm in &scratch.m {
                 if fits(tm, tk, tn) {
-                    out.push((tm, tk, tn));
+                    f((tm, tk, tn));
                     break; // larger tm always dominates smaller at same (tk, tn)
                 }
             }
         }
     }
-    out
 }
 
 /// Power-of-two candidates for one dimension, largest first, snapped to
 /// `pref` multiples above `pref`, always including the full extent.
-fn edge_candidates(extent: u64, pref: u64) -> Vec<u64> {
-    let mut cands = vec![extent];
+///
+/// Uniqueness comes from one sort + dedup pass instead of a linear
+/// `contains` probe per insertion (the previous O(n²) hot spot).
+fn edge_candidates_into(extent: u64, pref: u64, out: &mut Vec<u64>) {
+    out.clear();
+    out.push(extent);
     let mut v = extent.next_power_of_two();
     while v >= 1 {
         let c = v.min(extent);
         let snapped = if c > pref { c - (c % pref.max(1)) } else { c };
-        if snapped >= 1 && !cands.contains(&snapped) {
-            cands.push(snapped);
+        if snapped >= 1 {
+            out.push(snapped);
         }
         if v == 1 {
             break;
         }
         v /= 2;
     }
-    cands.sort_unstable_by(|a, b| b.cmp(a));
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    out.dedup();
     // Cap the candidate count (map-space pruning) while always keeping the
-    // degenerate size-1 tile so tiny budgets stay mappable.
-    if cands.len() > 16 {
-        cands.truncate(15);
-        cands.push(1);
+    // degenerate size-1 tile so tiny budgets stay mappable. The list is
+    // sorted descending and unique, so 1 (when present) is the last
+    // element; truncation can only drop it.
+    if out.len() > 16 {
+        out.truncate(15);
+        out.push(1);
     }
-    cands
+}
+
+#[cfg(test)]
+fn edge_candidates(extent: u64, pref: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    edge_candidates_into(extent, pref, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -120,11 +175,26 @@ mod tests {
     }
 
     #[test]
-    fn candidates_are_deduplicated() {
-        let c = edge_candidates(128, 128);
-        let mut sorted = c.clone();
-        sorted.dedup();
-        assert_eq!(c.len(), sorted.len());
+    fn candidates_are_deduplicated_and_sorted() {
+        for (extent, pref) in [(128, 128), (7168, 128), (10_000, 256), (1, 64), (65, 1)] {
+            let c = edge_candidates(extent, pref);
+            let mut unique = c.clone();
+            unique.dedup();
+            assert_eq!(c.len(), unique.len(), "duplicates for extent {extent}");
+            assert!(
+                c.windows(2).all(|w| w[0] > w[1]),
+                "not strictly descending for extent {extent}: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cap_preserves_size_one_tile() {
+        // A prime-ish large extent with pref 1 produces > 16 candidates;
+        // the cap must keep the degenerate size-1 tile mappable.
+        let c = edge_candidates((1 << 40) - 1, 1);
+        assert!(c.len() <= 16, "{}", c.len());
+        assert_eq!(*c.last().unwrap(), 1);
     }
 
     #[test]
@@ -134,6 +204,21 @@ mod tests {
             if x > 256 && x != 10_000 {
                 assert_eq!(x % 256, 0, "{x} not snapped");
             }
+        }
+    }
+
+    #[test]
+    fn streaming_path_matches_materialized_path() {
+        let mut scratch = EdgeBuffers::default();
+        for (m, k, n) in [(1, 7168, 7168), (8192, 7168, 28672), (13, 1000, 999), (8, 128, 128)] {
+            let shape = GemmShape::new(m, k, n).unwrap();
+            let budget = Bytes::from_mib(8);
+            let vec_path = candidate_tiles(shape, DataType::Int8, 128, 128, budget);
+            let mut streamed = Vec::new();
+            for_each_candidate(shape, DataType::Int8, 128, 128, budget, &mut scratch, |t| {
+                streamed.push(t);
+            });
+            assert_eq!(vec_path, streamed, "{m}x{k}x{n}");
         }
     }
 }

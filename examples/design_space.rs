@@ -1,9 +1,33 @@
 //! Design-space exploration: sweep custom CIM-MXU configurations beyond
-//! Table IV and find the best design for your own workload mix.
+//! Table IV and find the best design for your own workload mix, then
+//! batch-price the decode layer's weight GEMMs on the winner with
+//! [`Mapper::map_batch`].
 //!
 //! Run with: `cargo run --release --example design_space`
 
+use cimtpu::mapper::{GemmQuery, TileCostModel};
 use cimtpu::prelude::*;
+
+/// Adapter pricing tiles on a [`MatrixEngine`] for the mapper.
+struct EngineModel<'a> {
+    engine: &'a MatrixEngine,
+    clock: Frequency,
+}
+
+impl TileCostModel for EngineModel<'_> {
+    fn tile_cycles(&self, shape: GemmShape, dtype: DataType) -> Cycles {
+        self.engine.gemm_cycles(shape, dtype)
+    }
+    fn clock(&self) -> Frequency {
+        self.clock
+    }
+    fn preferred_k(&self) -> u64 {
+        self.engine.preferred_k()
+    }
+    fn preferred_n(&self) -> u64 {
+        self.engine.preferred_n()
+    }
+}
 
 fn main() -> Result<()> {
     let gpt3 = presets::gpt3_30b();
@@ -20,7 +44,7 @@ fn main() -> Result<()> {
 
     // Objective: energy-delay product over a 70/30 LLM/DiT workload mix.
     println!("{:<22} {:>10} {:>12} {:>12} {:>14}", "config", "peak TOPS", "LLM EDP", "DiT EDP", "mixed EDP");
-    let mut best: Option<(String, f64)> = None;
+    let mut best: Option<(TpuConfig, f64)> = None;
     for cfg in candidates {
         let sim = Simulator::new(cfg)?;
         let llm = inference::run_llm(&sim, &gpt3, spec)?;
@@ -39,11 +63,46 @@ fn main() -> Result<()> {
         );
         match &best {
             Some((_, b)) if *b <= mixed => {}
-            _ => best = Some((sim.config().name().to_owned(), mixed)),
+            _ => best = Some((sim.config().clone(), mixed)),
         }
     }
 
-    let (name, edp) = best.expect("non-empty sweep");
-    println!("\nBest energy-delay design for the 70/30 mix: {name} (EDP {edp:.3})");
+    let (winner, edp) = best.expect("non-empty sweep");
+    println!(
+        "\nBest energy-delay design for the 70/30 mix: {} (EDP {edp:.3})",
+        winner.name()
+    );
+
+    // Map-space study on the winner: batch-price every weight GEMM of a
+    // decode layer against its engine. `map_batch` derives the VMEM budget
+    // and preferred tile granularities once for the whole batch.
+    let sim = Simulator::new(winner)?;
+    let layer = gpt3.decode_layer(8, 1280)?;
+    let queries: Vec<GemmQuery> = layer
+        .ops()
+        .iter()
+        .filter_map(|inst| match *inst.op() {
+            Op::Gemm { shape, dtype } => Some(GemmQuery::streamed(
+                shape.split_n(sim.config().mxu_count())[0],
+                dtype,
+            )),
+            _ => None,
+        })
+        .collect();
+    let engine = EngineModel { engine: sim.engine(), clock: sim.config().clock() };
+    let mappings = sim.per_mxu_mapper().map_batch(&queries, &engine)?;
+    println!("\nChosen tilings on {} (per-MXU shards):", sim.config().name());
+    for (q, m) in queries.iter().zip(&mappings) {
+        println!(
+            "  {:<28} tile [{} x {} x {}] x{:<4} {:>8.1} us ({})",
+            q.shape.to_string(),
+            m.tile().m(),
+            m.tile().k(),
+            m.tile().n(),
+            m.tiles(),
+            m.total().as_micros(),
+            if m.is_memory_bound() { "memory-bound" } else { "compute-bound" },
+        );
+    }
     Ok(())
 }

@@ -31,6 +31,35 @@
 //! assert!(cim.speedup_vs(&base) > 1.0);
 //! # Ok::<(), cimtpu::units::Error>(())
 //! ```
+//!
+//! # Performance architecture: memoized pricing + parallel sweeps
+//!
+//! Design-space exploration evaluates full LLM/DiT inference across many
+//! hardware points, and the same `(shape, dtype, residency)` mapping
+//! queries recur constantly — identical transformer layers, the
+//! decode-context samples inside [`inference::run_llm`](core::inference::run_llm),
+//! and re-runs on one configuration. Two layers keep that fast:
+//!
+//! - **[`MappingCache`](core::MappingCache)** — every [`Simulator`](core::Simulator)
+//!   memoizes per-operator pricing, so each distinct matrix query runs the
+//!   Timeloop-style map-space search exactly once per configuration.
+//!   Results are bit-identical with the cache on or off; inspect hit rates
+//!   with [`Simulator::cache_stats`](core::Simulator::cache_stats).
+//! - **`cimtpu_bench::sweep`** — a std-only work-stealing fan-out
+//!   (`parallel_map` / `parallel_map_init`, rayon-style) that runs one
+//!   memoized simulator per worker and returns results in item order, so
+//!   parallel sweeps are output-identical to sequential ones. `fig7`,
+//!   `sweep_extensions`, `moe_study`, and `repro_all` all route through it.
+//!
+//! For bulk pricing of many shapes against one engine outside the
+//! simulator (map-space studies, external drivers),
+//! [`Mapper::map_batch`](mapper::Mapper::map_batch) derives the VMEM
+//! budget and engine granularities once per batch. The
+//! `cargo bench -p cimtpu-bench --bench sweep` harness measures the
+//! optimized path against the sequential uncached reference and exports
+//! `BENCH_sweep.json` (single-core memoization alone: ~2.8× on the Fig. 7
+//! exploration, ~3.5× on full LLM inference; the fan-out multiplies this
+//! by the available cores).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,147 @@
+//! Property tests: memoized pricing never changes results.
+//!
+//! A warmed [`Simulator`] must produce **byte-identical** `Report`s to a
+//! freshly constructed one, across every model preset and both MXU kinds
+//! (digital systolic and CIM). "Byte-identical" is checked on the serialized
+//! JSON, which covers every field of every op row, not just the totals.
+
+use cimtpu::prelude::*;
+use proptest::prelude::*;
+
+fn configs() -> Vec<TpuConfig> {
+    vec![TpuConfig::tpuv4i(), TpuConfig::cim_base()]
+}
+
+fn transformer_presets() -> Vec<TransformerConfig> {
+    vec![
+        presets::gpt3_6_7b(),
+        presets::gpt3_30b(),
+        presets::gpt3_175b(),
+        presets::llama2_13b(),
+        presets::llama2_70b(),
+    ]
+}
+
+fn report_bytes(r: &Report) -> String {
+    serde_json::to_string(r).expect("reports serialize")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Decode layers: a simulator warmed on other workloads answers from
+    /// its cache and still matches a fresh simulator byte for byte.
+    #[test]
+    fn warm_and_fresh_simulators_agree_on_decode(
+        model_idx in 0usize..5,
+        config_idx in 0usize..2,
+        batch in 1u64..16,
+        ctx in 64u64..4096,
+    ) {
+        let model = &transformer_presets()[model_idx];
+        let cfg = configs()[config_idx].clone();
+        let layer = model.decode_layer(batch, ctx).expect("valid layer");
+
+        let warm = Simulator::new(cfg.clone()).expect("valid config");
+        // Warm the cache on related workloads first (same weight GEMMs,
+        // different attention shapes), then on the layer itself.
+        warm.run(&model.decode_layer(batch, ctx + 64).expect("valid"))
+            .expect("maps");
+        let first = warm.run(&layer).expect("maps");
+        let replay = warm.run(&layer).expect("maps");
+
+        let fresh = Simulator::new(cfg).expect("valid config");
+        let reference = fresh.run(&layer).expect("maps");
+
+        prop_assert!(warm.cache_stats().hits > 0, "cache never hit");
+        prop_assert_eq!(report_bytes(&first), report_bytes(&reference));
+        prop_assert_eq!(report_bytes(&replay), report_bytes(&reference));
+    }
+
+    /// Prefill layers across every transformer preset and both MXU kinds.
+    #[test]
+    fn warm_and_fresh_simulators_agree_on_prefill(
+        model_idx in 0usize..5,
+        config_idx in 0usize..2,
+        batch in 1u64..8,
+        seq in 128u64..2048,
+    ) {
+        let model = &transformer_presets()[model_idx];
+        let cfg = configs()[config_idx].clone();
+        let layer = model.prefill_layer(batch, seq).expect("valid layer");
+
+        let warm = Simulator::new(cfg.clone()).expect("valid config");
+        warm.run(&layer).expect("maps");
+        let replay = warm.run(&layer).expect("maps");
+        let fresh = Simulator::new(cfg).expect("valid config");
+        prop_assert_eq!(
+            report_bytes(&replay),
+            report_bytes(&fresh.run(&layer).expect("maps"))
+        );
+    }
+
+    /// DiT blocks across the size presets and both MXU kinds.
+    #[test]
+    fn warm_and_fresh_simulators_agree_on_dit(
+        dit_idx in 0usize..3,
+        config_idx in 0usize..2,
+        batch in 1u64..8,
+        res_idx in 0usize..3,
+    ) {
+        let dit = [presets::dit_xl_2(), presets::dit_l_2(), presets::dit_b_2()][dit_idx].clone();
+        let resolution = [256u64, 512, 1024][res_idx];
+        let cfg = configs()[config_idx].clone();
+        let block = dit.block(batch, resolution).expect("valid block");
+
+        let warm = Simulator::new(cfg.clone()).expect("valid config");
+        warm.run(&block).expect("maps");
+        let replay = warm.run(&block).expect("maps");
+        let fresh = Simulator::new(cfg).expect("valid config");
+        prop_assert_eq!(
+            report_bytes(&replay),
+            report_bytes(&fresh.run(&block).expect("maps"))
+        );
+    }
+}
+
+/// MoE layers exercise the static-weight batched path on both MXU kinds.
+#[test]
+fn warm_and_fresh_simulators_agree_on_moe() {
+    let moe = MoeConfig::mixtral_8x7b_like().expect("valid preset");
+    for cfg in configs() {
+        for workload in [
+            moe.prefill_layer(8, 1024).expect("valid"),
+            moe.decode_layer(8, 1280).expect("valid"),
+        ] {
+            let warm = Simulator::new(cfg.clone()).expect("valid config");
+            warm.run(&workload).expect("maps");
+            let replay = warm.run(&workload).expect("maps");
+            let fresh = Simulator::new(cfg.clone()).expect("valid config");
+            assert_eq!(
+                report_bytes(&replay),
+                report_bytes(&fresh.run(&workload).expect("maps")),
+                "{} on {}",
+                workload.name(),
+                cfg.name()
+            );
+        }
+    }
+}
+
+/// Full LLM inference (the Fig. 7 unit of work) is identical with the
+/// cache disabled — the benchmark's two measurement modes agree.
+#[test]
+fn llm_inference_identical_with_cache_disabled() {
+    let spec = LlmInferenceSpec::new(4, 128, 32).expect("valid spec");
+    let model = presets::gpt3_30b();
+    for cfg in configs() {
+        let cached = Simulator::new(cfg.clone()).expect("valid config");
+        let uncached = Simulator::new(cfg).expect("valid config");
+        uncached.mapping_cache().set_enabled(false);
+        let a = inference::run_llm(&cached, &model, spec).expect("maps");
+        let b = inference::run_llm(&uncached, &model, spec).expect("maps");
+        assert_eq!(a, b);
+        assert!(cached.cache_stats().hits > 0);
+        assert_eq!(uncached.cache_stats().entries, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Vendored benchmark harness for the offline cimtpu build.
+//!
+//! Mirrors the criterion API surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group` with `sample_size`/`bench_with_input`) and measures
+//! wall-clock mean/min over a fixed number of timed samples. There is no
+//! statistical analysis; one line per bench is printed:
+//!
+//! ```text
+//! fig7_exploration/ten_design_points  time: [mean 1.234 s, min 1.201 s, 10 samples]
+//! ```
+//!
+//! When invoked with `--test` (as `cargo test` does for bench targets) each
+//! bench runs exactly once as a smoke test.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 10, test_mode }
+    }
+}
+
+/// Measured result of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let m = run_bench(self.sample_size, self.test_mode, f);
+        print_line(name, &m);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size override.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let m = run_bench(samples, self.criterion.test_mode, f);
+        print_line(&format!("{}/{}", self.name, name), &m);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let m = run_bench(samples, self.criterion.test_mode, |b| f(b, input));
+        print_line(&format!("{}/{}", self.name, id), &m);
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier: function name plus parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] times the hot loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up pass.
+        std::hint::black_box(f());
+        self.times.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, test_mode: bool, mut f: F) -> Measurement {
+    let mut bencher = Bencher {
+        samples: if test_mode { 1 } else { samples.max(1) },
+        times: Vec::new(),
+    };
+    f(&mut bencher);
+    let n = bencher.times.len().max(1);
+    let total: Duration = bencher.times.iter().sum();
+    Measurement {
+        mean: total / n as u32,
+        min: bencher.times.iter().min().copied().unwrap_or_default(),
+        samples: n,
+    }
+}
+
+fn print_line(name: &str, m: &Measurement) {
+    println!(
+        "{name:<48} time: [mean {}, min {}, {} samples]",
+        format_duration(m.mean),
+        format_duration(m.min),
+        m.samples
+    );
+}
+
+/// Formats a duration with criterion-style units.
+pub fn format_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a group runner function (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_formats() {
+        let m = run_bench(3, false, |b| b.iter(|| std::hint::black_box(2u64 + 2)));
+        assert_eq!(m.samples, 3);
+        assert!(m.min <= m.mean);
+        assert!(format_duration(Duration::from_millis(5)).contains("ms"));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0u32;
+        let m = run_bench(10, true, |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(m.samples, 1);
+        // One warm-up + one timed sample.
+        assert_eq!(calls, 2);
+    }
+}

@@ -1,0 +1,349 @@
+//! Vendored property-testing shim for the offline cimtpu build.
+//!
+//! The real `proptest` crate cannot be fetched without network access, so
+//! this shim implements the subset the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//!   header) expanding each property into a plain `#[test]` that samples a
+//!   deterministic RNG for a configured number of cases;
+//! - [`Strategy`] with `prop_map`, implemented for integer/float ranges,
+//!   tuples, and [`collection::vec`];
+//! - `any::<T>()` over the primitive [`Arbitrary`] types and
+//!   [`bool::ANY`];
+//! - [`prop_assert!`]/[`prop_assert_eq!`] mapped onto `assert!`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the sampled values baked into the assertion message. Runs are fully
+//! deterministic per test name; set `PROPTEST_CASES` to override the case
+//! count.
+
+/// The most common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-block configuration: number of cases to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Resolves the effective case count (`PROPTEST_CASES` overrides).
+pub fn resolved_cases(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(configured)
+}
+
+/// Deterministic xorshift64* RNG used to sample strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the RNG from a test name (stable across runs).
+    pub fn from_name(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(seed | 1)
+    }
+
+    /// The next raw 64-bit sample.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A recipe for sampling values of one type.
+pub trait Strategy {
+    /// The sampled value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f` (mirrors proptest's `prop_map`).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The full-range strategy for an [`Arbitrary`] type.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Creates the full-range strategy for `T` (mirrors `proptest::arbitrary`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Integers sampleable uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                let span = (hi as i128) - (lo as i128);
+                assert!(span > 0, "empty sample range");
+                let offset = (rng.next_u64() as u128 % span as u128) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                lo + (rng.next_unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+sample_uniform_float!(f32, f64);
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+macro_rules! strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{SampleUniform, Strategy, TestRng};
+
+    /// A strategy for `Vec`s with lengths in `len` and elements from
+    /// `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vectors of `element` samples with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = usize::sample_range(self.len.start, self.len.end, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (mirrors `proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The strategy sampling both booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolStrategy;
+
+    /// Uniformly random booleans.
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Declares property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ($cfg:expr; ) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __cases = $crate::resolved_cases(__cfg.cases);
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..__cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+}
+
+/// Asserts a property holds (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two values are equal (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&x));
+            let y = Strategy::sample(&(-8i8..8), &mut rng);
+            assert!((-8..8).contains(&y));
+            let f = Strategy::sample(&(-1.0f32..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let sample = |n: &str| {
+            let mut rng = crate::TestRng::from_name(n);
+            (0..8).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(sample("a"), sample("a"));
+        assert_ne!(sample("a"), sample("b"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires patterns, strategies, and bodies together.
+        #[test]
+        fn macro_compiles_and_runs((a, b) in (0u64..100, 0u64..100), flip in crate::bool::ANY) {
+            let vec = crate::collection::vec(0u32..10, 1..4).prop_map(|v| v.len());
+            let mut rng = crate::TestRng::from_name("inner");
+            let n = Strategy::sample(&vec, &mut rng);
+            prop_assert!(n >= 1 && n < 4);
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(flip || !flip, true);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Vendored serialization core for the offline cimtpu build.
+//!
+//! The workspace builds without network access, so the real `serde` cannot
+//! be fetched. This shim keeps the same import surface the simulator code
+//! uses (`use serde::{Deserialize, Serialize}` plus the derive macros) but
+//! is built around a simple self-describing [`Value`] tree instead of
+//! serde's visitor machinery. The vendored `serde_json` crate renders and
+//! parses that tree as real JSON with serde-compatible conventions
+//! (externally tagged enums, transparent newtypes).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value (the shim's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (JSON object).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of a map value, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence of exactly `len` items.
+    pub fn as_seq(&self, len: usize) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) if items.len() == len => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Decomposes an externally tagged enum payload: a one-entry map.
+    pub fn as_variant(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Map(entries) if entries.len() == 1 => {
+                Some((entries[0].0.as_str(), &entries[0].1))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable path and reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn custom(msg: &str) -> Self {
+        DeError(msg.to_owned())
+    }
+
+    /// Prefixes the error with the field it occurred under.
+    #[must_use]
+    pub fn in_field(self, field: &str) -> Self {
+        DeError(format!("{field}: {}", self.0))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serialized value model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Fallback when a struct field is absent (`Option` yields `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] for every type without a missing-field default.
+    fn from_missing() -> Result<Self, DeError> {
+        Err(DeError::custom("missing field"))
+    }
+}
+
+/// Looks up `key` in a struct map and deserializes it (derive helper).
+///
+/// # Errors
+///
+/// Returns a [`DeError`] naming the field when it is missing or mistyped.
+pub fn __de_field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| e.in_field(key)),
+        None => T::from_missing().map_err(|e| e.in_field(key)),
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match *v {
+                    Value::U64(x) => x,
+                    Value::I64(x) if x >= 0 => x as u64,
+                    Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => {
+                        x as u64
+                    }
+                    _ => return Err(DeError::custom("expected unsigned integer")),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match *v {
+                    Value::I64(x) => x,
+                    Value::U64(x) if x <= i64::MAX as u64 => x as i64,
+                    Value::F64(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => x as i64,
+                    _ => return Err(DeError::custom("expected integer")),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(f64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::F64(x) => Ok(x as $t),
+                    Value::U64(x) => Ok(x as $t),
+                    Value::I64(x) => Ok(x as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(DeError::custom("expected number")),
+                }
+            }
+        }
+    )*};
+}
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                let items = v
+                    .as_seq(LEN)
+                    .ok_or_else(|| DeError::custom("expected tuple sequence"))?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-3i32).to_value()).unwrap(), -3);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        let v = vec![1.5f64, 2.5];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn missing_option_defaults_to_none() {
+        let map: Vec<(String, Value)> = Vec::new();
+        let x: Option<u64> = __de_field(&map, "absent").unwrap();
+        assert_eq!(x, None);
+        assert!(__de_field::<u64>(&map, "absent").is_err());
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = (1u64, 2.5f64);
+        assert_eq!(<(u64, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+}

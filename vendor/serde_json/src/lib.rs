@@ -1,0 +1,397 @@
+//! Vendored JSON encoder/decoder over the shim `serde::Value` model.
+//!
+//! Implements the three entry points the workspace uses — [`to_string`],
+//! [`to_string_pretty`], and [`from_str`] — with serde_json-compatible
+//! output conventions: externally tagged enums, transparent newtypes,
+//! shortest-round-trip float formatting, and `null` for non-finite floats.
+
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// JSON encoding/decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the serde_json API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON (2-space indent).
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the serde_json API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = Parser { bytes: text.as_bytes(), pos: 0 }.parse_document()?;
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Debug formatting of f64 is Rust's shortest round-trip
+                // representation and always keeps a decimal point.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                // serde_json cannot represent non-finite floats either.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            write_bracketed(out, '[', ']', items.len(), indent, depth, |out, i, d| {
+                write_value(out, &items[i], indent, d);
+            });
+        }
+        Value::Map(entries) => {
+            write_bracketed(out, '{', '}', entries.len(), indent, depth, |out, i, d| {
+                write_string(out, &entries[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, &entries[i].1, indent, d);
+            });
+        }
+    }
+}
+
+fn write_bracketed(
+    out: &mut String,
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn parse_document(mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // Best-effort surrogate pairing for BMP+ text.
+                            let c = if (0xD800..0xDC00).contains(&code)
+                                && self.bytes[self.pos..].starts_with(b"\\u")
+                            {
+                                self.pos += 2;
+                                let low = self.parse_hex4()?;
+                                let combined = 0x10000
+                                    + ((code - 0xD800) << 10)
+                                    + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_collections() {
+        let v: Vec<f64> = from_str("[1.5, 2.0, -3]").unwrap();
+        assert_eq!(v, vec![1.5, 2.0, -3.0]);
+        let s: String = from_str(r#""a\nbA""#).unwrap();
+        assert_eq!(s, "a\nbA");
+        let pair: (u64, bool) = from_str("[7, true]").unwrap();
+        assert_eq!(pair, (7, true));
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let json = to_string_pretty(&vec![1u64, 2]).unwrap();
+        assert_eq!(json, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        let x = 0.1f64 + 0.2;
+        let json = to_string(&x).unwrap();
+        let back: f64 = from_str(&json).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<f64>("1.5junk").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+    }
+}
