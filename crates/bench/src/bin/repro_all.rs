@@ -74,6 +74,32 @@ fn print_section(bin: &str, run: BinRun) {
 }
 
 fn main() {
+    // `--workers N` overrides the CIMTPU_WORKERS environment variable
+    // (and is inherited by the child binaries through it).
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("repro_all: --workers needs a positive integer");
+                        std::process::exit(2);
+                    });
+                std::env::set_var("CIMTPU_WORKERS", n.max(1).to_string());
+            }
+            "--help" | "-h" => {
+                println!("usage: repro_all [--workers N]");
+                return;
+            }
+            other => {
+                eprintln!("repro_all: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     // When invoked through cargo the sibling binaries sit next to us.
     let me = std::env::current_exe().expect("current exe path");
     let dir: PathBuf = me.parent().expect("exe has a parent dir").to_path_buf();

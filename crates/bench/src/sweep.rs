@@ -14,8 +14,15 @@
 //! operator query on that worker. Results always return in item order, so
 //! parallel sweeps are output-identical to sequential ones.
 //!
-//! Set `CIMTPU_WORKERS=<n>` to cap the worker count (`1` forces a
-//! sequential run, which the benchmarks use as the reference).
+//! # The `CIMTPU_WORKERS` environment variable
+//!
+//! `CIMTPU_WORKERS=<n>` caps the worker count for every pool in the
+//! process (`1` forces a sequential run, which the benchmarks use as the
+//! reference); unset, pools size to `std::thread::available_parallelism`.
+//! Values below 1 are clamped to 1. Drivers with a command line
+//! (`repro_all`, `serve_sim`) expose the same knob as `--workers N`,
+//! which simply overrides the variable — child processes spawned by
+//! `repro_all` inherit it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;

@@ -15,6 +15,9 @@
 //!   operator by operator through the mapping engine, overlapping compute
 //!   with HBM/OCI DMA, and produces a [`Report`] with per-category latency
 //!   and MXU energy (the Fig. 6 rows);
+//! - [`ExecutionContext`] — segment-level pricing on top of the simulator:
+//!   price a phase segment once, replay it per request (the substrate of
+//!   the `cimtpu-serving` request-level simulator);
 //! - [`inference`] — end-to-end LLM inference (prefill + integrated
 //!   decode) and DiT forward passes used by the Fig. 7 exploration.
 //!
@@ -43,6 +46,7 @@
 
 mod arch;
 mod cache;
+mod context;
 mod engine;
 mod exec;
 pub mod inference;
@@ -54,7 +58,8 @@ pub mod timeline;
 mod vpu;
 
 pub use arch::{MxuKind, TpuConfig};
-pub use cache::{CacheStats, MappingCache};
+pub use cache::{CacheStats, MappingCache, CACHE_DIR_ENV};
+pub use context::{ExecutionContext, PhasedReport, SegmentCost, SegmentReport};
 pub use engine::MatrixEngine;
 pub use report::{CategoryRow, OpReport, Report};
 pub use simulator::Simulator;

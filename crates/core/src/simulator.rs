@@ -49,10 +49,16 @@ impl Simulator {
             .clone()
             .with_vmem(Bytes::new(levels.vmem().get() / config.mxu_count()))
             .with_hbm_bandwidth(levels.hbm_bandwidth() / config.mxu_count() as f64);
+        let cache = MappingCache::for_config(&config);
+        // Warm from the cross-process cache directory when configured.
+        // Failures are non-fatal: a cold cache is always correct.
+        if let Some(dir) = std::env::var_os(crate::cache::CACHE_DIR_ENV) {
+            let _ = cache.load_from_dir(std::path::Path::new(&dir));
+        }
         Ok(Simulator {
             engine,
             per_mxu_mapper: Mapper::new(per_mxu_levels),
-            cache: MappingCache::for_config(&config),
+            cache,
             config,
         })
     }
@@ -88,6 +94,13 @@ impl Simulator {
         Watts::new(self.engine.static_power().get() * self.config.mxu_count() as f64)
     }
 
+    /// A segment-level pricing context on this simulator (price a phase
+    /// segment once, replay it per request). See
+    /// [`ExecutionContext`](crate::ExecutionContext).
+    pub fn execution_context(&self) -> crate::ExecutionContext<'_> {
+        crate::ExecutionContext::new(self)
+    }
+
     /// Simulates a workload.
     ///
     /// # Errors
@@ -98,11 +111,19 @@ impl Simulator {
             self.cache.matches(&self.config),
             "mapping cache fingerprint does not match this simulator's config"
         );
-        let mut report = Report::new(workload.name(), self.config.name());
-        for inst in workload.ops() {
-            report.push(self.run_instance(inst)?);
-        }
-        Ok(report)
+        self.execution_context().run(workload)
+    }
+
+    /// Simulates a workload segment by segment, reporting per-phase costs.
+    ///
+    /// Totals are identical to [`run`](Simulator::run); see
+    /// [`ExecutionContext::run_phased`](crate::ExecutionContext::run_phased).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any operator cannot be mapped onto the hardware.
+    pub fn run_phased(&self, workload: &Workload) -> Result<crate::PhasedReport> {
+        self.execution_context().run_phased(workload)
     }
 
     /// Simulates a single operator instance.
@@ -134,6 +155,24 @@ impl Simulator {
     /// decode steps over time.
     pub fn idle_mxu_energy(&self, window: cimtpu_units::Seconds) -> Joules {
         self.mxu_static_power().for_duration(window)
+    }
+
+    /// Persists the mapping cache to the directory named by
+    /// `CIMTPU_CACHE_DIR`, so later processes simulating the same
+    /// configuration skip the map-space searches entirely. Returns `false`
+    /// (and does nothing) when the variable is unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure.
+    pub fn persist_cache(&self) -> std::io::Result<bool> {
+        match std::env::var_os(crate::cache::CACHE_DIR_ENV) {
+            Some(dir) => {
+                self.cache.save_to_dir(std::path::Path::new(&dir))?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 }
 

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use cimtpu_units::{Error, GemmShape, Result};
 
 use crate::op::{Op, OpCategory, OpInstance};
+use crate::phase::Phase;
 use crate::transformer::TransformerConfig;
 use crate::workload::Workload;
 
@@ -123,11 +124,13 @@ impl DitConfig {
 
         // adaLN conditioning: per-image MLP d -> 6d producing shift/scale/gate
         // for both sub-blocks.
+        w.begin_segment("conditioning", Phase::Conditioning);
         w.push(OpInstance::new(
             "Conditioning MLP",
             OpCategory::Conditioning,
             Op::Gemm { shape: GemmShape::new(batch, d, 6 * d)?, dtype },
         ));
+        w.begin_segment("attention", Phase::Prefill);
         w.push(OpInstance::new(
             "LayerNorm (attn)",
             OpCategory::LayerNorm,
@@ -178,6 +181,7 @@ impl DitConfig {
             OpCategory::Conditioning,
             Op::Elementwise { elems: rows * d, ops_per_elem: 2 },
         ));
+        w.begin_segment("mlp", Phase::Prefill);
         w.push(OpInstance::new(
             "LayerNorm (MLP)",
             OpCategory::LayerNorm,
@@ -231,6 +235,7 @@ impl DitConfig {
         ));
 
         // Pre-process: patchify projection + timestep/label embedding MLPs.
+        w.begin_segment("pre-process", Phase::PrePost);
         w.push(OpInstance::new(
             "Patchify",
             OpCategory::Embedding,
@@ -246,6 +251,7 @@ impl DitConfig {
         w.extend_repeated(&block, self.blocks());
 
         // Post-process: final adaLN + linear back to patch pixels + reshape.
+        w.begin_segment("post-process", Phase::PrePost);
         w.push(OpInstance::new(
             "Final LayerNorm",
             OpCategory::Head,
@@ -287,6 +293,27 @@ mod tests {
         let w = DitConfig::xl_2().unwrap().block(8, 512).unwrap();
         assert!(w.macs_in(OpCategory::Conditioning) > 0);
         assert!(w.categories().contains(&OpCategory::Conditioning));
+    }
+
+    #[test]
+    fn block_and_full_forward_are_phase_segmented() {
+        let dit = DitConfig::xl_2().unwrap();
+        let block = dit.block(8, 512).unwrap();
+        let names: Vec<&str> = block.segments().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["conditioning", "attention", "mlp"]);
+        assert_eq!(block.phases(), vec![Phase::Conditioning, Phase::Prefill]);
+        assert_eq!(
+            block.macs_in_phase(Phase::Conditioning) + block.macs_in_phase(Phase::Prefill),
+            block.total_macs()
+        );
+
+        let full = dit.full_forward(8, 256).unwrap();
+        let first = full.segments().next().unwrap();
+        assert_eq!((first.name(), first.phase()), ("pre-process", Phase::PrePost));
+        let last = full.segments().last().unwrap();
+        assert_eq!((last.name(), last.phase()), ("post-process", Phase::PrePost));
+        let seg_bytes: u64 = full.segments().map(|s| s.main_memory_bytes().get()).sum();
+        assert_eq!(seg_bytes, full.main_memory_bytes().get());
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! - [`OpInstance`] / [`Workload`] — named, categorized, counted operator
 //!   lists matching the layer categories of the paper's Fig. 6
 //!   (QKV Gen, Attention, Proj, FFN1, FFN2, LayerNorm, GeLU, Conditioning);
+//! - [`Phase`] / [`Segment`] — the serving-level structure: every workload
+//!   partitions into named segments tagged Prefill / Decode / Conditioning /
+//!   PrePost / Collective, the granularity at which a request-level
+//!   scheduler batches work (the flat [`Workload::ops`] view is preserved);
 //! - [`TransformerConfig`] — Transformer-layer geometry with
 //!   [prefill](TransformerConfig::prefill_layer) and
 //!   [decode](TransformerConfig::decode_layer) builders and KV-cache
@@ -40,6 +44,7 @@ mod dit;
 mod llm;
 mod moe;
 mod op;
+mod phase;
 pub mod presets;
 mod transformer;
 mod workload;
@@ -48,5 +53,6 @@ pub use dit::DitConfig;
 pub use llm::{LlmInferenceSpec, LlmModelConfig};
 pub use moe::MoeConfig;
 pub use op::{Op, OpCategory, OpInstance};
+pub use phase::Phase;
 pub use transformer::TransformerConfig;
-pub use workload::Workload;
+pub use workload::{Segment, Workload};

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use cimtpu_units::{Error, GemmShape, Result};
 
 use crate::op::{Op, OpCategory, OpInstance};
+use crate::phase::Phase;
 use crate::transformer::TransformerConfig;
 use crate::workload::Workload;
 
@@ -69,6 +70,7 @@ impl LlmModelConfig {
             "{} full prefill (B={batch}, L={seq})",
             t.name()
         ));
+        w.begin_segment("embedding", Phase::PrePost);
         w.push(OpInstance::new(
             "Token Embedding",
             OpCategory::Embedding,
@@ -77,6 +79,7 @@ impl LlmModelConfig {
         let layer = t.prefill_layer(batch, seq)?;
         w.extend_repeated(&layer, t.layers());
         // Head evaluated once per sequence (next-token logits).
+        w.begin_segment("head", Phase::PrePost);
         w.push(OpInstance::new(
             "Prediction Head",
             OpCategory::Head,
@@ -98,6 +101,7 @@ impl LlmModelConfig {
             "{} full decode (B={batch}, ctx={ctx})",
             t.name()
         ));
+        w.begin_segment("embedding", Phase::PrePost);
         w.push(OpInstance::new(
             "Token Embedding",
             OpCategory::Embedding,
@@ -105,6 +109,7 @@ impl LlmModelConfig {
         ));
         let layer = t.decode_layer(batch, ctx)?;
         w.extend_repeated(&layer, t.layers());
+        w.begin_segment("head", Phase::PrePost);
         w.push(OpInstance::new(
             "Prediction Head",
             OpCategory::Head,
@@ -216,6 +221,25 @@ mod tests {
         // Layer ops are repeated 48x.
         let qkv = w.ops().iter().find(|o| o.name() == "QKV Gen").unwrap();
         assert_eq!(qkv.count(), 48);
+    }
+
+    #[test]
+    fn full_prefill_segments_wrap_layers() {
+        use crate::Phase;
+        let llm = presets::gpt3_30b_full();
+        let w = llm.full_prefill(8, 128).unwrap();
+        let first = w.segments().next().unwrap();
+        assert_eq!((first.name(), first.phase()), ("embedding", Phase::PrePost));
+        let last = w.segments().last().unwrap();
+        assert_eq!((last.name(), last.phase()), ("head", Phase::PrePost));
+        assert_eq!(
+            w.phases(),
+            vec![Phase::PrePost, Phase::Prefill]
+        );
+        assert_eq!(
+            w.macs_in_phase(Phase::PrePost) + w.macs_in_phase(Phase::Prefill),
+            w.total_macs()
+        );
     }
 
     #[test]

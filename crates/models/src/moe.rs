@@ -15,8 +15,26 @@ use serde::{Deserialize, Serialize};
 use cimtpu_units::{Bytes, Error, GemmShape, Result};
 
 use crate::op::{Op, OpCategory, OpInstance};
+use crate::phase::Phase;
 use crate::transformer::TransformerConfig;
 use crate::workload::Workload;
+
+/// Copies `dense`'s segments into `out`, dropping the dense-FFN operators
+/// that the MoE layer replaces (the attention half and glue carry over
+/// unchanged, segment structure included).
+fn copy_without_dense_ffn(out: &mut Workload, dense: &Workload) {
+    for seg in dense.segments() {
+        out.begin_segment(seg.name(), seg.phase());
+        for op in seg.ops() {
+            if !matches!(
+                op.category(),
+                OpCategory::Ffn1 | OpCategory::Ffn2 | OpCategory::Gelu
+            ) {
+                out.push(op.clone());
+            }
+        }
+    }
+}
 
 /// A Transformer with MoE feed-forward layers.
 ///
@@ -103,31 +121,27 @@ impl MoeConfig {
     /// Returns [`Error::InvalidShape`] for zero batch/ctx.
     pub fn decode_layer(&self, batch: u64, ctx: u64) -> Result<Workload> {
         let t = &self.transformer;
+        let mut out = Workload::new(format!(
+            "{} MoE decode layer (B={batch}, ctx={ctx}, {}x top-{})",
+            t.name(),
+            self.experts,
+            self.top_k
+        ));
         // Attention half is identical to the dense layer.
-        let w = t.decode_layer(batch, ctx)?;
-        let mut ops: Vec<OpInstance> = w
-            .ops()
-            .iter()
-            .filter(|o| {
-                !matches!(
-                    o.category(),
-                    OpCategory::Ffn1 | OpCategory::Ffn2 | OpCategory::Gelu
-                )
-            })
-            .cloned()
-            .collect();
+        copy_without_dense_ffn(&mut out, &t.decode_layer(batch, ctx)?);
 
         // Router + scattered expert FFNs.
         let d = t.d_model();
         let dtype = t.dtype();
         let activated = self.activated_experts(batch);
         let tokens_per_expert = (batch * self.top_k).div_ceil(activated);
-        ops.push(OpInstance::new(
+        out.begin_segment("moe-ffn", Phase::Decode);
+        out.push(OpInstance::new(
             "Router",
             OpCategory::Ffn1,
             Op::Gemm { shape: GemmShape::new(batch, d, self.experts)?, dtype },
         ));
-        ops.push(OpInstance::new(
+        out.push(OpInstance::new(
             "Expert FFN1",
             OpCategory::Ffn1,
             Op::BatchedMatmul {
@@ -137,12 +151,12 @@ impl MoeConfig {
                 static_weights: true,
             },
         ));
-        ops.push(OpInstance::new(
+        out.push(OpInstance::new(
             "Expert GeLU",
             OpCategory::Gelu,
             Op::Gelu { elems: activated * tokens_per_expert * t.d_ff() },
         ));
-        ops.push(OpInstance::new(
+        out.push(OpInstance::new(
             "Expert FFN2",
             OpCategory::Ffn2,
             Op::BatchedMatmul {
@@ -152,14 +166,6 @@ impl MoeConfig {
                 static_weights: true,
             },
         ));
-
-        let mut out = Workload::new(format!(
-            "{} MoE decode layer (B={batch}, ctx={ctx}, {}x top-{})",
-            t.name(),
-            self.experts,
-            self.top_k
-        ));
-        out.extend(ops);
         Ok(out)
     }
 
@@ -171,30 +177,26 @@ impl MoeConfig {
     /// Returns [`Error::InvalidShape`] for zero batch/seq.
     pub fn prefill_layer(&self, batch: u64, seq: u64) -> Result<Workload> {
         let t = &self.transformer;
-        let dense = t.prefill_layer(batch, seq)?;
-        let mut ops: Vec<OpInstance> = dense
-            .ops()
-            .iter()
-            .filter(|o| {
-                !matches!(
-                    o.category(),
-                    OpCategory::Ffn1 | OpCategory::Ffn2 | OpCategory::Gelu
-                )
-            })
-            .cloned()
-            .collect();
+        let mut out = Workload::new(format!(
+            "{} MoE prefill layer (B={batch}, L={seq}, {}x top-{})",
+            t.name(),
+            self.experts,
+            self.top_k
+        ));
+        copy_without_dense_ffn(&mut out, &t.prefill_layer(batch, seq)?);
 
         let d = t.d_model();
         let dtype = t.dtype();
         let tokens = batch * seq;
         let activated = self.activated_experts(tokens);
         let tokens_per_expert = (tokens * self.top_k).div_ceil(activated);
-        ops.push(OpInstance::new(
+        out.begin_segment("moe-ffn", Phase::Prefill);
+        out.push(OpInstance::new(
             "Router",
             OpCategory::Ffn1,
             Op::Gemm { shape: GemmShape::new(tokens, d, self.experts)?, dtype },
         ));
-        ops.push(OpInstance::new(
+        out.push(OpInstance::new(
             "Expert FFN1",
             OpCategory::Ffn1,
             Op::BatchedMatmul {
@@ -204,12 +206,12 @@ impl MoeConfig {
                 static_weights: true,
             },
         ));
-        ops.push(OpInstance::new(
+        out.push(OpInstance::new(
             "Expert GeLU",
             OpCategory::Gelu,
             Op::Gelu { elems: activated * tokens_per_expert * t.d_ff() },
         ));
-        ops.push(OpInstance::new(
+        out.push(OpInstance::new(
             "Expert FFN2",
             OpCategory::Ffn2,
             Op::BatchedMatmul {
@@ -219,14 +221,6 @@ impl MoeConfig {
                 static_weights: true,
             },
         ));
-
-        let mut out = Workload::new(format!(
-            "{} MoE prefill layer (B={batch}, L={seq}, {}x top-{})",
-            t.name(),
-            self.experts,
-            self.top_k
-        ));
-        out.extend(ops);
         Ok(out)
     }
 }
@@ -300,6 +294,21 @@ mod tests {
             + 2 * t.d_model() * t.d_ff() * 8)
             * t.dtype().size_bytes();
         assert_eq!(m.weight_bytes_per_layer(), Bytes::new(expected));
+    }
+
+    #[test]
+    fn moe_layers_are_phase_segmented() {
+        let m = moe();
+        let decode = m.decode_layer(8, 1024).unwrap();
+        assert_eq!(decode.phases(), vec![Phase::Decode]);
+        let names: Vec<&str> = decode.segments().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["attention", "ffn", "glue", "moe-ffn"]);
+        let seg_macs: u64 = decode.segments().map(|s| s.total_macs()).sum();
+        assert_eq!(seg_macs, decode.total_macs());
+
+        let prefill = m.prefill_layer(4, 256).unwrap();
+        assert_eq!(prefill.phases(), vec![Phase::Prefill]);
+        assert!(prefill.segments().any(|s| s.name() == "moe-ffn"));
     }
 
     #[test]

@@ -81,7 +81,7 @@ impl fmt::Display for OpCategory {
 /// reused across the whole `m` dimension, while `BatchedMatmul` models
 /// attention matmuls whose "weights" (keys/values) differ per batch×head
 /// item, giving the MXU *zero* weight reuse.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Op {
     /// Weight GEMM `[m×k]·[k×n]`; weights stream from main memory unless
@@ -183,7 +183,7 @@ impl Op {
 ///
 /// `count` expresses exact repetition (e.g. 48 identical Transformer
 /// layers) without materializing each copy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct OpInstance {
     name: String,
     category: OpCategory,

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use cimtpu_units::{Bytes, DataType, Error, GemmShape, Result};
 
 use crate::op::{Op, OpCategory, OpInstance};
+use crate::phase::Phase;
 use crate::workload::Workload;
 
 /// Geometry of one Transformer layer (Fig. 2b).
@@ -181,6 +182,7 @@ impl TransformerConfig {
         let dtype = self.dtype;
         let mut w = Workload::new(format!("{} prefill layer (B={batch}, L={seq})", self.name));
 
+        w.begin_segment("attention", Phase::Prefill);
         w.push(OpInstance::new(
             "LayerNorm (pre-attn)",
             OpCategory::LayerNorm,
@@ -228,6 +230,7 @@ impl TransformerConfig {
             OpCategory::Other,
             Op::Elementwise { elems: tokens * d, ops_per_elem: 1 },
         ));
+        w.begin_segment("ffn", Phase::Prefill);
         w.push(OpInstance::new(
             "LayerNorm (pre-FFN)",
             OpCategory::LayerNorm,
@@ -254,6 +257,7 @@ impl TransformerConfig {
             Op::Elementwise { elems: tokens * d, ops_per_elem: 1 },
         ));
         // KV-cache store for this layer.
+        w.begin_segment("kv-cache", Phase::Prefill);
         w.push(OpInstance::new(
             "Store KV-cache",
             OpCategory::Other,
@@ -283,6 +287,7 @@ impl TransformerConfig {
         let dtype = self.dtype;
         let mut w = Workload::new(format!("{} decode layer (B={batch}, ctx={ctx})", self.name));
 
+        w.begin_segment("attention", Phase::Decode);
         w.push(OpInstance::new(
             "LayerNorm (pre-attn)",
             OpCategory::LayerNorm,
@@ -323,6 +328,7 @@ impl TransformerConfig {
             OpCategory::Projection,
             Op::Gemm { shape: GemmShape::new(batch, d, d)?, dtype },
         ));
+        w.begin_segment("ffn", Phase::Decode);
         w.push(OpInstance::new(
             "LayerNorm (pre-FFN)",
             OpCategory::LayerNorm,
@@ -343,6 +349,7 @@ impl TransformerConfig {
             OpCategory::Ffn2,
             Op::Gemm { shape: GemmShape::new(batch, self.d_ff, d)?, dtype },
         ));
+        w.begin_segment("glue", Phase::Decode);
         w.push(OpInstance::new(
             "Residuals",
             OpCategory::Other,
@@ -360,6 +367,7 @@ impl TransformerConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::phase::Phase;
 
     fn gpt3() -> TransformerConfig {
         TransformerConfig::new("GPT3-30B", 48, 56, 7168, 4 * 7168).unwrap()
@@ -479,6 +487,24 @@ mod tests {
         assert!(t.clone().with_kv_heads(0).is_err());
         assert!(t.clone().with_kv_heads(7).is_err()); // 64 % 7 != 0
         assert!(t.with_kv_heads(64).is_ok());
+    }
+
+    #[test]
+    fn layers_are_phase_segmented() {
+        let cfg = gpt3();
+        let prefill = cfg.prefill_layer(8, 1024).unwrap();
+        let names: Vec<&str> = prefill.segments().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["attention", "ffn", "kv-cache"]);
+        assert_eq!(prefill.phases(), vec![Phase::Prefill]);
+        assert_eq!(prefill.macs_in_phase(Phase::Prefill), prefill.total_macs());
+
+        let decode = cfg.decode_layer(8, 1280).unwrap();
+        let names: Vec<&str> = decode.segments().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["attention", "ffn", "glue"]);
+        assert_eq!(decode.phases(), vec![Phase::Decode]);
+        // Segments partition the flat op list.
+        let seg_ops: usize = decode.segments().map(|s| s.ops().len()).sum();
+        assert_eq!(seg_ops, decode.ops().len());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! each followed by a ring all-reduce of the `[tokens × d_model]`
 //! activations — two all-reduces per layer.
 
-use cimtpu_models::{Op, OpCategory, OpInstance, TransformerConfig, Workload};
+use cimtpu_models::{Op, OpCategory, OpInstance, Phase, TransformerConfig, Workload};
 use cimtpu_units::{Error, GemmShape, Result, Seconds};
 
 use crate::MultiTpu;
@@ -41,6 +41,7 @@ pub fn decode_layer_shard(
         model.name()
     ));
 
+    w.begin_segment("attention", Phase::Decode);
     w.push(OpInstance::new(
         "LayerNorm (pre-attn)",
         OpCategory::LayerNorm,
@@ -84,6 +85,7 @@ pub fn decode_layer_shard(
         OpCategory::Projection,
         Op::Gemm { shape: GemmShape::new(batch, d / p, d)?, dtype },
     ));
+    w.begin_segment("ffn", Phase::Decode);
     w.push(OpInstance::new(
         "LayerNorm (pre-FFN)",
         OpCategory::LayerNorm,
@@ -139,6 +141,7 @@ pub fn prefill_layer_shard(
         model.name()
     ));
 
+    w.begin_segment("attention", Phase::Prefill);
     w.push(OpInstance::new(
         "LayerNorm (pre-attn)",
         OpCategory::LayerNorm,
@@ -179,6 +182,7 @@ pub fn prefill_layer_shard(
         OpCategory::Projection,
         Op::Gemm { shape: GemmShape::new(tokens, d / p, d)?, dtype },
     ));
+    w.begin_segment("ffn", Phase::Prefill);
     w.push(OpInstance::new(
         "LayerNorm (pre-FFN)",
         OpCategory::LayerNorm,

@@ -1,0 +1,114 @@
+//! Request-level serving simulation driver.
+//!
+//! ```text
+//! serve_sim [--scenario NAME|all] [--seed N] [--workers N] [--json]
+//! ```
+//!
+//! Runs the named serving scenario (default: all headline scenarios) and
+//! prints throughput, latency percentiles, and energy per request.
+//! Scenarios are independent, so they fan out over the
+//! `cimtpu_bench::sweep` worker pool; `--workers N` overrides the
+//! `CIMTPU_WORKERS` environment variable (see `cimtpu_bench::sweep`).
+//! Output is deterministic for a fixed `--seed`.
+
+use cimtpu_bench::sweep;
+use cimtpu_serving::scenario::{self, Scenario};
+use cimtpu_serving::ServingReport;
+
+struct Args {
+    scenario: String,
+    seed: Option<u64>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { scenario: "all".to_owned(), seed: None, json: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => args.scenario = value("--scenario")?,
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                );
+            }
+            "--workers" => {
+                let n: usize =
+                    value("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?;
+                // The sweep pool reads CIMTPU_WORKERS; the flag overrides it.
+                std::env::set_var("CIMTPU_WORKERS", n.max(1).to_string());
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve_sim [--scenario NAME|all] [--seed N] [--workers N] [--json]"
+                );
+                println!("scenarios:");
+                for s in scenario::headline() {
+                    println!("  {:<20} {}", s.name, s.description);
+                }
+                let s = scenario::smoke();
+                println!("  {:<20} {}", s.name, s.description);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("serve_sim: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let scenarios: Vec<Scenario> = if args.scenario == "all" {
+        scenario::headline()
+    } else {
+        match scenario::by_name(&args.scenario) {
+            Ok(s) => vec![s],
+            Err(e) => {
+                eprintln!("serve_sim: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    // Scenarios are independent simulations: fan them out over the sweep
+    // worker pool (results return in scenario order, so output is stable).
+    let seed = args.seed;
+    let results = sweep::parallel_map(&scenarios, |s| s.run(seed));
+
+    let mut reports: Vec<ServingReport> = Vec::new();
+    let mut failed = false;
+    for (s, result) in scenarios.iter().zip(results) {
+        match result {
+            Ok(run) => reports.push(run.report),
+            Err(e) => {
+                eprintln!("{}: {e}", s.name);
+                failed = true;
+            }
+        }
+    }
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("reports serialize")
+        );
+    } else {
+        for report in &reports {
+            println!("{report}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,379 @@
+//! The event-driven serving engine: arrivals → batches → phase segments.
+
+use cimtpu_core::{Simulator, TpuConfig};
+use cimtpu_multi::MultiTpu;
+use cimtpu_units::{Error, Joules, Result, Seconds};
+
+use crate::metrics::{Completion, ServingReport};
+use crate::policy::BatchPolicy;
+use crate::pricer::{Pricer, ServingModel};
+use crate::request::{Request, TrafficSpec};
+
+/// How simulated chips cooperate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// `chips` independent replicas share one request queue; each batch
+    /// runs on the earliest-free replica.
+    Replicated {
+        /// Number of replica chips.
+        chips: u64,
+    },
+    /// `chips` form one tensor-parallel ring (Megatron-style sharding via
+    /// `cimtpu-multi`); the ring serves batches as a single logical chip.
+    TensorParallel {
+        /// Number of ring devices.
+        chips: u64,
+    },
+}
+
+impl Parallelism {
+    /// Physical chips involved.
+    pub fn chips(&self) -> u64 {
+        match *self {
+            Parallelism::Replicated { chips } | Parallelism::TensorParallel { chips } => chips,
+        }
+    }
+
+    /// Independent schedulable executors (1 for a tensor-parallel ring).
+    fn executors(&self) -> usize {
+        match *self {
+            Parallelism::Replicated { chips } => chips as usize,
+            Parallelism::TensorParallel { .. } => 1,
+        }
+    }
+}
+
+/// A complete serving-simulation configuration.
+#[derive(Debug, Clone)]
+pub struct ServingEngine {
+    chip: TpuConfig,
+    model: ServingModel,
+    parallelism: Parallelism,
+    policy: BatchPolicy,
+}
+
+/// Everything a serving run produced: the aggregate report plus the
+/// per-request completion records it was computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRun {
+    /// Aggregate throughput / latency / energy metrics.
+    pub report: ServingReport,
+    /// Per-request lifecycle records, in request-id order.
+    pub completions: Vec<Completion>,
+}
+
+impl ServingEngine {
+    /// Creates an engine serving `model` on `chip` hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero chips or (checked at run time) a DiT
+    /// model under tensor parallelism.
+    pub fn new(
+        chip: TpuConfig,
+        model: ServingModel,
+        parallelism: Parallelism,
+        policy: BatchPolicy,
+    ) -> Result<Self> {
+        if parallelism.chips() == 0 {
+            return Err(Error::invalid_config("serving needs at least one chip"));
+        }
+        Ok(ServingEngine { chip, model, parallelism, policy })
+    }
+
+    /// The hosted model.
+    pub fn model(&self) -> &ServingModel {
+        &self.model
+    }
+
+    /// The batching policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Simulates `traffic` to completion and reports request-level
+    /// metrics. Deterministic: identical inputs give identical reports.
+    ///
+    /// When `CIMTPU_CACHE_DIR` is set, the underlying simulator loads its
+    /// mapping cache from disk before the run and persists it afterwards,
+    /// so repeated serving runs (and sweeps) skip the map-space searches.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty traffic spec or an unmappable
+    /// operator.
+    pub fn run(&self, label: &str, traffic: &TrafficSpec) -> Result<ServingRun> {
+        traffic.prompt.validate()?;
+        traffic.steps.validate()?;
+        let arrivals = traffic.generate();
+        if arrivals.is_empty() {
+            return Err(Error::invalid_config("traffic spec generates no requests"));
+        }
+        match self.parallelism {
+            Parallelism::Replicated { .. } => {
+                let sim = Simulator::new(self.chip.clone())?;
+                let cx = sim.execution_context();
+                let pricer = Pricer::single(&self.model, &cx);
+                let run = self.simulate(label, &arrivals, &pricer)?;
+                let _ = sim.persist_cache(); // best effort; cold is correct
+                Ok(run)
+            }
+            Parallelism::TensorParallel { chips } => {
+                let ring = MultiTpu::new(self.chip.clone(), chips)?;
+                let cx = ring.simulator().execution_context();
+                let pricer = Pricer::tensor_parallel(&self.model, &cx, &ring);
+                let run = self.simulate(label, &arrivals, &pricer)?;
+                let _ = ring.simulator().persist_cache();
+                Ok(run)
+            }
+        }
+    }
+
+    fn simulate(&self, label: &str, arrivals: &[Request], pricer: &Pricer<'_>) -> Result<ServingRun> {
+        let executors = self.parallelism.executors();
+        let mut energy = Joules::ZERO;
+        let mut completions = match self.policy {
+            BatchPolicy::Static { .. } | BatchPolicy::Dynamic { .. } => {
+                self.run_to_completion(arrivals, pricer, executors, &mut energy)?
+            }
+            BatchPolicy::Continuous { max_batch } => {
+                self.run_continuous(arrivals, pricer, executors, max_batch.max(1), &mut energy)?
+            }
+        };
+        completions.sort_by_key(|c| c.id);
+        let report = ServingReport::from_completions(
+            label,
+            self.policy.name(),
+            self.parallelism.chips(),
+            &completions,
+            energy,
+        );
+        Ok(ServingRun { report, completions })
+    }
+
+    /// Static / dynamic batching: form a batch from the queue head, run
+    /// it to completion on the earliest-free executor.
+    fn run_to_completion(
+        &self,
+        arrivals: &[Request],
+        pricer: &Pricer<'_>,
+        executors: usize,
+        energy: &mut Joules,
+    ) -> Result<Vec<Completion>> {
+        let mut free_at = vec![Seconds::ZERO; executors];
+        let mut completions = Vec::with_capacity(arrivals.len());
+        let mut next = 0;
+        while next < arrivals.len() {
+            let chip = earliest(&free_at);
+            let (take, start) = self.form_batch(&arrivals[next..], free_at[chip]);
+            let members = &arrivals[next..next + take];
+            free_at[chip] = self.run_batch(members, start, pricer, energy, &mut completions)?;
+            next += take;
+        }
+        Ok(completions)
+    }
+
+    /// Batch formation at the queue head once an executor frees at `free`.
+    /// Returns how many requests launch together and when.
+    fn form_batch(&self, queue: &[Request], free: Seconds) -> (usize, Seconds) {
+        match self.policy {
+            BatchPolicy::Static { batch } => {
+                // Wait for a full batch (the stream tail may be smaller).
+                let take = (batch.max(1) as usize).min(queue.len());
+                let start = free.max(queue[take - 1].arrival());
+                (take, start)
+            }
+            BatchPolicy::Dynamic { max_batch, max_wait_ms } => {
+                // Launch when `max_batch` have queued or the oldest waiter
+                // has waited `max_wait_ms`, whichever happens first.
+                let t0 = free.max(queue[0].arrival());
+                let deadline = t0.max(queue[0].arrival() + Seconds::from_millis(max_wait_ms));
+                let take = queue
+                    .iter()
+                    .take(max_batch.max(1) as usize)
+                    .take_while(|r| r.arrival() <= deadline)
+                    .count();
+                let start = t0.max(queue[take - 1].arrival());
+                (take, start)
+            }
+            BatchPolicy::Continuous { .. } => unreachable!("continuous has its own loop"),
+        }
+    }
+
+    /// Runs one formed batch to completion: grouped prefill (prompt padded
+    /// to the longest member), then one step per generated token. Static
+    /// batching pads — finished requests hold their slot; dynamic shrinks
+    /// the step batch as requests finish.
+    fn run_batch(
+        &self,
+        members: &[Request],
+        start: Seconds,
+        pricer: &Pricer<'_>,
+        energy: &mut Joules,
+        completions: &mut Vec<Completion>,
+    ) -> Result<Seconds> {
+        let b = members.len() as u64;
+        let max_prompt = members.iter().map(|r| r.prompt_len).max().expect("non-empty");
+        let max_steps = members.iter().map(|r| r.steps).max().expect("non-empty");
+        let pads = self.policy.pads_to_batch_end();
+
+        let mut t = start;
+        let mut first_token = vec![Seconds::ZERO; members.len()];
+        if self.model.has_prefill() {
+            let prefill = pricer.prefill(b, max_prompt)?;
+            t += prefill.latency;
+            *energy += prefill.total_energy();
+            first_token.fill(t);
+        }
+        let mut finish = vec![Seconds::ZERO; members.len()];
+        for s in 0..max_steps {
+            let active = if pads {
+                b
+            } else {
+                members.iter().filter(|r| r.steps > s).count() as u64
+            };
+            let step = pricer.step(active, max_prompt + s + 1)?;
+            t += step.latency;
+            *energy += step.total_energy();
+            if s == 0 && !self.model.has_prefill() {
+                first_token.fill(t);
+            }
+            for (i, r) in members.iter().enumerate() {
+                if r.steps == s + 1 {
+                    finish[i] = t;
+                }
+            }
+        }
+        for (i, r) in members.iter().enumerate() {
+            completions.push(Completion {
+                id: r.id,
+                arrival: r.arrival(),
+                first_token: first_token[i],
+                // Padded batches release results when the batch completes.
+                finish: if pads { t } else { finish[i] },
+                steps: r.steps,
+            });
+        }
+        Ok(t)
+    }
+
+    /// Continuous batching: executors admit and retire requests between
+    /// individual generation steps.
+    fn run_continuous(
+        &self,
+        arrivals: &[Request],
+        pricer: &Pricer<'_>,
+        executors: usize,
+        max_batch: u64,
+        energy: &mut Joules,
+    ) -> Result<Vec<Completion>> {
+        struct Active {
+            idx: usize,
+            done: u64,
+        }
+        struct Chip {
+            t: Seconds,
+            active: Vec<Active>,
+        }
+        let mut chips: Vec<Chip> = (0..executors)
+            .map(|_| Chip { t: Seconds::ZERO, active: Vec::new() })
+            .collect();
+        let mut next = 0;
+        let mut first_token = vec![Seconds::ZERO; arrivals.len()];
+        let mut completions = Vec::with_capacity(arrivals.len());
+
+        loop {
+            // Next scheduling point: a chip with work steps now; an idle
+            // chip waits for the next arrival.
+            let mut pick: Option<(usize, Seconds)> = None;
+            for (i, chip) in chips.iter().enumerate() {
+                let candidate = if !chip.active.is_empty() {
+                    chip.t
+                } else if next < arrivals.len() {
+                    chip.t.max(arrivals[next].arrival())
+                } else {
+                    continue;
+                };
+                if pick.is_none_or(|(_, best)| candidate < best) {
+                    pick = Some((i, candidate));
+                }
+            }
+            let Some((ci, t)) = pick else { break };
+            let chip = &mut chips[ci];
+            chip.t = t;
+
+            // Admit queued arrivals into free slots; the newly admitted
+            // group prefills together (padded to its longest prompt).
+            let mut admitted = Vec::new();
+            while next < arrivals.len()
+                && chip.active.len() + admitted.len() < max_batch as usize
+                && arrivals[next].arrival() <= chip.t
+            {
+                admitted.push(next);
+                next += 1;
+            }
+            if !admitted.is_empty() && self.model.has_prefill() {
+                let prompt = admitted.iter().map(|&i| arrivals[i].prompt_len).max().expect("non-empty");
+                let prefill = pricer.prefill(admitted.len() as u64, prompt)?;
+                chip.t += prefill.latency;
+                *energy += prefill.total_energy();
+                for &i in &admitted {
+                    first_token[i] = chip.t;
+                }
+            }
+            chip.active.extend(admitted.into_iter().map(|idx| Active { idx, done: 0 }));
+            // An idle chip only wakes at an arrival it can admit (its wake
+            // time is that arrival and capacity is >= 1), so there is
+            // always something active here.
+            debug_assert!(!chip.active.is_empty(), "scheduled an idle chip with nothing to admit");
+
+            // One generation step for everything active on this chip.
+            let b = chip.active.len() as u64;
+            let ctx = chip
+                .active
+                .iter()
+                .map(|a| arrivals[a.idx].prompt_len + a.done)
+                .max()
+                .expect("non-empty")
+                + 1;
+            let step = pricer.step(b, ctx)?;
+            chip.t += step.latency;
+            *energy += step.total_energy();
+            let now = chip.t;
+            let has_prefill = self.model.has_prefill();
+            for a in &mut chip.active {
+                a.done += 1;
+                if a.done == 1 && !has_prefill {
+                    first_token[a.idx] = now;
+                }
+            }
+            chip.active.retain(|a| {
+                if a.done >= arrivals[a.idx].steps {
+                    completions.push(Completion {
+                        id: arrivals[a.idx].id,
+                        arrival: arrivals[a.idx].arrival(),
+                        first_token: first_token[a.idx],
+                        finish: now,
+                        steps: arrivals[a.idx].steps,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        Ok(completions)
+    }
+}
+
+/// Index of the executor that frees earliest (ties pick the lowest index,
+/// keeping the schedule deterministic).
+fn earliest(free_at: &[Seconds]) -> usize {
+    let mut best = 0;
+    for (i, &t) in free_at.iter().enumerate().skip(1) {
+        if t < free_at[best] {
+            best = i;
+        }
+    }
+    best
+}

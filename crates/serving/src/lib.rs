@@ -1,0 +1,90 @@
+//! Request-level serving simulation on top of the cimtpu chip model.
+//!
+//! The per-chip [`Simulator`](cimtpu_core::Simulator) prices one workload
+//! at a time; real inference systems serve many concurrent requests whose
+//! phases interleave. This crate adds that layer: open-loop traffic
+//! ([`TrafficSpec`] — seeded, deterministic), an event-driven engine
+//! ([`ServingEngine`]) that schedules phase segments onto one or more
+//! simulated chips, and request-level metrics ([`ServingReport`] —
+//! throughput, p50/p95/p99 latency and time-to-first-token, energy per
+//! request).
+//!
+//! Pricing reuses the whole existing stack: each distinct `(phase, batch,
+//! length)` query is priced once through an
+//! [`ExecutionContext`](cimtpu_core::ExecutionContext) (which memoizes
+//! segments, on top of the simulator's `MappingCache` memoizing per-operator
+//! map-space searches) and replayed for every batch that repeats it. Set
+//! `CIMTPU_CACHE_DIR` to persist those mapping caches across processes.
+//!
+//! # Batching-policy semantics
+//!
+//! A [`BatchPolicy`] decides how queued requests are grouped:
+//!
+//! - **Static `{ batch }`** — the scheduler waits until exactly `batch`
+//!   requests have arrived (the stream tail may form a smaller batch),
+//!   then runs the batch to completion. Prompts pad to the longest member
+//!   and every slot is held until the whole batch finishes: per-request
+//!   completion is the batch end, the classic pre-Orca serving model.
+//! - **Dynamic `{ max_batch, max_wait_ms }`** — when a chip frees, the
+//!   scheduler launches whatever has queued, as soon as either `max_batch`
+//!   requests are waiting or the oldest has waited `max_wait_ms`. The
+//!   batch runs to completion but does not pad: as members finish, decode
+//!   steps shrink to the surviving batch size, and each request completes
+//!   at its own last token.
+//! - **Continuous `{ max_batch }`** — scheduling happens between
+//!   individual decode steps (vLLM/Orca style): new requests are admitted
+//!   into free slots (their prefill runs as its own grouped segment
+//!   between steps), finished requests retire immediately, and each step
+//!   prices at the currently active batch size and the longest live
+//!   context.
+//!
+//! Multi-chip configurations come in two flavours ([`Parallelism`]):
+//! **replicated** chips share one queue (each batch runs on the
+//! earliest-free replica), and **tensor-parallel** rings shard every layer
+//! across the ring (Megatron-style, priced via `cimtpu-multi` including
+//! the two per-layer ring all-reduces) and serve as one logical chip.
+//!
+//! # Examples
+//!
+//! ```
+//! use cimtpu_core::TpuConfig;
+//! use cimtpu_models::presets;
+//! use cimtpu_serving::{
+//!     ArrivalPattern, BatchPolicy, LenDist, Parallelism, ServingEngine, ServingModel,
+//!     TrafficSpec,
+//! };
+//!
+//! let engine = ServingEngine::new(
+//!     TpuConfig::design_a(),
+//!     ServingModel::Llm(presets::gpt3_6_7b()),
+//!     Parallelism::Replicated { chips: 1 },
+//!     BatchPolicy::Continuous { max_batch: 8 },
+//! )?;
+//! let traffic = TrafficSpec {
+//!     requests: 4,
+//!     arrival: ArrivalPattern::OpenLoop { rate_rps: 20.0 },
+//!     prompt: LenDist::Fixed(64),
+//!     steps: LenDist::Fixed(4),
+//!     seed: 1,
+//! };
+//! let run = engine.run("example", &traffic)?;
+//! assert_eq!(run.report.completed, 4);
+//! assert!(run.report.latency.p99_ms >= run.report.latency.p50_ms);
+//! # Ok::<(), cimtpu_units::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod metrics;
+mod policy;
+mod pricer;
+pub mod scenario;
+mod request;
+
+pub use engine::{Parallelism, ServingEngine, ServingRun};
+pub use metrics::{Completion, LatencyStats, ServingReport};
+pub use policy::BatchPolicy;
+pub use pricer::ServingModel;
+pub use request::{ArrivalPattern, LenDist, Request, TrafficSpec};

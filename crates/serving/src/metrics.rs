@@ -1,0 +1,244 @@
+//! Serving metrics: completions, latency percentiles, throughput.
+
+use serde::{Deserialize, Serialize};
+
+use cimtpu_units::{Joules, Seconds};
+
+/// The lifecycle record of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request id.
+    pub id: u64,
+    /// When the request arrived.
+    pub arrival: Seconds,
+    /// When its first token (LLM) or first denoised step (DiT) was ready
+    /// — the end of its prefill, or of its first step for DiT.
+    pub first_token: Seconds,
+    /// When its last generation step finished.
+    pub finish: Seconds,
+    /// Generation steps executed.
+    pub steps: u64,
+}
+
+impl Completion {
+    /// End-to-end request latency (arrival to last token).
+    pub fn latency(&self) -> Seconds {
+        self.finish - self.arrival
+    }
+
+    /// Time to first token.
+    pub fn ttft(&self) -> Seconds {
+        self.first_token - self.arrival
+    }
+}
+
+/// Latency distribution summary, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Maximum.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a set of durations (nearest-rank percentiles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[Seconds]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let mut ms: Vec<f64> = samples.iter().map(|s| s.as_millis()).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+        LatencyStats {
+            p50_ms: percentile(&ms, 0.50),
+            p95_ms: percentile(&ms, 0.95),
+            p99_ms: percentile(&ms, 0.99),
+            mean_ms: ms.iter().sum::<f64>() / ms.len() as f64,
+            max_ms: *ms.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Aggregate outcome of one serving simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Scenario / run label.
+    pub label: String,
+    /// Batching policy name.
+    pub policy: String,
+    /// Simulated chips.
+    pub chips: u64,
+    /// Requests offered by the traffic spec.
+    pub offered: u64,
+    /// Requests completed (always equals `offered`: the trace is finite).
+    pub completed: u64,
+    /// Time from the first arrival to the last completion, in seconds.
+    pub makespan_s: f64,
+    /// Completed requests per second of makespan.
+    pub throughput_rps: f64,
+    /// Generation steps (tokens / diffusion steps) per second of makespan.
+    pub steps_per_second: f64,
+    /// End-to-end request latency distribution.
+    pub latency: LatencyStats,
+    /// Time-to-first-token distribution.
+    pub ttft: LatencyStats,
+    /// Total chip energy over all batches (active windows; idle gaps are
+    /// not charged).
+    pub total_energy_j: f64,
+    /// Mean energy per completed request.
+    pub energy_per_request_j: f64,
+}
+
+impl ServingReport {
+    /// Builds the aggregate report from per-request completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completions` is empty.
+    pub fn from_completions(
+        label: impl Into<String>,
+        policy: &str,
+        chips: u64,
+        completions: &[Completion],
+        total_energy: Joules,
+    ) -> Self {
+        assert!(!completions.is_empty(), "no completions to report");
+        let finish = completions
+            .iter()
+            .map(|c| c.finish)
+            .fold(Seconds::ZERO, Seconds::max);
+        let first_arrival = completions
+            .iter()
+            .map(|c| c.arrival)
+            .fold(finish, Seconds::min);
+        let makespan = (finish - first_arrival).get().max(f64::MIN_POSITIVE);
+        let steps: u64 = completions.iter().map(|c| c.steps).sum();
+        let latencies: Vec<Seconds> = completions.iter().map(Completion::latency).collect();
+        let ttfts: Vec<Seconds> = completions.iter().map(Completion::ttft).collect();
+        ServingReport {
+            label: label.into(),
+            policy: policy.to_owned(),
+            chips,
+            offered: completions.len() as u64,
+            completed: completions.len() as u64,
+            makespan_s: makespan,
+            throughput_rps: completions.len() as f64 / makespan,
+            steps_per_second: steps as f64 / makespan,
+            latency: LatencyStats::from_samples(&latencies),
+            ttft: LatencyStats::from_samples(&ttfts),
+            total_energy_j: total_energy.get(),
+            energy_per_request_j: total_energy.get() / completions.len() as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "== {} [{} batching, {} chip(s)] ==",
+            self.label, self.policy, self.chips
+        )?;
+        writeln!(
+            f,
+            "completed {}/{} in {:.3} s  ({:.2} req/s, {:.1} steps/s)",
+            self.completed, self.offered, self.makespan_s, self.throughput_rps,
+            self.steps_per_second
+        )?;
+        writeln!(
+            f,
+            "latency ms  p50 {:.3}  p95 {:.3}  p99 {:.3}  mean {:.3}  max {:.3}",
+            self.latency.p50_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+            self.latency.mean_ms,
+            self.latency.max_ms
+        )?;
+        writeln!(
+            f,
+            "ttft ms     p50 {:.3}  p95 {:.3}  p99 {:.3}  mean {:.3}  max {:.3}",
+            self.ttft.p50_ms, self.ttft.p95_ms, self.ttft.p99_ms, self.ttft.mean_ms,
+            self.ttft.max_ms
+        )?;
+        writeln!(
+            f,
+            "energy      {:.4} J total, {:.4} J/request",
+            self.total_energy_j, self.energy_per_request_j
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64, arrival: f64, first: f64, finish: f64) -> Completion {
+        Completion {
+            id,
+            arrival: Seconds::new(arrival),
+            first_token: Seconds::new(first),
+            finish: Seconds::new(finish),
+            steps: 10,
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<Seconds> = (1..=100).map(|i| Seconds::from_millis(i as f64)).collect();
+        let stats = LatencyStats::from_samples(&samples);
+        assert_eq!(stats.p50_ms, 50.0);
+        assert_eq!(stats.p95_ms, 95.0);
+        assert_eq!(stats.p99_ms, 99.0);
+        assert_eq!(stats.max_ms, 100.0);
+        assert!((stats.mean_ms - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let stats = LatencyStats::from_samples(&[Seconds::from_millis(7.0)]);
+        assert_eq!(stats.p50_ms, 7.0);
+        assert_eq!(stats.p99_ms, 7.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let completions = vec![c(0, 0.0, 0.5, 1.0), c(1, 1.0, 1.5, 3.0)];
+        let rep = ServingReport::from_completions(
+            "t",
+            "static",
+            1,
+            &completions,
+            Joules::new(4.0),
+        );
+        assert_eq!(rep.completed, 2);
+        assert_eq!(rep.makespan_s, 3.0);
+        assert!((rep.throughput_rps - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rep.steps_per_second - 20.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rep.latency.max_ms, 2000.0);
+        assert_eq!(rep.energy_per_request_j, 2.0);
+    }
+
+    #[test]
+    fn makespan_starts_at_first_arrival() {
+        // A trace offset in time must not inflate the makespan.
+        let completions = vec![c(0, 100.0, 100.5, 101.0)];
+        let rep =
+            ServingReport::from_completions("t", "static", 1, &completions, Joules::ZERO);
+        assert_eq!(rep.makespan_s, 1.0);
+        assert_eq!(rep.throughput_rps, 1.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Phase pricing for the serving loop: segment costs per (phase, batch,
+//! length), memoized on top of [`ExecutionContext`].
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use cimtpu_core::{ExecutionContext, SegmentCost};
+use cimtpu_models::{DitConfig, TransformerConfig, Workload};
+use cimtpu_multi::{tensor_parallel, MultiTpu};
+use cimtpu_units::{Bytes, Result};
+
+/// The model a serving engine hosts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServingModel {
+    /// An autoregressive LLM: prefill phase + per-token decode steps.
+    Llm(TransformerConfig),
+    /// A diffusion transformer: per-request denoising steps at a fixed
+    /// image resolution (no prefill phase).
+    Dit {
+        /// The DiT geometry.
+        dit: DitConfig,
+        /// Square image resolution in pixels.
+        resolution: u64,
+    },
+}
+
+impl ServingModel {
+    /// Whether requests carry a prefill phase.
+    pub fn has_prefill(&self) -> bool {
+        matches!(self, ServingModel::Llm(_))
+    }
+
+    /// The model's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            ServingModel::Llm(m) => m.name(),
+            ServingModel::Dit { dit, .. } => dit.transformer().name(),
+        }
+    }
+}
+
+/// Memo key: phase tag + the two shape knobs that vary at runtime.
+type Key = (u8, u64, u64);
+const PREFILL: u8 = 0;
+const STEP: u8 = 1;
+
+/// Prices serving phases on one chip (or one tensor-parallel ring),
+/// memoizing each distinct `(phase, batch, length)` query. The heavy
+/// lifting is shared three levels down: the pricer memoizes whole phases,
+/// the [`ExecutionContext`] memoizes segments, and the simulator's
+/// `MappingCache` memoizes per-operator map-space searches.
+pub(crate) struct Pricer<'a> {
+    model: &'a ServingModel,
+    cx: &'a ExecutionContext<'a>,
+    /// Tensor-parallel ring; `None` prices whole layers on `cx`'s chip.
+    ring: Option<&'a MultiTpu>,
+    memo: RefCell<HashMap<Key, SegmentCost>>,
+}
+
+impl<'a> Pricer<'a> {
+    pub(crate) fn single(model: &'a ServingModel, cx: &'a ExecutionContext<'a>) -> Self {
+        Pricer { model, cx, ring: None, memo: RefCell::new(HashMap::new()) }
+    }
+
+    pub(crate) fn tensor_parallel(
+        model: &'a ServingModel,
+        cx: &'a ExecutionContext<'a>,
+        ring: &'a MultiTpu,
+    ) -> Self {
+        Pricer { model, cx, ring: Some(ring), memo: RefCell::new(HashMap::new()) }
+    }
+
+    fn memoized(
+        &self,
+        key: Key,
+        build: impl FnOnce() -> Result<SegmentCost>,
+    ) -> Result<SegmentCost> {
+        if let Some(cost) = self.memo.borrow().get(&key) {
+            return Ok(*cost);
+        }
+        let cost = build()?;
+        self.memo.borrow_mut().insert(key, cost);
+        Ok(cost)
+    }
+
+    /// Whole-workload cost through the execution context. Pricing the flat
+    /// op list keeps the summation order identical to `Simulator::run`,
+    /// so a batch-1 serving run reproduces its latency bit-exactly.
+    fn price(&self, w: &Workload) -> Result<SegmentCost> {
+        self.cx.price_ops(w.ops())
+    }
+
+    /// Cost of one sharded layer on every ring device: shard compute (the
+    /// slowest device bounds latency) plus two ring all-reduces, energy
+    /// multiplied across the `p` participating chips.
+    fn tp_layer(&self, ring: &MultiTpu, shard: &Workload, activations: Bytes) -> Result<SegmentCost> {
+        let mut cost = self.price(shard)?;
+        let p = ring.devices() as f64;
+        cost.latency += ring.topology().all_reduce_time(activations) * 2.0;
+        cost.mxu_energy = cost.mxu_energy * p;
+        cost.vpu_energy = cost.vpu_energy * p;
+        cost.hbm_bytes = Bytes::new((cost.hbm_bytes.get() as f64 * p) as u64);
+        Ok(cost)
+    }
+
+    /// Prefill cost for `batch` requests of (padded) prompt length
+    /// `prompt`. Zero for models without a prefill phase.
+    pub(crate) fn prefill(&self, batch: u64, prompt: u64) -> Result<SegmentCost> {
+        let ServingModel::Llm(model) = self.model else {
+            return Ok(SegmentCost::ZERO);
+        };
+        self.memoized((PREFILL, batch, prompt), || {
+            let layers = model.layers() as f64;
+            match self.ring {
+                None => Ok(self.price(&model.prefill_layer(batch, prompt)?)?.repeated(layers)),
+                Some(ring) => {
+                    let shard =
+                        tensor_parallel::prefill_layer_shard(model, batch, prompt, ring.devices())?;
+                    let act = Bytes::new(
+                        batch * prompt * model.d_model() * model.dtype().size_bytes(),
+                    );
+                    Ok(self.tp_layer(ring, &shard, act)?.repeated(layers))
+                }
+            }
+        })
+    }
+
+    /// Cost of one generation step for `batch` concurrently active
+    /// requests: an LLM decode step at context length `ctx`, or one DiT
+    /// forward pass (`ctx` is ignored).
+    pub(crate) fn step(&self, batch: u64, ctx: u64) -> Result<SegmentCost> {
+        match self.model {
+            ServingModel::Llm(model) => self.memoized((STEP, batch, ctx), || {
+                let layers = model.layers() as f64;
+                match self.ring {
+                    None => Ok(self.price(&model.decode_layer(batch, ctx)?)?.repeated(layers)),
+                    Some(ring) => {
+                        let shard = tensor_parallel::decode_layer_shard(
+                            model,
+                            batch,
+                            ctx,
+                            ring.devices(),
+                        )?;
+                        let act =
+                            Bytes::new(batch * model.d_model() * model.dtype().size_bytes());
+                        Ok(self.tp_layer(ring, &shard, act)?.repeated(layers))
+                    }
+                }
+            }),
+            ServingModel::Dit { dit, resolution } => self.memoized((STEP, batch, 0), || {
+                if self.ring.is_some() {
+                    return Err(cimtpu_units::Error::invalid_config(
+                        "tensor-parallel serving supports LLM engines only",
+                    ));
+                }
+                self.price(&dit.full_forward(batch, *resolution)?)
+            }),
+        }
+    }
+
+    /// Latency of one step without the full cost (convenience for tests).
+    #[cfg(test)]
+    pub(crate) fn step_latency(&self, batch: u64, ctx: u64) -> Result<cimtpu_units::Seconds> {
+        Ok(self.step(batch, ctx)?.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimtpu_core::{Simulator, TpuConfig};
+    use cimtpu_models::presets;
+    use cimtpu_units::Seconds;
+
+    fn tiny_llm() -> ServingModel {
+        ServingModel::Llm(
+            TransformerConfig::new("tiny", 2, 4, 256, 1024).expect("valid geometry"),
+        )
+    }
+
+    #[test]
+    fn llm_phase_costs_scale_by_layers() {
+        let sim = Simulator::new(TpuConfig::tpuv4i()).unwrap();
+        let cx = sim.execution_context();
+        let model = tiny_llm();
+        let pricer = Pricer::single(&model, &cx);
+        let ServingModel::Llm(cfg) = &model else { unreachable!() };
+
+        let per_layer = sim.run(&cfg.decode_layer(2, 64).unwrap()).unwrap().total_latency();
+        let step = pricer.step_latency(2, 64).unwrap();
+        assert_eq!(step, per_layer * cfg.layers() as f64);
+
+        // Memoized: second query returns the identical cost.
+        assert_eq!(pricer.step(2, 64).unwrap().latency, step);
+    }
+
+    #[test]
+    fn dit_steps_ignore_context_and_skip_prefill() {
+        let sim = Simulator::new(TpuConfig::tpuv4i()).unwrap();
+        let cx = sim.execution_context();
+        let model = ServingModel::Dit { dit: presets::dit_b_2(), resolution: 256 };
+        let pricer = Pricer::single(&model, &cx);
+        assert!(!model.has_prefill());
+        assert_eq!(pricer.prefill(4, 128).unwrap(), SegmentCost::ZERO);
+        assert_eq!(
+            pricer.step(2, 17).unwrap(),
+            pricer.step(2, 4096).unwrap(),
+            "DiT step cost is context-independent"
+        );
+    }
+
+    #[test]
+    fn tensor_parallel_step_is_faster_but_costs_comm() {
+        let model = ServingModel::Llm(presets::gpt3_30b());
+        let single_sim = Simulator::new(TpuConfig::tpuv4i()).unwrap();
+        let single_cx = single_sim.execution_context();
+        let single = Pricer::single(&model, &single_cx);
+
+        let ring = MultiTpu::new(TpuConfig::tpuv4i(), 4).unwrap();
+        let tp_cx = ring.simulator().execution_context();
+        let tp = Pricer::tensor_parallel(&model, &tp_cx, &ring);
+
+        let t1 = single.step(8, 1280).unwrap();
+        let t4 = tp.step(8, 1280).unwrap();
+        assert!(t4.latency < t1.latency, "tp4 {} vs tp1 {}", t4.latency, t1.latency);
+        // Matches the cimtpu-multi tensor-parallel model exactly.
+        let reference = ring
+            .llm_tensor_parallel_decode_layer(&presets::gpt3_30b(), 8, 1280)
+            .unwrap();
+        let per_layer = Seconds::new(t4.latency.get() / presets::gpt3_30b().layers() as f64);
+        let rel = (per_layer.get() - reference.get()).abs() / reference.get();
+        assert!(rel < 1e-9, "rel err {rel:e}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Named serving scenarios: the reference workloads the serving binary
+//! and CI smoke test run.
+
+use cimtpu_core::TpuConfig;
+use cimtpu_models::{presets, TransformerConfig};
+use cimtpu_units::{Error, Result};
+
+use crate::engine::{Parallelism, ServingEngine, ServingRun};
+use crate::policy::BatchPolicy;
+use crate::pricer::ServingModel;
+use crate::request::{ArrivalPattern, LenDist, TrafficSpec};
+
+/// A named, fully specified serving experiment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (CLI argument).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Chip configuration.
+    pub chip: TpuConfig,
+    /// Hosted model.
+    pub model: ServingModel,
+    /// Chip organization.
+    pub parallelism: Parallelism,
+    /// Batching policy.
+    pub policy: BatchPolicy,
+    /// Traffic to offer.
+    pub traffic: TrafficSpec,
+}
+
+impl Scenario {
+    /// Runs the scenario (optionally overriding the traffic seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn run(&self, seed: Option<u64>) -> Result<ServingRun> {
+        let mut traffic = self.traffic;
+        if let Some(seed) = seed {
+            traffic.seed = seed;
+        }
+        ServingEngine::new(
+            self.chip.clone(),
+            self.model.clone(),
+            self.parallelism,
+            self.policy,
+        )?
+        .run(self.name, &traffic)
+    }
+}
+
+/// A deliberately tiny Transformer for smoke tests: two layers priced in
+/// milliseconds of wall clock.
+pub fn tiny_transformer() -> TransformerConfig {
+    TransformerConfig::new("Tiny-2L", 2, 4, 256, 1024).expect("static geometry is valid")
+}
+
+/// The three headline scenarios: prefill-heavy LLM traffic under dynamic
+/// batching, decode-heavy LLM traffic under continuous batching, and a
+/// burst of DiT image requests under static batching.
+pub fn headline() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "llm-prefill-heavy",
+            description: "long prompts, short answers; dynamic batching on Design A",
+            chip: TpuConfig::design_a(),
+            model: ServingModel::Llm(presets::gpt3_6_7b()),
+            parallelism: Parallelism::Replicated { chips: 1 },
+            policy: BatchPolicy::Dynamic { max_batch: 8, max_wait_ms: 40.0 },
+            traffic: TrafficSpec {
+                requests: 32,
+                arrival: ArrivalPattern::OpenLoop { rate_rps: 8.0 },
+                prompt: LenDist::Uniform { lo: 512, hi: 1024 },
+                steps: LenDist::Fixed(8),
+                seed: 0xC1A0,
+            },
+        },
+        Scenario {
+            name: "llm-decode-heavy",
+            description: "short prompts, long generations; continuous batching on Design A",
+            chip: TpuConfig::design_a(),
+            model: ServingModel::Llm(presets::gpt3_6_7b()),
+            parallelism: Parallelism::Replicated { chips: 1 },
+            policy: BatchPolicy::Continuous { max_batch: 16 },
+            traffic: TrafficSpec {
+                requests: 40,
+                arrival: ArrivalPattern::OpenLoop { rate_rps: 6.0 },
+                prompt: LenDist::Fixed(128),
+                steps: LenDist::Uniform { lo: 64, hi: 256 },
+                seed: 0xC1A0,
+            },
+        },
+        Scenario {
+            name: "dit-burst",
+            description: "a burst of image requests; static batching on Design B",
+            chip: TpuConfig::design_b(),
+            model: ServingModel::Dit { dit: presets::dit_b_2(), resolution: 256 },
+            parallelism: Parallelism::Replicated { chips: 2 },
+            policy: BatchPolicy::Static { batch: 4 },
+            traffic: TrafficSpec {
+                requests: 16,
+                arrival: ArrivalPattern::Burst,
+                prompt: LenDist::Fixed(0),
+                steps: LenDist::Fixed(20),
+                seed: 0xC1A0,
+            },
+        },
+    ]
+}
+
+/// The CI smoke scenario: a tiny model, a handful of requests, seconds of
+/// wall clock. Deterministic for a fixed seed.
+pub fn smoke() -> Scenario {
+    Scenario {
+        name: "smoke",
+        description: "tiny 2-layer LLM, continuous batching (CI determinism check)",
+        chip: TpuConfig::tpuv4i(),
+        model: ServingModel::Llm(tiny_transformer()),
+        parallelism: Parallelism::Replicated { chips: 1 },
+        policy: BatchPolicy::Continuous { max_batch: 4 },
+        traffic: TrafficSpec {
+            requests: 6,
+            // Arrivals land within a few service times of each other, so
+            // the continuous batcher actually batches (and the latency
+            // percentiles spread).
+            arrival: ArrivalPattern::OpenLoop { rate_rps: 20_000.0 },
+            prompt: LenDist::Fixed(32),
+            steps: LenDist::Fixed(8),
+            seed: 7,
+        },
+    }
+}
+
+/// Looks a scenario up by name (the headline set plus `smoke`).
+///
+/// # Errors
+///
+/// Returns [`Error::UnknownPreset`] for unrecognized names.
+pub fn by_name(name: &str) -> Result<Scenario> {
+    if name == "smoke" {
+        return Ok(smoke());
+    }
+    headline()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| Error::unknown_preset(name.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_covers_all_scenarios() {
+        for s in headline() {
+            assert_eq!(by_name(s.name).unwrap().name, s.name);
+        }
+        assert_eq!(by_name("smoke").unwrap().name, "smoke");
+        assert!(by_name("nope").is_err());
+    }
+
+    #[test]
+    fn smoke_scenario_is_deterministic() {
+        let a = smoke().run(None).unwrap();
+        let b = smoke().run(None).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.report.completed, 6);
+        // A different seed changes the trace (arrival jitter), hence the
+        // percentiles.
+        let c = smoke().run(Some(99)).unwrap();
+        assert_ne!(a.report, c.report);
+    }
+}

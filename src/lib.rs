@@ -7,10 +7,14 @@
 //! - [`units`] — quantities, data types, GEMM shapes;
 //! - [`systolic`] — the baseline digital MXU (SCALE-Sim-style);
 //! - [`cim`] — the digital CIM macro and CIM-MXU grid;
-//! - [`models`] — LLM/DiT workload builders and presets;
+//! - [`models`] — LLM/DiT workload builders and presets, structured into
+//!   phase-tagged segments (Prefill / Decode / Conditioning / PrePost /
+//!   Collective);
 //! - [`mapper`] — the tiling/scheduling engine;
 //! - [`core`] — the TPU architecture model and simulator;
-//! - [`multi`] — multi-chip parallelism and throughput.
+//! - [`multi`] — multi-chip parallelism and throughput;
+//! - [`serving`] — request-level serving simulation (open-loop traffic,
+//!   batching policies, latency percentiles).
 //!
 //! # Quickstart
 //!
@@ -31,6 +35,41 @@
 //! assert!(cim.speedup_vs(&base) > 1.0);
 //! # Ok::<(), cimtpu::units::Error>(())
 //! ```
+//!
+//! # Request-level serving
+//!
+//! The serving layer turns the per-workload simulator into a traffic
+//! model: seeded open-loop arrivals, static / dynamic / continuous
+//! batching, one or more chips (replicated or a tensor-parallel ring),
+//! and p50/p95/p99 latency out the other end. Runs are deterministic for
+//! a fixed seed.
+//!
+//! ```
+//! use cimtpu::prelude::*;
+//!
+//! let engine = ServingEngine::new(
+//!     TpuConfig::design_a(),
+//!     ServingModel::Llm(presets::gpt3_6_7b()),
+//!     Parallelism::Replicated { chips: 1 },
+//!     BatchPolicy::Continuous { max_batch: 8 },
+//! )?;
+//! let traffic = TrafficSpec {
+//!     requests: 4,
+//!     arrival: ArrivalPattern::OpenLoop { rate_rps: 20.0 },
+//!     prompt: LenDist::Fixed(64),
+//!     steps: LenDist::Fixed(4),
+//!     seed: 1,
+//! };
+//! let run = engine.run("quickstart", &traffic)?;
+//! assert_eq!(run.report.completed, 4);
+//! println!("p99 latency: {:.2} ms", run.report.latency.p99_ms);
+//! # Ok::<(), cimtpu::units::Error>(())
+//! ```
+//!
+//! Under the hood each distinct `(phase, batch, length)` segment is priced
+//! once through [`ExecutionContext`](core::ExecutionContext) and replayed
+//! per request; set `CIMTPU_CACHE_DIR` to persist the mapping caches
+//! underneath across processes.
 //!
 //! # Performance architecture: memoized pricing + parallel sweeps
 //!
@@ -69,18 +108,26 @@ pub use cimtpu_core as core;
 pub use cimtpu_mapper as mapper;
 pub use cimtpu_models as models;
 pub use cimtpu_multi as multi;
+pub use cimtpu_serving as serving;
 pub use cimtpu_systolic as systolic;
 pub use cimtpu_units as units;
 
 /// The most common imports for simulator users.
 pub mod prelude {
-    pub use cimtpu_core::{inference, MatrixEngine, MxuKind, Report, Simulator, TpuConfig};
+    pub use cimtpu_core::{
+        inference, ExecutionContext, MatrixEngine, MxuKind, PhasedReport, Report, SegmentCost,
+        Simulator, TpuConfig,
+    };
     pub use cimtpu_models::{
         presets, DitConfig, LlmInferenceSpec, LlmModelConfig, MoeConfig, Op, OpCategory,
-        OpInstance,
+        OpInstance, Phase, Segment,
         TransformerConfig, Workload,
     };
     pub use cimtpu_multi::{MultiTpu, RingTopology};
+    pub use cimtpu_serving::{
+        ArrivalPattern, BatchPolicy, LenDist, Parallelism, ServingEngine, ServingModel,
+        ServingReport, TrafficSpec,
+    };
     pub use cimtpu_units::{
         Bandwidth, Bytes, Cycles, DataType, Energy, Error, Frequency, GemmShape, Joules, Result,
         Seconds, Watts,
