@@ -242,6 +242,16 @@ impl TpuConfig {
         self
     }
 
+    /// Replaces the main-memory capacity — the budget a serving memory
+    /// subsystem divides between resident weights and KV cache (the paper
+    /// presets keep the TPUv4i's 8 GiB; deliberately tight capacities are
+    /// how KV-pressure scenarios are built).
+    #[must_use]
+    pub fn with_hbm_capacity(mut self, capacity: Bytes) -> Self {
+        self.hbm_capacity = capacity;
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -268,6 +278,15 @@ impl TpuConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hbm_capacity_is_overridable() {
+        let tight = TpuConfig::design_a().with_hbm_capacity(Bytes::from_gib(2));
+        assert_eq!(tight.hbm_capacity(), Bytes::from_gib(2));
+        tight.validate().expect("capacity override keeps the config valid");
+        // Presets are untouched.
+        assert_eq!(TpuConfig::design_a().hbm_capacity(), Bytes::from_gib(8));
+    }
 
     #[test]
     fn tpuv4i_matches_table1() {

@@ -1,0 +1,267 @@
+//! Paged block allocation over a fixed KV byte budget.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use cimtpu_units::{Bytes, Error, Result};
+
+use crate::footprint::KvFootprint;
+
+/// Where a chip's KV byte budget comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvBudget {
+    /// No capacity limit: every reservation succeeds (the pre-PR-3
+    /// serving behaviour; occupancy is still tracked for reporting).
+    Unlimited,
+    /// An explicit per-chip KV byte budget.
+    Bytes(Bytes),
+    /// The chip's HBM capacity minus the resident model weights (per
+    /// tensor-parallel shard) — what a real server actually has left.
+    HbmMinusWeights,
+}
+
+impl KvBudget {
+    /// Resolves the budget to a concrete byte cap (`None` = unlimited)
+    /// given the chip's HBM capacity and the hosted model's footprint.
+    pub fn resolve(&self, hbm_capacity: Bytes, footprint: &KvFootprint) -> Option<Bytes> {
+        match *self {
+            KvBudget::Unlimited => None,
+            KvBudget::Bytes(b) => Some(b),
+            KvBudget::HbmMinusWeights => {
+                Some(hbm_capacity.saturating_sub(footprint.weight_bytes()))
+            }
+        }
+    }
+}
+
+/// A vLLM-style paged KV-cache allocator: the budget is carved into
+/// fixed-size blocks of `block_tokens` tokens, and a request holding `t`
+/// tokens occupies `⌈t / block_tokens⌉` blocks.
+///
+/// The allocator tracks per-request holdings by id, total occupancy, and
+/// the occupancy high-water mark. All operations are integer bookkeeping —
+/// no floats — so scheduling decisions built on it are exactly
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct PagedKvAllocator {
+    block_tokens: u64,
+    /// `None` = unlimited (reservations never fail).
+    capacity_blocks: Option<u64>,
+    /// Blocks held per request id.
+    held: HashMap<u64, u64>,
+    used_blocks: u64,
+    high_water_blocks: u64,
+}
+
+impl PagedKvAllocator {
+    /// An allocator of `capacity_blocks` blocks of `block_tokens` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for zero `block_tokens`.
+    pub fn new(block_tokens: u64, capacity_blocks: u64) -> Result<Self> {
+        if block_tokens == 0 {
+            return Err(Error::invalid_config("KV block size must be >= 1 token"));
+        }
+        Ok(PagedKvAllocator {
+            block_tokens,
+            capacity_blocks: Some(capacity_blocks),
+            held: HashMap::new(),
+            used_blocks: 0,
+            high_water_blocks: 0,
+        })
+    }
+
+    /// An allocator with no capacity limit (occupancy still tracked).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for zero `block_tokens`.
+    pub fn unlimited(block_tokens: u64) -> Result<Self> {
+        let mut alloc = Self::new(block_tokens, 0)?;
+        alloc.capacity_blocks = None;
+        Ok(alloc)
+    }
+
+    /// Builds an allocator over `budget` bytes (`None` = unlimited) for a
+    /// model of the given per-token footprint. A zero footprint (DiT) is
+    /// never capacity-limited regardless of the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for zero `block_tokens`.
+    pub fn from_budget(
+        budget: Option<Bytes>,
+        footprint: &KvFootprint,
+        block_tokens: u64,
+    ) -> Result<Self> {
+        match budget {
+            None => Self::unlimited(block_tokens),
+            Some(bytes) => {
+                let block_bytes = footprint.bytes_per_token().get() * block_tokens;
+                if block_bytes == 0 {
+                    return Self::unlimited(block_tokens);
+                }
+                Self::new(block_tokens, bytes.get() / block_bytes)
+            }
+        }
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> u64 {
+        self.block_tokens
+    }
+
+    /// Total blocks (`None` = unlimited).
+    pub fn capacity_blocks(&self) -> Option<u64> {
+        self.capacity_blocks
+    }
+
+    /// Blocks currently allocated.
+    pub fn used_blocks(&self) -> u64 {
+        self.used_blocks
+    }
+
+    /// Blocks still free (`None` = unlimited).
+    pub fn free_blocks(&self) -> Option<u64> {
+        self.capacity_blocks.map(|c| c - self.used_blocks)
+    }
+
+    /// The most blocks ever allocated at once.
+    pub fn high_water_blocks(&self) -> u64 {
+        self.high_water_blocks
+    }
+
+    /// High-water occupancy as a fraction of capacity (0 when unlimited
+    /// or zero-capacity).
+    pub fn high_water_frac(&self) -> f64 {
+        match self.capacity_blocks {
+            Some(c) if c > 0 => self.high_water_blocks as f64 / c as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Blocks needed to hold `tokens` tokens.
+    pub fn blocks_for(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(self.block_tokens)
+    }
+
+    /// Whether growing request `id` to `tokens` tokens would fit.
+    pub fn would_fit(&self, id: u64, tokens: u64) -> bool {
+        let need = self.blocks_for(tokens);
+        let have = self.held.get(&id).copied().unwrap_or(0);
+        let extra = need.saturating_sub(have);
+        match self.capacity_blocks {
+            None => true,
+            Some(c) => self.used_blocks + extra <= c,
+        }
+    }
+
+    /// Ensures request `id` holds enough blocks for `tokens` tokens,
+    /// allocating the difference. Returns `false` (allocating nothing) if
+    /// the extra blocks do not fit; a request never shrinks here — blocks
+    /// are returned only by [`release`](Self::release).
+    pub fn try_grow(&mut self, id: u64, tokens: u64) -> bool {
+        if !self.would_fit(id, tokens) {
+            return false;
+        }
+        let need = self.blocks_for(tokens);
+        let have = self.held.entry(id).or_insert(0);
+        if need > *have {
+            self.used_blocks += need - *have;
+            *have = need;
+            self.high_water_blocks = self.high_water_blocks.max(self.used_blocks);
+        }
+        true
+    }
+
+    /// Frees everything request `id` holds, returning the block count.
+    pub fn release(&mut self, id: u64) -> u64 {
+        let freed = self.held.remove(&id).unwrap_or(0);
+        self.used_blocks -= freed;
+        freed
+    }
+
+    /// Blocks request `id` currently holds.
+    pub fn held_blocks(&self, id: u64) -> u64 {
+        self.held.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Number of requests holding at least one block.
+    pub fn holders(&self) -> usize {
+        self.held.values().filter(|&&b| b > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_block_size() {
+        assert!(PagedKvAllocator::new(0, 8).is_err());
+        assert!(PagedKvAllocator::unlimited(0).is_err());
+    }
+
+    #[test]
+    fn grow_release_roundtrip() {
+        let mut a = PagedKvAllocator::new(16, 4).unwrap();
+        assert!(a.try_grow(7, 32)); // 2 blocks
+        assert_eq!(a.used_blocks(), 2);
+        assert!(a.try_grow(7, 33)); // 3 blocks (grow by 1)
+        assert_eq!(a.held_blocks(7), 3);
+        assert!(a.try_grow(7, 16)); // never shrinks
+        assert_eq!(a.held_blocks(7), 3);
+        assert!(!a.try_grow(8, 32)); // 2 more do not fit in 1 free
+        assert_eq!(a.used_blocks(), 3, "failed grow must allocate nothing");
+        assert!(a.try_grow(8, 16));
+        assert_eq!(a.free_blocks(), Some(0));
+        assert_eq!(a.release(7), 3);
+        assert_eq!(a.release(7), 0, "double release is a no-op");
+        assert_eq!(a.used_blocks(), 1);
+        assert_eq!(a.high_water_blocks(), 4);
+        assert_eq!(a.high_water_frac(), 1.0);
+    }
+
+    #[test]
+    fn unlimited_never_fails_but_tracks() {
+        let mut a = PagedKvAllocator::unlimited(16).unwrap();
+        assert!(a.try_grow(0, 1 << 20));
+        assert_eq!(a.capacity_blocks(), None);
+        assert_eq!(a.free_blocks(), None);
+        assert_eq!(a.used_blocks(), (1 << 20) / 16);
+        assert_eq!(a.high_water_frac(), 0.0);
+    }
+
+    #[test]
+    fn budget_derivation() {
+        use cimtpu_models::TransformerConfig;
+        let model = TransformerConfig::new("Tiny-2L", 2, 4, 256, 1024).unwrap();
+        let fp = crate::KvFootprint::of(&model); // 1024 B/token
+        let a = PagedKvAllocator::from_budget(Some(Bytes::from_kib(64)), &fp, 16).unwrap();
+        assert_eq!(a.capacity_blocks(), Some(4));
+        let unlimited = PagedKvAllocator::from_budget(None, &fp, 16).unwrap();
+        assert_eq!(unlimited.capacity_blocks(), None);
+        // Zero footprint (DiT): never limited.
+        let dit =
+            PagedKvAllocator::from_budget(Some(Bytes::new(1)), &crate::KvFootprint::none(), 16)
+                .unwrap();
+        assert_eq!(dit.capacity_blocks(), None);
+    }
+
+    #[test]
+    fn budget_resolution() {
+        use cimtpu_models::TransformerConfig;
+        let model = TransformerConfig::new("Tiny-2L", 2, 4, 256, 1024).unwrap();
+        let fp = crate::KvFootprint::of(&model);
+        let hbm = Bytes::from_mib(8);
+        assert_eq!(KvBudget::Unlimited.resolve(hbm, &fp), None);
+        assert_eq!(
+            KvBudget::Bytes(Bytes::from_kib(64)).resolve(hbm, &fp),
+            Some(Bytes::from_kib(64))
+        );
+        let left = KvBudget::HbmMinusWeights.resolve(hbm, &fp).unwrap();
+        assert_eq!(left, hbm.saturating_sub(fp.weight_bytes()));
+    }
+}

@@ -1,0 +1,76 @@
+//! Allocator invariants under random reserve/grow/release sequences.
+
+use proptest::prelude::*;
+
+use crate::PagedKvAllocator;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Occupancy never exceeds capacity, failed grows allocate nothing,
+    /// and the high-water mark tracks the running maximum.
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        block_tokens in 1u64..32,
+        capacity in 0u64..64,
+        ops in proptest::collection::vec((0u64..8, 0u64..512, proptest::bool::ANY), 0..64),
+    ) {
+        let mut a = PagedKvAllocator::new(block_tokens, capacity).unwrap();
+        let mut max_seen = 0;
+        for (id, tokens, is_grow) in ops {
+            let before = a.used_blocks();
+            if is_grow {
+                let fits = a.would_fit(id, tokens);
+                let grown = a.try_grow(id, tokens);
+                prop_assert_eq!(fits, grown, "would_fit must agree with try_grow");
+                if grown {
+                    prop_assert!(a.held_blocks(id) * block_tokens >= tokens);
+                } else {
+                    prop_assert_eq!(a.used_blocks(), before, "failed grow must not allocate");
+                }
+            } else {
+                let freed = a.release(id);
+                prop_assert_eq!(a.used_blocks(), before - freed);
+            }
+            prop_assert!(a.used_blocks() <= capacity, "occupancy over capacity");
+            max_seen = max_seen.max(a.used_blocks());
+            prop_assert_eq!(a.high_water_blocks(), max_seen);
+        }
+    }
+
+    /// After releasing every holder, all blocks are free again.
+    #[test]
+    fn all_blocks_free_after_drain(
+        block_tokens in 1u64..32,
+        capacity in 1u64..64,
+        requests in proptest::collection::vec((0u64..16, 1u64..512), 1..32),
+    ) {
+        let mut a = PagedKvAllocator::new(block_tokens, capacity).unwrap();
+        let mut admitted = Vec::new();
+        for (id, tokens) in requests {
+            if a.try_grow(id, tokens) && !admitted.contains(&id) {
+                admitted.push(id);
+            }
+        }
+        for id in admitted {
+            a.release(id);
+        }
+        prop_assert_eq!(a.used_blocks(), 0);
+        prop_assert_eq!(a.free_blocks(), Some(capacity));
+        prop_assert_eq!(a.holders(), 0);
+    }
+
+    /// Held blocks always cover the requested token count exactly
+    /// (ceil division), on both limited and unlimited allocators.
+    #[test]
+    fn blocks_cover_tokens(
+        block_tokens in 1u64..64,
+        tokens in 0u64..4096,
+    ) {
+        let mut a = PagedKvAllocator::unlimited(block_tokens).unwrap();
+        prop_assert!(a.try_grow(0, tokens));
+        let held = a.held_blocks(0);
+        prop_assert!(held * block_tokens >= tokens);
+        prop_assert!(held == 0 || (held - 1) * block_tokens < tokens);
+    }
+}

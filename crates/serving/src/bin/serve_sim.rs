@@ -1,15 +1,21 @@
 //! Request-level serving simulation driver.
 //!
 //! ```text
-//! serve_sim [--scenario NAME|all] [--seed N] [--workers N] [--json]
+//! serve_sim [--scenario NAME|all] [--seed N] [--workers N] [--json PATH]
 //! ```
 //!
 //! Runs the named serving scenario (default: all headline scenarios) and
-//! prints throughput, latency percentiles, and energy per request.
-//! Scenarios are independent, so they fan out over the
+//! prints throughput, latency percentiles, energy per request, and
+//! KV-cache pressure counters (preemptions, queue-full time, occupancy
+//! high-water mark). Scenarios are independent, so they fan out over the
 //! `cimtpu_bench::sweep` worker pool; `--workers N` overrides the
 //! `CIMTPU_WORKERS` environment variable (see `cimtpu_bench::sweep`).
 //! Output is deterministic for a fixed `--seed`.
+//!
+//! `--json PATH` additionally writes the full `ServingReport` list as
+//! pretty-printed JSON (`-` writes JSON to stdout instead of the text
+//! report). The committed `BENCH_serving.json` baseline is exactly
+//! `serve_sim --json BENCH_serving.json`.
 
 use cimtpu_bench::sweep;
 use cimtpu_serving::scenario::{self, Scenario};
@@ -18,11 +24,11 @@ use cimtpu_serving::ServingReport;
 struct Args {
     scenario: String,
     seed: Option<u64>,
-    json: bool,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { scenario: "all".to_owned(), seed: None, json: false };
+    let mut args = Args { scenario: "all".to_owned(), seed: None, json: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -41,17 +47,18 @@ fn parse_args() -> Result<Args, String> {
                 // The sweep pool reads CIMTPU_WORKERS; the flag overrides it.
                 std::env::set_var("CIMTPU_WORKERS", n.max(1).to_string());
             }
-            "--json" => args.json = true,
+            "--json" => args.json = Some(value("--json")?),
             "--help" | "-h" => {
                 println!(
-                    "usage: serve_sim [--scenario NAME|all] [--seed N] [--workers N] [--json]"
+                    "usage: serve_sim [--scenario NAME|all] [--seed N] [--workers N] [--json PATH]"
                 );
                 println!("scenarios:");
                 for s in scenario::headline() {
                     println!("  {:<20} {}", s.name, s.description);
                 }
-                let s = scenario::smoke();
-                println!("  {:<20} {}", s.name, s.description);
+                for s in [scenario::smoke(), scenario::smoke_kv()] {
+                    println!("  {:<20} {}", s.name, s.description);
+                }
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other}")),
@@ -98,14 +105,24 @@ fn main() {
         }
     }
 
-    if args.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&reports).expect("reports serialize")
-        );
-    } else {
-        for report in &reports {
-            println!("{report}");
+    let json = args.json.as_deref().map(|path| {
+        (path, serde_json::to_string_pretty(&reports).expect("reports serialize"))
+    });
+    match json {
+        Some(("-", payload)) => println!("{payload}"),
+        Some((path, payload)) => {
+            if let Err(e) = std::fs::write(path, payload + "\n") {
+                eprintln!("serve_sim: writing {path}: {e}");
+                failed = true;
+            }
+            for report in &reports {
+                println!("{report}");
+            }
+        }
+        None => {
+            for report in &reports {
+                println!("{report}");
+            }
         }
     }
     if failed {

@@ -1,10 +1,16 @@
-//! The event-driven serving engine: arrivals → batches → phase segments.
+//! The event-driven serving engine: arrivals → batches → phase segments,
+//! scheduled against both compute (the pricer) and memory (the paged
+//! KV-cache allocator).
+
+use std::collections::{HashMap, VecDeque};
 
 use cimtpu_core::{Simulator, TpuConfig};
+use cimtpu_kv::{KvFootprint, PagedKvAllocator};
 use cimtpu_multi::MultiTpu;
 use cimtpu_units::{Error, Joules, Result, Seconds};
 
-use crate::metrics::{Completion, ServingReport};
+use crate::memory::MemoryConfig;
+use crate::metrics::{Completion, MemoryStats, ServingReport};
 use crate::policy::BatchPolicy;
 use crate::pricer::{Pricer, ServingModel};
 use crate::request::{Request, TrafficSpec};
@@ -50,20 +56,22 @@ pub struct ServingEngine {
     model: ServingModel,
     parallelism: Parallelism,
     policy: BatchPolicy,
+    memory: MemoryConfig,
 }
 
 /// Everything a serving run produced: the aggregate report plus the
 /// per-request completion records it was computed from.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingRun {
-    /// Aggregate throughput / latency / energy metrics.
+    /// Aggregate throughput / latency / energy / memory metrics.
     pub report: ServingReport,
     /// Per-request lifecycle records, in request-id order.
     pub completions: Vec<Completion>,
 }
 
 impl ServingEngine {
-    /// Creates an engine serving `model` on `chip` hardware.
+    /// Creates an engine serving `model` on `chip` hardware with
+    /// unlimited KV capacity (see [`ServingEngine::with_memory`]).
     ///
     /// # Errors
     ///
@@ -78,7 +86,22 @@ impl ServingEngine {
         if parallelism.chips() == 0 {
             return Err(Error::invalid_config("serving needs at least one chip"));
         }
-        Ok(ServingEngine { chip, model, parallelism, policy })
+        Ok(ServingEngine {
+            chip,
+            model,
+            parallelism,
+            policy,
+            memory: MemoryConfig::unlimited(),
+        })
+    }
+
+    /// Replaces the memory configuration (KV budget / paging / chunked
+    /// prefill). With [`MemoryConfig::unlimited`] the engine reproduces
+    /// the memory-oblivious scheduler bit-exactly.
+    #[must_use]
+    pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
+        self
     }
 
     /// The hosted model.
@@ -91,6 +114,32 @@ impl ServingEngine {
         self.policy
     }
 
+    /// The memory configuration.
+    pub fn memory(&self) -> MemoryConfig {
+        self.memory
+    }
+
+    /// Per-executor KV footprint of the hosted model (sharded across a
+    /// tensor-parallel ring).
+    fn footprint(&self) -> Result<KvFootprint> {
+        match (&self.model, self.parallelism) {
+            (ServingModel::Llm(m), Parallelism::TensorParallel { chips }) => {
+                KvFootprint::sharded(m, chips)
+            }
+            (ServingModel::Llm(m), Parallelism::Replicated { .. }) => Ok(KvFootprint::of(m)),
+            (ServingModel::Dit { .. }, _) => Ok(KvFootprint::none()),
+        }
+    }
+
+    /// Builds one allocator per executor from the configured budget.
+    fn allocators(&self, executors: usize) -> Result<Vec<PagedKvAllocator>> {
+        let footprint = self.footprint()?;
+        let budget = self.memory.budget.resolve(self.chip.hbm_capacity(), &footprint);
+        (0..executors)
+            .map(|_| PagedKvAllocator::from_budget(budget, &footprint, self.memory.block_tokens))
+            .collect()
+    }
+
     /// Simulates `traffic` to completion and reports request-level
     /// metrics. Deterministic: identical inputs give identical reports.
     ///
@@ -100,11 +149,20 @@ impl ServingEngine {
     ///
     /// # Errors
     ///
-    /// Returns an error for an empty traffic spec or an unmappable
-    /// operator.
+    /// Returns an error for an empty traffic spec, an unmappable
+    /// operator, chunked prefill on a tensor-parallel ring, or a KV
+    /// budget too small to hold even a single request.
     pub fn run(&self, label: &str, traffic: &TrafficSpec) -> Result<ServingRun> {
         traffic.prompt.validate()?;
         traffic.steps.validate()?;
+        self.memory.validate()?;
+        if self.memory.chunk_tokens.is_some()
+            && matches!(self.parallelism, Parallelism::TensorParallel { .. })
+        {
+            return Err(Error::invalid_config(
+                "chunked prefill is not supported on a tensor-parallel ring",
+            ));
+        }
         let arrivals = traffic.generate();
         if arrivals.is_empty() {
             return Err(Error::invalid_config("traffic spec generates no requests"));
@@ -132,7 +190,7 @@ impl ServingEngine {
     fn simulate(&self, label: &str, arrivals: &[Request], pricer: &Pricer<'_>) -> Result<ServingRun> {
         let executors = self.parallelism.executors();
         let mut energy = Joules::ZERO;
-        let mut completions = match self.policy {
+        let (mut completions, memory) = match self.policy {
             BatchPolicy::Static { .. } | BatchPolicy::Dynamic { .. } => {
                 self.run_to_completion(arrivals, pricer, executors, &mut energy)?
             }
@@ -147,30 +205,65 @@ impl ServingEngine {
             self.parallelism.chips(),
             &completions,
             energy,
+            memory,
         );
         Ok(ServingRun { report, completions })
     }
 
     /// Static / dynamic batching: form a batch from the queue head, run
-    /// it to completion on the earliest-free executor.
+    /// it to completion on the earliest-free executor. Run-to-completion
+    /// batches never grow past their admission footprint, so admission
+    /// control reserves the worst case (prompt + all generated tokens)
+    /// up front and preemption never triggers; a batch that the policy
+    /// would form but KV cannot hold shrinks until it fits.
     fn run_to_completion(
         &self,
         arrivals: &[Request],
         pricer: &Pricer<'_>,
         executors: usize,
         energy: &mut Joules,
-    ) -> Result<Vec<Completion>> {
+    ) -> Result<(Vec<Completion>, MemoryStats)> {
+        let mut allocs = self.allocators(executors)?;
         let mut free_at = vec![Seconds::ZERO; executors];
         let mut completions = Vec::with_capacity(arrivals.len());
+        let mut queue_full = Seconds::ZERO;
+        // First time each request was turned away by KV admission (it may
+        // still launch promptly on another executor — only the deferral
+        // actually experienced is charged, at launch).
+        let mut kv_deferred_at: HashMap<u64, Seconds> = HashMap::new();
         let mut next = 0;
         while next < arrivals.len() {
             let chip = earliest(&free_at);
-            let (take, start) = self.form_batch(&arrivals[next..], free_at[chip]);
+            let (policy_take, policy_start) = self.form_batch(&arrivals[next..], free_at[chip]);
+            // Admission control: shrink the batch until its worst-case
+            // footprint fits the (empty) allocator.
+            let alloc = &mut allocs[chip];
+            let take = kv_admissible_prefix(alloc, &arrivals[next..next + policy_take])?;
+            let start = if take == policy_take {
+                policy_start
+            } else {
+                free_at[chip].max(arrivals[next + take - 1].arrival())
+            };
+            for r in &arrivals[next + take..next + policy_take] {
+                kv_deferred_at.entry(r.id).or_insert(start);
+            }
             let members = &arrivals[next..next + take];
-            free_at[chip] = self.run_batch(members, start, pricer, energy, &mut completions)?;
+            for r in members {
+                if let Some(since) = kv_deferred_at.remove(&r.id) {
+                    // Ready since `since` (or its arrival, if later), held
+                    // back by KV until this launch.
+                    queue_full += (start - since.max(r.arrival())).max(Seconds::ZERO);
+                }
+            }
+            free_at[chip] = self.run_batch(members, start, pricer, alloc, energy, &mut completions)?;
             next += take;
         }
-        Ok(completions)
+        let memory = MemoryStats {
+            preemptions: 0,
+            queue_full_s: queue_full.get(),
+            kv_hwm_frac: allocs.iter().map(PagedKvAllocator::high_water_frac).fold(0.0, f64::max),
+        };
+        Ok((completions, memory))
     }
 
     /// Batch formation at the queue head once an executor frees at `free`.
@@ -201,14 +294,17 @@ impl ServingEngine {
     }
 
     /// Runs one formed batch to completion: grouped prefill (prompt padded
-    /// to the longest member), then one step per generated token. Static
-    /// batching pads — finished requests hold their slot; dynamic shrinks
-    /// the step batch as requests finish.
+    /// to the longest member, optionally split into chunks), then one step
+    /// per generated token. Static batching pads — finished requests hold
+    /// their slot; dynamic shrinks the step batch as requests finish. KV
+    /// blocks grow with each generated token and release when the batch
+    /// retires.
     fn run_batch(
         &self,
         members: &[Request],
         start: Seconds,
         pricer: &Pricer<'_>,
+        alloc: &mut PagedKvAllocator,
         energy: &mut Joules,
         completions: &mut Vec<Completion>,
     ) -> Result<Seconds> {
@@ -217,12 +313,31 @@ impl ServingEngine {
         let max_steps = members.iter().map(|r| r.steps).max().expect("non-empty");
         let pads = self.policy.pads_to_batch_end();
 
+        // Prefill KV lands as the prompt is ingested.
+        for r in members {
+            let ok = alloc.try_grow(r.id, r.prompt_len);
+            debug_assert!(ok, "admission reserved the worst case");
+        }
         let mut t = start;
         let mut first_token = vec![Seconds::ZERO; members.len()];
         if self.model.has_prefill() {
-            let prefill = pricer.prefill(b, max_prompt)?;
-            t += prefill.latency;
-            *energy += prefill.total_energy();
+            match self.memory.chunk_tokens {
+                None => {
+                    let prefill = pricer.prefill(b, max_prompt)?;
+                    t += prefill.latency;
+                    *energy += prefill.total_energy();
+                }
+                Some(chunk) => {
+                    let mut past = 0;
+                    while past < max_prompt {
+                        let c = chunk.min(max_prompt - past);
+                        let cost = pricer.prefill_chunk(b, c, past)?;
+                        t += cost.latency;
+                        *energy += cost.total_energy();
+                        past += c;
+                    }
+                }
+            }
             first_token.fill(t);
         }
         let mut finish = vec![Seconds::ZERO; members.len()];
@@ -232,6 +347,10 @@ impl ServingEngine {
             } else {
                 members.iter().filter(|r| r.steps > s).count() as u64
             };
+            for r in members.iter().filter(|r| r.steps > s) {
+                let ok = alloc.try_grow(r.id, r.prompt_len + s + 1);
+                debug_assert!(ok, "admission reserved the worst case");
+            }
             let step = pricer.step(active, max_prompt + s + 1)?;
             t += step.latency;
             *energy += step.total_energy();
@@ -245,6 +364,7 @@ impl ServingEngine {
             }
         }
         for (i, r) in members.iter().enumerate() {
+            alloc.release(r.id);
             completions.push(Completion {
                 id: r.id,
                 arrival: r.arrival(),
@@ -258,7 +378,12 @@ impl ServingEngine {
     }
 
     /// Continuous batching: executors admit and retire requests between
-    /// individual generation steps.
+    /// individual generation steps. Admission reserves a request's prompt
+    /// footprint in paged KV blocks (arrivals queue while none are free);
+    /// each decode step grows every running request by one token, evicting
+    /// the youngest running request when blocks run out
+    /// (recompute-on-resume); chunked prefill interleaves prompt chunks
+    /// with decode steps of already-running requests.
     fn run_continuous(
         &self,
         arrivals: &[Request],
@@ -266,28 +391,51 @@ impl ServingEngine {
         executors: usize,
         max_batch: u64,
         energy: &mut Joules,
-    ) -> Result<Vec<Completion>> {
+    ) -> Result<(Vec<Completion>, MemoryStats)> {
+        /// One resident request: `done` generated tokens survive
+        /// preemption; `prefilled` / `target` track prompt (re)computation
+        /// in the current residency.
         struct Active {
             idx: usize,
             done: u64,
+            prefilled: u64,
+            target: u64,
         }
         struct Chip {
             t: Seconds,
             active: Vec<Active>,
+            /// Preempted requests awaiting re-admission (FIFO, ahead of
+            /// new arrivals): request index + tokens generated so far.
+            resume: VecDeque<(usize, u64)>,
+            alloc: PagedKvAllocator,
+            queue_full: Seconds,
+            preemptions: u64,
         }
-        let mut chips: Vec<Chip> = (0..executors)
-            .map(|_| Chip { t: Seconds::ZERO, active: Vec::new() })
+        let mut allocs = self.allocators(executors)?;
+        let mut chips: Vec<Chip> = allocs
+            .drain(..)
+            .map(|alloc| Chip {
+                t: Seconds::ZERO,
+                active: Vec::new(),
+                resume: VecDeque::new(),
+                alloc,
+                queue_full: Seconds::ZERO,
+                preemptions: 0,
+            })
             .collect();
         let mut next = 0;
         let mut first_token = vec![Seconds::ZERO; arrivals.len()];
+        let mut ttft_set = vec![false; arrivals.len()];
         let mut completions = Vec::with_capacity(arrivals.len());
+        let has_prefill = self.model.has_prefill();
+        let chunking = self.memory.chunk_tokens;
 
         loop {
-            // Next scheduling point: a chip with work steps now; an idle
-            // chip waits for the next arrival.
+            // Next scheduling point: a chip with resident work steps now;
+            // an idle chip waits for the next arrival.
             let mut pick: Option<(usize, Seconds)> = None;
             for (i, chip) in chips.iter().enumerate() {
-                let candidate = if !chip.active.is_empty() {
+                let candidate = if !chip.active.is_empty() || !chip.resume.is_empty() {
                     chip.t
                 } else if next < arrivals.len() {
                     chip.t.max(arrivals[next].arrival())
@@ -301,69 +449,240 @@ impl ServingEngine {
             let Some((ci, t)) = pick else { break };
             let chip = &mut chips[ci];
             chip.t = t;
+            let round_start = chip.t;
 
-            // Admit queued arrivals into free slots; the newly admitted
-            // group prefills together (padded to its longest prompt).
-            let mut admitted = Vec::new();
-            while next < arrivals.len()
-                && chip.active.len() + admitted.len() < max_batch as usize
-                && arrivals[next].arrival() <= chip.t
-            {
-                admitted.push(next);
-                next += 1;
-            }
-            if !admitted.is_empty() && self.model.has_prefill() {
-                let prompt = admitted.iter().map(|&i| arrivals[i].prompt_len).max().expect("non-empty");
-                let prefill = pricer.prefill(admitted.len() as u64, prompt)?;
-                chip.t += prefill.latency;
-                *energy += prefill.total_energy();
-                for &i in &admitted {
-                    first_token[i] = chip.t;
-                }
-            }
-            chip.active.extend(admitted.into_iter().map(|idx| Active { idx, done: 0 }));
-            // An idle chip only wakes at an arrival it can admit (its wake
-            // time is that arrival and capacity is >= 1), so there is
-            // always something active here.
-            debug_assert!(!chip.active.is_empty(), "scheduled an idle chip with nothing to admit");
-
-            // One generation step for everything active on this chip.
-            let b = chip.active.len() as u64;
-            let ctx = chip
-                .active
-                .iter()
-                .map(|a| arrivals[a.idx].prompt_len + a.done)
-                .max()
-                .expect("non-empty")
-                + 1;
-            let step = pricer.step(b, ctx)?;
-            chip.t += step.latency;
-            *energy += step.total_energy();
-            let now = chip.t;
-            let has_prefill = self.model.has_prefill();
-            for a in &mut chip.active {
-                a.done += 1;
-                if a.done == 1 && !has_prefill {
-                    first_token[a.idx] = now;
-                }
-            }
-            chip.active.retain(|a| {
-                if a.done >= arrivals[a.idx].steps {
-                    completions.push(Completion {
-                        id: arrivals[a.idx].id,
-                        arrival: arrivals[a.idx].arrival(),
-                        first_token: first_token[a.idx],
-                        finish: now,
-                        steps: arrivals[a.idx].steps,
-                    });
-                    false
+            // Admit into free slots, KV permitting: preempted requests
+            // first (their whole recomputed context must fit), then queued
+            // arrivals (their prompt must fit). Head-of-line blocking on
+            // KV is what the queue-full metric measures.
+            let mut admitted: Vec<(usize, u64, bool)> = Vec::new(); // (idx, done, resumed)
+            let mut kv_blocked = false;
+            while chip.active.len() + admitted.len() < max_batch as usize {
+                if let Some(&(idx, done)) = chip.resume.front() {
+                    if chip.alloc.try_grow(arrivals[idx].id, arrivals[idx].prompt_len + done) {
+                        admitted.push((idx, done, true));
+                        chip.resume.pop_front();
+                    } else {
+                        kv_blocked = true;
+                        break;
+                    }
+                } else if next < arrivals.len() && arrivals[next].arrival() <= chip.t {
+                    if chip.alloc.try_grow(arrivals[next].id, arrivals[next].prompt_len) {
+                        admitted.push((next, 0, false));
+                        next += 1;
+                    } else {
+                        kv_blocked = true;
+                        break;
+                    }
                 } else {
-                    true
+                    break;
                 }
+            }
+            if kv_blocked && chip.active.is_empty() && admitted.is_empty() {
+                // Nothing resident to retire or preempt: the head request
+                // can never fit.
+                return Err(Error::invalid_config(format!(
+                    "KV budget too small: a single request needs more than the {} block(s) \
+                     of {} tokens available",
+                    chip.alloc.capacity_blocks().unwrap_or(0),
+                    chip.alloc.block_tokens(),
+                )));
+            }
+
+            // Prefill the admitted group. Monolithic: one padded prefill
+            // now (resumed members recompute their full context). Chunked:
+            // members enter mid-prefill and advance below.
+            match chunking {
+                None => {
+                    if !admitted.is_empty() && has_prefill {
+                        let padded = admitted
+                            .iter()
+                            .map(|&(idx, done, _)| arrivals[idx].prompt_len + done)
+                            .max()
+                            .expect("non-empty");
+                        let prefill = pricer.prefill(admitted.len() as u64, padded)?;
+                        chip.t += prefill.latency;
+                        *energy += prefill.total_energy();
+                        for &(idx, _, _) in &admitted {
+                            if !ttft_set[idx] {
+                                first_token[idx] = chip.t;
+                                ttft_set[idx] = true;
+                            }
+                        }
+                    }
+                    chip.active.extend(admitted.into_iter().map(|(idx, done, _)| {
+                        let target = arrivals[idx].prompt_len + done;
+                        Active { idx, done, prefilled: target, target }
+                    }));
+                }
+                Some(chunk) => {
+                    chip.active.extend(admitted.into_iter().map(|(idx, done, _)| {
+                        let target = arrivals[idx].prompt_len + done;
+                        Active {
+                            idx,
+                            done,
+                            // A model with no prefill phase (DiT) has no
+                            // prompt to chunk: it enters decode directly,
+                            // whatever its nominal prompt length.
+                            prefilled: if has_prefill { 0 } else { target },
+                            target,
+                        }
+                    }));
+                    // One prefill chunk for everything still ingesting its
+                    // prompt, padded to the group's longest chunk/context.
+                    let prefilling: Vec<usize> = (0..chip.active.len())
+                        .filter(|&p| chip.active[p].prefilled < chip.active[p].target)
+                        .collect();
+                    if has_prefill && !prefilling.is_empty() {
+                        let c = prefilling
+                            .iter()
+                            .map(|&p| (chip.active[p].target - chip.active[p].prefilled).min(chunk))
+                            .max()
+                            .expect("non-empty");
+                        let past = prefilling
+                            .iter()
+                            .map(|&p| chip.active[p].prefilled)
+                            .max()
+                            .expect("non-empty");
+                        let cost = pricer.prefill_chunk(prefilling.len() as u64, c, past)?;
+                        chip.t += cost.latency;
+                        *energy += cost.total_energy();
+                        let now = chip.t;
+                        for p in prefilling {
+                            let a = &mut chip.active[p];
+                            a.prefilled = (a.prefilled + chunk).min(a.target);
+                            if a.prefilled == a.target && !ttft_set[a.idx] {
+                                first_token[a.idx] = now;
+                                ttft_set[a.idx] = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // One generation step for every request past its prefill. Each
+            // needs one more token of KV; when blocks run out, evict the
+            // youngest resident request (recompute-on-resume) until the
+            // rest fit.
+            loop {
+                let decoders: Vec<usize> = (0..chip.active.len())
+                    .filter(|&p| chip.active[p].prefilled >= chip.active[p].target)
+                    .collect();
+                if decoders.is_empty() {
+                    break;
+                }
+                let fits = decoders.iter().all(|&p| {
+                    let a = &chip.active[p];
+                    chip.alloc.try_grow(arrivals[a.idx].id, arrivals[a.idx].prompt_len + a.done + 1)
+                });
+                if !fits {
+                    // Youngest = latest arrival (ids are arrival-ordered).
+                    let victim_pos = (0..chip.active.len())
+                        .max_by_key(|&p| chip.active[p].idx)
+                        .expect("non-empty");
+                    let victim = chip.active.remove(victim_pos);
+                    chip.alloc.release(arrivals[victim.idx].id);
+                    chip.resume.push_back((victim.idx, victim.done));
+                    chip.preemptions += 1;
+                    kv_blocked = true;
+                    if chip.active.is_empty() {
+                        return Err(Error::invalid_config(
+                            "KV budget too small to sustain a single running request",
+                        ));
+                    }
+                    continue;
+                }
+                let b = decoders.len() as u64;
+                let ctx = decoders
+                    .iter()
+                    .map(|&p| {
+                        let a = &chip.active[p];
+                        arrivals[a.idx].prompt_len + a.done
+                    })
+                    .max()
+                    .expect("non-empty")
+                    + 1;
+                let step = pricer.step(b, ctx)?;
+                chip.t += step.latency;
+                *energy += step.total_energy();
+                let now = chip.t;
+                for &p in &decoders {
+                    let a = &mut chip.active[p];
+                    a.done += 1;
+                    if a.done == 1 && !has_prefill && !ttft_set[a.idx] {
+                        first_token[a.idx] = now;
+                        ttft_set[a.idx] = true;
+                    }
+                }
+                let Chip { active, alloc, .. } = chip;
+                active.retain(|a| {
+                    if a.prefilled >= a.target && a.done >= arrivals[a.idx].steps {
+                        alloc.release(arrivals[a.idx].id);
+                        completions.push(Completion {
+                            id: arrivals[a.idx].id,
+                            arrival: arrivals[a.idx].arrival(),
+                            first_token: first_token[a.idx],
+                            finish: now,
+                            steps: arrivals[a.idx].steps,
+                        });
+                        false
+                    } else {
+                        true
+                    }
+                });
+                break;
+            }
+            // A round that held a ready request back on KV charges its
+            // duration to the queue-full clock.
+            if kv_blocked {
+                chip.queue_full += chip.t - round_start;
+            }
+            debug_assert!(
+                chip.t > round_start || !chip.active.is_empty() || !chip.resume.is_empty(),
+                "a scheduled round must make progress"
+            );
+        }
+        let mut memory = MemoryStats::NONE;
+        for c in &chips {
+            memory.absorb(&MemoryStats {
+                preemptions: c.preemptions,
+                queue_full_s: c.queue_full.get(),
+                kv_hwm_frac: c.alloc.high_water_frac(),
             });
         }
-        Ok(completions)
+        Ok((completions, memory))
     }
+}
+
+/// The longest queue prefix whose worst-case KV footprint (prompt + every
+/// generated token) fits an empty allocator — run-to-completion admission
+/// control.
+///
+/// # Errors
+///
+/// Returns an error if even the first request can never fit.
+fn kv_admissible_prefix(alloc: &PagedKvAllocator, queue: &[Request]) -> Result<usize> {
+    let Some(capacity) = alloc.capacity_blocks() else {
+        return Ok(queue.len());
+    };
+    let mut blocks = 0;
+    let mut take = 0;
+    for r in queue {
+        let need = alloc.blocks_for(r.prompt_len + r.steps);
+        if blocks + need > capacity {
+            break;
+        }
+        blocks += need;
+        take += 1;
+    }
+    if take == 0 {
+        return Err(Error::invalid_config(format!(
+            "KV budget too small: request {} needs {} blocks but capacity is {capacity}",
+            queue[0].id,
+            alloc.blocks_for(queue[0].prompt_len + queue[0].steps),
+        )));
+    }
+    Ok(take)
 }
 
 /// Index of the executor that frees earliest (ties pick the lowest index,

@@ -44,6 +44,28 @@
 //! across the ring (Megatron-style, priced via `cimtpu-multi` including
 //! the two per-layer ring all-reduces) and serve as one logical chip.
 //!
+//! # Memory subsystem
+//!
+//! A [`MemoryConfig`] bounds the KV cache with a paged allocator from
+//! `cimtpu-kv` (per-token footprint derived from the model geometry,
+//! tensor-parallel rings sharding it across devices):
+//!
+//! - **Admission control** — a request is admitted only when its prompt's
+//!   KV blocks are free; otherwise it queues (the report's
+//!   `queue_full_s` clock).
+//! - **Preemption** — when a decode step cannot grow a running request by
+//!   one token, the youngest resident request is evicted and later
+//!   resumed by recomputing its whole context (recompute-on-resume, the
+//!   recomputed prefill re-priced through the execution context); counted
+//!   in `preemptions`.
+//! - **Chunked prefill** — [`MemoryConfig::chunk_tokens`] splits prompts
+//!   into fixed-size chunks (Sarathi-style) so decode steps of running
+//!   requests interleave with prefill chunks instead of stalling behind
+//!   a monolithic prompt.
+//!
+//! The default [`MemoryConfig::unlimited`] (infinite KV, no chunking)
+//! reproduces the memory-oblivious scheduler bit-exactly.
+//!
 //! # Examples
 //!
 //! ```
@@ -77,14 +99,17 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod memory;
 mod metrics;
 mod policy;
 mod pricer;
 pub mod scenario;
 mod request;
 
+pub use cimtpu_kv::KvBudget;
 pub use engine::{Parallelism, ServingEngine, ServingRun};
-pub use metrics::{Completion, LatencyStats, ServingReport};
+pub use memory::MemoryConfig;
+pub use metrics::{Completion, LatencyStats, MemoryStats, ServingReport};
 pub use policy::BatchPolicy;
 pub use pricer::ServingModel;
 pub use request::{ArrivalPattern, LenDist, Request, TrafficSpec};

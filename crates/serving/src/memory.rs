@@ -1,0 +1,119 @@
+//! Serving-side memory configuration: KV budget, paging, chunked prefill.
+
+use serde::{Deserialize, Serialize};
+
+use cimtpu_kv::KvBudget;
+use cimtpu_units::{Bytes, Error, Result};
+
+/// How a serving engine manages chip memory.
+///
+/// The default ([`MemoryConfig::unlimited`]) reproduces the pre-memory
+/// engine exactly: infinite KV capacity and monolithic prefill, so every
+/// scheduling decision and priced segment is unchanged. Tightening the
+/// budget turns on admission control (arrivals queue while no KV blocks
+/// are free) and preemption (the youngest running request is evicted,
+/// recompute-on-resume); setting [`chunk_tokens`](MemoryConfig::chunk_tokens)
+/// splits prompts into fixed-size prefill chunks so decode steps of
+/// running requests interleave with prefill instead of stalling behind
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Per-chip KV byte budget (replicas each get the full budget; a
+    /// tensor-parallel ring shards the footprint, so the per-chip budget
+    /// covers `1/p` of every token).
+    pub budget: KvBudget,
+    /// Tokens per paged KV block (vLLM-style; 16 is the common default).
+    pub block_tokens: u64,
+    /// `Some(c)` splits every prefill into chunks of `c` tokens
+    /// (Sarathi-style chunked prefill); `None` runs prompts monolithically.
+    pub chunk_tokens: Option<u64>,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig::unlimited()
+    }
+}
+
+impl MemoryConfig {
+    /// Infinite KV capacity, monolithic prefill — the exact pre-memory
+    /// engine behaviour.
+    pub fn unlimited() -> Self {
+        MemoryConfig { budget: KvBudget::Unlimited, block_tokens: 16, chunk_tokens: None }
+    }
+
+    /// An explicit per-chip KV byte budget.
+    #[must_use]
+    pub fn with_budget_bytes(mut self, bytes: Bytes) -> Self {
+        self.budget = KvBudget::Bytes(bytes);
+        self
+    }
+
+    /// Budget the KV cache with whatever HBM the resident weights leave.
+    #[must_use]
+    pub fn with_hbm_budget(mut self) -> Self {
+        self.budget = KvBudget::HbmMinusWeights;
+        self
+    }
+
+    /// Enables chunked prefill with `tokens`-token chunks.
+    #[must_use]
+    pub fn with_chunked_prefill(mut self, tokens: u64) -> Self {
+        self.chunk_tokens = Some(tokens);
+        self
+    }
+
+    /// Sets the paged-block granularity.
+    #[must_use]
+    pub fn with_block_tokens(mut self, tokens: u64) -> Self {
+        self.block_tokens = tokens;
+        self
+    }
+
+    /// Checks the configuration is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a zero block or chunk size.
+    pub fn validate(&self) -> Result<()> {
+        if self.block_tokens == 0 {
+            return Err(Error::invalid_config("KV block size must be >= 1 token"));
+        }
+        if self.chunk_tokens == Some(0) {
+            return Err(Error::invalid_config("prefill chunk must be >= 1 token"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited_and_valid() {
+        let m = MemoryConfig::default();
+        assert_eq!(m, MemoryConfig::unlimited());
+        assert_eq!(m.budget, KvBudget::Unlimited);
+        assert_eq!(m.chunk_tokens, None);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let m = MemoryConfig::unlimited()
+            .with_budget_bytes(Bytes::from_mib(64))
+            .with_block_tokens(32)
+            .with_chunked_prefill(256);
+        assert_eq!(m.budget, KvBudget::Bytes(Bytes::from_mib(64)));
+        assert_eq!(m.block_tokens, 32);
+        assert_eq!(m.chunk_tokens, Some(256));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_granularities() {
+        assert!(MemoryConfig::unlimited().with_block_tokens(0).validate().is_err());
+        assert!(MemoryConfig::unlimited().with_chunked_prefill(0).validate().is_err());
+    }
+}

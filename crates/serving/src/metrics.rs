@@ -73,6 +73,33 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
 }
 
+/// Memory-subsystem counters aggregated over a serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Running requests evicted to free KV blocks (recompute-on-resume).
+    pub preemptions: u64,
+    /// Total time ready requests spent blocked on KV capacity while a
+    /// batch slot was otherwise free, in seconds.
+    pub queue_full_s: f64,
+    /// KV occupancy high-water mark as a fraction of capacity (the max
+    /// over chips; 0 when the budget is unlimited).
+    pub kv_hwm_frac: f64,
+}
+
+impl MemoryStats {
+    /// The all-zero record (unlimited budgets report this).
+    pub const NONE: MemoryStats =
+        MemoryStats { preemptions: 0, queue_full_s: 0.0, kv_hwm_frac: 0.0 };
+
+    /// Folds another chip's counters into this one (sums the event
+    /// counters, maxes the occupancy mark).
+    pub fn absorb(&mut self, other: &MemoryStats) {
+        self.preemptions += other.preemptions;
+        self.queue_full_s += other.queue_full_s;
+        self.kv_hwm_frac = self.kv_hwm_frac.max(other.kv_hwm_frac);
+    }
+}
+
 /// Aggregate outcome of one serving simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
@@ -101,6 +128,12 @@ pub struct ServingReport {
     pub total_energy_j: f64,
     /// Mean energy per completed request.
     pub energy_per_request_j: f64,
+    /// Requests evicted to free KV blocks (recompute-on-resume).
+    pub preemptions: u64,
+    /// Time ready requests spent blocked on KV capacity, in seconds.
+    pub queue_full_s: f64,
+    /// KV occupancy high-water mark (fraction of capacity; 0 = unlimited).
+    pub kv_hwm_frac: f64,
 }
 
 impl ServingReport {
@@ -115,6 +148,7 @@ impl ServingReport {
         chips: u64,
         completions: &[Completion],
         total_energy: Joules,
+        memory: MemoryStats,
     ) -> Self {
         assert!(!completions.is_empty(), "no completions to report");
         let finish = completions
@@ -142,6 +176,9 @@ impl ServingReport {
             ttft: LatencyStats::from_samples(&ttfts),
             total_energy_j: total_energy.get(),
             energy_per_request_j: total_energy.get() / completions.len() as f64,
+            preemptions: memory.preemptions,
+            queue_full_s: memory.queue_full_s,
+            kv_hwm_frac: memory.kv_hwm_frac,
         }
     }
 }
@@ -178,6 +215,13 @@ impl std::fmt::Display for ServingReport {
             f,
             "energy      {:.4} J total, {:.4} J/request",
             self.total_energy_j, self.energy_per_request_j
+        )?;
+        writeln!(
+            f,
+            "kv cache    {} preemption(s), {:.4} s queue-full, {:.1}% occupancy high-water",
+            self.preemptions,
+            self.queue_full_s,
+            self.kv_hwm_frac * 100.0
         )
     }
 }
@@ -223,8 +267,11 @@ mod tests {
             1,
             &completions,
             Joules::new(4.0),
+            MemoryStats::NONE,
         );
         assert_eq!(rep.completed, 2);
+        assert_eq!(rep.preemptions, 0);
+        assert_eq!(rep.queue_full_s, 0.0);
         assert_eq!(rep.makespan_s, 3.0);
         assert!((rep.throughput_rps - 2.0 / 3.0).abs() < 1e-12);
         assert!((rep.steps_per_second - 20.0 / 3.0).abs() < 1e-12);
@@ -236,9 +283,34 @@ mod tests {
     fn makespan_starts_at_first_arrival() {
         // A trace offset in time must not inflate the makespan.
         let completions = vec![c(0, 100.0, 100.5, 101.0)];
-        let rep =
-            ServingReport::from_completions("t", "static", 1, &completions, Joules::ZERO);
+        let rep = ServingReport::from_completions(
+            "t",
+            "static",
+            1,
+            &completions,
+            Joules::ZERO,
+            MemoryStats::NONE,
+        );
         assert_eq!(rep.makespan_s, 1.0);
         assert_eq!(rep.throughput_rps, 1.0);
+    }
+
+    #[test]
+    fn memory_stats_absorb_sums_and_maxes() {
+        let mut a = MemoryStats { preemptions: 2, queue_full_s: 0.5, kv_hwm_frac: 0.75 };
+        a.absorb(&MemoryStats { preemptions: 1, queue_full_s: 0.25, kv_hwm_frac: 0.5 });
+        assert_eq!(a.preemptions, 3);
+        assert_eq!(a.queue_full_s, 0.75);
+        assert_eq!(a.kv_hwm_frac, 0.75);
+
+        let completions = vec![c(0, 0.0, 0.5, 1.0)];
+        let rep =
+            ServingReport::from_completions("t", "continuous", 1, &completions, Joules::ZERO, a);
+        assert_eq!(rep.preemptions, 3);
+        assert_eq!(rep.queue_full_s, 0.75);
+        assert_eq!(rep.kv_hwm_frac, 0.75);
+        let text = rep.to_string();
+        assert!(text.contains("kv cache"), "{text}");
+        assert!(text.contains("3 preemption(s)"), "{text}");
     }
 }

@@ -39,10 +39,12 @@ impl ServingModel {
     }
 }
 
-/// Memo key: phase tag + the two shape knobs that vary at runtime.
-type Key = (u8, u64, u64);
+/// Memo key: phase tag + the shape knobs that vary at runtime (batch,
+/// length, and — for chunked prefill — the cached-context length).
+type Key = (u8, u64, u64, u64);
 const PREFILL: u8 = 0;
 const STEP: u8 = 1;
+const CHUNK: u8 = 2;
 
 /// Prices serving phases on one chip (or one tensor-parallel ring),
 /// memoizing each distinct `(phase, batch, length)` query. The heavy
@@ -109,7 +111,7 @@ impl<'a> Pricer<'a> {
         let ServingModel::Llm(model) = self.model else {
             return Ok(SegmentCost::ZERO);
         };
-        self.memoized((PREFILL, batch, prompt), || {
+        self.memoized((PREFILL, batch, prompt, 0), || {
             let layers = model.layers() as f64;
             match self.ring {
                 None => Ok(self.price(&model.prefill_layer(batch, prompt)?)?.repeated(layers)),
@@ -125,12 +127,38 @@ impl<'a> Pricer<'a> {
         })
     }
 
+    /// Cost of one chunked-prefill pass: `batch` requests each ingest
+    /// `chunk` prompt tokens attending to `past` already-cached tokens.
+    /// Zero for models without a prefill phase.
+    ///
+    /// # Errors
+    ///
+    /// Chunked prefill is not yet shardable — returns an error on a
+    /// tensor-parallel ring (the engine rejects that combination up
+    /// front).
+    pub(crate) fn prefill_chunk(&self, batch: u64, chunk: u64, past: u64) -> Result<SegmentCost> {
+        let ServingModel::Llm(model) = self.model else {
+            return Ok(SegmentCost::ZERO);
+        };
+        if self.ring.is_some() {
+            return Err(cimtpu_units::Error::invalid_config(
+                "chunked prefill is not supported on a tensor-parallel ring",
+            ));
+        }
+        self.memoized((CHUNK, batch, chunk, past), || {
+            let layers = model.layers() as f64;
+            Ok(self
+                .price(&model.prefill_chunk_layer(batch, chunk, past)?)?
+                .repeated(layers))
+        })
+    }
+
     /// Cost of one generation step for `batch` concurrently active
     /// requests: an LLM decode step at context length `ctx`, or one DiT
     /// forward pass (`ctx` is ignored).
     pub(crate) fn step(&self, batch: u64, ctx: u64) -> Result<SegmentCost> {
         match self.model {
-            ServingModel::Llm(model) => self.memoized((STEP, batch, ctx), || {
+            ServingModel::Llm(model) => self.memoized((STEP, batch, ctx, 0), || {
                 let layers = model.layers() as f64;
                 match self.ring {
                     None => Ok(self.price(&model.decode_layer(batch, ctx)?)?.repeated(layers)),
@@ -147,7 +175,7 @@ impl<'a> Pricer<'a> {
                     }
                 }
             }),
-            ServingModel::Dit { dit, resolution } => self.memoized((STEP, batch, 0), || {
+            ServingModel::Dit { dit, resolution } => self.memoized((STEP, batch, 0, 0), || {
                 if self.ring.is_some() {
                     return Err(cimtpu_units::Error::invalid_config(
                         "tensor-parallel serving supports LLM engines only",
@@ -207,6 +235,32 @@ mod tests {
             pricer.step(2, 4096).unwrap(),
             "DiT step cost is context-independent"
         );
+    }
+
+    #[test]
+    fn chunk_pricing_matches_plain_prefill_at_zero_past() {
+        let sim = Simulator::new(TpuConfig::tpuv4i()).unwrap();
+        let cx = sim.execution_context();
+        let model = tiny_llm();
+        let pricer = Pricer::single(&model, &cx);
+        // Same workload, so bit-identical cost.
+        assert_eq!(
+            pricer.prefill_chunk(2, 64, 0).unwrap(),
+            pricer.prefill(2, 64).unwrap()
+        );
+        // Later chunks attend to the cached context, so they cost more
+        // than a fresh chunk of the same size.
+        let late = pricer.prefill_chunk(2, 64, 448).unwrap();
+        assert!(late.latency > pricer.prefill_chunk(2, 64, 0).unwrap().latency);
+    }
+
+    #[test]
+    fn chunk_pricing_rejects_tensor_parallel() {
+        let model = ServingModel::Llm(presets::gpt3_30b());
+        let ring = MultiTpu::new(TpuConfig::tpuv4i(), 4).unwrap();
+        let cx = ring.simulator().execution_context();
+        let tp = Pricer::tensor_parallel(&model, &cx, &ring);
+        assert!(tp.prefill_chunk(2, 64, 0).is_err());
     }
 
     #[test]

@@ -3,9 +3,10 @@
 
 use cimtpu_core::TpuConfig;
 use cimtpu_models::{presets, TransformerConfig};
-use cimtpu_units::{Error, Result};
+use cimtpu_units::{Bytes, Error, Result};
 
 use crate::engine::{Parallelism, ServingEngine, ServingRun};
+use crate::memory::MemoryConfig;
 use crate::policy::BatchPolicy;
 use crate::pricer::ServingModel;
 use crate::request::{ArrivalPattern, LenDist, TrafficSpec};
@@ -25,6 +26,8 @@ pub struct Scenario {
     pub parallelism: Parallelism,
     /// Batching policy.
     pub policy: BatchPolicy,
+    /// KV-cache budget / chunked-prefill configuration.
+    pub memory: MemoryConfig,
     /// Traffic to offer.
     pub traffic: TrafficSpec,
 }
@@ -46,6 +49,7 @@ impl Scenario {
             self.parallelism,
             self.policy,
         )?
+        .with_memory(self.memory)
         .run(self.name, &traffic)
     }
 }
@@ -56,9 +60,12 @@ pub fn tiny_transformer() -> TransformerConfig {
     TransformerConfig::new("Tiny-2L", 2, 4, 256, 1024).expect("static geometry is valid")
 }
 
-/// The three headline scenarios: prefill-heavy LLM traffic under dynamic
-/// batching, decode-heavy LLM traffic under continuous batching, and a
-/// burst of DiT image requests under static batching.
+/// The headline scenarios: prefill-heavy LLM traffic under dynamic
+/// batching, decode-heavy LLM traffic under continuous batching, a burst
+/// of DiT image requests under static batching, and the two
+/// memory-subsystem studies — continuous batching against a tight paged
+/// KV budget (admission control + preemption), and chunked prefill
+/// interleaving long prompts with running decodes.
 pub fn headline() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -68,6 +75,7 @@ pub fn headline() -> Vec<Scenario> {
             model: ServingModel::Llm(presets::gpt3_6_7b()),
             parallelism: Parallelism::Replicated { chips: 1 },
             policy: BatchPolicy::Dynamic { max_batch: 8, max_wait_ms: 40.0 },
+            memory: MemoryConfig::unlimited(),
             traffic: TrafficSpec {
                 requests: 32,
                 arrival: ArrivalPattern::OpenLoop { rate_rps: 8.0 },
@@ -83,6 +91,7 @@ pub fn headline() -> Vec<Scenario> {
             model: ServingModel::Llm(presets::gpt3_6_7b()),
             parallelism: Parallelism::Replicated { chips: 1 },
             policy: BatchPolicy::Continuous { max_batch: 16 },
+            memory: MemoryConfig::unlimited(),
             traffic: TrafficSpec {
                 requests: 40,
                 arrival: ArrivalPattern::OpenLoop { rate_rps: 6.0 },
@@ -98,11 +107,46 @@ pub fn headline() -> Vec<Scenario> {
             model: ServingModel::Dit { dit: presets::dit_b_2(), resolution: 256 },
             parallelism: Parallelism::Replicated { chips: 2 },
             policy: BatchPolicy::Static { batch: 4 },
+            memory: MemoryConfig::unlimited(),
             traffic: TrafficSpec {
                 requests: 16,
                 arrival: ArrivalPattern::Burst,
                 prompt: LenDist::Fixed(0),
                 steps: LenDist::Fixed(20),
+                seed: 0xC1A0,
+            },
+        },
+        Scenario {
+            name: "llm-kv-pressure",
+            description: "decode-heavy traffic against a 1 GiB paged KV budget on Design A \
+                          (admission control + preemption)",
+            chip: TpuConfig::design_a(),
+            model: ServingModel::Llm(presets::gpt3_6_7b()),
+            parallelism: Parallelism::Replicated { chips: 1 },
+            policy: BatchPolicy::Continuous { max_batch: 16 },
+            memory: MemoryConfig::unlimited().with_budget_bytes(Bytes::from_gib(1)),
+            traffic: TrafficSpec {
+                requests: 40,
+                arrival: ArrivalPattern::OpenLoop { rate_rps: 6.0 },
+                prompt: LenDist::Fixed(128),
+                steps: LenDist::Uniform { lo: 64, hi: 256 },
+                seed: 0xC1A0,
+            },
+        },
+        Scenario {
+            name: "llm-chunked-prefill",
+            description: "long prompts split into 256-token chunks so running decodes \
+                          interleave with prefill on Design A",
+            chip: TpuConfig::design_a(),
+            model: ServingModel::Llm(presets::gpt3_6_7b()),
+            parallelism: Parallelism::Replicated { chips: 1 },
+            policy: BatchPolicy::Continuous { max_batch: 8 },
+            memory: MemoryConfig::unlimited().with_chunked_prefill(256),
+            traffic: TrafficSpec {
+                requests: 24,
+                arrival: ArrivalPattern::OpenLoop { rate_rps: 4.0 },
+                prompt: LenDist::Uniform { lo: 1024, hi: 2048 },
+                steps: LenDist::Fixed(32),
                 seed: 0xC1A0,
             },
         },
@@ -119,6 +163,7 @@ pub fn smoke() -> Scenario {
         model: ServingModel::Llm(tiny_transformer()),
         parallelism: Parallelism::Replicated { chips: 1 },
         policy: BatchPolicy::Continuous { max_batch: 4 },
+        memory: MemoryConfig::unlimited(),
         traffic: TrafficSpec {
             requests: 6,
             // Arrivals land within a few service times of each other, so
@@ -132,7 +177,32 @@ pub fn smoke() -> Scenario {
     }
 }
 
-/// Looks a scenario up by name (the headline set plus `smoke`).
+/// The CI memory-pressure smoke scenario: the tiny model squeezed into a
+/// 64 KiB paged KV budget (4 blocks of 16 tokens), so admission control
+/// and preemption both fire within milliseconds of wall clock. Must
+/// report at least one preemption — CI asserts it.
+pub fn smoke_kv() -> Scenario {
+    Scenario {
+        name: "smoke-kv",
+        description: "tiny LLM under a 4-block KV budget (CI preemption determinism check)",
+        chip: TpuConfig::tpuv4i(),
+        model: ServingModel::Llm(tiny_transformer()),
+        parallelism: Parallelism::Replicated { chips: 1 },
+        policy: BatchPolicy::Continuous { max_batch: 4 },
+        memory: MemoryConfig::unlimited()
+            .with_budget_bytes(Bytes::from_kib(64))
+            .with_block_tokens(16),
+        traffic: TrafficSpec {
+            requests: 6,
+            arrival: ArrivalPattern::OpenLoop { rate_rps: 20_000.0 },
+            prompt: LenDist::Fixed(32),
+            steps: LenDist::Fixed(8),
+            seed: 7,
+        },
+    }
+}
+
+/// Looks a scenario up by name (the headline set plus the smoke checks).
 ///
 /// # Errors
 ///
@@ -140,6 +210,9 @@ pub fn smoke() -> Scenario {
 pub fn by_name(name: &str) -> Result<Scenario> {
     if name == "smoke" {
         return Ok(smoke());
+    }
+    if name == "smoke-kv" {
+        return Ok(smoke_kv());
     }
     headline()
         .into_iter()
@@ -157,6 +230,7 @@ mod tests {
             assert_eq!(by_name(s.name).unwrap().name, s.name);
         }
         assert_eq!(by_name("smoke").unwrap().name, "smoke");
+        assert_eq!(by_name("smoke-kv").unwrap().name, "smoke-kv");
         assert!(by_name("nope").is_err());
     }
 
@@ -167,9 +241,29 @@ mod tests {
         assert_eq!(a.report, b.report);
         assert_eq!(a.completions, b.completions);
         assert_eq!(a.report.completed, 6);
+        // Unlimited memory: no memory events.
+        assert_eq!(a.report.preemptions, 0);
+        assert_eq!(a.report.queue_full_s, 0.0);
         // A different seed changes the trace (arrival jitter), hence the
         // percentiles.
         let c = smoke().run(Some(99)).unwrap();
         assert_ne!(a.report, c.report);
+    }
+
+    #[test]
+    fn smoke_kv_preempts_deterministically() {
+        let a = smoke_kv().run(None).unwrap();
+        let b = smoke_kv().run(None).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.completions, b.completions);
+        // Every request still completes, at the cost of evictions and
+        // queueing.
+        assert_eq!(a.report.completed, 6);
+        assert!(a.report.preemptions >= 1, "report: {}", a.report);
+        assert!(a.report.queue_full_s > 0.0, "report: {}", a.report);
+        assert!(a.report.kv_hwm_frac > 0.5, "report: {}", a.report);
+        // The pressure run is strictly slower end to end than unlimited.
+        let unlimited = smoke().run(None).unwrap();
+        assert!(a.report.makespan_s > unlimited.report.makespan_s);
     }
 }

@@ -1,0 +1,72 @@
+//! KV-cache pressure: the same decode-heavy traffic served with
+//! unlimited KV memory and with a tight paged budget — admission control,
+//! preemption (recompute-on-resume), and chunked prefill in action.
+//!
+//! Run with: `cargo run --release --example kv_pressure`
+
+use cimtpu::prelude::*;
+
+fn main() -> Result<()> {
+    let model = presets::gpt3_6_7b();
+
+    // What one request costs in KV memory: the footprint is derived from
+    // the same geometry the workload builders price.
+    let fp = KvFootprint::of(&model);
+    let budget = Bytes::from_gib(1);
+    println!(
+        "{}: {} KiB of KV per token ({} B/token/layer); weights occupy {:.2} GiB",
+        model.name(),
+        fp.bytes_per_token().get() / 1024,
+        fp.bytes_per_token_per_layer().get(),
+        fp.weight_bytes().get() as f64 / (1u64 << 30) as f64,
+    );
+    println!(
+        "a 128-prompt / 256-step request holds up to {:.1} MiB of KV; \
+         a {} MiB budget fits {} tokens",
+        fp.request_bytes(128 + 256).as_mib(),
+        budget.as_mib(),
+        fp.tokens_fitting(budget),
+    );
+
+    let traffic = TrafficSpec {
+        requests: 40,
+        arrival: ArrivalPattern::OpenLoop { rate_rps: 6.0 },
+        prompt: LenDist::Fixed(128),
+        steps: LenDist::Uniform { lo: 64, hi: 256 },
+        seed: 0xC1A0,
+    };
+    let engine = |memory: MemoryConfig| -> Result<ServingEngine> {
+        Ok(ServingEngine::new(
+            TpuConfig::design_a(),
+            ServingModel::Llm(presets::gpt3_6_7b()),
+            Parallelism::Replicated { chips: 1 },
+            BatchPolicy::Continuous { max_batch: 16 },
+        )?
+        .with_memory(memory))
+    };
+
+    // Unlimited KV: the memory-oblivious scheduler (pre-PR-3 behaviour).
+    let unlimited = engine(MemoryConfig::unlimited())?.run("unlimited", &traffic)?;
+    println!("{}", unlimited.report);
+
+    // A 1 GiB paged budget: arrivals queue while no blocks are free, and
+    // decode growth evicts the youngest resident when they run out.
+    let tight = MemoryConfig::unlimited().with_budget_bytes(budget);
+    let pressured = engine(tight)?.run("1 GiB KV budget", &traffic)?;
+    println!("{}", pressured.report);
+
+    // Chunked prefill on top: prompts ingest in 32-token chunks, so
+    // running decodes interleave instead of stalling behind prefill.
+    let chunked = engine(tight.with_chunked_prefill(32))?.run("+ chunked prefill", &traffic)?;
+    println!("{}", chunked.report);
+
+    println!(
+        "pressure cost: makespan {:.2}x, p99 latency {:.2}x, {} preemption(s), \
+         {:.3} s queue-full",
+        pressured.report.makespan_s / unlimited.report.makespan_s,
+        pressured.report.latency.p99_ms / unlimited.report.latency.p99_ms,
+        pressured.report.preemptions,
+        pressured.report.queue_full_s,
+    );
+    Ok(())
+}

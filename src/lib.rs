@@ -13,8 +13,11 @@
 //! - [`mapper`] — the tiling/scheduling engine;
 //! - [`core`] — the TPU architecture model and simulator;
 //! - [`multi`] — multi-chip parallelism and throughput;
+//! - [`kv`] — the KV-cache memory subsystem (per-request footprints,
+//!   paged block allocation);
 //! - [`serving`] — request-level serving simulation (open-loop traffic,
-//!   batching policies, latency percentiles).
+//!   batching policies, KV admission control / preemption / chunked
+//!   prefill, latency percentiles).
 //!
 //! # Quickstart
 //!
@@ -71,6 +74,19 @@
 //! per request; set `CIMTPU_CACHE_DIR` to persist the mapping caches
 //! underneath across processes.
 //!
+//! # KV-cache memory subsystem
+//!
+//! Serving is memory-bound before it is compute-bound: the KV cache, not
+//! the MXUs, caps concurrency. A [`MemoryConfig`](serving::MemoryConfig)
+//! budgets a paged allocator (`cimtpu-kv`) against the chip's HBM
+//! capacity — admission control queues arrivals while no blocks are
+//! free, decode steps that cannot grow evict the youngest resident
+//! request (recompute-on-resume), and chunked prefill interleaves prompt
+//! chunks with running decodes. See `examples/kv_pressure.rs` and the
+//! `llm-kv-pressure` / `llm-chunked-prefill` scenarios in `serve_sim`;
+//! `BENCH_serving.json` tracks the headline serving metrics alongside
+//! `BENCH_sweep.json`.
+//!
 //! # Performance architecture: memoized pricing + parallel sweeps
 //!
 //! Design-space exploration evaluates full LLM/DiT inference across many
@@ -105,6 +121,7 @@
 
 pub use cimtpu_cim as cim;
 pub use cimtpu_core as core;
+pub use cimtpu_kv as kv;
 pub use cimtpu_mapper as mapper;
 pub use cimtpu_models as models;
 pub use cimtpu_multi as multi;
@@ -123,10 +140,11 @@ pub mod prelude {
         OpInstance, Phase, Segment,
         TransformerConfig, Workload,
     };
+    pub use cimtpu_kv::{KvBudget, KvFootprint, PagedKvAllocator};
     pub use cimtpu_multi::{MultiTpu, RingTopology};
     pub use cimtpu_serving::{
-        ArrivalPattern, BatchPolicy, LenDist, Parallelism, ServingEngine, ServingModel,
-        ServingReport, TrafficSpec,
+        ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, MemoryStats, Parallelism,
+        ServingEngine, ServingModel, ServingReport, TrafficSpec,
     };
     pub use cimtpu_units::{
         Bandwidth, Bytes, Cycles, DataType, Energy, Error, Frequency, GemmShape, Joules, Result,
