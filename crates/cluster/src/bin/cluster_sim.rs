@@ -1,0 +1,90 @@
+//! Fleet-level serving simulation driver.
+//!
+//! ```text
+//! cluster_sim [--scenario NAME|all] [--seed N] [--workers N] [--json PATH]
+//!             [--kv-budget BUDGET] [--clients N] [--think-ms MS]
+//! ```
+//!
+//! Runs the named cluster scenario (default: all headline scenarios) and
+//! prints fleet throughput, goodput, latency/TTFT percentiles, KV-handoff
+//! traffic, and per-replica utilization. Scenarios are independent, so
+//! they fan out over the `cimtpu_bench::sweep` worker pool; `--workers N`
+//! overrides the `CIMTPU_WORKERS` environment variable. Output is
+//! deterministic for a fixed `--seed`.
+//!
+//! `--kv-budget BUDGET` overrides every replica's KV budget (both pools
+//! of a disaggregated fleet): `unlimited`, `hbm` (HBM minus resident
+//! weights), or a byte count with an optional `KiB`/`MiB`/`GiB` suffix —
+//! see `cimtpu_serving::parse_kv_budget`. `--clients N` converts the
+//! scenario's traffic to closed loop with `N` concurrent clients
+//! (`--think-ms` sets their think time; default 10 ms).
+//!
+//! `--json PATH` additionally writes the full `ClusterReport` list as
+//! pretty-printed JSON (`-` writes JSON to stdout instead of the text
+//! report). The committed `BENCH_cluster.json` baseline is exactly
+//! `cluster_sim --json BENCH_cluster.json`.
+
+use cimtpu_bench::sweep;
+use cimtpu_cluster::scenario::{self, Scenario};
+use cimtpu_cluster::ClusterReport;
+use cimtpu_serving::cli::{self, SimFlags};
+use cimtpu_serving::ArrivalPattern;
+
+fn main() {
+    let flags = match SimFlags::parse("cluster_sim", "every replica's", || {
+        for s in scenario::headline() {
+            println!("  {:<22} {}", s.name, s.description);
+        }
+        let s = scenario::smoke_cluster();
+        println!("  {:<22} {}", s.name, s.description);
+    }) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("cluster_sim: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut scenarios: Vec<Scenario> = if flags.scenario == "all" {
+        scenario::headline()
+    } else {
+        match scenario::by_name(&flags.scenario) {
+            Ok(s) => vec![s],
+            Err(e) => {
+                eprintln!("cluster_sim: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    for s in &mut scenarios {
+        if let Some(budget) = flags.kv_budget {
+            s.engine = s.engine.clone().with_kv_budget(budget);
+        }
+        if let Some(clients) = flags.clients {
+            s.traffic.arrival =
+                ArrivalPattern::ClosedLoop { clients, think_ms: flags.think_ms };
+        }
+    }
+
+    // Scenarios are independent simulations: fan them out over the sweep
+    // worker pool (results return in scenario order, so output is stable).
+    let seed = flags.seed;
+    let results = sweep::parallel_map(&scenarios, |s| s.run(seed));
+
+    let mut reports: Vec<ClusterReport> = Vec::new();
+    let mut failed = false;
+    for (s, result) in scenarios.iter().zip(results) {
+        match result {
+            Ok(run) => reports.push(run.report),
+            Err(e) => {
+                eprintln!("{}: {e}", s.name);
+                failed = true;
+            }
+        }
+    }
+
+    failed |= cli::emit_reports("cluster_sim", &reports, flags.json.as_deref());
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,618 @@
+//! Disaggregated prefill/decode serving (DistServe/Splitwise-style).
+//!
+//! # Cost model
+//!
+//! Requests route (via the cluster's router) to a **prefill pool**
+//! replica, which batches queued prompts FCFS — up to the replica
+//! policy's [`max_concurrency`](cimtpu_serving::BatchPolicy::max_concurrency),
+//! padded to the longest member — and prices the grouped prefill through
+//! the replica's [`PhasePricer`]. The prompt's KV blocks are reserved in
+//! the prefill replica's paged allocator for the whole residency:
+//! ingestion *and* the outbound transfer (a prompt that does not fit
+//! waits for earlier caches to finish migrating).
+//!
+//! When a prefill finishes (producing the request's first token — TTFT in
+//! a disaggregated fleet is prefill completion, before any transfer), the
+//! KV cache migrates to a **decode pool** replica chosen by the decode
+//! router. The transfer moves whole paged blocks —
+//! [`KvFootprint::handoff_bytes`] of the *unsharded* cache — over the
+//! [`InterconnectSpec`]: each prefill replica owns one egress link, so
+//! its transfers serialize (`start = max(prefill end, link free)`), and
+//! every byte pays the link's bandwidth, hop latency, and pJ/byte energy.
+//!
+//! Decode admission is gated by the target replica's paged allocator:
+//! the handed-off cache plus the request's worst-case decode growth
+//! (`prompt + steps` tokens) must fit before the request joins the
+//! decode batch, so the decode pool never preempts; arrivals that do not
+//! fit wait in the replica's pending queue (charged to the queue-full
+//! clock). Decode then proceeds continuous-batching style: one step per
+//! round at the live batch size and the longest member context.
+
+use cimtpu_kv::{KvFootprint, PagedKvAllocator};
+use cimtpu_multi::RingTopology;
+use cimtpu_serving::{
+    ArrivalStream, Completion, EngineSession, Parallelism, PhasePricer, Request, ServingModel,
+    TrafficSpec,
+};
+use cimtpu_units::{Bandwidth, Bytes, Error, Joules, Result, Seconds};
+
+use crate::replica::ReplicaSpec;
+use crate::report::{ClusterReport, KvTransferStats, ReplicaUtilization};
+use crate::router::{ReplicaSnapshot, RouterPolicy};
+use crate::ClusterRun;
+
+/// The link KV caches migrate over between prefill and decode replicas:
+/// bandwidth + per-transfer hop latency from the `cimtpu-multi` link
+/// model, plus a serdes energy cost per byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectSpec {
+    /// Link bandwidth.
+    pub link_bandwidth: Bandwidth,
+    /// Software/serialization latency per transfer.
+    pub hop_latency: Seconds,
+    /// Link energy per byte moved, in picojoules (serdes + switching;
+    /// a few pJ/byte is typical of short-reach chip-to-chip links).
+    pub energy_pj_per_byte: f64,
+}
+
+impl InterconnectSpec {
+    /// An ICI-class link: 100 GB/s, 1 µs hop latency, 5 pJ/byte.
+    pub fn ici() -> Self {
+        InterconnectSpec {
+            link_bandwidth: Bandwidth::from_gb_per_s(100.0),
+            hop_latency: Seconds::from_micros(1.0),
+            energy_pj_per_byte: 5.0,
+        }
+    }
+
+    /// Derives the link parameters from a `cimtpu-multi` ring topology
+    /// (one link's bandwidth, the ring's hop latency).
+    pub fn from_ring(ring: &RingTopology, energy_pj_per_byte: f64) -> Self {
+        InterconnectSpec {
+            link_bandwidth: ring.link_bandwidth(),
+            // One neighbour hop minus the pure wire time = the ring's
+            // per-hop latency constant.
+            hop_latency: ring.p2p_time(Bytes::ZERO),
+            energy_pj_per_byte,
+        }
+    }
+
+    /// Time to move `bytes` over the link.
+    pub fn transfer_time(&self, bytes: Bytes) -> Seconds {
+        self.link_bandwidth.transfer_time(bytes) + self.hop_latency
+    }
+
+    /// Energy to move `bytes` over the link.
+    pub fn transfer_energy(&self, bytes: Bytes) -> Joules {
+        Joules::new(bytes.get() as f64 * self.energy_pj_per_byte * 1e-12)
+    }
+}
+
+/// One prefill-pool replica: an FCFS prompt-ingestion engine.
+struct PrefillUnit<'a> {
+    pricer: PhasePricer<'a>,
+    alloc: PagedKvAllocator,
+    cap: usize,
+    free_at: Seconds,
+    queue: std::collections::VecDeque<Request>,
+    /// KV holdings awaiting their outbound transfer, sorted by release
+    /// time (ties by request id — transfer scheduling order).
+    pending_release: Vec<(Seconds, u64)>,
+    /// When this replica's egress link frees.
+    link_free: Seconds,
+    busy: Seconds,
+    energy: Joules,
+    prefills: u64,
+}
+
+/// A finished prefill group: members (in admission order) whose caches
+/// are ready to migrate at `end`.
+struct PrefillBatch {
+    members: Vec<Request>,
+    end: Seconds,
+}
+
+impl<'a> PrefillUnit<'a> {
+    /// When this unit can start its next prefill batch: the head of the
+    /// queue has arrived, the executor is free, and — under a bounded KV
+    /// budget — enough earlier caches have migrated out for the head
+    /// prompt to fit.
+    fn candidate(&self) -> Option<Seconds> {
+        let head = self.queue.front()?;
+        let base = self.free_at.max(head.arrival());
+        let Some(_) = self.alloc.capacity_blocks() else { return Some(base) };
+        let need = self.alloc.blocks_for(head.prompt_len);
+        let mut free = self.alloc.free_blocks().unwrap_or(u64::MAX);
+        let mut start = base;
+        for &(t, id) in &self.pending_release {
+            if free >= need {
+                break;
+            }
+            free += self.alloc.held_blocks(id);
+            start = start.max(t);
+        }
+        Some(start)
+    }
+
+    /// Releases holdings whose transfer finished by `now`.
+    fn apply_releases(&mut self, now: Seconds) {
+        let alloc = &mut self.alloc;
+        self.pending_release.retain(|&(t, id)| {
+            if t <= now {
+                alloc.release(id);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Runs one FCFS prefill batch at the candidate time.
+    fn step(&mut self) -> Result<PrefillBatch> {
+        let start = self.candidate().expect("step with an empty queue");
+        if let Some(cap) = self.alloc.capacity_blocks() {
+            let head = self.queue.front().expect("non-empty");
+            if self.alloc.blocks_for(head.prompt_len) > cap {
+                return Err(Error::invalid_config(format!(
+                    "prefill KV budget too small: request {} needs {} blocks but capacity \
+                     is {cap}",
+                    head.id,
+                    self.alloc.blocks_for(head.prompt_len),
+                )));
+            }
+        }
+        self.apply_releases(start);
+        let mut members = Vec::new();
+        while members.len() < self.cap {
+            let Some(r) = self.queue.front() else { break };
+            if r.arrival() > start || !self.alloc.try_grow(r.id, r.prompt_len) {
+                break;
+            }
+            members.push(self.queue.pop_front().expect("non-empty"));
+        }
+        assert!(!members.is_empty(), "the candidate start admits the queue head");
+        let b = members.len() as u64;
+        let padded = members.iter().map(|r| r.prompt_len).max().expect("non-empty");
+        let cost = self.pricer.prefill(b, padded)?;
+        let end = start + cost.latency;
+        self.busy += cost.latency;
+        self.energy += cost.total_energy();
+        self.prefills += b;
+        self.free_at = end;
+        Ok(PrefillBatch { members, end })
+    }
+
+    fn snapshot(&self, index: usize, assigned: u64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            index,
+            outstanding: self.queue.len() as u64,
+            queued: self.queue.len() as u64,
+            kv_frac: kv_frac(&self.alloc),
+            assigned,
+        }
+    }
+}
+
+/// A request whose cache is migrating to (or queued at) a decode replica.
+struct PendingDecode {
+    req: Request,
+    first_token: Seconds,
+    ready: Seconds,
+}
+
+/// A request decoding on a decode replica.
+struct DecodeSlot {
+    req: Request,
+    first_token: Seconds,
+    done: u64,
+}
+
+/// One decode-pool replica: continuous-batching decode over handed-off
+/// caches, admission gated by the paged allocator (worst-case
+/// reservation, so the pool never preempts).
+struct DecodeUnit<'a> {
+    pricer: PhasePricer<'a>,
+    alloc: PagedKvAllocator,
+    cap: usize,
+    t: Seconds,
+    pending: Vec<PendingDecode>,
+    active: Vec<DecodeSlot>,
+    busy: Seconds,
+    energy: Joules,
+    queue_full: Seconds,
+    completed: u64,
+}
+
+impl<'a> DecodeUnit<'a> {
+    fn candidate(&self) -> Option<Seconds> {
+        if !self.active.is_empty() {
+            return Some(self.t);
+        }
+        self.pending
+            .iter()
+            .map(|p| p.ready)
+            .min_by(|a, b| a.partial_cmp(b).expect("times are never NaN"))
+            .map(|ready| self.t.max(ready))
+    }
+
+    /// One decode round: admit ready transfers (KV permitting), then one
+    /// generation step for the whole batch.
+    fn step(&mut self) -> Result<Vec<Completion>> {
+        let start = self.candidate().expect("step with nothing pending");
+        self.t = start;
+        let round_start = self.t;
+        let mut blocked = false;
+        while self.active.len() < self.cap {
+            // The ready transfer with the earliest arrival (ties by id).
+            let Some(pos) = self
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.ready <= self.t)
+                .min_by(|a, b| {
+                    a.1.ready
+                        .partial_cmp(&b.1.ready)
+                        .expect("times are never NaN")
+                        .then(a.1.req.id.cmp(&b.1.req.id))
+                })
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            // Worst-case reservation: the handed-off prompt cache plus
+            // every token the request will generate.
+            let p = &self.pending[pos];
+            if self.alloc.try_grow(p.req.id, p.req.prompt_len + p.req.steps) {
+                let p = self.pending.remove(pos);
+                self.active.push(DecodeSlot { req: p.req, first_token: p.first_token, done: 0 });
+            } else {
+                blocked = true;
+                break;
+            }
+        }
+        if self.active.is_empty() {
+            debug_assert!(blocked, "the candidate time has a ready transfer");
+            return Err(Error::invalid_config(format!(
+                "decode KV budget too small: a request's worst case needs more than the {} \
+                 block(s) of {} tokens available",
+                self.alloc.capacity_blocks().unwrap_or(0),
+                self.alloc.block_tokens(),
+            )));
+        }
+        let b = self.active.len() as u64;
+        let ctx = self
+            .active
+            .iter()
+            .map(|s| s.req.prompt_len + s.done)
+            .max()
+            .expect("non-empty")
+            + 1;
+        let cost = self.pricer.step(b, ctx)?;
+        self.t += cost.latency;
+        self.busy += cost.latency;
+        self.energy += cost.total_energy();
+        let now = self.t;
+        for slot in &mut self.active {
+            slot.done += 1;
+        }
+        let mut finished = Vec::new();
+        let alloc = &mut self.alloc;
+        self.active.retain(|slot| {
+            if slot.done >= slot.req.steps {
+                alloc.release(slot.req.id);
+                finished.push(Completion {
+                    id: slot.req.id,
+                    arrival: slot.req.arrival(),
+                    first_token: slot.first_token,
+                    finish: now,
+                    steps: slot.req.steps,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        self.completed += finished.len() as u64;
+        if blocked {
+            self.queue_full += self.t - round_start;
+        }
+        Ok(finished)
+    }
+
+    fn snapshot(&self, index: usize, assigned: u64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            index,
+            outstanding: (self.pending.len() + self.active.len()) as u64,
+            queued: self.pending.len() as u64,
+            kv_frac: kv_frac(&self.alloc),
+            assigned,
+        }
+    }
+}
+
+fn kv_frac(alloc: &PagedKvAllocator) -> f64 {
+    match alloc.capacity_blocks() {
+        Some(c) if c > 0 => alloc.used_blocks() as f64 / c as f64,
+        _ => 0.0,
+    }
+}
+
+/// Checks a pool replica is usable in a disaggregated fleet and returns
+/// its transformer config.
+fn validate_pool_replica<'a>(
+    spec: &'a ReplicaSpec,
+    role: &str,
+) -> Result<&'a cimtpu_models::TransformerConfig> {
+    let ServingModel::Llm(model) = &spec.model else {
+        return Err(Error::invalid_config(format!(
+            "disaggregated serving needs an LLM (a prefill phase); {role} replica '{}' \
+             hosts a DiT",
+            spec.name
+        )));
+    };
+    if spec.memory.chunk_tokens.is_some() {
+        return Err(Error::invalid_config(format!(
+            "chunked prefill is not supported in disaggregated pools ({role} replica '{}')",
+            spec.name
+        )));
+    }
+    if matches!(spec.parallelism, Parallelism::Replicated { chips } if chips != 1) {
+        return Err(Error::invalid_config(format!(
+            "{role} replica '{}' uses {} replicated chips: give the pool more replicas \
+             instead (tensor-parallel rings are fine)",
+            spec.name,
+            spec.chips()
+        )));
+    }
+    Ok(model)
+}
+
+#[allow(clippy::too_many_arguments)] // one call site, from the engine dispatch
+pub(crate) fn run_disaggregated(
+    prefill: &[ReplicaSpec],
+    decode: &[ReplicaSpec],
+    router: RouterPolicy,
+    decode_router: RouterPolicy,
+    interconnect: InterconnectSpec,
+    label: &str,
+    traffic: &TrafficSpec,
+    slo_ms: Option<f64>,
+) -> Result<ClusterRun> {
+    let reference = validate_pool_replica(&prefill[0], "prefill")?.clone();
+    let pool_members = prefill
+        .iter()
+        .map(|s| (s, "prefill"))
+        .chain(decode.iter().map(|s| (s, "decode")));
+    for (spec, role) in pool_members {
+        let model = validate_pool_replica(spec, role)?;
+        if *model != reference {
+            return Err(Error::invalid_config(format!(
+                "disaggregated pools must host one common model: '{}' hosts {}, \
+                 expected {}",
+                spec.name,
+                model.name(),
+                reference.name()
+            )));
+        }
+    }
+    // The cache that crosses the wire is the full (unsharded) footprint,
+    // whatever the pool sharding.
+    let full_fp = KvFootprint::of(&reference);
+
+    let p_sessions: Vec<EngineSession> = prefill
+        .iter()
+        .map(|r| EngineSession::new(&r.engine()?))
+        .collect::<Result<_>>()?;
+    let d_sessions: Vec<EngineSession> = decode
+        .iter()
+        .map(|r| EngineSession::new(&r.engine()?))
+        .collect::<Result<_>>()?;
+    let mut punits: Vec<PrefillUnit<'_>> = p_sessions
+        .iter()
+        .zip(prefill)
+        .map(|(s, spec)| {
+            Ok(PrefillUnit {
+                pricer: s.pricer(),
+                alloc: s.allocator()?,
+                cap: spec.policy.max_concurrency() as usize,
+                free_at: Seconds::ZERO,
+                queue: std::collections::VecDeque::new(),
+                pending_release: Vec::new(),
+                link_free: Seconds::ZERO,
+                busy: Seconds::ZERO,
+                energy: Joules::ZERO,
+                prefills: 0,
+            })
+        })
+        .collect::<Result<_>>()?;
+    let mut dunits: Vec<DecodeUnit<'_>> = d_sessions
+        .iter()
+        .zip(decode)
+        .map(|(s, spec)| {
+            Ok(DecodeUnit {
+                pricer: s.pricer(),
+                alloc: s.allocator()?,
+                cap: spec.policy.max_concurrency() as usize,
+                t: Seconds::ZERO,
+                pending: Vec::new(),
+                active: Vec::new(),
+                busy: Seconds::ZERO,
+                energy: Joules::ZERO,
+                queue_full: Seconds::ZERO,
+                completed: 0,
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    let mut stream = ArrivalStream::new(traffic)?;
+    let offered = stream.total();
+    let mut arouter = router.build();
+    let mut drouter = decode_router.build();
+    let mut p_assigned = vec![0u64; prefill.len()];
+    let mut d_assigned = vec![0u64; decode.len()];
+    let mut transfers = KvTransferStats::default();
+    let mut completions: Vec<Completion> = Vec::new();
+
+    loop {
+        // The earliest event wins; ties go arrival → prefill → decode,
+        // then lowest index — a fixed order, so runs replay exactly.
+        let mut best: Option<(Seconds, u8, usize)> = None;
+        let mut offer = |t: Seconds, class: u8, idx: usize| {
+            if best.is_none_or(|(bt, bc, bi)| {
+                t < bt || (t == bt && (class, idx) < (bc, bi))
+            }) {
+                best = Some((t, class, idx));
+            }
+        };
+        if let Some(ta) = stream.peek() {
+            offer(ta, 0, 0);
+        }
+        for (i, u) in punits.iter().enumerate() {
+            if let Some(t) = u.candidate() {
+                offer(t, 1, i);
+            }
+        }
+        for (i, u) in dunits.iter().enumerate() {
+            if let Some(t) = u.candidate() {
+                offer(t, 2, i);
+            }
+        }
+        let Some((_, class, idx)) = best else {
+            if stream.exhausted() {
+                break;
+            }
+            return Err(Error::invalid_config(
+                "disaggregated driver stalled: requests pending but no unit can act",
+            ));
+        };
+        match class {
+            0 => {
+                let request = stream.pop();
+                let snaps: Vec<ReplicaSnapshot> = punits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, u)| u.snapshot(i, p_assigned[i]))
+                    .collect();
+                let k = arouter.route(&request, &snaps).min(punits.len() - 1);
+                p_assigned[k] += 1;
+                punits[k].queue.push_back(request);
+            }
+            1 => {
+                let batch = punits[idx].step()?;
+                for req in batch.members {
+                    // Route the handoff, serialize it on this replica's
+                    // egress link, and gate the decode admission on the
+                    // target's allocator (via its pending queue).
+                    let snaps: Vec<ReplicaSnapshot> = dunits
+                        .iter()
+                        .enumerate()
+                        .map(|(i, u)| u.snapshot(i, d_assigned[i]))
+                        .collect();
+                    let k = drouter.route(&req, &snaps).min(dunits.len() - 1);
+                    d_assigned[k] += 1;
+                    let bytes =
+                        full_fp.handoff_bytes(req.prompt_len, punits[idx].alloc.block_tokens());
+                    let duration = interconnect.transfer_time(bytes);
+                    let t_start = batch.end.max(punits[idx].link_free);
+                    let t_end = t_start + duration;
+                    punits[idx].link_free = t_end;
+                    punits[idx].pending_release.push((t_end, req.id));
+                    transfers.record(bytes.get(), duration, interconnect.transfer_energy(bytes));
+                    dunits[k].pending.push(PendingDecode {
+                        req,
+                        first_token: batch.end,
+                        ready: t_end,
+                    });
+                }
+            }
+            _ => {
+                let finished = dunits[idx].step()?;
+                for c in &finished {
+                    stream.on_complete(c);
+                }
+                completions.extend(finished);
+            }
+        }
+    }
+
+    completions.sort_by_key(|c| c.id);
+    let mut rows = Vec::with_capacity(prefill.len() + decode.len());
+    let mut chip_energy = Joules::ZERO;
+    let mut queue_full_s = 0.0;
+    for (spec, unit) in prefill.iter().zip(&punits) {
+        chip_energy += unit.energy;
+        rows.push(ReplicaUtilization {
+            name: spec.name.clone(),
+            model: spec.model.name().to_owned(),
+            role: "prefill".to_owned(),
+            chips: spec.chips(),
+            requests: unit.prefills,
+            busy_s: unit.busy.get(),
+            utilization: 0.0,
+            energy_j: unit.energy.get(),
+            kv_hwm_frac: unit.alloc.high_water_frac(),
+        });
+    }
+    for (spec, unit) in decode.iter().zip(&dunits) {
+        chip_energy += unit.energy;
+        queue_full_s += unit.queue_full.get();
+        rows.push(ReplicaUtilization {
+            name: spec.name.clone(),
+            model: spec.model.name().to_owned(),
+            role: "decode".to_owned(),
+            chips: spec.chips(),
+            requests: unit.completed,
+            busy_s: unit.busy.get(),
+            utilization: 0.0,
+            energy_j: unit.energy.get(),
+            kv_hwm_frac: unit.alloc.high_water_frac(),
+        });
+    }
+    let report = ClusterReport::build(
+        label,
+        "disaggregated",
+        format!("{}\u{2192}{}", router.name(), decode_router.name()),
+        offered,
+        &completions,
+        chip_energy,
+        0, // worst-case decode reservation: the pools never preempt
+        queue_full_s,
+        transfers,
+        rows,
+        slo_ms,
+    );
+    for session in p_sessions.iter().chain(&d_sessions) {
+        session.persist_cache();
+    }
+    Ok(ClusterRun { report, replica_reports: Vec::new(), completions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interconnect_prices_time_and_energy() {
+        let link = InterconnectSpec::ici();
+        let mib = Bytes::from_mib(1);
+        // 1 MiB at 100 GB/s + 1 µs hop.
+        let expected = 1024.0 * 1024.0 / 100e9 + 1e-6;
+        assert!((link.transfer_time(mib).get() - expected).abs() < 1e-15);
+        // 5 pJ/byte.
+        let ej = link.transfer_energy(mib).get();
+        assert!((ej - 1024.0 * 1024.0 * 5e-12).abs() < 1e-18);
+        // Zero bytes still pay the hop, but no energy.
+        assert_eq!(link.transfer_time(Bytes::ZERO), Seconds::from_micros(1.0));
+        assert_eq!(link.transfer_energy(Bytes::ZERO), Joules::ZERO);
+    }
+
+    #[test]
+    fn interconnect_from_ring_matches_link_parameters() {
+        let ring = RingTopology::new(4, 2, Bandwidth::from_gb_per_s(100.0)).unwrap();
+        let link = InterconnectSpec::from_ring(&ring, 5.0);
+        assert_eq!(link.link_bandwidth, ring.link_bandwidth());
+        // A transfer over this spec equals the ring's neighbour p2p time.
+        let bytes = Bytes::from_mib(8);
+        assert_eq!(link.transfer_time(bytes), ring.p2p_time(bytes));
+    }
+}

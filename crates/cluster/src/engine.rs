@@ -1,0 +1,257 @@
+//! The fleet engine: topology + router + traffic → [`ClusterRun`].
+
+use cimtpu_serving::{
+    drive, ArrivalStream, Completion, EngineCore, EngineSession, ServingReport, TrafficSpec,
+};
+use cimtpu_units::{Error, Joules, Result};
+
+use crate::disagg::{run_disaggregated, InterconnectSpec};
+use crate::replica::ReplicaSpec;
+use crate::report::{ClusterReport, KvTransferStats, ReplicaUtilization};
+use crate::router::{ReplicaSnapshot, RouterPolicy};
+
+/// How the fleet's replicas divide the serving pipeline.
+#[derive(Debug, Clone)]
+pub enum ClusterTopology {
+    /// Every replica runs whole requests (prefill + decode on the same
+    /// chips); the router spreads arrivals across them.
+    Colocated {
+        /// The replica groups.
+        replicas: Vec<ReplicaSpec>,
+        /// Arrival routing policy.
+        router: RouterPolicy,
+    },
+    /// DistServe/Splitwise-style disaggregation: a prefill pool ingests
+    /// prompts, hands the KV cache over the interconnect to a decode pool,
+    /// and decode admission is gated by the target replica's paged
+    /// allocator.
+    Disaggregated {
+        /// Prefill-pool replicas.
+        prefill: Vec<ReplicaSpec>,
+        /// Decode-pool replicas.
+        decode: Vec<ReplicaSpec>,
+        /// Arrival routing policy (across the prefill pool).
+        router: RouterPolicy,
+        /// KV-handoff routing policy (across the decode pool).
+        decode_router: RouterPolicy,
+        /// The link KV caches migrate over.
+        interconnect: InterconnectSpec,
+    },
+}
+
+/// A complete fleet-simulation configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterEngine {
+    topology: ClusterTopology,
+    slo_ms: Option<f64>,
+}
+
+/// Everything a cluster run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRun {
+    /// The fleet aggregate.
+    pub report: ClusterReport,
+    /// Per-replica `ServingReport`s (colocated fleets only — one per
+    /// replica that completed at least one request, labelled with the
+    /// replica name; empty for disaggregated fleets, whose pools don't
+    /// run the single-engine scheduler).
+    pub replica_reports: Vec<ServingReport>,
+    /// Per-request lifecycle records, in request-id order.
+    pub completions: Vec<Completion>,
+}
+
+impl ClusterEngine {
+    /// A colocated fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty replica list.
+    pub fn colocated(replicas: Vec<ReplicaSpec>, router: RouterPolicy) -> Result<Self> {
+        if replicas.is_empty() {
+            return Err(Error::invalid_config("a cluster needs at least one replica"));
+        }
+        Ok(ClusterEngine {
+            topology: ClusterTopology::Colocated { replicas, router },
+            slo_ms: None,
+        })
+    }
+
+    /// A disaggregated prefill/decode fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either pool is empty.
+    pub fn disaggregated(
+        prefill: Vec<ReplicaSpec>,
+        decode: Vec<ReplicaSpec>,
+        router: RouterPolicy,
+        decode_router: RouterPolicy,
+        interconnect: InterconnectSpec,
+    ) -> Result<Self> {
+        if prefill.is_empty() || decode.is_empty() {
+            return Err(Error::invalid_config(
+                "a disaggregated cluster needs at least one prefill and one decode replica",
+            ));
+        }
+        Ok(ClusterEngine {
+            topology: ClusterTopology::Disaggregated {
+                prefill,
+                decode,
+                router,
+                decode_router,
+                interconnect,
+            },
+            slo_ms: None,
+        })
+    }
+
+    /// Sets the latency SLO the report's goodput is computed against.
+    #[must_use]
+    pub fn with_slo_ms(mut self, slo_ms: f64) -> Self {
+        self.slo_ms = Some(slo_ms);
+        self
+    }
+
+    /// Overrides every replica's KV budget (both pools of a disaggregated
+    /// fleet) — what the `cluster_sim --kv-budget` flag applies.
+    #[must_use]
+    pub fn with_kv_budget(mut self, budget: cimtpu_serving::KvBudget) -> Self {
+        let apply = |replicas: &mut Vec<ReplicaSpec>| {
+            for r in replicas {
+                r.memory.budget = budget;
+            }
+        };
+        match &mut self.topology {
+            ClusterTopology::Colocated { replicas, .. } => apply(replicas),
+            ClusterTopology::Disaggregated { prefill, decode, .. } => {
+                apply(prefill);
+                apply(decode);
+            }
+        }
+        self
+    }
+
+    /// The fleet topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Simulates `traffic` across the fleet. Deterministic: identical
+    /// inputs give identical reports (CI replays seeded runs and diffs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid traffic spec or replica
+    /// configuration, an unmappable operator, or a KV budget too small to
+    /// hold a single request.
+    pub fn run(&self, label: &str, traffic: &TrafficSpec) -> Result<ClusterRun> {
+        match &self.topology {
+            ClusterTopology::Colocated { replicas, router } => {
+                run_colocated(replicas, *router, label, traffic, self.slo_ms)
+            }
+            ClusterTopology::Disaggregated {
+                prefill,
+                decode,
+                router,
+                decode_router,
+                interconnect,
+            } => run_disaggregated(
+                prefill,
+                decode,
+                *router,
+                *decode_router,
+                *interconnect,
+                label,
+                traffic,
+                self.slo_ms,
+            ),
+        }
+    }
+}
+
+/// Builds router snapshots of every core at arrival instant `t`.
+fn snapshots(cores: &[EngineCore<'_>], t: cimtpu_units::Seconds, assigned: &[u64]) -> Vec<ReplicaSnapshot> {
+    cores
+        .iter()
+        .enumerate()
+        .map(|(index, core)| ReplicaSnapshot {
+            index,
+            outstanding: core.outstanding_at(t),
+            queued: core.queued(),
+            kv_frac: core.kv_frac(),
+            assigned: assigned[index],
+        })
+        .collect()
+}
+
+fn run_colocated(
+    replicas: &[ReplicaSpec],
+    policy: RouterPolicy,
+    label: &str,
+    traffic: &TrafficSpec,
+    slo_ms: Option<f64>,
+) -> Result<ClusterRun> {
+    let sessions: Vec<EngineSession> = replicas
+        .iter()
+        .map(|r| EngineSession::new(&r.engine()?))
+        .collect::<Result<_>>()?;
+    let mut cores: Vec<EngineCore<'_>> =
+        sessions.iter().map(EngineSession::core).collect::<Result<_>>()?;
+    let mut stream = ArrivalStream::new(traffic)?;
+    let offered = stream.total();
+    let mut router = policy.build();
+    let mut assigned = vec![0u64; replicas.len()];
+
+    drive(&mut cores, &mut stream, |request, cores| {
+        let snaps = snapshots(cores, request.arrival(), &assigned);
+        let k = router.route(request, &snaps).min(cores.len() - 1);
+        assigned[k] += 1;
+        k
+    })?;
+
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut chip_energy = Joules::ZERO;
+    let mut preemptions = 0;
+    let mut queue_full_s = 0.0;
+    let mut rows = Vec::with_capacity(replicas.len());
+    let mut replica_reports = Vec::new();
+    for (spec, core) in replicas.iter().zip(&cores) {
+        let memory = core.memory_stats();
+        preemptions += memory.preemptions;
+        queue_full_s += memory.queue_full_s;
+        chip_energy += core.energy();
+        completions.extend_from_slice(core.completions());
+        rows.push(ReplicaUtilization {
+            name: spec.name.clone(),
+            model: spec.model.name().to_owned(),
+            role: "serve".to_owned(),
+            chips: spec.chips(),
+            requests: core.completions().len() as u64,
+            busy_s: core.busy().get(),
+            utilization: 0.0, // filled against the fleet makespan
+            energy_j: core.energy().get(),
+            kv_hwm_frac: memory.kv_hwm_frac,
+        });
+        if !core.completions().is_empty() {
+            replica_reports.push(core.finish(&spec.name).report);
+        }
+    }
+    completions.sort_by_key(|c| c.id);
+    let report = ClusterReport::build(
+        label,
+        "colocated",
+        policy.name().to_owned(),
+        offered,
+        &completions,
+        chip_energy,
+        preemptions,
+        queue_full_s,
+        KvTransferStats::default(),
+        rows,
+        slo_ms,
+    );
+    for session in &sessions {
+        session.persist_cache();
+    }
+    Ok(ClusterRun { report, replica_reports, completions })
+}

@@ -1,0 +1,120 @@
+//! Cluster-scale serving simulation: fleets of serving engines behind a
+//! router, with optional disaggregated prefill/decode.
+//!
+//! The `cimtpu-serving` crate prices one engine — one chip group, one
+//! model, one batching policy. Production serving is a *fleet* problem:
+//! heterogeneous replicas, request routing, closed-loop client
+//! populations, and (since DistServe/Splitwise) pipelines where prefill
+//! and decode run on different machines with the KV cache migrating
+//! between them. This crate composes those out of the existing layers.
+//!
+//! # Topology
+//!
+//! ```text
+//!                       ┌────────────────────────────────────────────┐
+//!   TrafficSpec ──────► │ Router (round-robin / least-outstanding /  │
+//!   (open / closed      │         least-KV / session-affinity)       │
+//!    loop, seeded)      └───────┬──────────────┬─────────────────────┘
+//!                               │              │
+//!                     Colocated │              │ Disaggregated
+//!                               ▼              ▼
+//!              ┌─ replica 0: EngineCore ┐   ┌─ prefill pool ─┐
+//!              ├─ replica 1: EngineCore ┤   │ FCFS prompt    │
+//!              ├─ replica 2: EngineCore ┤   │ ingestion      │
+//!              └─ ... (any chip, model, ┘   └───────┬────────┘
+//!                 policy, KV budget mix)            │ KV handoff:
+//!                                                   │ paged blocks over
+//!                                                   │ InterconnectSpec
+//!                                                   ▼
+//!                                            ┌─ decode pool ──┐
+//!                                            │ continuous     │
+//!                                            │ decode, paged  │
+//!                                            │ KV admission   │
+//!                                            └────────────────┘
+//! ```
+//!
+//! **Colocated** fleets run one incremental
+//! [`EngineCore`](cimtpu_serving::EngineCore) per [`ReplicaSpec`] — each
+//! with its own chip config, model, batching policy, and KV budget — and
+//! interleave them through the shared
+//! [`drive`](cimtpu_serving::drive) event loop. The [`Router`] sees a
+//! [`ReplicaSnapshot`] per replica at every arrival instant (outstanding
+//! work, queue depth, live KV occupancy) and picks the target; see the
+//! [`router`] module docs for the full trait contract. A 1-replica
+//! colocated cluster with the [`RouterPolicy::PassThrough`] router
+//! reproduces the corresponding single-engine
+//! [`ServingReport`](cimtpu_serving::ServingReport) **bit-for-bit** —
+//! the equivalence anchor the test suite pins for every batching policy
+//! and both open- and closed-loop traffic.
+//!
+//! **Disaggregated** fleets split the pipeline: a prefill pool ingests
+//! prompts FCFS, the finished prompt's paged KV cache migrates over an
+//! [`InterconnectSpec`] (block-aligned
+//! [`handoff_bytes`](cimtpu_kv::KvFootprint::handoff_bytes), serialized
+//! per egress link, priced in seconds *and* joules), and a second router
+//! places each handoff on a decode replica whose paged allocator gates
+//! admission. See the [`disagg`] module docs for the full cost model.
+//!
+//! # Traffic
+//!
+//! Both topologies accept every
+//! [`TrafficSpec`](cimtpu_serving::TrafficSpec) arrival pattern,
+//! including closed-loop client populations — completions anywhere in
+//! the fleet schedule that client's next arrival, so saturation studies
+//! (throughput and latency versus client count) run fleet-wide.
+//!
+//! # Reports
+//!
+//! A [`ClusterRun`] carries the fleet [`ClusterReport`] (p50/p95/p99
+//! latency and TTFT, throughput and SLO-goodput, energy, KV-transfer
+//! volume/time/energy, per-replica utilization rows and an imbalance
+//! ratio) plus per-replica `ServingReport`s for colocated fleets. The
+//! `cluster_sim` binary runs the headline scenarios and writes
+//! `BENCH_cluster.json`, which CI diffs against the committed baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use cimtpu_cluster::{ClusterEngine, ReplicaSpec, RouterPolicy};
+//! use cimtpu_core::TpuConfig;
+//! use cimtpu_models::TransformerConfig;
+//! use cimtpu_serving::{ArrivalPattern, LenDist, ServingModel, TrafficSpec};
+//!
+//! let tiny = TransformerConfig::new("Tiny-2L", 2, 4, 256, 1024)?;
+//! let fleet = ClusterEngine::colocated(
+//!     vec![
+//!         ReplicaSpec::new("a", TpuConfig::tpuv4i(), ServingModel::Llm(tiny.clone())),
+//!         ReplicaSpec::new("b", TpuConfig::design_a(), ServingModel::Llm(tiny)),
+//!     ],
+//!     RouterPolicy::LeastOutstanding,
+//! )?;
+//! let run = fleet.run(
+//!     "quickstart",
+//!     &TrafficSpec {
+//!         requests: 8,
+//!         arrival: ArrivalPattern::ClosedLoop { clients: 4, think_ms: 5.0 },
+//!         prompt: LenDist::Fixed(32),
+//!         steps: LenDist::Fixed(4),
+//!         seed: 1,
+//!     },
+//! )?;
+//! assert_eq!(run.report.completed, 8);
+//! assert_eq!(run.report.per_replica.len(), 2);
+//! # Ok::<(), cimtpu_units::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disagg;
+mod engine;
+mod replica;
+mod report;
+pub mod router;
+pub mod scenario;
+
+pub use disagg::InterconnectSpec;
+pub use engine::{ClusterEngine, ClusterRun, ClusterTopology};
+pub use replica::ReplicaSpec;
+pub use report::{ClusterReport, KvTransferStats, ReplicaUtilization};
+pub use router::{ReplicaSnapshot, Router, RouterPolicy};

@@ -1,0 +1,386 @@
+//! Fleet-level metrics: per-replica utilization and the aggregate
+//! [`ClusterReport`].
+
+use serde::{Deserialize, Serialize};
+
+use cimtpu_serving::{Completion, LatencyStats};
+use cimtpu_units::{Joules, Seconds};
+
+/// KV-cache handoff traffic over the cluster interconnect (disaggregated
+/// prefill→decode transfers; all-zero for colocated fleets).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct KvTransferStats {
+    /// Completed handoffs.
+    pub transfers: u64,
+    /// Total bytes moved (block-aligned paged footprints).
+    pub bytes: u64,
+    /// Total link-busy time, in seconds.
+    pub seconds: f64,
+    /// Total link energy, in joules.
+    pub energy_j: f64,
+}
+
+impl KvTransferStats {
+    /// Records one handoff.
+    pub fn record(&mut self, bytes: u64, duration: Seconds, energy: Joules) {
+        self.transfers += 1;
+        self.bytes += bytes;
+        self.seconds += duration.get();
+        self.energy_j += energy.get();
+    }
+}
+
+/// One replica's row in the fleet report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaUtilization {
+    /// Replica name.
+    pub name: String,
+    /// Hosted model name.
+    pub model: String,
+    /// Role in the topology: `serve` (colocated), `prefill`, or `decode`.
+    pub role: String,
+    /// Physical chips.
+    pub chips: u64,
+    /// Requests this replica served (prefills for a prefill replica,
+    /// completions otherwise).
+    pub requests: u64,
+    /// Time spent computing (priced segment latency), in seconds.
+    pub busy_s: f64,
+    /// `busy_s` over the fleet makespan.
+    pub utilization: f64,
+    /// Chip energy, in joules.
+    pub energy_j: f64,
+    /// KV occupancy high-water mark (fraction of capacity; 0 unlimited).
+    pub kv_hwm_frac: f64,
+}
+
+/// Aggregate outcome of one cluster simulation.
+///
+/// # JSON stability
+///
+/// Like `ServingReport`, serialization derives from this struct in
+/// declaration order — the committed `BENCH_cluster.json` baseline is
+/// diffed byte-for-byte in CI, so field changes require regenerating the
+/// baseline in the same commit (a unit test pins the key order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Scenario / run label.
+    pub label: String,
+    /// Topology kind: `colocated` or `disaggregated`.
+    pub topology: String,
+    /// Router name (for disaggregated fleets, `prefill→decode` pair).
+    pub router: String,
+    /// Replica groups in the fleet.
+    pub replicas: u64,
+    /// Physical chips across all replicas.
+    pub chips: u64,
+    /// Requests offered by the traffic spec.
+    pub offered: u64,
+    /// Requests completed (always equals `offered`: the trace is finite).
+    pub completed: u64,
+    /// Time from the first arrival to the last completion, in seconds.
+    pub makespan_s: f64,
+    /// Completed requests per second of makespan.
+    pub throughput_rps: f64,
+    /// Completed requests meeting the latency SLO per second of makespan
+    /// (equals `throughput_rps` when no SLO is set).
+    pub goodput_rps: f64,
+    /// The latency SLO `goodput_rps` was computed against (0 = none).
+    pub slo_ms: f64,
+    /// Generation steps (tokens / diffusion steps) per second of makespan.
+    pub steps_per_second: f64,
+    /// End-to-end request latency distribution across the fleet.
+    pub latency: LatencyStats,
+    /// Time-to-first-token distribution across the fleet.
+    pub ttft: LatencyStats,
+    /// Total energy: every replica's chips plus interconnect transfers.
+    pub total_energy_j: f64,
+    /// Mean energy per completed request.
+    pub energy_per_request_j: f64,
+    /// Requests evicted to free KV blocks, summed over replicas.
+    pub preemptions: u64,
+    /// Time ready requests spent blocked on KV capacity, summed, seconds.
+    pub queue_full_s: f64,
+    /// KV-cache handoffs over the interconnect.
+    pub kv_transfers: u64,
+    /// Bytes of KV cache moved over the interconnect.
+    pub kv_transfer_bytes: u64,
+    /// Interconnect link-busy time, in seconds.
+    pub kv_transfer_s: f64,
+    /// Interconnect transfer energy, in joules.
+    pub kv_transfer_energy_j: f64,
+    /// Busiest replica's busy time over the mean busy time (1.0 =
+    /// perfectly balanced; 0 if nothing ran).
+    pub imbalance: f64,
+    /// Per-replica utilization rows, in replica order.
+    pub per_replica: Vec<ReplicaUtilization>,
+}
+
+impl ClusterReport {
+    /// Builds the fleet aggregate from completed requests and per-replica
+    /// rows (whose `utilization` is filled in here, against the fleet
+    /// makespan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completions` is empty.
+    #[allow(clippy::too_many_arguments)] // one construction site per topology
+    pub(crate) fn build(
+        label: &str,
+        topology: &str,
+        router: String,
+        offered: u64,
+        completions: &[Completion],
+        chip_energy: Joules,
+        preemptions: u64,
+        queue_full_s: f64,
+        transfers: KvTransferStats,
+        mut per_replica: Vec<ReplicaUtilization>,
+        slo_ms: Option<f64>,
+    ) -> Self {
+        assert!(!completions.is_empty(), "no completions to report");
+        let finish = completions
+            .iter()
+            .map(|c| c.finish)
+            .fold(Seconds::ZERO, Seconds::max);
+        let first_arrival = completions
+            .iter()
+            .map(|c| c.arrival)
+            .fold(finish, Seconds::min);
+        let makespan = (finish - first_arrival).get().max(f64::MIN_POSITIVE);
+        let steps: u64 = completions.iter().map(|c| c.steps).sum();
+        let latencies: Vec<Seconds> = completions.iter().map(Completion::latency).collect();
+        let ttfts: Vec<Seconds> = completions.iter().map(Completion::ttft).collect();
+        let good = match slo_ms {
+            None => completions.len(),
+            Some(slo) => latencies.iter().filter(|l| l.as_millis() <= slo).count(),
+        };
+        for row in &mut per_replica {
+            row.utilization = row.busy_s / makespan;
+        }
+        let busy: Vec<f64> = per_replica.iter().map(|r| r.busy_s).collect();
+        let mean_busy = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+        let imbalance = if mean_busy > 0.0 {
+            busy.iter().copied().fold(0.0, f64::max) / mean_busy
+        } else {
+            0.0
+        };
+        let total_energy = chip_energy.get() + transfers.energy_j;
+        ClusterReport {
+            label: label.to_owned(),
+            topology: topology.to_owned(),
+            router,
+            replicas: per_replica.len() as u64,
+            chips: per_replica.iter().map(|r| r.chips).sum(),
+            offered,
+            completed: completions.len() as u64,
+            makespan_s: makespan,
+            throughput_rps: completions.len() as f64 / makespan,
+            goodput_rps: good as f64 / makespan,
+            slo_ms: slo_ms.unwrap_or(0.0),
+            steps_per_second: steps as f64 / makespan,
+            latency: LatencyStats::from_samples(&latencies),
+            ttft: LatencyStats::from_samples(&ttfts),
+            total_energy_j: total_energy,
+            energy_per_request_j: total_energy / completions.len() as f64,
+            preemptions,
+            queue_full_s,
+            kv_transfers: transfers.transfers,
+            kv_transfer_bytes: transfers.bytes,
+            kv_transfer_s: transfers.seconds,
+            kv_transfer_energy_j: transfers.energy_j,
+            imbalance,
+            per_replica,
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "== {} [{} fleet, {} replica(s) / {} chip(s), {} router] ==",
+            self.label, self.topology, self.replicas, self.chips, self.router
+        )?;
+        writeln!(
+            f,
+            "completed {}/{} in {:.3} s  ({:.2} req/s, {:.2} good req/s, {:.1} steps/s)",
+            self.completed,
+            self.offered,
+            self.makespan_s,
+            self.throughput_rps,
+            self.goodput_rps,
+            self.steps_per_second
+        )?;
+        writeln!(
+            f,
+            "latency ms  p50 {:.3}  p95 {:.3}  p99 {:.3}  mean {:.3}  max {:.3}",
+            self.latency.p50_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+            self.latency.mean_ms,
+            self.latency.max_ms
+        )?;
+        writeln!(
+            f,
+            "ttft ms     p50 {:.3}  p95 {:.3}  p99 {:.3}  mean {:.3}  max {:.3}",
+            self.ttft.p50_ms, self.ttft.p95_ms, self.ttft.p99_ms, self.ttft.mean_ms,
+            self.ttft.max_ms
+        )?;
+        writeln!(
+            f,
+            "energy      {:.4} J total, {:.4} J/request  |  kv {} preemption(s), {:.4} s queue-full",
+            self.total_energy_j, self.energy_per_request_j, self.preemptions, self.queue_full_s
+        )?;
+        writeln!(
+            f,
+            "kv handoff  {} transfer(s), {} bytes, {:.6} s on the wire, {:.6} J  |  imbalance {:.3}",
+            self.kv_transfers,
+            self.kv_transfer_bytes,
+            self.kv_transfer_s,
+            self.kv_transfer_energy_j,
+            self.imbalance
+        )?;
+        for r in &self.per_replica {
+            writeln!(
+                f,
+                "  {:<16} {:<8} {:<18} {} chip(s)  {:>5} req  busy {:.3} s  util {:.1}%  \
+                 {:.4} J  kv hwm {:.1}%",
+                r.name,
+                r.role,
+                r.model,
+                r.chips,
+                r.requests,
+                r.busy_s,
+                r.utilization * 100.0,
+                r.energy_j,
+                r.kv_hwm_frac * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64, arrival: f64, first: f64, finish: f64) -> Completion {
+        Completion {
+            id,
+            arrival: Seconds::new(arrival),
+            first_token: Seconds::new(first),
+            finish: Seconds::new(finish),
+            steps: 10,
+        }
+    }
+
+    fn row(name: &str, busy_s: f64) -> ReplicaUtilization {
+        ReplicaUtilization {
+            name: name.to_owned(),
+            model: "m".to_owned(),
+            role: "serve".to_owned(),
+            chips: 1,
+            requests: 1,
+            busy_s,
+            utilization: 0.0,
+            energy_j: 1.0,
+            kv_hwm_frac: 0.0,
+        }
+    }
+
+    fn build(slo_ms: Option<f64>) -> ClusterReport {
+        ClusterReport::build(
+            "t",
+            "colocated",
+            "round-robin".to_owned(),
+            2,
+            &[c(0, 0.0, 0.5, 1.0), c(1, 0.0, 1.5, 4.0)],
+            Joules::new(8.0),
+            1,
+            0.25,
+            KvTransferStats::default(),
+            vec![row("a", 3.0), row("b", 1.0)],
+            slo_ms,
+        )
+    }
+
+    #[test]
+    fn aggregates_and_utilization() {
+        let rep = build(None);
+        assert_eq!(rep.completed, 2);
+        assert_eq!(rep.chips, 2);
+        assert_eq!(rep.makespan_s, 4.0);
+        assert_eq!(rep.goodput_rps, rep.throughput_rps);
+        assert_eq!(rep.slo_ms, 0.0);
+        assert!((rep.per_replica[0].utilization - 0.75).abs() < 1e-12);
+        // max busy 3.0 over mean 2.0.
+        assert!((rep.imbalance - 1.5).abs() < 1e-12);
+        assert_eq!(rep.total_energy_j, 8.0);
+        let text = rep.to_string();
+        assert!(text.contains("kv handoff"), "{text}");
+        assert!(text.contains("imbalance"), "{text}");
+    }
+
+    #[test]
+    fn slo_splits_goodput_from_throughput() {
+        // Request 1's latency is 4 s: a 2000 ms SLO drops it.
+        let rep = build(Some(2000.0));
+        assert_eq!(rep.slo_ms, 2000.0);
+        assert!((rep.goodput_rps - 0.25).abs() < 1e-12, "{}", rep.goodput_rps);
+        assert!((rep.throughput_rps - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_stats_accumulate() {
+        let mut t = KvTransferStats::default();
+        t.record(100, Seconds::new(0.5), Joules::new(0.1));
+        t.record(50, Seconds::new(0.25), Joules::new(0.05));
+        assert_eq!(t.transfers, 2);
+        assert_eq!(t.bytes, 150);
+        assert!((t.seconds - 0.75).abs() < 1e-12);
+        assert!((t.energy_j - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_field_order_is_declaration_order() {
+        // BENCH_cluster.json is diffed byte-for-byte in CI: serialization
+        // must follow struct declaration order. A failure here means the
+        // baseline format changed — regenerate it deliberately.
+        let json = serde_json::to_string(&build(None)).unwrap();
+        let keys = [
+            "\"label\"",
+            "\"topology\"",
+            "\"router\"",
+            "\"replicas\"",
+            "\"chips\"",
+            "\"offered\"",
+            "\"completed\"",
+            "\"makespan_s\"",
+            "\"throughput_rps\"",
+            "\"goodput_rps\"",
+            "\"slo_ms\"",
+            "\"steps_per_second\"",
+            "\"latency\"",
+            "\"ttft\"",
+            "\"total_energy_j\"",
+            "\"energy_per_request_j\"",
+            "\"preemptions\"",
+            "\"queue_full_s\"",
+            "\"kv_transfers\"",
+            "\"kv_transfer_bytes\"",
+            "\"kv_transfer_s\"",
+            "\"kv_transfer_energy_j\"",
+            "\"imbalance\"",
+            "\"per_replica\"",
+        ];
+        let positions: Vec<usize> = keys
+            .iter()
+            .map(|k| json.find(k).unwrap_or_else(|| panic!("{k} missing from {json}")))
+            .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "field order drifted: {json}"
+        );
+    }
+}

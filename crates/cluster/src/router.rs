@@ -1,0 +1,264 @@
+//! Request routing: which replica group an arriving request lands on.
+//!
+//! # Router contract
+//!
+//! A [`Router`] is consulted exactly once per request, at its arrival
+//! instant, with a [`ReplicaSnapshot`] per replica describing what the
+//! fleet knows *at that moment* (outstanding work, queue depth, live KV
+//! occupancy, cumulative assignments). It returns the index of the chosen
+//! replica; out-of-range indices are clamped by the driver. Routers may
+//! keep internal state (round-robin cursors) but must be deterministic —
+//! equal snapshot sequences must produce equal choices — because every
+//! cluster run is replayed bit-for-bit in CI. Routing is *not* revisited:
+//! once pushed, a request stays on its replica (no work stealing).
+
+use cimtpu_serving::Request;
+
+/// What a router sees about one replica at a routing instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaSnapshot {
+    /// Replica index (what [`Router::route`] returns).
+    pub index: usize,
+    /// Requests in flight at this instant: queued, resident, or already
+    /// scheduled to complete in the future.
+    pub outstanding: u64,
+    /// Requests pushed but not yet scheduled.
+    pub queued: u64,
+    /// Live KV occupancy as a fraction of capacity (0 for unlimited
+    /// budgets, and between run-to-completion batches).
+    pub kv_frac: f64,
+    /// Requests ever assigned to this replica.
+    pub assigned: u64,
+}
+
+/// A routing strategy (see the [module docs](self) for the contract).
+pub trait Router {
+    /// The router's display name (reports, CLI).
+    fn name(&self) -> &'static str;
+
+    /// Picks the replica for `request` given the fleet state.
+    fn route(&mut self, request: &Request, replicas: &[ReplicaSnapshot]) -> usize;
+}
+
+/// The built-in routing strategies, as a configuration value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Everything to replica 0 — the degenerate router that makes a
+    /// 1-replica cluster reproduce its single engine bit-for-bit (the
+    /// equivalence anchor).
+    PassThrough,
+    /// Cycle through replicas in index order.
+    RoundRobin,
+    /// The replica with the fewest outstanding requests (ties pick the
+    /// lowest index) — the classic least-loaded policy.
+    LeastOutstanding,
+    /// The replica with the lowest live KV occupancy, breaking ties by
+    /// outstanding requests then index — memory-pressure-aware routing.
+    LeastKv,
+    /// Hash the request's session onto a replica, so a session's requests
+    /// always land together (prefix/affinity routing: a session's later
+    /// requests re-use cache state where the first one ran).
+    SessionAffinity,
+}
+
+impl RouterPolicy {
+    /// The policy's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterPolicy::PassThrough => "pass-through",
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::LeastOutstanding => "least-outstanding",
+            RouterPolicy::LeastKv => "least-kv",
+            RouterPolicy::SessionAffinity => "session-affinity",
+        }
+    }
+
+    /// Instantiates the router.
+    pub fn build(&self) -> Box<dyn Router> {
+        match self {
+            RouterPolicy::PassThrough => Box::new(PassThrough),
+            RouterPolicy::RoundRobin => Box::new(RoundRobin { next: 0 }),
+            RouterPolicy::LeastOutstanding => Box::new(LeastOutstanding),
+            RouterPolicy::LeastKv => Box::new(LeastKv),
+            RouterPolicy::SessionAffinity => Box::new(SessionAffinity),
+        }
+    }
+
+    /// Looks a policy up by its display name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`cimtpu_units::Error::UnknownPreset`] for anything else.
+    pub fn by_name(name: &str) -> cimtpu_units::Result<Self> {
+        [
+            RouterPolicy::PassThrough,
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastOutstanding,
+            RouterPolicy::LeastKv,
+            RouterPolicy::SessionAffinity,
+        ]
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| cimtpu_units::Error::unknown_preset(format!("router '{name}'")))
+    }
+}
+
+struct PassThrough;
+
+impl Router for PassThrough {
+    fn name(&self) -> &'static str {
+        RouterPolicy::PassThrough.name()
+    }
+
+    fn route(&mut self, _request: &Request, _replicas: &[ReplicaSnapshot]) -> usize {
+        0
+    }
+}
+
+struct RoundRobin {
+    next: usize,
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        RouterPolicy::RoundRobin.name()
+    }
+
+    fn route(&mut self, _request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
+        let pick = self.next % replicas.len().max(1);
+        self.next = self.next.wrapping_add(1);
+        pick
+    }
+}
+
+struct LeastOutstanding;
+
+impl Router for LeastOutstanding {
+    fn name(&self) -> &'static str {
+        RouterPolicy::LeastOutstanding.name()
+    }
+
+    fn route(&mut self, _request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
+        replicas
+            .iter()
+            .min_by_key(|r| (r.outstanding, r.index))
+            .map_or(0, |r| r.index)
+    }
+}
+
+struct LeastKv;
+
+impl Router for LeastKv {
+    fn name(&self) -> &'static str {
+        RouterPolicy::LeastKv.name()
+    }
+
+    fn route(&mut self, _request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
+        replicas
+            .iter()
+            .min_by(|a, b| {
+                a.kv_frac
+                    .partial_cmp(&b.kv_frac)
+                    .expect("occupancy fractions are never NaN")
+                    .then(a.outstanding.cmp(&b.outstanding))
+                    .then(a.index.cmp(&b.index))
+            })
+            .map_or(0, |r| r.index)
+    }
+}
+
+struct SessionAffinity;
+
+impl Router for SessionAffinity {
+    fn name(&self) -> &'static str {
+        RouterPolicy::SessionAffinity.name()
+    }
+
+    fn route(&mut self, request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
+        (splitmix64(request.session) % replicas.len().max(1) as u64) as usize
+    }
+}
+
+/// A stable 64-bit finalizer (splitmix64), so nearby session ids spread
+/// across replicas while every run hashes identically.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(index: usize, outstanding: u64, kv_frac: f64) -> ReplicaSnapshot {
+        ReplicaSnapshot { index, outstanding, queued: 0, kv_frac, assigned: 0 }
+    }
+
+    fn req(id: u64, session: u64) -> Request {
+        Request { id, arrival_s: 0.0, prompt_len: 8, steps: 4, session }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = RouterPolicy::RoundRobin.build();
+        let snaps = [snap(0, 0, 0.0), snap(1, 0, 0.0), snap(2, 0, 0.0)];
+        let picks: Vec<usize> = (0..6).map(|i| r.route(&req(i, i), &snaps)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn pass_through_always_zero() {
+        let mut r = RouterPolicy::PassThrough.build();
+        let snaps = [snap(0, 9, 0.9), snap(1, 0, 0.0)];
+        assert_eq!(r.route(&req(0, 0), &snaps), 0);
+    }
+
+    #[test]
+    fn least_outstanding_picks_min_with_index_ties() {
+        let mut r = RouterPolicy::LeastOutstanding.build();
+        assert_eq!(r.route(&req(0, 0), &[snap(0, 3, 0.0), snap(1, 1, 0.0), snap(2, 1, 0.0)]), 1);
+        assert_eq!(r.route(&req(0, 0), &[snap(0, 0, 0.0), snap(1, 0, 0.0)]), 0);
+    }
+
+    #[test]
+    fn least_kv_breaks_ties_by_outstanding() {
+        let mut r = RouterPolicy::LeastKv.build();
+        assert_eq!(r.route(&req(0, 0), &[snap(0, 1, 0.8), snap(1, 5, 0.2)]), 1);
+        assert_eq!(r.route(&req(0, 0), &[snap(0, 5, 0.5), snap(1, 1, 0.5)]), 1);
+        assert_eq!(r.route(&req(0, 0), &[snap(0, 1, 0.5), snap(1, 1, 0.5)]), 0);
+    }
+
+    #[test]
+    fn session_affinity_is_sticky_and_spreads() {
+        let mut r = RouterPolicy::SessionAffinity.build();
+        let snaps = [snap(0, 0, 0.0), snap(1, 0, 0.0), snap(2, 0, 0.0), snap(3, 0, 0.0)];
+        // Same session always lands on the same replica, whatever the id.
+        for session in 0..16 {
+            let first = r.route(&req(0, session), &snaps);
+            for id in 1..4 {
+                assert_eq!(r.route(&req(id, session), &snaps), first);
+            }
+        }
+        // Different sessions cover more than one replica.
+        let covered: std::collections::HashSet<usize> =
+            (0..16).map(|s| r.route(&req(0, s), &snaps)).collect();
+        assert!(covered.len() > 1, "16 sessions all hashed to one replica");
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [
+            RouterPolicy::PassThrough,
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastOutstanding,
+            RouterPolicy::LeastKv,
+            RouterPolicy::SessionAffinity,
+        ] {
+            assert_eq!(RouterPolicy::by_name(p.name()).unwrap(), p);
+            assert_eq!(p.build().name(), p.name());
+        }
+        assert!(RouterPolicy::by_name("nope").is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! Named cluster scenarios: the reference fleets the `cluster_sim`
+//! binary and the CI smoke/baseline checks run.
+
+use cimtpu_core::TpuConfig;
+use cimtpu_models::presets;
+use cimtpu_serving::{
+    ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, ServingModel, TrafficSpec,
+};
+use cimtpu_units::{Bytes, Error, Result};
+
+use crate::disagg::InterconnectSpec;
+use crate::engine::{ClusterEngine, ClusterRun};
+use crate::replica::ReplicaSpec;
+use crate::router::RouterPolicy;
+
+/// A named, fully specified cluster experiment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (CLI argument).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The fleet.
+    pub engine: ClusterEngine,
+    /// Traffic to offer.
+    pub traffic: TrafficSpec,
+}
+
+impl Scenario {
+    /// Runs the scenario (optionally overriding the traffic seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn run(&self, seed: Option<u64>) -> Result<ClusterRun> {
+        let mut traffic = self.traffic;
+        if let Some(seed) = seed {
+            traffic.seed = seed;
+        }
+        self.engine.run(self.name, &traffic)
+    }
+}
+
+/// A deliberately tiny Transformer for smoke tests (the serving smoke
+/// model): two layers priced in milliseconds of wall clock.
+fn tiny() -> ServingModel {
+    ServingModel::Llm(cimtpu_serving::scenario::tiny_transformer())
+}
+
+fn llm_6_7b() -> ServingModel {
+    ServingModel::Llm(presets::gpt3_6_7b())
+}
+
+/// A tiny closed-loop fleet at a given client count — the saturation
+/// sweep's design points.
+fn closed_loop_point(
+    name: &'static str,
+    description: &'static str,
+    clients: u64,
+) -> Scenario {
+    Scenario {
+        name,
+        description,
+        engine: ClusterEngine::colocated(
+            vec![
+                ReplicaSpec::new("tiny-0", TpuConfig::tpuv4i(), tiny())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                ReplicaSpec::new("tiny-1", TpuConfig::tpuv4i(), tiny())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+            ],
+            RouterPolicy::LeastOutstanding,
+        )
+        .expect("static fleet is valid"),
+        traffic: TrafficSpec {
+            requests: 48,
+            arrival: ArrivalPattern::ClosedLoop { clients, think_ms: 5.0 },
+            prompt: LenDist::Uniform { lo: 16, hi: 64 },
+            steps: LenDist::Uniform { lo: 4, hi: 12 },
+            seed: 0xC1A0,
+        },
+    }
+}
+
+/// The headline scenarios: a heterogeneous small+large-chip fleet, a
+/// two-model fleet under session-skewed traffic, disaggregated
+/// prefill/decode versus colocated at matched hardware, and a closed-loop
+/// saturation sweep (2 → 8 → 32 clients on one tiny fleet).
+pub fn headline() -> Vec<Scenario> {
+    let disagg_traffic = TrafficSpec {
+        requests: 24,
+        arrival: ArrivalPattern::OpenLoop { rate_rps: 5.0 },
+        prompt: LenDist::Uniform { lo: 512, hi: 1024 },
+        steps: LenDist::Fixed(32),
+        seed: 0xC1A0,
+    };
+    vec![
+        Scenario {
+            name: "hetero-fleet",
+            description: "GPT-3 6.7B on one baseline TPUv4i + one CIM Design A chip, \
+                          least-outstanding routing",
+            engine: ClusterEngine::colocated(
+                vec![
+                    ReplicaSpec::new("tpuv4i", TpuConfig::tpuv4i(), llm_6_7b())
+                        .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                    ReplicaSpec::new("design-a", TpuConfig::design_a(), llm_6_7b())
+                        .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                ],
+                RouterPolicy::LeastOutstanding,
+            )
+            .expect("static fleet is valid"),
+            traffic: TrafficSpec {
+                requests: 24,
+                arrival: ArrivalPattern::OpenLoop { rate_rps: 6.0 },
+                prompt: LenDist::Uniform { lo: 128, hi: 512 },
+                steps: LenDist::Uniform { lo: 16, hi: 64 },
+                seed: 0xC1A0,
+            },
+        },
+        Scenario {
+            name: "two-model-skew",
+            description: "a 6.7B and a 13B replica behind session-affinity routing under \
+                          a 6-session pool (skew shows up as imbalance)",
+            engine: ClusterEngine::colocated(
+                vec![
+                    ReplicaSpec::new("gpt3-6.7b", TpuConfig::design_a(), llm_6_7b())
+                        .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                    ReplicaSpec::new(
+                        "llama2-13b",
+                        TpuConfig::design_a(),
+                        ServingModel::Llm(presets::llama2_13b()),
+                    )
+                    .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                ],
+                RouterPolicy::SessionAffinity,
+            )
+            .expect("static fleet is valid"),
+            traffic: TrafficSpec {
+                requests: 24,
+                arrival: ArrivalPattern::OpenLoopSessions { rate_rps: 6.0, sessions: 6 },
+                prompt: LenDist::Uniform { lo: 128, hi: 512 },
+                steps: LenDist::Fixed(32),
+                seed: 0xC1A0,
+            },
+        },
+        Scenario {
+            name: "disagg-prefill-decode",
+            description: "1 prefill + 2 decode Design A chips with paged KV handoff over \
+                          an ICI-class link, least-KV decode placement",
+            engine: ClusterEngine::disaggregated(
+                vec![ReplicaSpec::new("prefill-0", TpuConfig::design_a(), llm_6_7b())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 4 })],
+                vec![
+                    ReplicaSpec::new("decode-0", TpuConfig::design_a(), llm_6_7b())
+                        .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                    ReplicaSpec::new("decode-1", TpuConfig::design_a(), llm_6_7b())
+                        .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                ],
+                RouterPolicy::RoundRobin,
+                RouterPolicy::LeastKv,
+                InterconnectSpec::ici(),
+            )
+            .expect("static fleet is valid"),
+            traffic: disagg_traffic,
+        },
+        Scenario {
+            name: "colo-matched",
+            description: "the disagg-prefill-decode hardware (3 Design A chips) serving \
+                          the same traffic colocated — the comparison baseline",
+            engine: ClusterEngine::colocated(
+                vec![
+                    ReplicaSpec::new("colo-0", TpuConfig::design_a(), llm_6_7b())
+                        .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                    ReplicaSpec::new("colo-1", TpuConfig::design_a(), llm_6_7b())
+                        .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                    ReplicaSpec::new("colo-2", TpuConfig::design_a(), llm_6_7b())
+                        .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                ],
+                RouterPolicy::LeastOutstanding,
+            )
+            .expect("static fleet is valid"),
+            traffic: disagg_traffic,
+        },
+        closed_loop_point(
+            "closed-loop-c2",
+            "saturation sweep, 2 closed-loop clients on a 2-replica tiny fleet",
+            2,
+        ),
+        closed_loop_point(
+            "closed-loop-c8",
+            "saturation sweep, 8 closed-loop clients on a 2-replica tiny fleet",
+            8,
+        ),
+        closed_loop_point(
+            "closed-loop-c32",
+            "saturation sweep, 32 closed-loop clients on a 2-replica tiny fleet",
+            32,
+        ),
+    ]
+}
+
+/// The CI smoke scenario: a tiny disaggregated fleet under a tight decode
+/// KV budget, so KV handoffs *and* decode admission gating both fire in
+/// milliseconds of wall clock. Must report at least one KV transfer — CI
+/// asserts it.
+pub fn smoke_cluster() -> Scenario {
+    Scenario {
+        name: "smoke-cluster",
+        description: "tiny 1-prefill + 1-decode fleet, 4-block decode KV budget \
+                      (CI handoff determinism check)",
+        engine: ClusterEngine::disaggregated(
+            vec![ReplicaSpec::new("prefill-0", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 4 })],
+            vec![ReplicaSpec::new("decode-0", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 4 })
+                .with_memory(
+                    MemoryConfig::unlimited()
+                        .with_budget_bytes(Bytes::from_kib(64))
+                        .with_block_tokens(16),
+                )],
+            RouterPolicy::PassThrough,
+            RouterPolicy::PassThrough,
+            InterconnectSpec::ici(),
+        )
+        .expect("static fleet is valid"),
+        traffic: TrafficSpec {
+            requests: 6,
+            arrival: ArrivalPattern::OpenLoop { rate_rps: 20_000.0 },
+            prompt: LenDist::Fixed(32),
+            steps: LenDist::Fixed(8),
+            seed: 7,
+        },
+    }
+}
+
+/// Looks a scenario up by name (the headline set plus the smoke check).
+///
+/// # Errors
+///
+/// Returns [`Error::UnknownPreset`] for unrecognized names.
+pub fn by_name(name: &str) -> Result<Scenario> {
+    if name == "smoke-cluster" {
+        return Ok(smoke_cluster());
+    }
+    headline()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| Error::unknown_preset(name.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_covers_all_scenarios() {
+        for s in headline() {
+            assert_eq!(by_name(s.name).unwrap().name, s.name);
+        }
+        assert_eq!(by_name("smoke-cluster").unwrap().name, "smoke-cluster");
+        assert!(by_name("nope").is_err());
+    }
+
+    #[test]
+    fn smoke_cluster_hands_off_kv_deterministically() {
+        let a = smoke_cluster().run(None).unwrap();
+        let b = smoke_cluster().run(None).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.report.completed, 6);
+        // Every request's cache crossed the interconnect.
+        assert_eq!(a.report.kv_transfers, 6, "report: {}", a.report);
+        assert!(a.report.kv_transfer_bytes > 0);
+        assert!(a.report.kv_transfer_s > 0.0);
+        assert!(a.report.kv_transfer_energy_j > 0.0);
+        // The 4-block decode budget (2.5 worst-case requests) gates
+        // admission: decode queue-full time accrues.
+        assert!(a.report.queue_full_s > 0.0, "report: {}", a.report);
+        // A different seed changes the trace, hence the report.
+        let c = smoke_cluster().run(Some(99)).unwrap();
+        assert_ne!(a.report, c.report);
+    }
+
+    #[test]
+    fn closed_loop_sweep_saturates() {
+        let c2 = closed_loop_point("c2", "", 2).run(None).unwrap();
+        let c32 = closed_loop_point("c32", "", 32).run(None).unwrap();
+        assert!(
+            c32.report.throughput_rps > c2.report.throughput_rps,
+            "32 clients {:.1} rps should beat 2 clients {:.1} rps",
+            c32.report.throughput_rps,
+            c2.report.throughput_rps
+        );
+        assert!(
+            c32.report.latency.p99_ms > c2.report.latency.p99_ms,
+            "saturation should cost tail latency"
+        );
+    }
+}

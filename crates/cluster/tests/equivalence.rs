@@ -1,0 +1,155 @@
+//! The cluster bit-exactness anchor: a 1-replica colocated cluster with
+//! the pass-through router must reproduce the corresponding single-engine
+//! `ServingReport` **field-by-field** (and the completion records
+//! bit-for-bit) — for all three batching policies and for both open- and
+//! closed-loop traffic. This is what certifies that the fleet layer adds
+//! routing and aggregation, not new scheduling semantics.
+
+use cimtpu_cluster::{ClusterEngine, ReplicaSpec, RouterPolicy};
+use cimtpu_core::TpuConfig;
+use cimtpu_models::TransformerConfig;
+use cimtpu_serving::{
+    ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, Parallelism, ServingEngine, ServingModel,
+    TrafficSpec,
+};
+use cimtpu_units::Bytes;
+
+fn tiny() -> ServingModel {
+    ServingModel::Llm(TransformerConfig::new("Tiny-2L", 2, 4, 256, 1024).unwrap())
+}
+
+fn policies() -> [BatchPolicy; 3] {
+    [
+        BatchPolicy::Static { batch: 2 },
+        BatchPolicy::Dynamic { max_batch: 4, max_wait_ms: 2.0 },
+        BatchPolicy::Continuous { max_batch: 4 },
+    ]
+}
+
+fn traffics() -> [TrafficSpec; 2] {
+    let base = TrafficSpec {
+        requests: 10,
+        arrival: ArrivalPattern::OpenLoop { rate_rps: 400.0 },
+        prompt: LenDist::Uniform { lo: 16, hi: 48 },
+        steps: LenDist::Uniform { lo: 2, hi: 8 },
+        seed: 0xA11C,
+    };
+    [
+        base,
+        TrafficSpec {
+            arrival: ArrivalPattern::ClosedLoop { clients: 3, think_ms: 5.0 },
+            ..base
+        },
+    ]
+}
+
+fn assert_anchor(policy: BatchPolicy, traffic: &TrafficSpec, memory: MemoryConfig) {
+    let label = format!(
+        "anchor-{}-{}",
+        policy.name(),
+        match traffic.arrival {
+            ArrivalPattern::ClosedLoop { .. } => "closed",
+            _ => "open",
+        }
+    );
+    let single = ServingEngine::new(
+        TpuConfig::tpuv4i(),
+        tiny(),
+        Parallelism::Replicated { chips: 1 },
+        policy,
+    )
+    .unwrap()
+    .with_memory(memory)
+    .run(&label, traffic)
+    .unwrap();
+
+    let cluster = ClusterEngine::colocated(
+        vec![ReplicaSpec::new(label.clone(), TpuConfig::tpuv4i(), tiny())
+            .with_policy(policy)
+            .with_memory(memory)],
+        RouterPolicy::PassThrough,
+    )
+    .unwrap()
+    .run(&label, traffic)
+    .unwrap();
+
+    // Field-by-field: the derived PartialEq covers every ServingReport
+    // field, including the f64 percentiles (bit-equality on floats).
+    assert_eq!(cluster.replica_reports.len(), 1, "{label}");
+    assert_eq!(cluster.replica_reports[0], single.report, "{label}");
+    assert_eq!(cluster.completions, single.completions, "{label}");
+    // The fleet aggregate agrees on the shared quantities.
+    assert_eq!(cluster.report.completed, single.report.completed, "{label}");
+    assert_eq!(
+        cluster.report.makespan_s.to_bits(),
+        single.report.makespan_s.to_bits(),
+        "{label}"
+    );
+    assert_eq!(
+        cluster.report.latency.p99_ms.to_bits(),
+        single.report.latency.p99_ms.to_bits(),
+        "{label}"
+    );
+    assert_eq!(
+        cluster.report.ttft.p50_ms.to_bits(),
+        single.report.ttft.p50_ms.to_bits(),
+        "{label}"
+    );
+    assert_eq!(
+        cluster.report.total_energy_j.to_bits(),
+        single.report.total_energy_j.to_bits(),
+        "{label}"
+    );
+    assert_eq!(cluster.report.kv_transfers, 0, "{label}");
+}
+
+#[test]
+fn one_replica_pass_through_reproduces_serving_bit_exactly() {
+    for policy in policies() {
+        for traffic in traffics() {
+            assert_anchor(policy, &traffic, MemoryConfig::unlimited());
+        }
+    }
+}
+
+#[test]
+fn anchor_holds_under_kv_pressure() {
+    // A tight paged budget exercises admission control (and preemption
+    // under continuous batching) on both sides of the anchor.
+    let memory = MemoryConfig::unlimited()
+        .with_budget_bytes(Bytes::from_kib(64))
+        .with_block_tokens(16);
+    for policy in policies() {
+        for traffic in traffics() {
+            assert_anchor(policy, &traffic, memory);
+        }
+    }
+}
+
+#[test]
+fn anchor_holds_for_multi_executor_replicas() {
+    // A replica with two replicated executors behind pass-through equals
+    // the 2-chip single engine.
+    let traffic = traffics()[0];
+    let policy = BatchPolicy::Continuous { max_batch: 2 };
+    let single = ServingEngine::new(
+        TpuConfig::tpuv4i(),
+        tiny(),
+        Parallelism::Replicated { chips: 2 },
+        policy,
+    )
+    .unwrap()
+    .run("anchor-2chip", &traffic)
+    .unwrap();
+    let cluster = ClusterEngine::colocated(
+        vec![ReplicaSpec::new("anchor-2chip", TpuConfig::tpuv4i(), tiny())
+            .with_policy(policy)
+            .with_parallelism(Parallelism::Replicated { chips: 2 })],
+        RouterPolicy::PassThrough,
+    )
+    .unwrap()
+    .run("anchor-2chip", &traffic)
+    .unwrap();
+    assert_eq!(cluster.replica_reports[0], single.report);
+    assert_eq!(cluster.completions, single.completions);
+}

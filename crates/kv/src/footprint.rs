@@ -82,6 +82,21 @@ impl KvFootprint {
             .checked_div(self.bytes_per_token().get())
             .unwrap_or(u64::MAX)
     }
+
+    /// Bytes that cross the interconnect when a request holding `tokens`
+    /// tokens of cache migrates between paged allocators of
+    /// `block_tokens`-token blocks (disaggregated prefill→decode handoff,
+    /// future swap-to-host): whole blocks move, so the transfer is the
+    /// block-aligned footprint `⌈tokens / block_tokens⌉ · block_tokens`
+    /// tokens, not the raw token footprint.
+    ///
+    /// Computed on this footprint's shard; hand the unsharded
+    /// ([`KvFootprint::of`]) footprint in to size a transfer of the full
+    /// cache.
+    pub fn handoff_bytes(&self, tokens: u64, block_tokens: u64) -> Bytes {
+        let aligned = tokens.div_ceil(block_tokens.max(1)) * block_tokens.max(1);
+        self.request_bytes(aligned)
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +156,17 @@ mod tests {
         assert_eq!(fp.tokens_fitting(Bytes::from_kib(64)), 64);
         assert_eq!(fp.tokens_fitting(Bytes::new(1023)), 0);
         assert_eq!(KvFootprint::none().tokens_fitting(Bytes::ZERO), u64::MAX);
+    }
+
+    #[test]
+    fn handoff_moves_whole_blocks() {
+        let fp = KvFootprint::of(&tiny()); // 1024 B/token
+        // 100 tokens in 16-token blocks: 7 blocks = 112 tokens move.
+        assert_eq!(fp.handoff_bytes(100, 16), Bytes::new(112 * 1024));
+        // Exact block multiples are not padded.
+        assert_eq!(fp.handoff_bytes(96, 16), fp.request_bytes(96));
+        // A degenerate zero block size falls back to per-token transfer.
+        assert_eq!(fp.handoff_bytes(100, 0), fp.request_bytes(100));
+        assert_eq!(KvFootprint::none().handoff_bytes(100, 16), Bytes::ZERO);
     }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! serve_sim [--scenario NAME|all] [--seed N] [--workers N] [--json PATH]
+//!           [--kv-budget BUDGET] [--clients N] [--think-ms MS]
 //! ```
 //!
 //! Runs the named serving scenario (default: all headline scenarios) and
@@ -12,74 +13,45 @@
 //! `CIMTPU_WORKERS` environment variable (see `cimtpu_bench::sweep`).
 //! Output is deterministic for a fixed `--seed`.
 //!
+//! `--kv-budget BUDGET` overrides the scenario's KV budget so
+//! memory-pressure studies are tunable from the CLI: `unlimited`, `hbm`
+//! (HBM capacity minus resident weights), or a byte count with an
+//! optional `KiB`/`MiB`/`GiB` suffix (e.g. `1GiB`) — the grammar of
+//! [`cimtpu_serving::parse_kv_budget`]. `--clients N` converts the
+//! scenario's traffic to closed loop: `N` concurrent clients, each with
+//! one request in flight, re-issuing after a think time (`--think-ms`,
+//! default 10 ms).
+//!
 //! `--json PATH` additionally writes the full `ServingReport` list as
 //! pretty-printed JSON (`-` writes JSON to stdout instead of the text
 //! report). The committed `BENCH_serving.json` baseline is exactly
 //! `serve_sim --json BENCH_serving.json`.
 
 use cimtpu_bench::sweep;
+use cimtpu_serving::cli::{self, SimFlags};
 use cimtpu_serving::scenario::{self, Scenario};
-use cimtpu_serving::ServingReport;
-
-struct Args {
-    scenario: String,
-    seed: Option<u64>,
-    json: Option<String>,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args { scenario: "all".to_owned(), seed: None, json: None };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        let mut value = |flag: &str| {
-            it.next().ok_or_else(|| format!("{flag} needs a value"))
-        };
-        match arg.as_str() {
-            "--scenario" => args.scenario = value("--scenario")?,
-            "--seed" => {
-                args.seed = Some(
-                    value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
-                );
-            }
-            "--workers" => {
-                let n: usize =
-                    value("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?;
-                // The sweep pool reads CIMTPU_WORKERS; the flag overrides it.
-                std::env::set_var("CIMTPU_WORKERS", n.max(1).to_string());
-            }
-            "--json" => args.json = Some(value("--json")?),
-            "--help" | "-h" => {
-                println!(
-                    "usage: serve_sim [--scenario NAME|all] [--seed N] [--workers N] [--json PATH]"
-                );
-                println!("scenarios:");
-                for s in scenario::headline() {
-                    println!("  {:<20} {}", s.name, s.description);
-                }
-                for s in [scenario::smoke(), scenario::smoke_kv()] {
-                    println!("  {:<20} {}", s.name, s.description);
-                }
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument {other}")),
-        }
-    }
-    Ok(args)
-}
+use cimtpu_serving::{ArrivalPattern, ServingReport};
 
 fn main() {
-    let args = match parse_args() {
-        Ok(args) => args,
+    let flags = match SimFlags::parse("serve_sim", "the scenario's", || {
+        for s in scenario::headline() {
+            println!("  {:<20} {}", s.name, s.description);
+        }
+        for s in [scenario::smoke(), scenario::smoke_kv()] {
+            println!("  {:<20} {}", s.name, s.description);
+        }
+    }) {
+        Ok(flags) => flags,
         Err(e) => {
             eprintln!("serve_sim: {e}");
             std::process::exit(2);
         }
     };
 
-    let scenarios: Vec<Scenario> = if args.scenario == "all" {
+    let mut scenarios: Vec<Scenario> = if flags.scenario == "all" {
         scenario::headline()
     } else {
-        match scenario::by_name(&args.scenario) {
+        match scenario::by_name(&flags.scenario) {
             Ok(s) => vec![s],
             Err(e) => {
                 eprintln!("serve_sim: {e}");
@@ -87,10 +59,19 @@ fn main() {
             }
         }
     };
+    for s in &mut scenarios {
+        if let Some(budget) = flags.kv_budget {
+            s.memory.budget = budget;
+        }
+        if let Some(clients) = flags.clients {
+            s.traffic.arrival =
+                ArrivalPattern::ClosedLoop { clients, think_ms: flags.think_ms };
+        }
+    }
 
     // Scenarios are independent simulations: fan them out over the sweep
     // worker pool (results return in scenario order, so output is stable).
-    let seed = args.seed;
+    let seed = flags.seed;
     let results = sweep::parallel_map(&scenarios, |s| s.run(seed));
 
     let mut reports: Vec<ServingReport> = Vec::new();
@@ -105,26 +86,7 @@ fn main() {
         }
     }
 
-    let json = args.json.as_deref().map(|path| {
-        (path, serde_json::to_string_pretty(&reports).expect("reports serialize"))
-    });
-    match json {
-        Some(("-", payload)) => println!("{payload}"),
-        Some((path, payload)) => {
-            if let Err(e) = std::fs::write(path, payload + "\n") {
-                eprintln!("serve_sim: writing {path}: {e}");
-                failed = true;
-            }
-            for report in &reports {
-                println!("{report}");
-            }
-        }
-        None => {
-            for report in &reports {
-                println!("{report}");
-            }
-        }
-    }
+    failed |= cli::emit_reports("serve_sim", &reports, flags.json.as_deref());
     if failed {
         std::process::exit(1);
     }

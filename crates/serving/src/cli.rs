@@ -1,0 +1,156 @@
+//! Shared command-line handling for the simulation binaries
+//! (`serve_sim`, `cluster_sim`): both take the same flag set — scenario
+//! selection, seed, worker count, JSON output, the `--kv-budget`
+//! override, and the closed-loop `--clients` / `--think-ms` conversion —
+//! so the parsing and report emission live here once.
+
+use serde::Serialize;
+
+use crate::{parse_kv_budget, KvBudget};
+
+/// The flag set shared by the simulation binaries.
+#[derive(Debug, Clone)]
+pub struct SimFlags {
+    /// `--scenario NAME|all` (default `all`).
+    pub scenario: String,
+    /// `--seed N`: traffic-seed override.
+    pub seed: Option<u64>,
+    /// `--json PATH`: also write reports as pretty JSON (`-` = stdout).
+    pub json: Option<String>,
+    /// `--kv-budget BUDGET`: KV-budget override
+    /// (see [`parse_kv_budget`]).
+    pub kv_budget: Option<KvBudget>,
+    /// `--clients N`: convert traffic to closed loop with `N` clients.
+    pub clients: Option<u64>,
+    /// `--think-ms MS`: closed-loop think time (default 10 ms).
+    pub think_ms: f64,
+}
+
+impl SimFlags {
+    /// Parses `std::env::args`. `binary` names the program and
+    /// `budget_scope` phrases what `--kv-budget` overrides (e.g. "the
+    /// scenario's" / "every replica's"); `print_scenarios` lists the
+    /// binary's scenarios under `--help` (which prints usage and exits).
+    ///
+    /// `--workers N` is applied on the spot by setting `CIMTPU_WORKERS`
+    /// (the `cimtpu_bench::sweep` pool reads it).
+    ///
+    /// # Errors
+    ///
+    /// Returns the message to print for an unknown flag or a malformed
+    /// value.
+    pub fn parse(
+        binary: &str,
+        budget_scope: &str,
+        print_scenarios: impl Fn(),
+    ) -> Result<SimFlags, String> {
+        let mut flags = SimFlags {
+            scenario: "all".to_owned(),
+            seed: None,
+            json: None,
+            kv_budget: None,
+            clients: None,
+            think_ms: 10.0,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next().ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--scenario" => flags.scenario = value("--scenario")?,
+                "--seed" => {
+                    flags.seed = Some(
+                        value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                    );
+                }
+                "--workers" => {
+                    let n: usize = value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("bad --workers: {e}"))?;
+                    // The sweep pool reads CIMTPU_WORKERS; the flag
+                    // overrides it.
+                    std::env::set_var("CIMTPU_WORKERS", n.max(1).to_string());
+                }
+                "--json" => flags.json = Some(value("--json")?),
+                "--kv-budget" => {
+                    flags.kv_budget = Some(
+                        parse_kv_budget(&value("--kv-budget")?).map_err(|e| e.to_string())?,
+                    );
+                }
+                "--clients" => {
+                    flags.clients = Some(
+                        value("--clients")?
+                            .parse()
+                            .map_err(|e| format!("bad --clients: {e}"))?,
+                    );
+                }
+                "--think-ms" => {
+                    flags.think_ms = value("--think-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --think-ms: {e}"))?;
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: {binary} [--scenario NAME|all] [--seed N] [--workers N] \
+                         [--json PATH] [--kv-budget BUDGET] [--clients N] [--think-ms MS]"
+                    );
+                    println!(
+                        "  --kv-budget BUDGET   override {budget_scope} KV budget: 'unlimited',"
+                    );
+                    println!(
+                        "                       'hbm', or bytes with KiB/MiB/GiB suffix \
+                         (e.g. 1GiB)"
+                    );
+                    println!(
+                        "  --clients N          convert traffic to closed loop with N clients"
+                    );
+                    println!("  --think-ms MS        closed-loop think time (default 10)");
+                    println!("scenarios:");
+                    print_scenarios();
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument {other}")),
+            }
+        }
+        Ok(flags)
+    }
+}
+
+/// Prints the text reports and, with `--json`, writes them as pretty
+/// JSON (`-` replaces the text output with JSON on stdout). Returns
+/// whether writing failed.
+#[allow(clippy::ptr_arg)] // the vendored serde implements Serialize for Vec, not slices
+pub fn emit_reports<R: std::fmt::Display + Serialize>(
+    binary: &str,
+    reports: &Vec<R>,
+    json: Option<&str>,
+) -> bool {
+    let payload = json.map(|path| {
+        (path, serde_json::to_string_pretty(&reports).expect("reports serialize"))
+    });
+    match payload {
+        Some(("-", payload)) => {
+            println!("{payload}");
+            false
+        }
+        Some((path, payload)) => {
+            let failed = if let Err(e) = std::fs::write(path, payload + "\n") {
+                eprintln!("{binary}: writing {path}: {e}");
+                true
+            } else {
+                false
+            };
+            for report in reports {
+                println!("{report}");
+            }
+            failed
+        }
+        None => {
+            for report in reports {
+                println!("{report}");
+            }
+            false
+        }
+    }
+}

@@ -1,19 +1,18 @@
-//! The event-driven serving engine: arrivals → batches → phase segments,
-//! scheduled against both compute (the pricer) and memory (the paged
-//! KV-cache allocator).
+//! The serving-engine configuration and its batch run entry point. The
+//! actual event-driven scheduler lives in [`crate::step`] as the
+//! incremental [`EngineCore`](crate::EngineCore); `run` instantiates one
+//! ([`EngineSession`]), feeds it the traffic, and reports.
 
-use std::collections::{HashMap, VecDeque};
-
-use cimtpu_core::{Simulator, TpuConfig};
-use cimtpu_kv::{KvFootprint, PagedKvAllocator};
-use cimtpu_multi::MultiTpu;
-use cimtpu_units::{Error, Joules, Result, Seconds};
+use cimtpu_core::TpuConfig;
+use cimtpu_units::{Error, Result};
 
 use crate::memory::MemoryConfig;
-use crate::metrics::{Completion, MemoryStats, ServingReport};
+use crate::metrics::{Completion, ServingReport};
 use crate::policy::BatchPolicy;
-use crate::pricer::{Pricer, ServingModel};
-use crate::request::{Request, TrafficSpec};
+use crate::pricer::ServingModel;
+use crate::request::{ArrivalPattern, ArrivalStream, TrafficSpec};
+use crate::session::EngineSession;
+use crate::step::drive;
 
 /// How simulated chips cooperate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +40,7 @@ impl Parallelism {
     }
 
     /// Independent schedulable executors (1 for a tensor-parallel ring).
-    fn executors(&self) -> usize {
+    pub fn executors(&self) -> usize {
         match *self {
             Parallelism::Replicated { chips } => chips as usize,
             Parallelism::TensorParallel { .. } => 1,
@@ -104,6 +103,11 @@ impl ServingEngine {
         self
     }
 
+    /// The chip configuration.
+    pub fn chip(&self) -> &TpuConfig {
+        &self.chip
+    }
+
     /// The hosted model.
     pub fn model(&self) -> &ServingModel {
         &self.model
@@ -119,29 +123,18 @@ impl ServingEngine {
         self.memory
     }
 
-    /// Per-executor KV footprint of the hosted model (sharded across a
-    /// tensor-parallel ring).
-    fn footprint(&self) -> Result<KvFootprint> {
-        match (&self.model, self.parallelism) {
-            (ServingModel::Llm(m), Parallelism::TensorParallel { chips }) => {
-                KvFootprint::sharded(m, chips)
-            }
-            (ServingModel::Llm(m), Parallelism::Replicated { .. }) => Ok(KvFootprint::of(m)),
-            (ServingModel::Dit { .. }, _) => Ok(KvFootprint::none()),
-        }
-    }
-
-    /// Builds one allocator per executor from the configured budget.
-    fn allocators(&self, executors: usize) -> Result<Vec<PagedKvAllocator>> {
-        let footprint = self.footprint()?;
-        let budget = self.memory.budget.resolve(self.chip.hbm_capacity(), &footprint);
-        (0..executors)
-            .map(|_| PagedKvAllocator::from_budget(budget, &footprint, self.memory.block_tokens))
-            .collect()
+    /// The chip organization.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Simulates `traffic` to completion and reports request-level
     /// metrics. Deterministic: identical inputs give identical reports.
+    ///
+    /// Open-loop and burst traces are materialized up front; closed-loop
+    /// traffic couples each client's next arrival to its previous
+    /// completion, so the run interleaves arrival generation with engine
+    /// steps through the shared [`drive`](crate::drive) loop.
     ///
     /// When `CIMTPU_CACHE_DIR` is set, the underlying simulator loads its
     /// mapping cache from disk before the run and persists it afterwards,
@@ -149,550 +142,33 @@ impl ServingEngine {
     ///
     /// # Errors
     ///
-    /// Returns an error for an empty traffic spec, an unmappable
+    /// Returns an error for an invalid traffic spec, an unmappable
     /// operator, chunked prefill on a tensor-parallel ring, or a KV
     /// budget too small to hold even a single request.
     pub fn run(&self, label: &str, traffic: &TrafficSpec) -> Result<ServingRun> {
-        traffic.prompt.validate()?;
-        traffic.steps.validate()?;
-        self.memory.validate()?;
-        if self.memory.chunk_tokens.is_some()
-            && matches!(self.parallelism, Parallelism::TensorParallel { .. })
-        {
-            return Err(Error::invalid_config(
-                "chunked prefill is not supported on a tensor-parallel ring",
-            ));
-        }
-        let arrivals = traffic.generate();
-        if arrivals.is_empty() {
-            return Err(Error::invalid_config("traffic spec generates no requests"));
-        }
-        match self.parallelism {
-            Parallelism::Replicated { .. } => {
-                let sim = Simulator::new(self.chip.clone())?;
-                let cx = sim.execution_context();
-                let pricer = Pricer::single(&self.model, &cx);
-                let run = self.simulate(label, &arrivals, &pricer)?;
-                let _ = sim.persist_cache(); // best effort; cold is correct
-                Ok(run)
+        traffic.validate()?;
+        let session = EngineSession::new(self)?;
+        let mut core = session.core()?;
+        match traffic.arrival {
+            ArrivalPattern::ClosedLoop { .. } => {
+                let mut stream = ArrivalStream::new(traffic)?;
+                drive(std::slice::from_mut(&mut core), &mut stream, |_, _| 0)?;
             }
-            Parallelism::TensorParallel { chips } => {
-                let ring = MultiTpu::new(self.chip.clone(), chips)?;
-                let cx = ring.simulator().execution_context();
-                let pricer = Pricer::tensor_parallel(&self.model, &cx, &ring);
-                let run = self.simulate(label, &arrivals, &pricer)?;
-                let _ = ring.simulator().persist_cache();
-                Ok(run)
+            _ => {
+                // The whole trace is known up front: hand it to the core
+                // and drain (scheduling decisions see the full queue,
+                // exactly like the classic batch scheduler).
+                for request in traffic.generate() {
+                    core.push(request);
+                }
+                core.close();
+                while core.next_action().is_some() {
+                    core.step()?;
+                }
             }
         }
+        let run = core.finish(label);
+        session.persist_cache(); // best effort; cold is correct
+        Ok(run)
     }
-
-    fn simulate(&self, label: &str, arrivals: &[Request], pricer: &Pricer<'_>) -> Result<ServingRun> {
-        let executors = self.parallelism.executors();
-        let mut energy = Joules::ZERO;
-        let (mut completions, memory) = match self.policy {
-            BatchPolicy::Static { .. } | BatchPolicy::Dynamic { .. } => {
-                self.run_to_completion(arrivals, pricer, executors, &mut energy)?
-            }
-            BatchPolicy::Continuous { max_batch } => {
-                self.run_continuous(arrivals, pricer, executors, max_batch.max(1), &mut energy)?
-            }
-        };
-        completions.sort_by_key(|c| c.id);
-        let report = ServingReport::from_completions(
-            label,
-            self.policy.name(),
-            self.parallelism.chips(),
-            &completions,
-            energy,
-            memory,
-        );
-        Ok(ServingRun { report, completions })
-    }
-
-    /// Static / dynamic batching: form a batch from the queue head, run
-    /// it to completion on the earliest-free executor. Run-to-completion
-    /// batches never grow past their admission footprint, so admission
-    /// control reserves the worst case (prompt + all generated tokens)
-    /// up front and preemption never triggers; a batch that the policy
-    /// would form but KV cannot hold shrinks until it fits.
-    fn run_to_completion(
-        &self,
-        arrivals: &[Request],
-        pricer: &Pricer<'_>,
-        executors: usize,
-        energy: &mut Joules,
-    ) -> Result<(Vec<Completion>, MemoryStats)> {
-        let mut allocs = self.allocators(executors)?;
-        let mut free_at = vec![Seconds::ZERO; executors];
-        let mut completions = Vec::with_capacity(arrivals.len());
-        let mut queue_full = Seconds::ZERO;
-        // First time each request was turned away by KV admission (it may
-        // still launch promptly on another executor — only the deferral
-        // actually experienced is charged, at launch).
-        let mut kv_deferred_at: HashMap<u64, Seconds> = HashMap::new();
-        let mut next = 0;
-        while next < arrivals.len() {
-            let chip = earliest(&free_at);
-            let (policy_take, policy_start) = self.form_batch(&arrivals[next..], free_at[chip]);
-            // Admission control: shrink the batch until its worst-case
-            // footprint fits the (empty) allocator.
-            let alloc = &mut allocs[chip];
-            let take = kv_admissible_prefix(alloc, &arrivals[next..next + policy_take])?;
-            let start = if take == policy_take {
-                policy_start
-            } else {
-                free_at[chip].max(arrivals[next + take - 1].arrival())
-            };
-            for r in &arrivals[next + take..next + policy_take] {
-                kv_deferred_at.entry(r.id).or_insert(start);
-            }
-            let members = &arrivals[next..next + take];
-            for r in members {
-                if let Some(since) = kv_deferred_at.remove(&r.id) {
-                    // Ready since `since` (or its arrival, if later), held
-                    // back by KV until this launch.
-                    queue_full += (start - since.max(r.arrival())).max(Seconds::ZERO);
-                }
-            }
-            free_at[chip] = self.run_batch(members, start, pricer, alloc, energy, &mut completions)?;
-            next += take;
-        }
-        let memory = MemoryStats {
-            preemptions: 0,
-            queue_full_s: queue_full.get(),
-            kv_hwm_frac: allocs.iter().map(PagedKvAllocator::high_water_frac).fold(0.0, f64::max),
-        };
-        Ok((completions, memory))
-    }
-
-    /// Batch formation at the queue head once an executor frees at `free`.
-    /// Returns how many requests launch together and when.
-    fn form_batch(&self, queue: &[Request], free: Seconds) -> (usize, Seconds) {
-        match self.policy {
-            BatchPolicy::Static { batch } => {
-                // Wait for a full batch (the stream tail may be smaller).
-                let take = (batch.max(1) as usize).min(queue.len());
-                let start = free.max(queue[take - 1].arrival());
-                (take, start)
-            }
-            BatchPolicy::Dynamic { max_batch, max_wait_ms } => {
-                // Launch when `max_batch` have queued or the oldest waiter
-                // has waited `max_wait_ms`, whichever happens first.
-                let t0 = free.max(queue[0].arrival());
-                let deadline = t0.max(queue[0].arrival() + Seconds::from_millis(max_wait_ms));
-                let take = queue
-                    .iter()
-                    .take(max_batch.max(1) as usize)
-                    .take_while(|r| r.arrival() <= deadline)
-                    .count();
-                let start = t0.max(queue[take - 1].arrival());
-                (take, start)
-            }
-            BatchPolicy::Continuous { .. } => unreachable!("continuous has its own loop"),
-        }
-    }
-
-    /// Runs one formed batch to completion: grouped prefill (prompt padded
-    /// to the longest member, optionally split into chunks), then one step
-    /// per generated token. Static batching pads — finished requests hold
-    /// their slot; dynamic shrinks the step batch as requests finish. KV
-    /// blocks grow with each generated token and release when the batch
-    /// retires.
-    fn run_batch(
-        &self,
-        members: &[Request],
-        start: Seconds,
-        pricer: &Pricer<'_>,
-        alloc: &mut PagedKvAllocator,
-        energy: &mut Joules,
-        completions: &mut Vec<Completion>,
-    ) -> Result<Seconds> {
-        let b = members.len() as u64;
-        let max_prompt = members.iter().map(|r| r.prompt_len).max().expect("non-empty");
-        let max_steps = members.iter().map(|r| r.steps).max().expect("non-empty");
-        let pads = self.policy.pads_to_batch_end();
-
-        // Prefill KV lands as the prompt is ingested.
-        for r in members {
-            let ok = alloc.try_grow(r.id, r.prompt_len);
-            debug_assert!(ok, "admission reserved the worst case");
-        }
-        let mut t = start;
-        let mut first_token = vec![Seconds::ZERO; members.len()];
-        if self.model.has_prefill() {
-            match self.memory.chunk_tokens {
-                None => {
-                    let prefill = pricer.prefill(b, max_prompt)?;
-                    t += prefill.latency;
-                    *energy += prefill.total_energy();
-                }
-                Some(chunk) => {
-                    let mut past = 0;
-                    while past < max_prompt {
-                        let c = chunk.min(max_prompt - past);
-                        let cost = pricer.prefill_chunk(b, c, past)?;
-                        t += cost.latency;
-                        *energy += cost.total_energy();
-                        past += c;
-                    }
-                }
-            }
-            first_token.fill(t);
-        }
-        let mut finish = vec![Seconds::ZERO; members.len()];
-        for s in 0..max_steps {
-            let active = if pads {
-                b
-            } else {
-                members.iter().filter(|r| r.steps > s).count() as u64
-            };
-            for r in members.iter().filter(|r| r.steps > s) {
-                let ok = alloc.try_grow(r.id, r.prompt_len + s + 1);
-                debug_assert!(ok, "admission reserved the worst case");
-            }
-            let step = pricer.step(active, max_prompt + s + 1)?;
-            t += step.latency;
-            *energy += step.total_energy();
-            if s == 0 && !self.model.has_prefill() {
-                first_token.fill(t);
-            }
-            for (i, r) in members.iter().enumerate() {
-                if r.steps == s + 1 {
-                    finish[i] = t;
-                }
-            }
-        }
-        for (i, r) in members.iter().enumerate() {
-            alloc.release(r.id);
-            completions.push(Completion {
-                id: r.id,
-                arrival: r.arrival(),
-                first_token: first_token[i],
-                // Padded batches release results when the batch completes.
-                finish: if pads { t } else { finish[i] },
-                steps: r.steps,
-            });
-        }
-        Ok(t)
-    }
-
-    /// Continuous batching: executors admit and retire requests between
-    /// individual generation steps. Admission reserves a request's prompt
-    /// footprint in paged KV blocks (arrivals queue while none are free);
-    /// each decode step grows every running request by one token, evicting
-    /// the youngest running request when blocks run out
-    /// (recompute-on-resume); chunked prefill interleaves prompt chunks
-    /// with decode steps of already-running requests.
-    fn run_continuous(
-        &self,
-        arrivals: &[Request],
-        pricer: &Pricer<'_>,
-        executors: usize,
-        max_batch: u64,
-        energy: &mut Joules,
-    ) -> Result<(Vec<Completion>, MemoryStats)> {
-        /// One resident request: `done` generated tokens survive
-        /// preemption; `prefilled` / `target` track prompt (re)computation
-        /// in the current residency.
-        struct Active {
-            idx: usize,
-            done: u64,
-            prefilled: u64,
-            target: u64,
-        }
-        struct Chip {
-            t: Seconds,
-            active: Vec<Active>,
-            /// Preempted requests awaiting re-admission (FIFO, ahead of
-            /// new arrivals): request index + tokens generated so far.
-            resume: VecDeque<(usize, u64)>,
-            alloc: PagedKvAllocator,
-            queue_full: Seconds,
-            preemptions: u64,
-        }
-        let mut allocs = self.allocators(executors)?;
-        let mut chips: Vec<Chip> = allocs
-            .drain(..)
-            .map(|alloc| Chip {
-                t: Seconds::ZERO,
-                active: Vec::new(),
-                resume: VecDeque::new(),
-                alloc,
-                queue_full: Seconds::ZERO,
-                preemptions: 0,
-            })
-            .collect();
-        let mut next = 0;
-        let mut first_token = vec![Seconds::ZERO; arrivals.len()];
-        let mut ttft_set = vec![false; arrivals.len()];
-        let mut completions = Vec::with_capacity(arrivals.len());
-        let has_prefill = self.model.has_prefill();
-        let chunking = self.memory.chunk_tokens;
-
-        loop {
-            // Next scheduling point: a chip with resident work steps now;
-            // an idle chip waits for the next arrival.
-            let mut pick: Option<(usize, Seconds)> = None;
-            for (i, chip) in chips.iter().enumerate() {
-                let candidate = if !chip.active.is_empty() || !chip.resume.is_empty() {
-                    chip.t
-                } else if next < arrivals.len() {
-                    chip.t.max(arrivals[next].arrival())
-                } else {
-                    continue;
-                };
-                if pick.is_none_or(|(_, best)| candidate < best) {
-                    pick = Some((i, candidate));
-                }
-            }
-            let Some((ci, t)) = pick else { break };
-            let chip = &mut chips[ci];
-            chip.t = t;
-            let round_start = chip.t;
-
-            // Admit into free slots, KV permitting: preempted requests
-            // first (their whole recomputed context must fit), then queued
-            // arrivals (their prompt must fit). Head-of-line blocking on
-            // KV is what the queue-full metric measures.
-            let mut admitted: Vec<(usize, u64, bool)> = Vec::new(); // (idx, done, resumed)
-            let mut kv_blocked = false;
-            while chip.active.len() + admitted.len() < max_batch as usize {
-                if let Some(&(idx, done)) = chip.resume.front() {
-                    if chip.alloc.try_grow(arrivals[idx].id, arrivals[idx].prompt_len + done) {
-                        admitted.push((idx, done, true));
-                        chip.resume.pop_front();
-                    } else {
-                        kv_blocked = true;
-                        break;
-                    }
-                } else if next < arrivals.len() && arrivals[next].arrival() <= chip.t {
-                    if chip.alloc.try_grow(arrivals[next].id, arrivals[next].prompt_len) {
-                        admitted.push((next, 0, false));
-                        next += 1;
-                    } else {
-                        kv_blocked = true;
-                        break;
-                    }
-                } else {
-                    break;
-                }
-            }
-            if kv_blocked && chip.active.is_empty() && admitted.is_empty() {
-                // Nothing resident to retire or preempt: the head request
-                // can never fit.
-                return Err(Error::invalid_config(format!(
-                    "KV budget too small: a single request needs more than the {} block(s) \
-                     of {} tokens available",
-                    chip.alloc.capacity_blocks().unwrap_or(0),
-                    chip.alloc.block_tokens(),
-                )));
-            }
-
-            // Prefill the admitted group. Monolithic: one padded prefill
-            // now (resumed members recompute their full context). Chunked:
-            // members enter mid-prefill and advance below.
-            match chunking {
-                None => {
-                    if !admitted.is_empty() && has_prefill {
-                        let padded = admitted
-                            .iter()
-                            .map(|&(idx, done, _)| arrivals[idx].prompt_len + done)
-                            .max()
-                            .expect("non-empty");
-                        let prefill = pricer.prefill(admitted.len() as u64, padded)?;
-                        chip.t += prefill.latency;
-                        *energy += prefill.total_energy();
-                        for &(idx, _, _) in &admitted {
-                            if !ttft_set[idx] {
-                                first_token[idx] = chip.t;
-                                ttft_set[idx] = true;
-                            }
-                        }
-                    }
-                    chip.active.extend(admitted.into_iter().map(|(idx, done, _)| {
-                        let target = arrivals[idx].prompt_len + done;
-                        Active { idx, done, prefilled: target, target }
-                    }));
-                }
-                Some(chunk) => {
-                    chip.active.extend(admitted.into_iter().map(|(idx, done, _)| {
-                        let target = arrivals[idx].prompt_len + done;
-                        Active {
-                            idx,
-                            done,
-                            // A model with no prefill phase (DiT) has no
-                            // prompt to chunk: it enters decode directly,
-                            // whatever its nominal prompt length.
-                            prefilled: if has_prefill { 0 } else { target },
-                            target,
-                        }
-                    }));
-                    // One prefill chunk for everything still ingesting its
-                    // prompt, padded to the group's longest chunk/context.
-                    let prefilling: Vec<usize> = (0..chip.active.len())
-                        .filter(|&p| chip.active[p].prefilled < chip.active[p].target)
-                        .collect();
-                    if has_prefill && !prefilling.is_empty() {
-                        let c = prefilling
-                            .iter()
-                            .map(|&p| (chip.active[p].target - chip.active[p].prefilled).min(chunk))
-                            .max()
-                            .expect("non-empty");
-                        let past = prefilling
-                            .iter()
-                            .map(|&p| chip.active[p].prefilled)
-                            .max()
-                            .expect("non-empty");
-                        let cost = pricer.prefill_chunk(prefilling.len() as u64, c, past)?;
-                        chip.t += cost.latency;
-                        *energy += cost.total_energy();
-                        let now = chip.t;
-                        for p in prefilling {
-                            let a = &mut chip.active[p];
-                            a.prefilled = (a.prefilled + chunk).min(a.target);
-                            if a.prefilled == a.target && !ttft_set[a.idx] {
-                                first_token[a.idx] = now;
-                                ttft_set[a.idx] = true;
-                            }
-                        }
-                    }
-                }
-            }
-
-            // One generation step for every request past its prefill. Each
-            // needs one more token of KV; when blocks run out, evict the
-            // youngest resident request (recompute-on-resume) until the
-            // rest fit.
-            loop {
-                let decoders: Vec<usize> = (0..chip.active.len())
-                    .filter(|&p| chip.active[p].prefilled >= chip.active[p].target)
-                    .collect();
-                if decoders.is_empty() {
-                    break;
-                }
-                let fits = decoders.iter().all(|&p| {
-                    let a = &chip.active[p];
-                    chip.alloc.try_grow(arrivals[a.idx].id, arrivals[a.idx].prompt_len + a.done + 1)
-                });
-                if !fits {
-                    // Youngest = latest arrival (ids are arrival-ordered).
-                    let victim_pos = (0..chip.active.len())
-                        .max_by_key(|&p| chip.active[p].idx)
-                        .expect("non-empty");
-                    let victim = chip.active.remove(victim_pos);
-                    chip.alloc.release(arrivals[victim.idx].id);
-                    chip.resume.push_back((victim.idx, victim.done));
-                    chip.preemptions += 1;
-                    kv_blocked = true;
-                    if chip.active.is_empty() {
-                        return Err(Error::invalid_config(
-                            "KV budget too small to sustain a single running request",
-                        ));
-                    }
-                    continue;
-                }
-                let b = decoders.len() as u64;
-                let ctx = decoders
-                    .iter()
-                    .map(|&p| {
-                        let a = &chip.active[p];
-                        arrivals[a.idx].prompt_len + a.done
-                    })
-                    .max()
-                    .expect("non-empty")
-                    + 1;
-                let step = pricer.step(b, ctx)?;
-                chip.t += step.latency;
-                *energy += step.total_energy();
-                let now = chip.t;
-                for &p in &decoders {
-                    let a = &mut chip.active[p];
-                    a.done += 1;
-                    if a.done == 1 && !has_prefill && !ttft_set[a.idx] {
-                        first_token[a.idx] = now;
-                        ttft_set[a.idx] = true;
-                    }
-                }
-                let Chip { active, alloc, .. } = chip;
-                active.retain(|a| {
-                    if a.prefilled >= a.target && a.done >= arrivals[a.idx].steps {
-                        alloc.release(arrivals[a.idx].id);
-                        completions.push(Completion {
-                            id: arrivals[a.idx].id,
-                            arrival: arrivals[a.idx].arrival(),
-                            first_token: first_token[a.idx],
-                            finish: now,
-                            steps: arrivals[a.idx].steps,
-                        });
-                        false
-                    } else {
-                        true
-                    }
-                });
-                break;
-            }
-            // A round that held a ready request back on KV charges its
-            // duration to the queue-full clock.
-            if kv_blocked {
-                chip.queue_full += chip.t - round_start;
-            }
-            debug_assert!(
-                chip.t > round_start || !chip.active.is_empty() || !chip.resume.is_empty(),
-                "a scheduled round must make progress"
-            );
-        }
-        let mut memory = MemoryStats::NONE;
-        for c in &chips {
-            memory.absorb(&MemoryStats {
-                preemptions: c.preemptions,
-                queue_full_s: c.queue_full.get(),
-                kv_hwm_frac: c.alloc.high_water_frac(),
-            });
-        }
-        Ok((completions, memory))
-    }
-}
-
-/// The longest queue prefix whose worst-case KV footprint (prompt + every
-/// generated token) fits an empty allocator — run-to-completion admission
-/// control.
-///
-/// # Errors
-///
-/// Returns an error if even the first request can never fit.
-fn kv_admissible_prefix(alloc: &PagedKvAllocator, queue: &[Request]) -> Result<usize> {
-    let Some(capacity) = alloc.capacity_blocks() else {
-        return Ok(queue.len());
-    };
-    let mut blocks = 0;
-    let mut take = 0;
-    for r in queue {
-        let need = alloc.blocks_for(r.prompt_len + r.steps);
-        if blocks + need > capacity {
-            break;
-        }
-        blocks += need;
-        take += 1;
-    }
-    if take == 0 {
-        return Err(Error::invalid_config(format!(
-            "KV budget too small: request {} needs {} blocks but capacity is {capacity}",
-            queue[0].id,
-            alloc.blocks_for(queue[0].prompt_len + queue[0].steps),
-        )));
-    }
-    Ok(take)
-}
-
-/// Index of the executor that frees earliest (ties pick the lowest index,
-/// keeping the schedule deterministic).
-fn earliest(free_at: &[Seconds]) -> usize {
-    let mut best = 0;
-    for (i, &t) in free_at.iter().enumerate().skip(1) {
-        if t < free_at[best] {
-            best = i;
-        }
-    }
-    best
 }

@@ -2,12 +2,34 @@
 //!
 //! The per-chip [`Simulator`](cimtpu_core::Simulator) prices one workload
 //! at a time; real inference systems serve many concurrent requests whose
-//! phases interleave. This crate adds that layer: open-loop traffic
-//! ([`TrafficSpec`] — seeded, deterministic), an event-driven engine
-//! ([`ServingEngine`]) that schedules phase segments onto one or more
-//! simulated chips, and request-level metrics ([`ServingReport`] —
+//! phases interleave. This crate adds that layer: open- and closed-loop
+//! traffic ([`TrafficSpec`] — seeded, deterministic), an event-driven
+//! engine ([`ServingEngine`]) that schedules phase segments onto one or
+//! more simulated chips, and request-level metrics ([`ServingReport`] —
 //! throughput, p50/p95/p99 latency and time-to-first-token, energy per
 //! request).
+//!
+//! # Traffic
+//!
+//! [`ArrivalPattern`] covers open-loop Poisson arrivals (optionally drawn
+//! from a fixed session pool), bursts, and **closed-loop** traffic:
+//! `ClosedLoop { clients, think_ms }` keeps `clients` concurrent clients
+//! each with one request in flight — a completion schedules that client's
+//! next request after a think time, so offered load tracks service
+//! capacity (the saturation-study regime). Closed-loop arrivals depend on
+//! completions, so they are produced incrementally by an
+//! [`ArrivalStream`] coupled to the engine through the [`drive`] loop.
+//!
+//! # Incremental stepping
+//!
+//! The scheduler is exposed as an incremental state machine,
+//! [`EngineCore`] (obtained from an [`EngineSession`]): a driver pushes
+//! arrivals, steps scheduling decisions one at a time, and reads
+//! completions as they happen. `ServingEngine::run` is a thin driver over
+//! it; the `cimtpu-cluster` crate interleaves many cores behind a router
+//! to simulate whole fleets. Scheduling decisions depend only on queue
+//! contents — not on when the driver pushes — so incremental and batch
+//! feeding produce bit-identical results.
 //!
 //! Pricing reuses the whole existing stack: each distinct `(phase, batch,
 //! length)` query is priced once through an
@@ -98,6 +120,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 mod engine;
 mod memory;
 mod metrics;
@@ -105,11 +128,15 @@ mod policy;
 mod pricer;
 pub mod scenario;
 mod request;
+mod session;
+mod step;
 
 pub use cimtpu_kv::KvBudget;
 pub use engine::{Parallelism, ServingEngine, ServingRun};
-pub use memory::MemoryConfig;
+pub use memory::{parse_kv_budget, MemoryConfig};
 pub use metrics::{Completion, LatencyStats, MemoryStats, ServingReport};
 pub use policy::BatchPolicy;
-pub use pricer::ServingModel;
-pub use request::{ArrivalPattern, LenDist, Request, TrafficSpec};
+pub use pricer::{PhasePricer, ServingModel};
+pub use request::{ArrivalPattern, ArrivalStream, LenDist, Request, TrafficSpec};
+pub use session::EngineSession;
+pub use step::{drive, EngineCore};

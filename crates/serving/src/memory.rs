@@ -86,6 +86,51 @@ impl MemoryConfig {
     }
 }
 
+/// Parses a CLI-style KV-budget argument — the grammar behind the
+/// `--kv-budget` flag of `serve_sim` and `cluster_sim`:
+///
+/// - `unlimited` — no KV capacity limit ([`KvBudget::Unlimited`]);
+/// - `hbm` — the chip's HBM capacity minus resident weights
+///   ([`KvBudget::HbmMinusWeights`]);
+/// - a byte count, optionally suffixed `KiB` / `MiB` / `GiB`
+///   (e.g. `1GiB`, `64MiB`, `65536`) — an explicit cap
+///   ([`KvBudget::Bytes`]).
+///
+/// Keywords and suffixes are case-insensitive.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for anything else (including byte
+/// counts that overflow `u64`).
+pub fn parse_kv_budget(arg: &str) -> Result<KvBudget> {
+    let t = arg.trim();
+    if t.eq_ignore_ascii_case("unlimited") {
+        return Ok(KvBudget::Unlimited);
+    }
+    if t.eq_ignore_ascii_case("hbm") {
+        return Ok(KvBudget::HbmMinusWeights);
+    }
+    let lower = t.to_ascii_lowercase();
+    let (digits, shift) = if let Some(n) = lower.strip_suffix("gib") {
+        (n, 30)
+    } else if let Some(n) = lower.strip_suffix("mib") {
+        (n, 20)
+    } else if let Some(n) = lower.strip_suffix("kib") {
+        (n, 10)
+    } else {
+        (lower.as_str(), 0)
+    };
+    let bad = || {
+        Error::invalid_config(format!(
+            "bad KV budget '{arg}': want 'unlimited', 'hbm', or a byte count with an \
+             optional KiB/MiB/GiB suffix (e.g. 1GiB)"
+        ))
+    };
+    let n: u64 = digits.trim().parse().map_err(|_| bad())?;
+    let bytes = n.checked_shl(shift).filter(|b| b >> shift == n).ok_or_else(bad)?;
+    Ok(KvBudget::Bytes(Bytes::new(bytes)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +160,34 @@ mod tests {
     fn rejects_zero_granularities() {
         assert!(MemoryConfig::unlimited().with_block_tokens(0).validate().is_err());
         assert!(MemoryConfig::unlimited().with_chunked_prefill(0).validate().is_err());
+    }
+
+    #[test]
+    fn kv_budget_parsing() {
+        assert_eq!(parse_kv_budget("unlimited").unwrap(), KvBudget::Unlimited);
+        assert_eq!(parse_kv_budget("UNLIMITED").unwrap(), KvBudget::Unlimited);
+        assert_eq!(parse_kv_budget("hbm").unwrap(), KvBudget::HbmMinusWeights);
+        assert_eq!(
+            parse_kv_budget("65536").unwrap(),
+            KvBudget::Bytes(Bytes::from_kib(64))
+        );
+        assert_eq!(
+            parse_kv_budget("64KiB").unwrap(),
+            KvBudget::Bytes(Bytes::from_kib(64))
+        );
+        assert_eq!(
+            parse_kv_budget("2mib").unwrap(),
+            KvBudget::Bytes(Bytes::from_mib(2))
+        );
+        assert_eq!(
+            parse_kv_budget(" 1GiB ").unwrap(),
+            KvBudget::Bytes(Bytes::from_gib(1))
+        );
+        assert!(parse_kv_budget("").is_err());
+        assert!(parse_kv_budget("1GB").is_err());
+        assert!(parse_kv_budget("-3").is_err());
+        assert!(parse_kv_budget("99999999999999999999GiB").is_err());
+        // Value overflow (dropped high bits) is rejected, not wrapped.
+        assert!(parse_kv_budget("18446744073709551615GiB").is_err());
     }
 }

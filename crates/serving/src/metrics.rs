@@ -101,6 +101,16 @@ impl MemoryStats {
 }
 
 /// Aggregate outcome of one serving simulation.
+///
+/// # JSON stability
+///
+/// Serialization derives from this struct, and serde emits fields in
+/// declaration order — never from a map, whose ordering could churn. The
+/// committed `BENCH_serving.json` / `BENCH_cluster.json` baselines are
+/// diffed byte-for-byte in CI, so **reordering, adding, or removing
+/// fields here changes the baseline format** and requires regenerating
+/// the baselines in the same commit. A unit test pins the current key
+/// order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
     /// Scenario / run label.
@@ -312,5 +322,52 @@ mod tests {
         let text = rep.to_string();
         assert!(text.contains("kv cache"), "{text}");
         assert!(text.contains("3 preemption(s)"), "{text}");
+    }
+
+    #[test]
+    fn json_field_order_is_declaration_order() {
+        // The committed BENCH baselines are diffed byte-for-byte in CI:
+        // serialization must follow struct declaration order, not any
+        // map ordering. If this test fails, the baseline format changed —
+        // regenerate BENCH_serving.json / BENCH_cluster.json deliberately.
+        let rep = ServingReport::from_completions(
+            "order",
+            "static",
+            1,
+            &[c(0, 0.0, 0.5, 1.0)],
+            Joules::new(1.0),
+            MemoryStats::NONE,
+        );
+        let json = serde_json::to_string(&rep).unwrap();
+        let keys = [
+            "\"label\"",
+            "\"policy\"",
+            "\"chips\"",
+            "\"offered\"",
+            "\"completed\"",
+            "\"makespan_s\"",
+            "\"throughput_rps\"",
+            "\"steps_per_second\"",
+            "\"latency\"",
+            "\"ttft\"",
+            "\"total_energy_j\"",
+            "\"energy_per_request_j\"",
+            "\"preemptions\"",
+            "\"queue_full_s\"",
+            "\"kv_hwm_frac\"",
+        ];
+        let positions: Vec<usize> = keys
+            .iter()
+            .map(|k| json.find(k).unwrap_or_else(|| panic!("{k} missing from {json}")))
+            .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "field order drifted: {json}"
+        );
+        // Nested latency stats keep their order too.
+        for k in ["\"p50_ms\"", "\"p95_ms\"", "\"p99_ms\"", "\"mean_ms\"", "\"max_ms\""] {
+            assert!(json.contains(k), "{k} missing");
+        }
+        assert!(json.find("\"p50_ms\"").unwrap() < json.find("\"p95_ms\"").unwrap());
     }
 }

@@ -4,7 +4,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use cimtpu_core::{ExecutionContext, SegmentCost};
+use cimtpu_core::{ExecutionContext, SegmentCost, Simulator};
 use cimtpu_models::{DitConfig, TransformerConfig, Workload};
 use cimtpu_multi::{tensor_parallel, MultiTpu};
 use cimtpu_units::{Bytes, Result};
@@ -51,25 +51,41 @@ const CHUNK: u8 = 2;
 /// lifting is shared three levels down: the pricer memoizes whole phases,
 /// the [`ExecutionContext`] memoizes segments, and the simulator's
 /// `MappingCache` memoizes per-operator map-space searches.
-pub(crate) struct Pricer<'a> {
+///
+/// This is the pricing back-end of the serving engine, exposed so
+/// fleet-level drivers (the `cimtpu-cluster` crate's disaggregated
+/// prefill/decode pools) can price phases against a replica without going
+/// through the full batching engine. Obtain one from
+/// [`EngineSession::pricer`](crate::EngineSession::pricer) or directly via
+/// [`PhasePricer::single`] / [`PhasePricer::tensor_parallel`].
+#[derive(Debug)]
+pub struct PhasePricer<'a> {
     model: &'a ServingModel,
-    cx: &'a ExecutionContext<'a>,
+    cx: ExecutionContext<'a>,
     /// Tensor-parallel ring; `None` prices whole layers on `cx`'s chip.
     ring: Option<&'a MultiTpu>,
     memo: RefCell<HashMap<Key, SegmentCost>>,
 }
 
-impl<'a> Pricer<'a> {
-    pub(crate) fn single(model: &'a ServingModel, cx: &'a ExecutionContext<'a>) -> Self {
-        Pricer { model, cx, ring: None, memo: RefCell::new(HashMap::new()) }
+impl<'a> PhasePricer<'a> {
+    /// A pricer for `model` hosted on the single chip `sim` simulates.
+    pub fn single(model: &'a ServingModel, sim: &'a Simulator) -> Self {
+        PhasePricer {
+            model,
+            cx: sim.execution_context(),
+            ring: None,
+            memo: RefCell::new(HashMap::new()),
+        }
     }
 
-    pub(crate) fn tensor_parallel(
-        model: &'a ServingModel,
-        cx: &'a ExecutionContext<'a>,
-        ring: &'a MultiTpu,
-    ) -> Self {
-        Pricer { model, cx, ring: Some(ring), memo: RefCell::new(HashMap::new()) }
+    /// A pricer for `model` sharded across the tensor-parallel `ring`.
+    pub fn tensor_parallel(model: &'a ServingModel, ring: &'a MultiTpu) -> Self {
+        PhasePricer {
+            model,
+            cx: ring.simulator().execution_context(),
+            ring: Some(ring),
+            memo: RefCell::new(HashMap::new()),
+        }
     }
 
     fn memoized(
@@ -107,7 +123,11 @@ impl<'a> Pricer<'a> {
 
     /// Prefill cost for `batch` requests of (padded) prompt length
     /// `prompt`. Zero for models without a prefill phase.
-    pub(crate) fn prefill(&self, batch: u64, prompt: u64) -> Result<SegmentCost> {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an operator cannot be mapped onto the hardware.
+    pub fn prefill(&self, batch: u64, prompt: u64) -> Result<SegmentCost> {
         let ServingModel::Llm(model) = self.model else {
             return Ok(SegmentCost::ZERO);
         };
@@ -136,7 +156,7 @@ impl<'a> Pricer<'a> {
     /// Chunked prefill is not yet shardable — returns an error on a
     /// tensor-parallel ring (the engine rejects that combination up
     /// front).
-    pub(crate) fn prefill_chunk(&self, batch: u64, chunk: u64, past: u64) -> Result<SegmentCost> {
+    pub fn prefill_chunk(&self, batch: u64, chunk: u64, past: u64) -> Result<SegmentCost> {
         let ServingModel::Llm(model) = self.model else {
             return Ok(SegmentCost::ZERO);
         };
@@ -156,7 +176,12 @@ impl<'a> Pricer<'a> {
     /// Cost of one generation step for `batch` concurrently active
     /// requests: an LLM decode step at context length `ctx`, or one DiT
     /// forward pass (`ctx` is ignored).
-    pub(crate) fn step(&self, batch: u64, ctx: u64) -> Result<SegmentCost> {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an operator cannot be mapped onto the hardware,
+    /// or for a DiT model on a tensor-parallel ring.
+    pub fn step(&self, batch: u64, ctx: u64) -> Result<SegmentCost> {
         match self.model {
             ServingModel::Llm(model) => self.memoized((STEP, batch, ctx, 0), || {
                 let layers = model.layers() as f64;
@@ -186,6 +211,11 @@ impl<'a> Pricer<'a> {
         }
     }
 
+    /// The hosted model.
+    pub fn model(&self) -> &ServingModel {
+        self.model
+    }
+
     /// Latency of one step without the full cost (convenience for tests).
     #[cfg(test)]
     pub(crate) fn step_latency(&self, batch: u64, ctx: u64) -> Result<cimtpu_units::Seconds> {
@@ -209,9 +239,8 @@ mod tests {
     #[test]
     fn llm_phase_costs_scale_by_layers() {
         let sim = Simulator::new(TpuConfig::tpuv4i()).unwrap();
-        let cx = sim.execution_context();
         let model = tiny_llm();
-        let pricer = Pricer::single(&model, &cx);
+        let pricer = PhasePricer::single(&model, &sim);
         let ServingModel::Llm(cfg) = &model else { unreachable!() };
 
         let per_layer = sim.run(&cfg.decode_layer(2, 64).unwrap()).unwrap().total_latency();
@@ -225,9 +254,8 @@ mod tests {
     #[test]
     fn dit_steps_ignore_context_and_skip_prefill() {
         let sim = Simulator::new(TpuConfig::tpuv4i()).unwrap();
-        let cx = sim.execution_context();
         let model = ServingModel::Dit { dit: presets::dit_b_2(), resolution: 256 };
-        let pricer = Pricer::single(&model, &cx);
+        let pricer = PhasePricer::single(&model, &sim);
         assert!(!model.has_prefill());
         assert_eq!(pricer.prefill(4, 128).unwrap(), SegmentCost::ZERO);
         assert_eq!(
@@ -240,9 +268,8 @@ mod tests {
     #[test]
     fn chunk_pricing_matches_plain_prefill_at_zero_past() {
         let sim = Simulator::new(TpuConfig::tpuv4i()).unwrap();
-        let cx = sim.execution_context();
         let model = tiny_llm();
-        let pricer = Pricer::single(&model, &cx);
+        let pricer = PhasePricer::single(&model, &sim);
         // Same workload, so bit-identical cost.
         assert_eq!(
             pricer.prefill_chunk(2, 64, 0).unwrap(),
@@ -258,8 +285,7 @@ mod tests {
     fn chunk_pricing_rejects_tensor_parallel() {
         let model = ServingModel::Llm(presets::gpt3_30b());
         let ring = MultiTpu::new(TpuConfig::tpuv4i(), 4).unwrap();
-        let cx = ring.simulator().execution_context();
-        let tp = Pricer::tensor_parallel(&model, &cx, &ring);
+        let tp = PhasePricer::tensor_parallel(&model, &ring);
         assert!(tp.prefill_chunk(2, 64, 0).is_err());
     }
 
@@ -267,12 +293,10 @@ mod tests {
     fn tensor_parallel_step_is_faster_but_costs_comm() {
         let model = ServingModel::Llm(presets::gpt3_30b());
         let single_sim = Simulator::new(TpuConfig::tpuv4i()).unwrap();
-        let single_cx = single_sim.execution_context();
-        let single = Pricer::single(&model, &single_cx);
+        let single = PhasePricer::single(&model, &single_sim);
 
         let ring = MultiTpu::new(TpuConfig::tpuv4i(), 4).unwrap();
-        let tp_cx = ring.simulator().execution_context();
-        let tp = Pricer::tensor_parallel(&model, &tp_cx, &ring);
+        let tp = PhasePricer::tensor_parallel(&model, &ring);
 
         let t1 = single.step(8, 1280).unwrap();
         let t4 = tp.step(8, 1280).unwrap();

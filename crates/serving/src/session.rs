@@ -1,0 +1,173 @@
+//! An instantiated serving backend: the simulator (or tensor-parallel
+//! ring) a [`ServingEngine`] configuration prices against, owned so that
+//! incremental [`EngineCore`]s and [`PhasePricer`]s can borrow it.
+
+use cimtpu_core::Simulator;
+use cimtpu_kv::{KvFootprint, PagedKvAllocator};
+use cimtpu_multi::MultiTpu;
+use cimtpu_units::{Error, Result};
+
+use crate::engine::{Parallelism, ServingEngine};
+use crate::memory::MemoryConfig;
+use crate::policy::BatchPolicy;
+use crate::pricer::{PhasePricer, ServingModel};
+use crate::step::EngineCore;
+
+#[derive(Debug)]
+enum Backend {
+    Single(Simulator),
+    Ring(MultiTpu),
+}
+
+/// One engine configuration instantiated against real pricing state: the
+/// chip simulator (or tensor-parallel ring), the hosted model, and the
+/// policy/memory configuration. The session owns what the borrowing
+/// front-ends need:
+///
+/// - [`EngineSession::core`] — an incremental [`EngineCore`] running the
+///   full batching engine (what [`ServingEngine::run`] drives, and what a
+///   cluster driver interleaves across replicas);
+/// - [`EngineSession::pricer`] — a bare [`PhasePricer`] for drivers that
+///   schedule phases themselves (the cluster crate's disaggregated
+///   prefill/decode pools);
+/// - [`EngineSession::allocator`] / [`EngineSession::footprint`] — the
+///   paged KV allocator and per-executor footprint derived from the
+///   configured budget.
+#[derive(Debug)]
+pub struct EngineSession {
+    model: ServingModel,
+    policy: BatchPolicy,
+    memory: MemoryConfig,
+    parallelism: Parallelism,
+    backend: Backend,
+}
+
+impl EngineSession {
+    /// Instantiates `engine`'s backend (builds the simulator or ring; when
+    /// `CIMTPU_CACHE_DIR` is set the underlying mapping cache loads from
+    /// disk).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid chip or memory configuration, or
+    /// chunked prefill on a tensor-parallel ring.
+    pub fn new(engine: &ServingEngine) -> Result<Self> {
+        let memory = engine.memory();
+        memory.validate()?;
+        let parallelism = engine.parallelism();
+        if memory.chunk_tokens.is_some()
+            && matches!(parallelism, Parallelism::TensorParallel { .. })
+        {
+            return Err(Error::invalid_config(
+                "chunked prefill is not supported on a tensor-parallel ring",
+            ));
+        }
+        let backend = match parallelism {
+            Parallelism::Replicated { .. } => {
+                Backend::Single(Simulator::new(engine.chip().clone())?)
+            }
+            Parallelism::TensorParallel { chips } => {
+                Backend::Ring(MultiTpu::new(engine.chip().clone(), chips)?)
+            }
+        };
+        Ok(EngineSession {
+            model: engine.model().clone(),
+            policy: engine.policy(),
+            memory,
+            parallelism,
+            backend,
+        })
+    }
+
+    /// The hosted model.
+    pub fn model(&self) -> &ServingModel {
+        &self.model
+    }
+
+    /// The batching policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// The memory configuration.
+    pub fn memory(&self) -> MemoryConfig {
+        self.memory
+    }
+
+    /// The chip organization.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// A fresh phase pricer against this session's backend (fresh memo;
+    /// the per-operator `MappingCache` underneath is shared and warm).
+    pub fn pricer(&self) -> PhasePricer<'_> {
+        match &self.backend {
+            Backend::Single(sim) => PhasePricer::single(&self.model, sim),
+            Backend::Ring(ring) => PhasePricer::tensor_parallel(&self.model, ring),
+        }
+    }
+
+    /// A fresh incremental engine core over this session.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the KV budget cannot be derived (zero-sized
+    /// blocks, invalid sharding).
+    pub fn core(&self) -> Result<EngineCore<'_>> {
+        let executors = self.parallelism.executors();
+        let allocs: Vec<PagedKvAllocator> =
+            (0..executors).map(|_| self.allocator()).collect::<Result<_>>()?;
+        Ok(EngineCore::new(
+            self.pricer(),
+            self.policy,
+            self.memory,
+            self.parallelism.chips(),
+            allocs,
+        ))
+    }
+
+    /// Per-executor KV footprint of the hosted model (sharded across a
+    /// tensor-parallel ring).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero-way sharding (unreachable via public
+    /// constructors).
+    pub fn footprint(&self) -> Result<KvFootprint> {
+        match (&self.model, self.parallelism) {
+            (ServingModel::Llm(m), Parallelism::TensorParallel { chips }) => {
+                KvFootprint::sharded(m, chips)
+            }
+            (ServingModel::Llm(m), Parallelism::Replicated { .. }) => Ok(KvFootprint::of(m)),
+            (ServingModel::Dit { .. }, _) => Ok(KvFootprint::none()),
+        }
+    }
+
+    /// One executor's paged KV allocator from the configured budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero block size.
+    pub fn allocator(&self) -> Result<PagedKvAllocator> {
+        let footprint = self.footprint()?;
+        let budget = self.memory.budget.resolve(self.hbm_capacity(), &footprint);
+        PagedKvAllocator::from_budget(budget, &footprint, self.memory.block_tokens)
+    }
+
+    fn hbm_capacity(&self) -> cimtpu_units::Bytes {
+        match &self.backend {
+            Backend::Single(sim) => sim.config().hbm_capacity(),
+            Backend::Ring(ring) => ring.simulator().config().hbm_capacity(),
+        }
+    }
+
+    /// Persists the backend's mapping cache (best effort, no-op without
+    /// `CIMTPU_CACHE_DIR`).
+    pub fn persist_cache(&self) {
+        let _ = match &self.backend {
+            Backend::Single(sim) => sim.persist_cache(),
+            Backend::Ring(ring) => ring.simulator().persist_cache(),
+        };
+    }
+}

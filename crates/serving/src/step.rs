@@ -1,0 +1,1048 @@
+//! The incremental serving engine: the same event-driven scheduler as
+//! [`ServingEngine::run`](crate::ServingEngine::run), exposed as a
+//! push/step state machine an external driver can interleave with other
+//! engines.
+//!
+//! [`EngineCore`] owns one engine's scheduling state (queue, batching
+//! policy, per-executor clocks and KV allocators) and advances one
+//! scheduling decision per [`step`](EngineCore::step). A driver feeds it
+//! arrivals with [`push`](EngineCore::push) (in arrival order), declares
+//! the stream finished with [`close`](EngineCore::close), and asks
+//! [`next_action`](EngineCore::next_action) when the engine can next make
+//! progress on its own. This is what makes fleet-level simulation
+//! possible: the `cimtpu-cluster` crate runs one core per replica and a
+//! router decides which core each arrival is pushed into, while
+//! closed-loop traffic couples completions back into the arrival stream.
+//!
+//! Scheduling decisions depend only on the queue contents, the closed
+//! flag, and the engine's own clocks — never on *when* the driver happens
+//! to push or step — so a core fed incrementally produces bit-identical
+//! results to one fed its whole trace up front. The single-engine
+//! [`ServingEngine::run`](crate::ServingEngine::run) and the cluster
+//! driver both lean on that invariant (and the equivalence tests pin it).
+
+use std::collections::{HashMap, VecDeque};
+
+use cimtpu_kv::PagedKvAllocator;
+use cimtpu_units::{Error, Joules, Result, Seconds};
+
+use crate::memory::MemoryConfig;
+use crate::metrics::{Completion, MemoryStats, ServingReport};
+use crate::policy::BatchPolicy;
+use crate::pricer::PhasePricer;
+use crate::request::{ArrivalStream, Request};
+use crate::ServingRun;
+
+/// One serving engine as an incremental state machine. See
+/// [`drive`](crate::drive) for the driver protocol; obtain one from
+/// [`EngineSession::core`](crate::EngineSession::core).
+#[derive(Debug)]
+pub struct EngineCore<'a> {
+    pricer: PhasePricer<'a>,
+    policy: BatchPolicy,
+    memory: MemoryConfig,
+    has_prefill: bool,
+    chips: u64,
+    /// Every request pushed so far, in arrival order; `next` marks the
+    /// boundary between scheduled and still-queued requests.
+    arrivals: Vec<Request>,
+    next: usize,
+    closed: bool,
+    completions: Vec<Completion>,
+    drained: usize,
+    energy: Joules,
+    busy: Seconds,
+    /// Time-to-first-token bookkeeping, index-aligned with `arrivals`
+    /// (used by the continuous scheduler; run-to-completion batches track
+    /// first tokens locally).
+    first_token: Vec<Seconds>,
+    ttft_set: Vec<bool>,
+    state: State,
+}
+
+#[derive(Debug)]
+enum State {
+    /// Static / dynamic batching: batches run to completion.
+    Rtc(RtcState),
+    /// Continuous batching: requests admitted/retired between steps.
+    Cont(ContState),
+}
+
+#[derive(Debug)]
+struct RtcState {
+    allocs: Vec<PagedKvAllocator>,
+    free_at: Vec<Seconds>,
+    /// First time each request was turned away by KV admission (it may
+    /// still launch promptly on another executor — only the deferral
+    /// actually experienced is charged, at launch).
+    kv_deferred_at: HashMap<u64, Seconds>,
+    queue_full: Seconds,
+}
+
+#[derive(Debug)]
+struct ContState {
+    chips: Vec<ContChip>,
+    max_batch: u64,
+}
+
+/// One resident request: `done` generated tokens survive preemption;
+/// `prefilled` / `target` track prompt (re)computation in the current
+/// residency.
+#[derive(Debug)]
+struct Active {
+    idx: usize,
+    done: u64,
+    prefilled: u64,
+    target: u64,
+}
+
+#[derive(Debug)]
+struct ContChip {
+    t: Seconds,
+    active: Vec<Active>,
+    /// Preempted requests awaiting re-admission (FIFO, ahead of new
+    /// arrivals): request index + tokens generated so far.
+    resume: VecDeque<(usize, u64)>,
+    alloc: PagedKvAllocator,
+    queue_full: Seconds,
+    preemptions: u64,
+}
+
+/// A decided run-to-completion launch.
+struct RtcLaunch {
+    chip: usize,
+    take: usize,
+    start: Seconds,
+}
+
+enum RtcPlan {
+    /// Launch a batch now.
+    Launch(RtcLaunch),
+    /// The decision resolves at `at` unless more arrivals land first
+    /// (dynamic batching waiting out its batching window).
+    Wait { at: Seconds },
+}
+
+impl<'a> EngineCore<'a> {
+    pub(crate) fn new(
+        pricer: PhasePricer<'a>,
+        policy: BatchPolicy,
+        memory: MemoryConfig,
+        chips: u64,
+        allocs: Vec<PagedKvAllocator>,
+    ) -> Self {
+        let has_prefill = pricer.model().has_prefill();
+        let state = match policy {
+            BatchPolicy::Static { .. } | BatchPolicy::Dynamic { .. } => {
+                let free_at = vec![Seconds::ZERO; allocs.len()];
+                State::Rtc(RtcState {
+                    allocs,
+                    free_at,
+                    kv_deferred_at: HashMap::new(),
+                    queue_full: Seconds::ZERO,
+                })
+            }
+            BatchPolicy::Continuous { max_batch } => State::Cont(ContState {
+                chips: allocs
+                    .into_iter()
+                    .map(|alloc| ContChip {
+                        t: Seconds::ZERO,
+                        active: Vec::new(),
+                        resume: VecDeque::new(),
+                        alloc,
+                        queue_full: Seconds::ZERO,
+                        preemptions: 0,
+                    })
+                    .collect(),
+                max_batch: max_batch.max(1),
+            }),
+        };
+        EngineCore {
+            pricer,
+            policy,
+            memory,
+            has_prefill,
+            chips,
+            arrivals: Vec::new(),
+            next: 0,
+            closed: false,
+            completions: Vec::new(),
+            drained: 0,
+            energy: Joules::ZERO,
+            busy: Seconds::ZERO,
+            first_token: Vec::new(),
+            ttft_set: Vec::new(),
+            state,
+        }
+    }
+
+    /// Enqueues an arrival. Pushes must be in non-decreasing arrival
+    /// order, and must precede [`close`](EngineCore::close).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is closed or the arrival order is violated.
+    pub fn push(&mut self, request: Request) {
+        assert!(!self.closed, "push after close");
+        if let Some(last) = self.arrivals.last() {
+            assert!(
+                request.arrival_s >= last.arrival_s,
+                "arrivals must be pushed in time order"
+            );
+        }
+        self.arrivals.push(request);
+        self.first_token.push(Seconds::ZERO);
+        self.ttft_set.push(false);
+    }
+
+    /// Declares the arrival stream finished: tail batches smaller than a
+    /// static batch size may now launch.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// When the engine can next make progress without new arrivals:
+    /// the start of the next decided batch, the end of a dynamic batching
+    /// window, or the next continuous scheduling round. `None` means the
+    /// engine is blocked until a push or [`close`](EngineCore::close) —
+    /// or finished.
+    pub fn next_action(&self) -> Option<Seconds> {
+        match &self.state {
+            State::Rtc(_) => self.rtc_decide(None).map(|p| match p {
+                RtcPlan::Launch(l) => l.start,
+                RtcPlan::Wait { at } => at,
+            }),
+            State::Cont(_) => self.cont_pick().map(|(_, t)| t),
+        }
+    }
+
+    /// Performs the next scheduling action (see
+    /// [`next_action`](EngineCore::next_action)).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no action is runnable, an operator cannot be
+    /// mapped, or the KV budget cannot hold even a single request.
+    pub fn step(&mut self) -> Result<()> {
+        match self.state {
+            State::Rtc(_) => {
+                let plan = match self.rtc_decide(None) {
+                    Some(RtcPlan::Launch(l)) => l,
+                    Some(RtcPlan::Wait { at }) => match self.rtc_decide(Some(at)) {
+                        Some(RtcPlan::Launch(l)) => l,
+                        _ => unreachable!("a batching window resolves at its deadline"),
+                    },
+                    None => {
+                        return Err(Error::invalid_config(
+                            "EngineCore::step called with no runnable action",
+                        ))
+                    }
+                };
+                self.rtc_launch(plan)
+            }
+            State::Cont(_) => {
+                let Some((ci, t)) = self.cont_pick() else {
+                    return Err(Error::invalid_config(
+                        "EngineCore::step called with no runnable action",
+                    ));
+                };
+                self.cont_round(ci, t)
+            }
+        }
+    }
+
+    /// Launches a stalled partial batch: a static-batching engine whose
+    /// queue can no longer fill (every closed-loop client is waiting on a
+    /// completion this engine holds) launches what it has. Returns whether
+    /// anything launched; a no-op for engines that are not stalled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pricing/allocation errors from the launch.
+    pub fn flush_stalled(&mut self) -> Result<bool> {
+        if self.closed || self.next >= self.arrivals.len() {
+            return Ok(false);
+        }
+        let State::Rtc(st) = &self.state else { return Ok(false) };
+        if self.rtc_decide(None).is_some() {
+            return Ok(false);
+        }
+        // Only a static engine waiting for a full batch reaches here.
+        let take = self.arrivals.len() - self.next;
+        let chip = earliest(&st.free_at);
+        let start = st.free_at[chip].max(self.arrivals[self.next + take - 1].arrival());
+        self.rtc_launch(RtcLaunch { chip, take, start })?;
+        Ok(true)
+    }
+
+    /// Whether every pushed request has been completed and the stream is
+    /// closed.
+    pub fn is_done(&self) -> bool {
+        self.closed && self.next >= self.arrivals.len() && self.resident() == 0
+    }
+
+    /// Requests currently resident on an executor (being computed or
+    /// awaiting resumption); always zero between run-to-completion
+    /// launches, whose batches complete within one step.
+    pub fn resident(&self) -> u64 {
+        match &self.state {
+            State::Rtc(_) => 0,
+            State::Cont(st) => st
+                .chips
+                .iter()
+                .map(|c| (c.active.len() + c.resume.len()) as u64)
+                .sum(),
+        }
+    }
+
+    /// Requests pushed but not yet scheduled.
+    pub fn queued(&self) -> u64 {
+        (self.arrivals.len() - self.next) as u64
+    }
+
+    /// Requests in flight at simulated time `t`: queued, resident, or
+    /// already scheduled with a completion time after `t` (run-to-
+    /// completion batches compute their whole future at launch).
+    pub fn outstanding_at(&self, t: Seconds) -> u64 {
+        self.queued()
+            + self.resident()
+            + self.completions.iter().filter(|c| c.finish > t).count() as u64
+    }
+
+    /// Live KV occupancy as a fraction of capacity (max over executors;
+    /// 0 when the budget is unlimited).
+    pub fn kv_frac(&self) -> f64 {
+        let frac = |a: &PagedKvAllocator| match a.capacity_blocks() {
+            Some(c) if c > 0 => a.used_blocks() as f64 / c as f64,
+            _ => 0.0,
+        };
+        match &self.state {
+            State::Rtc(st) => st.allocs.iter().map(frac).fold(0.0, f64::max),
+            State::Cont(st) => st.chips.iter().map(|c| frac(&c.alloc)).fold(0.0, f64::max),
+        }
+    }
+
+    /// All completions so far, in completion order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Completions produced since the last drain (for feeding closed-loop
+    /// arrival streams).
+    pub fn drain_new(&mut self) -> &[Completion] {
+        let from = self.drained;
+        self.drained = self.completions.len();
+        &self.completions[from..]
+    }
+
+    /// Total chip energy so far.
+    pub fn energy(&self) -> Joules {
+        self.energy
+    }
+
+    /// Total time executors spent computing (priced segment latency, not
+    /// idle gaps) — the numerator of a utilization metric.
+    pub fn busy(&self) -> Seconds {
+        self.busy
+    }
+
+    /// Memory-subsystem counters so far.
+    pub fn memory_stats(&self) -> MemoryStats {
+        match &self.state {
+            State::Rtc(st) => MemoryStats {
+                preemptions: 0,
+                queue_full_s: st.queue_full.get(),
+                kv_hwm_frac: st
+                    .allocs
+                    .iter()
+                    .map(PagedKvAllocator::high_water_frac)
+                    .fold(0.0, f64::max),
+            },
+            State::Cont(st) => {
+                let mut memory = MemoryStats::NONE;
+                for c in &st.chips {
+                    memory.absorb(&MemoryStats {
+                        preemptions: c.preemptions,
+                        queue_full_s: c.queue_full.get(),
+                        kv_hwm_frac: c.alloc.high_water_frac(),
+                    });
+                }
+                memory
+            }
+        }
+    }
+
+    /// Builds the aggregate report over everything completed so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has completed.
+    pub fn finish(&self, label: &str) -> ServingRun {
+        let mut completions = self.completions.clone();
+        completions.sort_by_key(|c| c.id);
+        let report = ServingReport::from_completions(
+            label,
+            self.policy.name(),
+            self.chips,
+            &completions,
+            self.energy,
+            self.memory_stats(),
+        );
+        ServingRun { report, completions }
+    }
+
+    /// Batch formation at the queue head. `now` is the current driver
+    /// time when resolving a batching window (`None` while merely
+    /// querying): a dynamic window commits at its deadline because every
+    /// arrival at or before it has been pushed by then (driver protocol).
+    fn rtc_decide(&self, now: Option<Seconds>) -> Option<RtcPlan> {
+        let State::Rtc(st) = &self.state else { unreachable!("rtc_decide on continuous") };
+        let queue = &self.arrivals[self.next..];
+        if queue.is_empty() {
+            return None;
+        }
+        let chip = earliest(&st.free_at);
+        let free = st.free_at[chip];
+        match self.policy {
+            BatchPolicy::Static { batch } => {
+                // Wait for a full batch (the stream tail may be smaller).
+                let b = batch.max(1) as usize;
+                let take = if queue.len() >= b {
+                    b
+                } else if self.closed {
+                    queue.len()
+                } else {
+                    return None; // blocked until more arrivals or close
+                };
+                let start = free.max(queue[take - 1].arrival());
+                Some(RtcPlan::Launch(RtcLaunch { chip, take, start }))
+            }
+            BatchPolicy::Dynamic { max_batch, max_wait_ms } => {
+                // Launch when `max_batch` have queued or the oldest waiter
+                // has waited `max_wait_ms`, whichever happens first.
+                let cap = max_batch.max(1) as usize;
+                let t0 = free.max(queue[0].arrival());
+                let deadline = t0.max(queue[0].arrival() + Seconds::from_millis(max_wait_ms));
+                let take = queue
+                    .iter()
+                    .take(cap)
+                    .take_while(|r| r.arrival() <= deadline)
+                    .count();
+                // The take is final once the batch is full, a queued
+                // arrival already fell past the deadline, the stream is
+                // closed, or the window itself has elapsed.
+                let committed = take == cap
+                    || queue.len() > take
+                    || self.closed
+                    || now.is_some_and(|n| n >= deadline);
+                if committed {
+                    let start = t0.max(queue[take - 1].arrival());
+                    Some(RtcPlan::Launch(RtcLaunch { chip, take, start }))
+                } else {
+                    Some(RtcPlan::Wait { at: deadline })
+                }
+            }
+            BatchPolicy::Continuous { .. } => unreachable!("continuous has its own loop"),
+        }
+    }
+
+    /// Executes one decided run-to-completion launch: KV admission may
+    /// shrink the policy's batch; the surviving members run to completion
+    /// on the chosen executor.
+    fn rtc_launch(&mut self, plan: RtcLaunch) -> Result<()> {
+        let RtcLaunch { chip, take: policy_take, start: policy_start } = plan;
+        let next = self.next;
+        let (take, start) = {
+            let State::Rtc(st) = &mut self.state else { unreachable!() };
+            // Admission control: shrink the batch until its worst-case
+            // footprint fits the (empty) allocator.
+            let take =
+                kv_admissible_prefix(&st.allocs[chip], &self.arrivals[next..next + policy_take])?;
+            let start = if take == policy_take {
+                policy_start
+            } else {
+                st.free_at[chip].max(self.arrivals[next + take - 1].arrival())
+            };
+            for r in &self.arrivals[next + take..next + policy_take] {
+                st.kv_deferred_at.entry(r.id).or_insert(start);
+            }
+            for r in &self.arrivals[next..next + take] {
+                if let Some(since) = st.kv_deferred_at.remove(&r.id) {
+                    // Ready since `since` (or its arrival, if later), held
+                    // back by KV until this launch.
+                    st.queue_full += (start - since.max(r.arrival())).max(Seconds::ZERO);
+                }
+            }
+            (take, start)
+        };
+        let members: Vec<Request> = self.arrivals[next..next + take].to_vec();
+        let end = self.run_batch(&members, start, chip)?;
+        let State::Rtc(st) = &mut self.state else { unreachable!() };
+        st.free_at[chip] = end;
+        self.next += take;
+        Ok(())
+    }
+
+    /// Runs one formed batch to completion: grouped prefill (prompt padded
+    /// to the longest member, optionally split into chunks), then one step
+    /// per generated token. Static batching pads — finished requests hold
+    /// their slot; dynamic shrinks the step batch as requests finish. KV
+    /// blocks grow with each generated token and release when the batch
+    /// retires.
+    fn run_batch(&mut self, members: &[Request], start: Seconds, chip: usize) -> Result<Seconds> {
+        let b = members.len() as u64;
+        let max_prompt = members.iter().map(|r| r.prompt_len).max().expect("non-empty");
+        let max_steps = members.iter().map(|r| r.steps).max().expect("non-empty");
+        let pads = self.policy.pads_to_batch_end();
+
+        // Prefill KV lands as the prompt is ingested.
+        {
+            let State::Rtc(st) = &mut self.state else { unreachable!() };
+            for r in members {
+                let ok = st.allocs[chip].try_grow(r.id, r.prompt_len);
+                debug_assert!(ok, "admission reserved the worst case");
+            }
+        }
+        let mut t = start;
+        let mut first_token = vec![Seconds::ZERO; members.len()];
+        if self.has_prefill {
+            match self.memory.chunk_tokens {
+                None => {
+                    let prefill = self.pricer.prefill(b, max_prompt)?;
+                    t += prefill.latency;
+                    self.energy += prefill.total_energy();
+                }
+                Some(chunk) => {
+                    let mut past = 0;
+                    while past < max_prompt {
+                        let c = chunk.min(max_prompt - past);
+                        let cost = self.pricer.prefill_chunk(b, c, past)?;
+                        t += cost.latency;
+                        self.energy += cost.total_energy();
+                        past += c;
+                    }
+                }
+            }
+            first_token.fill(t);
+        }
+        let mut finish = vec![Seconds::ZERO; members.len()];
+        for s in 0..max_steps {
+            let active = if pads {
+                b
+            } else {
+                members.iter().filter(|r| r.steps > s).count() as u64
+            };
+            {
+                let State::Rtc(st) = &mut self.state else { unreachable!() };
+                for r in members.iter().filter(|r| r.steps > s) {
+                    let ok = st.allocs[chip].try_grow(r.id, r.prompt_len + s + 1);
+                    debug_assert!(ok, "admission reserved the worst case");
+                }
+            }
+            let step = self.pricer.step(active, max_prompt + s + 1)?;
+            t += step.latency;
+            self.energy += step.total_energy();
+            if s == 0 && !self.has_prefill {
+                first_token.fill(t);
+            }
+            for (i, r) in members.iter().enumerate() {
+                if r.steps == s + 1 {
+                    finish[i] = t;
+                }
+            }
+        }
+        let State::Rtc(st) = &mut self.state else { unreachable!() };
+        for (i, r) in members.iter().enumerate() {
+            st.allocs[chip].release(r.id);
+            self.completions.push(Completion {
+                id: r.id,
+                arrival: r.arrival(),
+                first_token: first_token[i],
+                // Padded batches release results when the batch completes.
+                finish: if pads { t } else { finish[i] },
+                steps: r.steps,
+            });
+        }
+        self.busy += t - start;
+        Ok(t)
+    }
+
+    /// Next continuous scheduling round: a chip with resident work steps
+    /// now; an idle chip waits for the next queued arrival (ties pick the
+    /// lowest index, keeping the schedule deterministic).
+    fn cont_pick(&self) -> Option<(usize, Seconds)> {
+        let State::Cont(st) = &self.state else { unreachable!("cont_pick on rtc") };
+        let mut pick: Option<(usize, Seconds)> = None;
+        for (i, chip) in st.chips.iter().enumerate() {
+            let candidate = if !chip.active.is_empty() || !chip.resume.is_empty() {
+                chip.t
+            } else if self.next < self.arrivals.len() {
+                chip.t.max(self.arrivals[self.next].arrival())
+            } else {
+                continue;
+            };
+            if pick.is_none_or(|(_, best)| candidate < best) {
+                pick = Some((i, candidate));
+            }
+        }
+        pick
+    }
+
+    /// One continuous-batching round on chip `ci` at time `t`: admit into
+    /// free slots (KV permitting), advance prefill (monolithic or one
+    /// chunk), then one generation step for everything past its prefill,
+    /// evicting the youngest resident request when KV blocks run out
+    /// (recompute-on-resume).
+    fn cont_round(&mut self, ci: usize, t: Seconds) -> Result<()> {
+        let has_prefill = self.has_prefill;
+        let chunking = self.memory.chunk_tokens;
+        let State::Cont(st) = &mut self.state else { unreachable!() };
+        let max_batch = st.max_batch;
+        let chip = &mut st.chips[ci];
+        chip.t = t;
+        let round_start = chip.t;
+
+        // Admit into free slots, KV permitting: preempted requests first
+        // (their whole recomputed context must fit), then queued arrivals
+        // (their prompt must fit). Head-of-line blocking on KV is what the
+        // queue-full metric measures.
+        let mut admitted: Vec<(usize, u64, bool)> = Vec::new(); // (idx, done, resumed)
+        let mut kv_blocked = false;
+        while chip.active.len() + admitted.len() < max_batch as usize {
+            if let Some(&(idx, done)) = chip.resume.front() {
+                if chip
+                    .alloc
+                    .try_grow(self.arrivals[idx].id, self.arrivals[idx].prompt_len + done)
+                {
+                    admitted.push((idx, done, true));
+                    chip.resume.pop_front();
+                } else {
+                    kv_blocked = true;
+                    break;
+                }
+            } else if self.next < self.arrivals.len()
+                && self.arrivals[self.next].arrival() <= chip.t
+            {
+                if chip
+                    .alloc
+                    .try_grow(self.arrivals[self.next].id, self.arrivals[self.next].prompt_len)
+                {
+                    admitted.push((self.next, 0, false));
+                    self.next += 1;
+                } else {
+                    kv_blocked = true;
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if kv_blocked && chip.active.is_empty() && admitted.is_empty() {
+            // Nothing resident to retire or preempt: the head request can
+            // never fit.
+            return Err(Error::invalid_config(format!(
+                "KV budget too small: a single request needs more than the {} block(s) \
+                 of {} tokens available",
+                chip.alloc.capacity_blocks().unwrap_or(0),
+                chip.alloc.block_tokens(),
+            )));
+        }
+
+        // Prefill the admitted group. Monolithic: one padded prefill now
+        // (resumed members recompute their full context). Chunked: members
+        // enter mid-prefill and advance below.
+        match chunking {
+            None => {
+                if !admitted.is_empty() && has_prefill {
+                    let padded = admitted
+                        .iter()
+                        .map(|&(idx, done, _)| self.arrivals[idx].prompt_len + done)
+                        .max()
+                        .expect("non-empty");
+                    let prefill = self.pricer.prefill(admitted.len() as u64, padded)?;
+                    chip.t += prefill.latency;
+                    self.energy += prefill.total_energy();
+                    for &(idx, _, _) in &admitted {
+                        if !self.ttft_set[idx] {
+                            self.first_token[idx] = chip.t;
+                            self.ttft_set[idx] = true;
+                        }
+                    }
+                }
+                chip.active.extend(admitted.into_iter().map(|(idx, done, _)| {
+                    let target = self.arrivals[idx].prompt_len + done;
+                    Active { idx, done, prefilled: target, target }
+                }));
+            }
+            Some(chunk) => {
+                chip.active.extend(admitted.into_iter().map(|(idx, done, _)| {
+                    let target = self.arrivals[idx].prompt_len + done;
+                    Active {
+                        idx,
+                        done,
+                        // A model with no prefill phase (DiT) has no
+                        // prompt to chunk: it enters decode directly,
+                        // whatever its nominal prompt length.
+                        prefilled: if has_prefill { 0 } else { target },
+                        target,
+                    }
+                }));
+                // One prefill chunk for everything still ingesting its
+                // prompt, padded to the group's longest chunk/context.
+                let prefilling: Vec<usize> = (0..chip.active.len())
+                    .filter(|&p| chip.active[p].prefilled < chip.active[p].target)
+                    .collect();
+                if has_prefill && !prefilling.is_empty() {
+                    let c = prefilling
+                        .iter()
+                        .map(|&p| (chip.active[p].target - chip.active[p].prefilled).min(chunk))
+                        .max()
+                        .expect("non-empty");
+                    let past = prefilling
+                        .iter()
+                        .map(|&p| chip.active[p].prefilled)
+                        .max()
+                        .expect("non-empty");
+                    let cost = self.pricer.prefill_chunk(prefilling.len() as u64, c, past)?;
+                    chip.t += cost.latency;
+                    self.energy += cost.total_energy();
+                    let now = chip.t;
+                    for p in prefilling {
+                        let a = &mut chip.active[p];
+                        a.prefilled = (a.prefilled + chunk).min(a.target);
+                        if a.prefilled == a.target && !self.ttft_set[a.idx] {
+                            self.first_token[a.idx] = now;
+                            self.ttft_set[a.idx] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // One generation step for every request past its prefill. Each
+        // needs one more token of KV; when blocks run out, evict the
+        // youngest resident request (recompute-on-resume) until the rest
+        // fit.
+        loop {
+            let decoders: Vec<usize> = (0..chip.active.len())
+                .filter(|&p| chip.active[p].prefilled >= chip.active[p].target)
+                .collect();
+            if decoders.is_empty() {
+                break;
+            }
+            let fits = decoders.iter().all(|&p| {
+                let a = &chip.active[p];
+                chip.alloc
+                    .try_grow(self.arrivals[a.idx].id, self.arrivals[a.idx].prompt_len + a.done + 1)
+            });
+            if !fits {
+                // Youngest = latest arrival (ids are arrival-ordered).
+                let victim_pos = (0..chip.active.len())
+                    .max_by_key(|&p| chip.active[p].idx)
+                    .expect("non-empty");
+                let victim = chip.active.remove(victim_pos);
+                chip.alloc.release(self.arrivals[victim.idx].id);
+                chip.resume.push_back((victim.idx, victim.done));
+                chip.preemptions += 1;
+                kv_blocked = true;
+                if chip.active.is_empty() {
+                    return Err(Error::invalid_config(
+                        "KV budget too small to sustain a single running request",
+                    ));
+                }
+                continue;
+            }
+            let b = decoders.len() as u64;
+            let ctx = decoders
+                .iter()
+                .map(|&p| {
+                    let a = &chip.active[p];
+                    self.arrivals[a.idx].prompt_len + a.done
+                })
+                .max()
+                .expect("non-empty")
+                + 1;
+            let step = self.pricer.step(b, ctx)?;
+            chip.t += step.latency;
+            self.energy += step.total_energy();
+            let now = chip.t;
+            for &p in &decoders {
+                let a = &mut chip.active[p];
+                a.done += 1;
+                if a.done == 1 && !has_prefill && !self.ttft_set[a.idx] {
+                    self.first_token[a.idx] = now;
+                    self.ttft_set[a.idx] = true;
+                }
+            }
+            let ContChip { active, alloc, .. } = chip;
+            let arrivals = &self.arrivals;
+            let first_token = &self.first_token;
+            let completions = &mut self.completions;
+            active.retain(|a| {
+                if a.prefilled >= a.target && a.done >= arrivals[a.idx].steps {
+                    alloc.release(arrivals[a.idx].id);
+                    completions.push(Completion {
+                        id: arrivals[a.idx].id,
+                        arrival: arrivals[a.idx].arrival(),
+                        first_token: first_token[a.idx],
+                        finish: now,
+                        steps: arrivals[a.idx].steps,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            break;
+        }
+        // A round that held a ready request back on KV charges its
+        // duration to the queue-full clock.
+        if kv_blocked {
+            chip.queue_full += chip.t - round_start;
+        }
+        debug_assert!(
+            chip.t > round_start || !chip.active.is_empty() || !chip.resume.is_empty(),
+            "a scheduled round must make progress"
+        );
+        self.busy += chip.t - round_start;
+        Ok(())
+    }
+}
+
+/// The longest queue prefix whose worst-case KV footprint (prompt + every
+/// generated token) fits an empty allocator — run-to-completion admission
+/// control.
+///
+/// # Errors
+///
+/// Returns an error if even the first request can never fit.
+fn kv_admissible_prefix(alloc: &PagedKvAllocator, queue: &[Request]) -> Result<usize> {
+    let Some(capacity) = alloc.capacity_blocks() else {
+        return Ok(queue.len());
+    };
+    let mut blocks = 0;
+    let mut take = 0;
+    for r in queue {
+        let need = alloc.blocks_for(r.prompt_len + r.steps);
+        if blocks + need > capacity {
+            break;
+        }
+        blocks += need;
+        take += 1;
+    }
+    if take == 0 {
+        return Err(Error::invalid_config(format!(
+            "KV budget too small: request {} needs {} blocks but capacity is {capacity}",
+            queue[0].id,
+            alloc.blocks_for(queue[0].prompt_len + queue[0].steps),
+        )));
+    }
+    Ok(take)
+}
+
+/// Index of the executor that frees earliest (ties pick the lowest index,
+/// keeping the schedule deterministic).
+fn earliest(free_at: &[Seconds]) -> usize {
+    let mut best = 0;
+    for (i, &t) in free_at.iter().enumerate().skip(1) {
+        if t < free_at[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Drives one or more engine cores against an arrival stream until both
+/// are drained: the shared event loop of single-engine closed-loop runs
+/// and fleet-level (cluster) simulation.
+///
+/// Protocol, in simulated-time order: the earliest pending event wins.
+/// An arrival at or before every engine's next action is routed (the
+/// `route` callback picks a core index; out-of-range indices clamp) and
+/// pushed; otherwise the earliest-action engine steps (ties pick the
+/// lowest core index) and its new completions feed the stream (closed-loop
+/// clients schedule their next request). When the stream exhausts, every
+/// core is closed. If nothing can act and the stream still holds requests
+/// (static batching waiting for a batch that closed-loop clients can no
+/// longer fill), stalled cores flush their partial batches.
+///
+/// # Errors
+///
+/// Propagates engine errors, and reports a deadlock if no engine can make
+/// progress on a non-exhausted stream (cannot happen with the built-in
+/// policies; the flush rule above resolves the static-batching stall).
+pub fn drive(
+    cores: &mut [EngineCore<'_>],
+    stream: &mut ArrivalStream,
+    mut route: impl FnMut(&Request, &[EngineCore<'_>]) -> usize,
+) -> Result<()> {
+    assert!(!cores.is_empty(), "drive needs at least one core");
+    loop {
+        let mut action: Option<(usize, Seconds)> = None;
+        for (i, core) in cores.iter().enumerate() {
+            if let Some(t) = core.next_action() {
+                if action.is_none_or(|(_, best)| t < best) {
+                    action = Some((i, t));
+                }
+            }
+        }
+        let arrival = stream.peek();
+        match (arrival, action) {
+            (Some(ta), act) if act.is_none_or(|(_, t)| ta <= t) => {
+                let request = stream.pop();
+                let k = route(&request, cores).min(cores.len() - 1);
+                cores[k].push(request);
+                if stream.exhausted() {
+                    for core in cores.iter_mut() {
+                        core.close();
+                    }
+                }
+            }
+            (_, Some((i, _))) => {
+                cores[i].step()?;
+                let new: Vec<Completion> = cores[i].drain_new().to_vec();
+                for c in &new {
+                    stream.on_complete(c);
+                }
+            }
+            // `(Some, None)` is caught by the first arm (its guard is
+            // vacuously true with no pending action).
+            (_, None) => {
+                if stream.exhausted() {
+                    debug_assert!(cores.iter().all(EngineCore::is_done));
+                    return Ok(());
+                }
+                // Closed-loop stall: clients wait on completions held in
+                // partial batches. Flush the lowest stalled core and
+                // re-enter the loop (its completions may unblock clients).
+                let mut progressed = false;
+                for core in cores.iter_mut() {
+                    if core.flush_stalled()? {
+                        let new: Vec<Completion> = core.drain_new().to_vec();
+                        for c in &new {
+                            stream.on_complete(c);
+                        }
+                        progressed = true;
+                        break;
+                    }
+                }
+                if !progressed {
+                    return Err(Error::invalid_config(
+                        "serving driver stalled: closed-loop clients wait on completions \
+                         no engine can produce",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        ArrivalPattern, BatchPolicy, LenDist, Parallelism, ServingEngine, ServingModel,
+        TrafficSpec,
+    };
+    use cimtpu_core::TpuConfig;
+    use cimtpu_models::TransformerConfig;
+
+    fn tiny_engine(policy: BatchPolicy) -> ServingEngine {
+        ServingEngine::new(
+            TpuConfig::tpuv4i(),
+            ServingModel::Llm(TransformerConfig::new("Tiny-2L", 2, 4, 256, 1024).unwrap()),
+            Parallelism::Replicated { chips: 1 },
+            policy,
+        )
+        .unwrap()
+    }
+
+    fn burst(requests: u64) -> TrafficSpec {
+        TrafficSpec {
+            requests,
+            arrival: ArrivalPattern::Burst,
+            prompt: LenDist::Fixed(16),
+            steps: LenDist::Fixed(4),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn incremental_core_matches_batch_run() {
+        // Pushing arrivals one by one (with interleaved stepping, as the
+        // cluster driver does) must reproduce the push-all result.
+        for policy in [
+            BatchPolicy::Static { batch: 2 },
+            BatchPolicy::Dynamic { max_batch: 2, max_wait_ms: 5.0 },
+            BatchPolicy::Continuous { max_batch: 2 },
+        ] {
+            let engine = tiny_engine(policy);
+            let traffic = TrafficSpec {
+                arrival: ArrivalPattern::OpenLoop { rate_rps: 500.0 },
+                ..burst(5)
+            };
+            let reference = engine.run("ref", &traffic).unwrap();
+
+            let session = crate::EngineSession::new(&engine).unwrap();
+            let mut core = session.core().unwrap();
+            let mut stream = ArrivalStream::new(&traffic).unwrap();
+            drive(std::slice::from_mut(&mut core), &mut stream, |_, _| 0).unwrap();
+            let run = core.finish("ref");
+            assert_eq!(run.report, reference.report, "{}", policy.name());
+            assert_eq!(run.completions, reference.completions);
+        }
+    }
+
+    #[test]
+    fn static_core_waits_until_closed() {
+        let engine = tiny_engine(BatchPolicy::Static { batch: 4 });
+        let session = crate::EngineSession::new(&engine).unwrap();
+        let mut core = session.core().unwrap();
+        for r in burst(2).generate() {
+            core.push(r);
+        }
+        // Two of four queued: blocked until the stream closes.
+        assert_eq!(core.next_action(), None);
+        assert_eq!(core.queued(), 2);
+        core.close();
+        assert!(core.next_action().is_some());
+        core.step().unwrap();
+        assert!(core.is_done());
+        assert_eq!(core.completions().len(), 2);
+        assert_eq!(core.outstanding_at(Seconds::new(1e9)), 0);
+        assert!(core.outstanding_at(Seconds::ZERO) > 0, "batch finishes after t=0");
+    }
+
+    #[test]
+    fn flush_launches_a_stalled_partial_batch() {
+        let engine = tiny_engine(BatchPolicy::Static { batch: 4 });
+        let session = crate::EngineSession::new(&engine).unwrap();
+        let mut core = session.core().unwrap();
+        for r in burst(3).generate() {
+            core.push(r);
+        }
+        assert_eq!(core.next_action(), None);
+        assert!(core.flush_stalled().unwrap());
+        assert_eq!(core.completions().len(), 3);
+        // Nothing left to flush.
+        assert!(!core.flush_stalled().unwrap());
+    }
+
+    #[test]
+    fn busy_time_tracks_compute() {
+        let engine = tiny_engine(BatchPolicy::Continuous { max_batch: 4 });
+        let session = crate::EngineSession::new(&engine).unwrap();
+        let mut core = session.core().unwrap();
+        for r in burst(2).generate() {
+            core.push(r);
+        }
+        core.close();
+        while core.next_action().is_some() {
+            core.step().unwrap();
+        }
+        let run = core.finish("busy");
+        // One executor, burst arrivals: busy time equals the makespan.
+        assert!((core.busy().get() - run.report.makespan_s).abs() < 1e-12);
+        assert!(core.energy().get() > 0.0);
+    }
+}

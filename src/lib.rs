@@ -15,9 +15,12 @@
 //! - [`multi`] — multi-chip parallelism and throughput;
 //! - [`kv`] — the KV-cache memory subsystem (per-request footprints,
 //!   paged block allocation);
-//! - [`serving`] — request-level serving simulation (open-loop traffic,
-//!   batching policies, KV admission control / preemption / chunked
-//!   prefill, latency percentiles).
+//! - [`serving`] — request-level serving simulation (open- and
+//!   closed-loop traffic, batching policies, KV admission control /
+//!   preemption / chunked prefill, latency percentiles);
+//! - [`cluster`] — fleet-level serving (request routing over
+//!   heterogeneous replica groups, disaggregated prefill/decode with KV
+//!   handoff over the interconnect, closed-loop saturation studies).
 //!
 //! # Quickstart
 //!
@@ -74,6 +77,22 @@
 //! per request; set `CIMTPU_CACHE_DIR` to persist the mapping caches
 //! underneath across processes.
 //!
+//! # Cluster-scale serving
+//!
+//! The cluster layer scales the request-level simulator to fleets: N
+//! replica groups — each its own chip config, model, batching policy, and
+//! KV budget — behind a pluggable router (round-robin,
+//! least-outstanding, least-KV-occupancy, session-affinity), with
+//! closed-loop client populations
+//! ([`ArrivalPattern::ClosedLoop`](serving::ArrivalPattern)) and
+//! DistServe-style **disaggregated prefill/decode**, where finished
+//! prompts hand their paged KV cache to a decode pool over an
+//! interconnect link priced in seconds and joules. A 1-replica cluster
+//! with the pass-through router reproduces the single-engine
+//! [`ServingReport`](serving::ServingReport) bit-for-bit (tested). See
+//! `examples/cluster.rs` and the `cluster_sim` binary
+//! (`BENCH_cluster.json` tracks the headline fleet metrics in CI).
+//!
 //! # KV-cache memory subsystem
 //!
 //! Serving is memory-bound before it is compute-bound: the KV cache, not
@@ -120,6 +139,7 @@
 #![warn(missing_docs)]
 
 pub use cimtpu_cim as cim;
+pub use cimtpu_cluster as cluster;
 pub use cimtpu_core as core;
 pub use cimtpu_kv as kv;
 pub use cimtpu_mapper as mapper;
@@ -145,6 +165,9 @@ pub mod prelude {
     pub use cimtpu_serving::{
         ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, MemoryStats, Parallelism,
         ServingEngine, ServingModel, ServingReport, TrafficSpec,
+    };
+    pub use cimtpu_cluster::{
+        ClusterEngine, ClusterReport, InterconnectSpec, ReplicaSpec, Router, RouterPolicy,
     };
     pub use cimtpu_units::{
         Bandwidth, Bytes, Cycles, DataType, Energy, Error, Frequency, GemmShape, Joules, Result,
