@@ -72,10 +72,16 @@ fn main() {
     let results = sweep::parallel_map(&scenarios, |s| s.run(seed));
 
     let mut reports: Vec<ClusterReport> = Vec::new();
+    let mut prefix_lines: Vec<(&str, cimtpu_serving::PrefixStats)> = Vec::new();
     let mut failed = false;
     for (s, result) in scenarios.iter().zip(results) {
         match result {
-            Ok(run) => reports.push(run.report),
+            Ok(run) => {
+                if run.prefix.lookups > 0 {
+                    prefix_lines.push((s.name, run.prefix));
+                }
+                reports.push(run.report);
+            }
             Err(e) => {
                 eprintln!("{}: {e}", s.name);
                 failed = true;
@@ -84,6 +90,10 @@ fn main() {
     }
 
     failed |= cli::emit_reports("cluster_sim", &reports, flags.json.as_deref());
+    // Prefix-sharing fleets append their cache counters (absent when
+    // sharing is off, keeping default output and the JSON shape
+    // unchanged).
+    cli::emit_prefix_stats(&prefix_lines, flags.json.as_deref());
     if failed {
         std::process::exit(1);
     }

@@ -356,6 +356,13 @@ fn validate_pool_replica<'a>(
             spec.name
         )));
     }
+    if spec.memory.prefix_sharing {
+        return Err(Error::invalid_config(format!(
+            "prefix sharing is not supported in disaggregated pools ({role} replica '{}'); \
+             use a colocated fleet with RouterPolicy::PrefixAffinity",
+            spec.name
+        )));
+    }
     if matches!(spec.parallelism, Parallelism::Replicated { chips } if chips != 1) {
         return Err(Error::invalid_config(format!(
             "{role} replica '{}' uses {} replicated chips: give the pool more replicas \
@@ -584,7 +591,12 @@ pub(crate) fn run_disaggregated(
     for session in p_sessions.iter().chain(&d_sessions) {
         session.persist_cache();
     }
-    Ok(ClusterRun { report, replica_reports: Vec::new(), completions })
+    Ok(ClusterRun {
+        report,
+        replica_reports: Vec::new(),
+        completions,
+        prefix: cimtpu_serving::PrefixStats::default(),
+    })
 }
 
 #[cfg(test)]

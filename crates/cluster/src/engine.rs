@@ -58,6 +58,10 @@ pub struct ClusterRun {
     pub replica_reports: Vec<ServingReport>,
     /// Per-request lifecycle records, in request-id order.
     pub completions: Vec<Completion>,
+    /// Fleet-wide prefix-sharing counters, summed over replicas (all
+    /// zero when no replica enables sharing; disaggregated pools do not
+    /// run the prefix cache).
+    pub prefix: cimtpu_serving::PrefixStats,
 }
 
 impl ClusterEngine {
@@ -213,12 +217,14 @@ fn run_colocated(
     let mut chip_energy = Joules::ZERO;
     let mut preemptions = 0;
     let mut queue_full_s = 0.0;
+    let mut prefix = cimtpu_serving::PrefixStats::default();
     let mut rows = Vec::with_capacity(replicas.len());
     let mut replica_reports = Vec::new();
     for (spec, core) in replicas.iter().zip(&cores) {
         let memory = core.memory_stats();
         preemptions += memory.preemptions;
         queue_full_s += memory.queue_full_s;
+        prefix.absorb(&core.prefix_stats());
         chip_energy += core.energy();
         completions.extend_from_slice(core.completions());
         rows.push(ReplicaUtilization {
@@ -253,5 +259,5 @@ fn run_colocated(
     for session in &sessions {
         session.persist_cache();
     }
-    Ok(ClusterRun { report, replica_reports, completions })
+    Ok(ClusterRun { report, replica_reports, completions, prefix })
 }

@@ -13,7 +13,7 @@
 //! ```text
 //!                       ┌────────────────────────────────────────────┐
 //!   TrafficSpec ──────► │ Router (round-robin / least-outstanding /  │
-//!   (open / closed      │         least-KV / session-affinity)       │
+//!   (open / closed      │  least-KV / session- / prefix-affinity)    │
 //!    loop, seeded)      └───────┬──────────────┬─────────────────────┘
 //!                               │              │
 //!                     Colocated │              │ Disaggregated
@@ -78,7 +78,7 @@
 //! use cimtpu_cluster::{ClusterEngine, ReplicaSpec, RouterPolicy};
 //! use cimtpu_core::TpuConfig;
 //! use cimtpu_models::TransformerConfig;
-//! use cimtpu_serving::{ArrivalPattern, LenDist, ServingModel, TrafficSpec};
+//! use cimtpu_serving::{ArrivalPattern, LenDist, PrefixTraffic, ServingModel, TrafficSpec};
 //!
 //! let tiny = TransformerConfig::new("Tiny-2L", 2, 4, 256, 1024)?;
 //! let fleet = ClusterEngine::colocated(
@@ -95,6 +95,7 @@
 //!         arrival: ArrivalPattern::ClosedLoop { clients: 4, think_ms: 5.0 },
 //!         prompt: LenDist::Fixed(32),
 //!         steps: LenDist::Fixed(4),
+//!         prefix: PrefixTraffic::None,
 //!         seed: 1,
 //!     },
 //! )?;

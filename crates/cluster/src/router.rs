@@ -11,6 +11,28 @@
 //! equal snapshot sequences must produce equal choices — because every
 //! cluster run is replayed bit-for-bit in CI. Routing is *not* revisited:
 //! once pushed, a request stays on its replica (no work stealing).
+//!
+//! # Affinity routing
+//!
+//! Two policies route by request *identity* instead of replica load, so
+//! that cache state accumulated on a replica gets re-used:
+//!
+//! - [`RouterPolicy::SessionAffinity`] hashes [`Request::session`] — a
+//!   session's requests land together (multi-turn conversations).
+//! - [`RouterPolicy::PrefixAffinity`] hashes the request's prompt-prefix
+//!   identity ([`Request::prefix`] — the shared-head seed and length), so
+//!   every request carrying the same shared system prompt lands on the
+//!   replica whose [prefix index](cimtpu_kv::PrefixIndex) already holds
+//!   those KV blocks. Pair it with
+//!   [`MemoryConfig::with_prefix_sharing`](cimtpu_serving::MemoryConfig::with_prefix_sharing)
+//!   on the replicas: affinity concentrates the hits that sharing makes
+//!   cheap, where load-oriented routing would scatter each head across
+//!   the fleet and re-prefill it once per replica. Requests with no
+//!   shared head (`head_len == 0`) fall back to the session hash, so
+//!   mixed traffic still spreads.
+//!
+//! Both hash with a fixed 64-bit finalizer — no RNG, no load feedback —
+//! so placement is reproducible whatever the interleaving.
 
 use cimtpu_serving::Request;
 
@@ -56,9 +78,14 @@ pub enum RouterPolicy {
     /// outstanding requests then index — memory-pressure-aware routing.
     LeastKv,
     /// Hash the request's session onto a replica, so a session's requests
-    /// always land together (prefix/affinity routing: a session's later
-    /// requests re-use cache state where the first one ran).
+    /// always land together (a session's later requests re-use cache
+    /// state where the first one ran).
     SessionAffinity,
+    /// Hash the request's prompt-prefix identity onto a replica, so
+    /// requests sharing a system-prompt head land where its KV blocks are
+    /// already resident (falls back to the session hash for requests with
+    /// no shared head). See the [module docs](self) on affinity routing.
+    PrefixAffinity,
 }
 
 impl RouterPolicy {
@@ -70,6 +97,7 @@ impl RouterPolicy {
             RouterPolicy::LeastOutstanding => "least-outstanding",
             RouterPolicy::LeastKv => "least-kv",
             RouterPolicy::SessionAffinity => "session-affinity",
+            RouterPolicy::PrefixAffinity => "prefix-affinity",
         }
     }
 
@@ -81,6 +109,7 @@ impl RouterPolicy {
             RouterPolicy::LeastOutstanding => Box::new(LeastOutstanding),
             RouterPolicy::LeastKv => Box::new(LeastKv),
             RouterPolicy::SessionAffinity => Box::new(SessionAffinity),
+            RouterPolicy::PrefixAffinity => Box::new(PrefixAffinity),
         }
     }
 
@@ -96,6 +125,7 @@ impl RouterPolicy {
             RouterPolicy::LeastOutstanding,
             RouterPolicy::LeastKv,
             RouterPolicy::SessionAffinity,
+            RouterPolicy::PrefixAffinity,
         ]
         .into_iter()
         .find(|p| p.name() == name)
@@ -179,6 +209,25 @@ impl Router for SessionAffinity {
     }
 }
 
+struct PrefixAffinity;
+
+impl Router for PrefixAffinity {
+    fn name(&self) -> &'static str {
+        RouterPolicy::PrefixAffinity.name()
+    }
+
+    fn route(&mut self, request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
+        let key = if request.prefix.head_len > 0 {
+            // Mix length into the seed so distinct heads that happen to
+            // share a seed prefix still spread.
+            request.prefix.head_seed ^ request.prefix.head_len.rotate_left(32)
+        } else {
+            request.session
+        };
+        (splitmix64(key) % replicas.len().max(1) as u64) as usize
+    }
+}
+
 /// A stable 64-bit finalizer (splitmix64), so nearby session ids spread
 /// across replicas while every run hashes identically.
 fn splitmix64(seed: u64) -> u64 {
@@ -197,7 +246,14 @@ mod tests {
     }
 
     fn req(id: u64, session: u64) -> Request {
-        Request { id, arrival_s: 0.0, prompt_len: 8, steps: 4, session }
+        Request {
+            id,
+            arrival_s: 0.0,
+            prompt_len: 8,
+            steps: 4,
+            session,
+            prefix: cimtpu_serving::PromptPrefix::UNIQUE,
+        }
     }
 
     #[test]
@@ -248,6 +304,37 @@ mod tests {
     }
 
     #[test]
+    fn prefix_affinity_is_sticky_per_head_and_falls_back_to_session() {
+        let mut r = RouterPolicy::PrefixAffinity.build();
+        let snaps = [snap(0, 0, 0.0), snap(1, 0, 0.0), snap(2, 0, 0.0), snap(3, 0, 0.0)];
+        let headed = |id: u64, seed: u64| Request {
+            prefix: cimtpu_serving::PromptPrefix { head_seed: seed, head_len: 64 },
+            ..req(id, id)
+        };
+        // Same head always lands together, whatever the id/session; load
+        // never enters the decision.
+        for seed in 0..16 {
+            let first = r.route(&headed(0, seed), &snaps);
+            let busy = [snap(0, 99, 0.9), snap(1, 99, 0.9), snap(2, 99, 0.9), snap(3, 99, 0.9)];
+            for id in 1..4 {
+                assert_eq!(r.route(&headed(id, seed), &busy), first);
+            }
+        }
+        // Distinct heads cover more than one replica.
+        let covered: std::collections::HashSet<usize> =
+            (0..16).map(|s| r.route(&headed(0, s), &snaps)).collect();
+        assert!(covered.len() > 1, "16 heads all hashed to one replica");
+        // No shared head: behaves exactly like session affinity.
+        let mut sa = RouterPolicy::SessionAffinity.build();
+        for session in 0..8 {
+            assert_eq!(
+                r.route(&req(0, session), &snaps),
+                sa.route(&req(0, session), &snaps),
+            );
+        }
+    }
+
+    #[test]
     fn policy_names_round_trip() {
         for p in [
             RouterPolicy::PassThrough,
@@ -255,6 +342,7 @@ mod tests {
             RouterPolicy::LeastOutstanding,
             RouterPolicy::LeastKv,
             RouterPolicy::SessionAffinity,
+            RouterPolicy::PrefixAffinity,
         ] {
             assert_eq!(RouterPolicy::by_name(p.name()).unwrap(), p);
             assert_eq!(p.build().name(), p.name());

@@ -4,7 +4,7 @@
 use cimtpu_core::TpuConfig;
 use cimtpu_models::presets;
 use cimtpu_serving::{
-    ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, ServingModel, TrafficSpec,
+    ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, PrefixTraffic, ServingModel, TrafficSpec,
 };
 use cimtpu_units::{Bytes, Error, Result};
 
@@ -76,6 +76,7 @@ fn closed_loop_point(
             arrival: ArrivalPattern::ClosedLoop { clients, think_ms: 5.0 },
             prompt: LenDist::Uniform { lo: 16, hi: 64 },
             steps: LenDist::Uniform { lo: 4, hi: 12 },
+            prefix: PrefixTraffic::None,
             seed: 0xC1A0,
         },
     }
@@ -91,6 +92,7 @@ pub fn headline() -> Vec<Scenario> {
         arrival: ArrivalPattern::OpenLoop { rate_rps: 5.0 },
         prompt: LenDist::Uniform { lo: 512, hi: 1024 },
         steps: LenDist::Fixed(32),
+        prefix: PrefixTraffic::None,
         seed: 0xC1A0,
     };
     vec![
@@ -113,6 +115,7 @@ pub fn headline() -> Vec<Scenario> {
                 arrival: ArrivalPattern::OpenLoop { rate_rps: 6.0 },
                 prompt: LenDist::Uniform { lo: 128, hi: 512 },
                 steps: LenDist::Uniform { lo: 16, hi: 64 },
+                prefix: PrefixTraffic::None,
                 seed: 0xC1A0,
             },
         },
@@ -139,6 +142,7 @@ pub fn headline() -> Vec<Scenario> {
                 arrival: ArrivalPattern::OpenLoopSessions { rate_rps: 6.0, sessions: 6 },
                 prompt: LenDist::Uniform { lo: 128, hi: 512 },
                 steps: LenDist::Fixed(32),
+                prefix: PrefixTraffic::None,
                 seed: 0xC1A0,
             },
         },
@@ -195,7 +199,58 @@ pub fn headline() -> Vec<Scenario> {
             "saturation sweep, 32 closed-loop clients on a 2-replica tiny fleet",
             32,
         ),
+        Scenario {
+            name: "cluster-shared-prefix",
+            description: "4 shared system prompts over a 2-replica Design A fleet with \
+                          prefix sharing + prefix-affinity routing",
+            engine: prefix_fleet(true),
+            traffic: cluster_prefix_traffic(),
+        },
+        Scenario {
+            name: "cluster-cold-prefix",
+            description: "the cluster-shared-prefix fleet and traffic with sharing \
+                          disabled — the matched-hardware control",
+            engine: prefix_fleet(false),
+            traffic: cluster_prefix_traffic(),
+        },
     ]
+}
+
+/// The shared-vs-cold prefix fleet: two identical Design A replicas
+/// behind prefix-affinity routing (each shared head lands where its KV
+/// blocks live); `sharing` toggles the replicas' prefix caches and is
+/// the only difference between the pair.
+fn prefix_fleet(sharing: bool) -> ClusterEngine {
+    let memory = if sharing {
+        MemoryConfig::unlimited().with_prefix_sharing()
+    } else {
+        MemoryConfig::unlimited()
+    };
+    ClusterEngine::colocated(
+        vec![
+            ReplicaSpec::new("prefix-0", TpuConfig::design_a(), llm_6_7b())
+                .with_policy(BatchPolicy::Continuous { max_batch: 8 })
+                .with_memory(memory),
+            ReplicaSpec::new("prefix-1", TpuConfig::design_a(), llm_6_7b())
+                .with_policy(BatchPolicy::Continuous { max_batch: 8 })
+                .with_memory(memory),
+        ],
+        RouterPolicy::PrefixAffinity,
+    )
+    .expect("static fleet is valid")
+}
+
+/// Shared-system-prompt fleet traffic: four 512-token heads across 24
+/// medium prompts.
+fn cluster_prefix_traffic() -> TrafficSpec {
+    TrafficSpec {
+        requests: 24,
+        arrival: ArrivalPattern::OpenLoop { rate_rps: 6.0 },
+        prompt: LenDist::Uniform { lo: 640, hi: 1024 },
+        steps: LenDist::Fixed(32),
+        prefix: PrefixTraffic::SharedHead { tokens: 512, groups: 4 },
+        seed: 0xC1A0,
+    }
 }
 
 /// The CI smoke scenario: a tiny disaggregated fleet under a tight decode
@@ -227,6 +282,7 @@ pub fn smoke_cluster() -> Scenario {
             arrival: ArrivalPattern::OpenLoop { rate_rps: 20_000.0 },
             prompt: LenDist::Fixed(32),
             steps: LenDist::Fixed(8),
+            prefix: PrefixTraffic::None,
             seed: 7,
         },
     }
@@ -278,6 +334,31 @@ mod tests {
         // A different seed changes the trace, hence the report.
         let c = smoke_cluster().run(Some(99)).unwrap();
         assert_ne!(a.report, c.report);
+    }
+
+    #[test]
+    fn cluster_shared_prefix_beats_cold_at_matched_hardware() {
+        let shared = by_name("cluster-shared-prefix").unwrap().run(None).unwrap();
+        let cold = by_name("cluster-cold-prefix").unwrap().run(None).unwrap();
+        // Same fleet, same trace: completions are token-for-token equal.
+        assert_eq!(
+            shared.completions.iter().map(|c| (c.id, c.steps)).collect::<Vec<_>>(),
+            cold.completions.iter().map(|c| (c.id, c.steps)).collect::<Vec<_>>(),
+        );
+        // Affinity routing concentrates each head, so the caches hit.
+        assert!(shared.prefix.hits > 0, "prefix stats: {}", shared.prefix);
+        assert_eq!(cold.prefix, cimtpu_serving::PrefixStats::default());
+        assert!(
+            shared.report.ttft.mean_ms < cold.report.ttft.mean_ms,
+            "shared TTFT {} ms !< cold {} ms",
+            shared.report.ttft.mean_ms,
+            cold.report.ttft.mean_ms
+        );
+        assert!(shared.report.total_energy_j < cold.report.total_energy_j);
+        // Deterministic replay.
+        let again = by_name("cluster-shared-prefix").unwrap().run(None).unwrap();
+        assert_eq!(shared.report, again.report);
+        assert_eq!(shared.prefix, again.prefix);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use cimtpu_cluster::{ClusterEngine, InterconnectSpec, ReplicaSpec, RouterPolicy}
 use cimtpu_core::TpuConfig;
 use cimtpu_models::TransformerConfig;
 use cimtpu_serving::{
-    ArrivalPattern, BatchPolicy, KvBudget, LenDist, MemoryConfig, ServingModel, TrafficSpec,
+    ArrivalPattern, BatchPolicy, KvBudget, LenDist, MemoryConfig, PrefixTraffic, ServingModel,
+    TrafficSpec,
 };
 use cimtpu_units::Bytes;
 
@@ -28,6 +29,7 @@ fn traffic(requests: u64) -> TrafficSpec {
         arrival: ArrivalPattern::OpenLoop { rate_rps: 500_000.0 },
         prompt: LenDist::Uniform { lo: 16, hi: 48 },
         steps: LenDist::Uniform { lo: 2, hi: 8 },
+        prefix: PrefixTraffic::None,
         seed: 5,
     }
 }

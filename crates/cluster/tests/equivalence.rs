@@ -9,7 +9,8 @@ use cimtpu_cluster::{ClusterEngine, ReplicaSpec, RouterPolicy};
 use cimtpu_core::TpuConfig;
 use cimtpu_models::TransformerConfig;
 use cimtpu_serving::{
-    ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, Parallelism, ServingEngine, ServingModel,
+    ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, Parallelism, PrefixTraffic,
+    ServingEngine, ServingModel,
     TrafficSpec,
 };
 use cimtpu_units::Bytes;
@@ -32,6 +33,7 @@ fn traffics() -> [TrafficSpec; 2] {
         arrival: ArrivalPattern::OpenLoop { rate_rps: 400.0 },
         prompt: LenDist::Uniform { lo: 16, hi: 48 },
         steps: LenDist::Uniform { lo: 2, hi: 8 },
+        prefix: PrefixTraffic::None,
         seed: 0xA11C,
     };
     [

@@ -34,6 +34,18 @@
 //! budget comes from (unlimited, an explicit cap, or the chip's HBM
 //! capacity minus the resident weights).
 //!
+//! # Prefix sharing
+//!
+//! Requests whose prompts agree on a common head compute identical KV
+//! state for it, so the allocator also supports **shared blocks** with
+//! reference counts, and the [`PrefixIndex`] maps block-aligned
+//! prompt-token prefixes onto them: a new request attaches the cached
+//! blocks by reference instead of re-allocating and re-computing them,
+//! diverging mid-block copies on write, and index-held blocks are evicted
+//! (last-reference-only, LRU) when capacity runs short. See the
+//! [`prefix`] module docs for the full sharing / copy-on-write / eviction
+//! contract.
+//!
 //! # Examples
 //!
 //! ```
@@ -60,9 +72,11 @@
 
 mod footprint;
 mod paged;
+pub mod prefix;
 
 pub use footprint::KvFootprint;
 pub use paged::{KvBudget, PagedKvAllocator};
+pub use prefix::{PrefixIndex, PrefixMatch, PrefixStats};
 
 #[cfg(test)]
 mod proptests;

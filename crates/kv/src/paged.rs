@@ -43,15 +43,49 @@ impl KvBudget {
 /// the occupancy high-water mark. All operations are integer bookkeeping —
 /// no floats — so scheduling decisions built on it are exactly
 /// reproducible.
+///
+/// # Shared blocks
+///
+/// For prefix sharing a request's holding splits into **private** blocks
+/// (counted, anonymous — the pre-sharing model) and references to
+/// **shared** blocks, which carry an identity ([`alloc_shared`] /
+/// [`promote_to_shared`]) and a reference count. A shared block occupies
+/// one physical block however many holders reference it; it is freed only
+/// when the last reference drops ([`release_shared`]). The ref-count
+/// invariants live with the prefix index in [`crate::prefix`]; the
+/// allocator only guarantees that occupancy counts every physical block
+/// exactly once and that no shared block is freed while referenced.
+///
+/// [`alloc_shared`]: PagedKvAllocator::alloc_shared
+/// [`promote_to_shared`]: PagedKvAllocator::promote_to_shared
+/// [`release_shared`]: PagedKvAllocator::release_shared
 #[derive(Debug, Clone)]
 pub struct PagedKvAllocator {
     block_tokens: u64,
     /// `None` = unlimited (reservations never fail).
     capacity_blocks: Option<u64>,
     /// Blocks held per request id.
-    held: HashMap<u64, u64>,
+    held: HashMap<u64, Holding>,
+    /// Reference count per live shared block id.
+    shared: HashMap<u64, u64>,
+    next_shared: u64,
     used_blocks: u64,
     high_water_blocks: u64,
+}
+
+/// One request's holding: anonymous private blocks plus references to
+/// identified shared blocks. Together they must cover the request's token
+/// count (`shared.len() + private >= blocks_for(tokens)`).
+#[derive(Debug, Clone, Default)]
+struct Holding {
+    shared: Vec<u64>,
+    private: u64,
+}
+
+impl Holding {
+    fn blocks(&self) -> u64 {
+        self.shared.len() as u64 + self.private
+    }
 }
 
 impl PagedKvAllocator {
@@ -68,6 +102,8 @@ impl PagedKvAllocator {
             block_tokens,
             capacity_blocks: Some(capacity_blocks),
             held: HashMap::new(),
+            shared: HashMap::new(),
+            next_shared: 0,
             used_blocks: 0,
             high_water_blocks: 0,
         })
@@ -150,7 +186,7 @@ impl PagedKvAllocator {
     /// Whether growing request `id` to `tokens` tokens would fit.
     pub fn would_fit(&self, id: u64, tokens: u64) -> bool {
         let need = self.blocks_for(tokens);
-        let have = self.held.get(&id).copied().unwrap_or(0);
+        let have = self.held.get(&id).map_or(0, Holding::blocks);
         let extra = need.saturating_sub(have);
         match self.capacity_blocks {
             None => true,
@@ -158,39 +194,159 @@ impl PagedKvAllocator {
         }
     }
 
-    /// Ensures request `id` holds enough blocks for `tokens` tokens,
-    /// allocating the difference. Returns `false` (allocating nothing) if
-    /// the extra blocks do not fit; a request never shrinks here — blocks
-    /// are returned only by [`release`](Self::release).
+    /// Ensures request `id` holds enough blocks for `tokens` tokens
+    /// (shared references count toward coverage), allocating the
+    /// difference as private blocks. Returns `false` (allocating nothing)
+    /// if the extra blocks do not fit; a request never shrinks here —
+    /// blocks are returned only by [`release`](Self::release).
     pub fn try_grow(&mut self, id: u64, tokens: u64) -> bool {
         if !self.would_fit(id, tokens) {
             return false;
         }
         let need = self.blocks_for(tokens);
-        let have = self.held.entry(id).or_insert(0);
-        if need > *have {
-            self.used_blocks += need - *have;
-            *have = need;
+        let have = self.held.entry(id).or_default();
+        if need > have.blocks() {
+            let extra = need - have.blocks();
+            self.used_blocks += extra;
+            have.private += extra;
             self.high_water_blocks = self.high_water_blocks.max(self.used_blocks);
         }
         true
     }
 
-    /// Frees everything request `id` holds, returning the block count.
+    /// Frees everything request `id` holds — private blocks outright,
+    /// shared blocks by dropping one reference each — and returns the
+    /// number of physical blocks actually freed (a shared block frees only
+    /// when `id` held its last reference).
     pub fn release(&mut self, id: u64) -> u64 {
-        let freed = self.held.remove(&id).unwrap_or(0);
-        self.used_blocks -= freed;
+        let Some(holding) = self.held.remove(&id) else { return 0 };
+        let mut freed = holding.private;
+        self.used_blocks -= holding.private;
+        for block in holding.shared {
+            if self.release_shared(block) {
+                freed += 1;
+            }
+        }
         freed
     }
 
-    /// Blocks request `id` currently holds.
+    /// Blocks request `id` currently holds (private + shared references).
     pub fn held_blocks(&self, id: u64) -> u64 {
-        self.held.get(&id).copied().unwrap_or(0)
+        self.held.get(&id).map_or(0, Holding::blocks)
     }
 
-    /// Number of requests holding at least one block.
+    /// Number of requests holding at least one block (or shared
+    /// reference).
     pub fn holders(&self) -> usize {
-        self.held.values().filter(|&&b| b > 0).count()
+        self.held.values().filter(|h| h.blocks() > 0).count()
+    }
+
+    /// Allocates a fresh shared block with one reference (the caller's —
+    /// typically a prefix index retaining a copy-on-write tail copy).
+    /// Returns `None` without allocating if no block is free.
+    pub fn alloc_shared(&mut self) -> Option<u64> {
+        if let Some(c) = self.capacity_blocks {
+            if self.used_blocks >= c {
+                return None;
+            }
+        }
+        let block = self.next_shared;
+        self.next_shared += 1;
+        self.shared.insert(block, 1);
+        self.used_blocks += 1;
+        self.high_water_blocks = self.high_water_blocks.max(self.used_blocks);
+        Some(block)
+    }
+
+    /// Converts one of request `id`'s private blocks into a shared block
+    /// referenced by both the request and the caller (reference count 2) —
+    /// how a prompt block enters a prefix index without copying. Returns
+    /// `None` if the request holds no private block. Occupancy is
+    /// unchanged: the same physical block, now identified.
+    pub fn promote_to_shared(&mut self, id: u64) -> Option<u64> {
+        let holding = self.held.get_mut(&id)?;
+        if holding.private == 0 {
+            return None;
+        }
+        holding.private -= 1;
+        let block = self.next_shared;
+        self.next_shared += 1;
+        holding.shared.push(block);
+        self.shared.insert(block, 2);
+        Some(block)
+    }
+
+    /// Adds one reference to shared block `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the block is not live.
+    pub fn retain_shared(&mut self, block: u64) {
+        let refs = self.shared.get_mut(&block);
+        debug_assert!(refs.is_some(), "retain of a dead shared block");
+        if let Some(refs) = refs {
+            *refs += 1;
+        }
+    }
+
+    /// Drops one reference from shared block `block`, freeing the
+    /// physical block when the count reaches zero. Returns whether the
+    /// block was freed. A block referenced by anyone else survives — the
+    /// "never free while shared" invariant.
+    pub fn release_shared(&mut self, block: u64) -> bool {
+        let Some(refs) = self.shared.get_mut(&block) else {
+            debug_assert!(false, "release of a dead shared block");
+            return false;
+        };
+        *refs -= 1;
+        if *refs == 0 {
+            self.shared.remove(&block);
+            self.used_blocks -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reference count of shared block `block` (0 if not live).
+    pub fn shared_refs(&self, block: u64) -> u64 {
+        self.shared.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Live shared blocks (each counted once, whatever its refs).
+    pub fn shared_blocks(&self) -> u64 {
+        self.shared.len() as u64
+    }
+
+    /// Shared-block references request `id` holds.
+    pub fn shared_held(&self, id: u64) -> u64 {
+        self.held.get(&id).map_or(0, |h| h.shared.len() as u64)
+    }
+
+    /// Atomically attaches the given shared blocks to request `id` (one
+    /// reference each — capacity-free, the blocks are already resident)
+    /// and allocates whatever private blocks are still needed to cover
+    /// `tokens` tokens. On failure nothing changes: no references taken,
+    /// no blocks allocated. The request must hold nothing beforehand
+    /// (admission happens once per residency).
+    pub fn try_admit(&mut self, id: u64, shared: &[u64], tokens: u64) -> bool {
+        debug_assert_eq!(self.held_blocks(id), 0, "admission of a request already holding");
+        let need = self.blocks_for(tokens);
+        let extra = need.saturating_sub(shared.len() as u64);
+        if let Some(c) = self.capacity_blocks {
+            if self.used_blocks + extra > c {
+                return false;
+            }
+        }
+        for &block in shared {
+            self.retain_shared(block);
+        }
+        let holding = self.held.entry(id).or_default();
+        holding.shared.extend_from_slice(shared);
+        holding.private += extra;
+        self.used_blocks += extra;
+        self.high_water_blocks = self.high_water_blocks.max(self.used_blocks);
+        true
     }
 }
 
@@ -232,6 +388,69 @@ mod tests {
         assert_eq!(a.free_blocks(), None);
         assert_eq!(a.used_blocks(), (1 << 20) / 16);
         assert_eq!(a.high_water_frac(), 0.0);
+    }
+
+    #[test]
+    fn shared_blocks_are_refcounted_not_double_counted() {
+        let mut a = PagedKvAllocator::new(16, 4).unwrap();
+        // Request 0 prefills 32 tokens (2 private blocks), then both are
+        // promoted into a prefix index.
+        assert!(a.try_grow(0, 32));
+        let b0 = a.promote_to_shared(0).unwrap();
+        let b1 = a.promote_to_shared(0).unwrap();
+        assert_eq!(a.promote_to_shared(0), None, "no private block left");
+        assert_eq!(a.used_blocks(), 2, "promotion does not change occupancy");
+        assert_eq!((a.shared_refs(b0), a.shared_refs(b1)), (2, 2));
+
+        // Request 1 shares both blocks and needs one private for 33 tokens.
+        assert!(a.try_admit(1, &[b0, b1], 33));
+        assert_eq!(a.used_blocks(), 3, "shared blocks are counted once");
+        assert_eq!(a.held_blocks(1), 3);
+        assert_eq!(a.shared_held(1), 2);
+        assert_eq!(a.shared_refs(b0), 3);
+
+        // Request 0 releases: shared blocks survive (index + request 1).
+        assert_eq!(a.release(0), 0);
+        assert_eq!(a.shared_refs(b0), 2);
+        assert_eq!(a.used_blocks(), 3);
+
+        // Request 1 releases: its private frees, shared blocks survive on
+        // the index's reference alone.
+        assert_eq!(a.release(1), 1);
+        assert_eq!((a.shared_refs(b0), a.shared_refs(b1)), (1, 1));
+        assert_eq!(a.used_blocks(), 2);
+        assert_eq!(a.shared_blocks(), 2);
+
+        // The index evicts: last references free the blocks.
+        assert!(a.release_shared(b0));
+        assert!(a.release_shared(b1));
+        assert_eq!(a.used_blocks(), 0);
+        assert_eq!(a.shared_blocks(), 0);
+    }
+
+    #[test]
+    fn failed_admit_takes_nothing() {
+        let mut a = PagedKvAllocator::new(16, 2).unwrap();
+        assert!(a.try_grow(0, 16));
+        let b = a.promote_to_shared(0).unwrap();
+        // 3 blocks needed, 1 shared + 2 private, but only 1 block is free.
+        assert!(!a.try_admit(1, &[b], 48));
+        assert_eq!(a.shared_refs(b), 2, "failed admission must not retain");
+        assert_eq!(a.held_blocks(1), 0);
+        assert_eq!(a.used_blocks(), 1);
+        // Within capacity it succeeds.
+        assert!(a.try_admit(1, &[b], 32));
+        assert_eq!(a.used_blocks(), 2);
+    }
+
+    #[test]
+    fn alloc_shared_respects_capacity() {
+        let mut a = PagedKvAllocator::new(16, 1).unwrap();
+        let b = a.alloc_shared().unwrap();
+        assert_eq!(a.shared_refs(b), 1);
+        assert_eq!(a.alloc_shared(), None, "capacity exhausted");
+        assert!(a.release_shared(b));
+        assert!(a.alloc_shared().is_some());
     }
 
     #[test]

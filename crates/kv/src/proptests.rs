@@ -1,8 +1,9 @@
-//! Allocator invariants under random reserve/grow/release sequences.
+//! Allocator invariants under random reserve/grow/release sequences,
+//! including prefix-sharing churn (share / split / evict).
 
 use proptest::prelude::*;
 
-use crate::PagedKvAllocator;
+use crate::{PagedKvAllocator, PrefixIndex};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -72,5 +73,84 @@ proptest! {
         let held = a.held_blocks(0);
         prop_assert!(held * block_tokens >= tokens);
         prop_assert!(held == 0 || (held - 1) * block_tokens < tokens);
+    }
+
+    /// Ref-count safety under prefix-sharing churn: random admissions
+    /// (with shared heads, so prompts split and share), releases, and
+    /// evictions never free a block that is still shared, never exceed
+    /// capacity, and always drain back to zero.
+    #[test]
+    fn refcount_safety_under_share_split_evict_churn(
+        block_tokens in 1u64..16,
+        capacity in 4u64..48,
+        ops in proptest::collection::vec(
+            // (op selector, head stream, head len, prompt len, evict need)
+            (0u8..3, 0u64..3, 0u64..40, 1u64..40, 1u64..8),
+            1..64,
+        ),
+    ) {
+        let mut alloc = PagedKvAllocator::new(block_tokens, capacity).unwrap();
+        let mut index = PrefixIndex::new(block_tokens);
+        let mut resident: Vec<(u64, Vec<u64>)> = Vec::new(); // (id, attached blocks)
+        let mut next_id = 0u64;
+        for (op, head_stream, head, len, need) in ops {
+            match op {
+                // Admit a request whose prompt mixes a shared head with a
+                // unique tail (the split/divergence source).
+                0 => {
+                    let id = next_id;
+                    next_id += 1;
+                    let prompt: Vec<u64> = (0..len)
+                        .map(|i| {
+                            if i < head {
+                                (head_stream << 32) ^ i
+                            } else {
+                                (0xFFFF_0000 ^ id) << 16 ^ i
+                            }
+                        })
+                        .collect();
+                    let m = index.lookup(&prompt);
+                    if alloc.try_admit(id, m.blocks(), len) {
+                        index.commit(&prompt, &m, id, &mut alloc, true);
+                        resident.push((id, m.blocks().to_vec()));
+                    } else {
+                        prop_assert_eq!(alloc.held_blocks(id), 0,
+                            "failed admission must take nothing");
+                    }
+                }
+                // Release the oldest resident (its shared blocks must
+                // survive on the index's reference).
+                1 => {
+                    if !resident.is_empty() {
+                        let (id, attached) = resident.remove(0);
+                        alloc.release(id);
+                        for b in attached {
+                            prop_assert!(alloc.shared_refs(b) >= 1,
+                                "index reference must keep block {b} alive");
+                        }
+                    }
+                }
+                // Evict: must never touch a block some resident request
+                // still references.
+                _ => {
+                    index.evict(&mut alloc, need);
+                    for (_, attached) in &resident {
+                        for &b in attached {
+                            prop_assert!(alloc.shared_refs(b) >= 1,
+                                "evicted a block referenced by a resident request");
+                        }
+                    }
+                }
+            }
+            prop_assert!(alloc.used_blocks() <= capacity, "occupancy over capacity");
+        }
+        // Drain: release everything, evict the whole index — all blocks free.
+        for (id, _) in resident {
+            alloc.release(id);
+        }
+        index.evict(&mut alloc, u64::MAX);
+        prop_assert_eq!(alloc.used_blocks(), 0, "drain leaks blocks");
+        prop_assert_eq!(alloc.shared_blocks(), 0);
+        prop_assert_eq!(alloc.holders(), 0);
     }
 }

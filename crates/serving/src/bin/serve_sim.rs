@@ -37,7 +37,7 @@ fn main() {
         for s in scenario::headline() {
             println!("  {:<20} {}", s.name, s.description);
         }
-        for s in [scenario::smoke(), scenario::smoke_kv()] {
+        for s in [scenario::smoke(), scenario::smoke_kv(), scenario::smoke_prefix()] {
             println!("  {:<20} {}", s.name, s.description);
         }
     }) {
@@ -75,10 +75,16 @@ fn main() {
     let results = sweep::parallel_map(&scenarios, |s| s.run(seed));
 
     let mut reports: Vec<ServingReport> = Vec::new();
+    let mut prefix_lines: Vec<(&str, cimtpu_serving::PrefixStats)> = Vec::new();
     let mut failed = false;
     for (s, result) in scenarios.iter().zip(results) {
         match result {
-            Ok(run) => reports.push(run.report),
+            Ok(run) => {
+                if run.prefix.lookups > 0 {
+                    prefix_lines.push((s.name, run.prefix));
+                }
+                reports.push(run.report);
+            }
             Err(e) => {
                 eprintln!("{}: {e}", s.name);
                 failed = true;
@@ -87,6 +93,10 @@ fn main() {
     }
 
     failed |= cli::emit_reports("serve_sim", &reports, flags.json.as_deref());
+    // Prefix-sharing scenarios append their cache counters (absent when
+    // sharing is off, keeping default output and the JSON shape
+    // unchanged). CI greps this line for >= 1 hit on smoke-prefix.
+    cli::emit_prefix_stats(&prefix_lines, flags.json.as_deref());
     if failed {
         std::process::exit(1);
     }

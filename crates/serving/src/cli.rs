@@ -6,7 +6,7 @@
 
 use serde::Serialize;
 
-use crate::{parse_kv_budget, KvBudget};
+use crate::{parse_kv_budget, KvBudget, PrefixStats};
 
 /// The flag set shared by the simulation binaries.
 #[derive(Debug, Clone)]
@@ -152,5 +152,20 @@ pub fn emit_reports<R: std::fmt::Display + Serialize>(
             }
             false
         }
+    }
+}
+
+/// Prints one `prefix cache [scenario]  …` counter line per
+/// prefix-sharing run, after the text reports. Callers pass only runs
+/// that actually looked prefixes up, so sharing-off output is unchanged;
+/// skipped entirely when `--json -` replaced the text output on stdout.
+/// The CI `smoke-prefix` check greps this exact format — keep the two
+/// binaries emitting it through this one function.
+pub fn emit_prefix_stats(lines: &[(&str, PrefixStats)], json: Option<&str>) {
+    if json == Some("-") {
+        return;
+    }
+    for (name, stats) in lines {
+        println!("prefix cache [{name}]  {stats}");
     }
 }

@@ -66,6 +66,10 @@ pub struct ServingRun {
     pub report: ServingReport,
     /// Per-request lifecycle records, in request-id order.
     pub completions: Vec<Completion>,
+    /// Prefix-sharing counters (all zero when sharing is off — the
+    /// [`ServingReport`] JSON shape is unchanged either way, keeping the
+    /// committed `BENCH_serving.json` baseline format stable).
+    pub prefix: cimtpu_kv::PrefixStats,
 }
 
 impl ServingEngine {

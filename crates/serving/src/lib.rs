@@ -88,14 +88,32 @@
 //! The default [`MemoryConfig::unlimited`] (infinite KV, no chunking)
 //! reproduces the memory-oblivious scheduler bit-exactly.
 //!
+//! # Prefix sharing
+//!
+//! [`MemoryConfig::with_prefix_sharing`] turns on vLLM/SGLang-style
+//! prefix caching: every executor keeps a
+//! [`PrefixIndex`](cimtpu_kv::PrefixIndex) over its resident prompt
+//! blocks, and a request whose prompt shares a head with cached content
+//! attaches those blocks by reference (ref-counted, copy-on-write on
+//! mid-block divergence) and prices only its prompt *tail* — a chunk
+//! attending to the cached past, through the same
+//! [`prefill_chunk`](PhasePricer::prefill_chunk) machinery as chunked
+//! prefill, with which it composes. Traffic opts in via
+//! [`TrafficSpec::prefix`] ([`PrefixTraffic::SharedHead`] models a shared
+//! system prompt across request groups); [`ServingRun::prefix`] reports
+//! hits, shared blocks/tokens, copy-on-write events, and evictions.
+//! Sharing changes *when* work happens, never *what* is generated:
+//! completions are token-for-token identical to the unshared path, and
+//! with sharing off the engine is bit-identical to before.
+//!
 //! # Examples
 //!
 //! ```
 //! use cimtpu_core::TpuConfig;
 //! use cimtpu_models::presets;
 //! use cimtpu_serving::{
-//!     ArrivalPattern, BatchPolicy, LenDist, Parallelism, ServingEngine, ServingModel,
-//!     TrafficSpec,
+//!     ArrivalPattern, BatchPolicy, LenDist, Parallelism, PrefixTraffic, ServingEngine,
+//!     ServingModel, TrafficSpec,
 //! };
 //!
 //! let engine = ServingEngine::new(
@@ -109,6 +127,7 @@
 //!     arrival: ArrivalPattern::OpenLoop { rate_rps: 20.0 },
 //!     prompt: LenDist::Fixed(64),
 //!     steps: LenDist::Fixed(4),
+//!     prefix: PrefixTraffic::None,
 //!     seed: 1,
 //! };
 //! let run = engine.run("example", &traffic)?;
@@ -131,12 +150,14 @@ mod request;
 mod session;
 mod step;
 
-pub use cimtpu_kv::KvBudget;
+pub use cimtpu_kv::{KvBudget, PrefixStats};
 pub use engine::{Parallelism, ServingEngine, ServingRun};
 pub use memory::{parse_kv_budget, MemoryConfig};
 pub use metrics::{Completion, LatencyStats, MemoryStats, ServingReport};
 pub use policy::BatchPolicy;
 pub use pricer::{PhasePricer, ServingModel};
-pub use request::{ArrivalPattern, ArrivalStream, LenDist, Request, TrafficSpec};
+pub use request::{
+    ArrivalPattern, ArrivalStream, LenDist, PrefixTraffic, PromptPrefix, Request, TrafficSpec,
+};
 pub use session::EngineSession;
 pub use step::{drive, EngineCore};

@@ -27,6 +27,17 @@ pub struct MemoryConfig {
     /// `Some(c)` splits every prefill into chunks of `c` tokens
     /// (Sarathi-style chunked prefill); `None` runs prompts monolithically.
     pub chunk_tokens: Option<u64>,
+    /// Enables prefix sharing: each executor keeps a
+    /// [`PrefixIndex`](cimtpu_kv::PrefixIndex) over resident prompt
+    /// blocks, requests with a common prompt head attach the cached
+    /// blocks by reference and skip pricing the shared portion of their
+    /// prefill (copy-on-write on mid-block divergence; index-held blocks
+    /// evicted last-reference-only when capacity runs short). Off by
+    /// default — disabled, the engine is bit-identical to the
+    /// sharing-oblivious scheduler. Not supported on tensor-parallel
+    /// rings (the shared-tail pricing needs
+    /// [`prefill_chunk`](crate::PhasePricer::prefill_chunk)).
+    pub prefix_sharing: bool,
 }
 
 impl Default for MemoryConfig {
@@ -39,7 +50,12 @@ impl MemoryConfig {
     /// Infinite KV capacity, monolithic prefill — the exact pre-memory
     /// engine behaviour.
     pub fn unlimited() -> Self {
-        MemoryConfig { budget: KvBudget::Unlimited, block_tokens: 16, chunk_tokens: None }
+        MemoryConfig {
+            budget: KvBudget::Unlimited,
+            block_tokens: 16,
+            chunk_tokens: None,
+            prefix_sharing: false,
+        }
     }
 
     /// An explicit per-chip KV byte budget.
@@ -67,6 +83,14 @@ impl MemoryConfig {
     #[must_use]
     pub fn with_block_tokens(mut self, tokens: u64) -> Self {
         self.block_tokens = tokens;
+        self
+    }
+
+    /// Enables prefix sharing (copy-on-write KV blocks across requests
+    /// with a common prompt head).
+    #[must_use]
+    pub fn with_prefix_sharing(mut self) -> Self {
+        self.prefix_sharing = true;
         self
     }
 
@@ -149,10 +173,13 @@ mod tests {
         let m = MemoryConfig::unlimited()
             .with_budget_bytes(Bytes::from_mib(64))
             .with_block_tokens(32)
-            .with_chunked_prefill(256);
+            .with_chunked_prefill(256)
+            .with_prefix_sharing();
         assert_eq!(m.budget, KvBudget::Bytes(Bytes::from_mib(64)));
         assert_eq!(m.block_tokens, 32);
         assert_eq!(m.chunk_tokens, Some(256));
+        assert!(m.prefix_sharing);
+        assert!(!MemoryConfig::unlimited().prefix_sharing, "off by default");
         m.validate().unwrap();
     }
 

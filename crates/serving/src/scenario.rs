@@ -9,7 +9,7 @@ use crate::engine::{Parallelism, ServingEngine, ServingRun};
 use crate::memory::MemoryConfig;
 use crate::policy::BatchPolicy;
 use crate::pricer::ServingModel;
-use crate::request::{ArrivalPattern, LenDist, TrafficSpec};
+use crate::request::{ArrivalPattern, LenDist, PrefixTraffic, TrafficSpec};
 
 /// A named, fully specified serving experiment.
 #[derive(Debug, Clone)]
@@ -81,6 +81,7 @@ pub fn headline() -> Vec<Scenario> {
                 arrival: ArrivalPattern::OpenLoop { rate_rps: 8.0 },
                 prompt: LenDist::Uniform { lo: 512, hi: 1024 },
                 steps: LenDist::Fixed(8),
+                prefix: PrefixTraffic::None,
                 seed: 0xC1A0,
             },
         },
@@ -97,6 +98,7 @@ pub fn headline() -> Vec<Scenario> {
                 arrival: ArrivalPattern::OpenLoop { rate_rps: 6.0 },
                 prompt: LenDist::Fixed(128),
                 steps: LenDist::Uniform { lo: 64, hi: 256 },
+                prefix: PrefixTraffic::None,
                 seed: 0xC1A0,
             },
         },
@@ -113,6 +115,7 @@ pub fn headline() -> Vec<Scenario> {
                 arrival: ArrivalPattern::Burst,
                 prompt: LenDist::Fixed(0),
                 steps: LenDist::Fixed(20),
+                prefix: PrefixTraffic::None,
                 seed: 0xC1A0,
             },
         },
@@ -130,6 +133,7 @@ pub fn headline() -> Vec<Scenario> {
                 arrival: ArrivalPattern::OpenLoop { rate_rps: 6.0 },
                 prompt: LenDist::Fixed(128),
                 steps: LenDist::Uniform { lo: 64, hi: 256 },
+                prefix: PrefixTraffic::None,
                 seed: 0xC1A0,
             },
         },
@@ -147,10 +151,47 @@ pub fn headline() -> Vec<Scenario> {
                 arrival: ArrivalPattern::OpenLoop { rate_rps: 4.0 },
                 prompt: LenDist::Uniform { lo: 1024, hi: 2048 },
                 steps: LenDist::Fixed(32),
+                prefix: PrefixTraffic::None,
                 seed: 0xC1A0,
             },
         },
+        Scenario {
+            name: "llm-shared-prefix",
+            description: "2 shared 512-token system prompts across 24 requests with \
+                          prefix sharing (copy-on-write KV blocks) on Design A",
+            chip: TpuConfig::design_a(),
+            model: ServingModel::Llm(presets::gpt3_6_7b()),
+            parallelism: Parallelism::Replicated { chips: 1 },
+            policy: BatchPolicy::Continuous { max_batch: 8 },
+            memory: MemoryConfig::unlimited().with_prefix_sharing(),
+            traffic: shared_prefix_traffic(),
+        },
+        Scenario {
+            name: "llm-cold-prefix",
+            description: "the llm-shared-prefix traffic with sharing disabled — the \
+                          matched-hardware control that recomputes every prompt",
+            chip: TpuConfig::design_a(),
+            model: ServingModel::Llm(presets::gpt3_6_7b()),
+            parallelism: Parallelism::Replicated { chips: 1 },
+            policy: BatchPolicy::Continuous { max_batch: 8 },
+            memory: MemoryConfig::unlimited(),
+            traffic: shared_prefix_traffic(),
+        },
     ]
+}
+
+/// Shared-system-prompt traffic for the shared-vs-cold prefix pair: two
+/// 512-token shared heads over medium prompts. Shared and cold run the
+/// byte-identical trace; only the engine's sharing flag differs.
+fn shared_prefix_traffic() -> TrafficSpec {
+    TrafficSpec {
+        requests: 24,
+        arrival: ArrivalPattern::OpenLoop { rate_rps: 6.0 },
+        prompt: LenDist::Uniform { lo: 640, hi: 1024 },
+        steps: LenDist::Fixed(32),
+        prefix: PrefixTraffic::SharedHead { tokens: 512, groups: 2 },
+        seed: 0xC1A0,
+    }
 }
 
 /// The CI smoke scenario: a tiny model, a handful of requests, seconds of
@@ -172,6 +213,7 @@ pub fn smoke() -> Scenario {
             arrival: ArrivalPattern::OpenLoop { rate_rps: 20_000.0 },
             prompt: LenDist::Fixed(32),
             steps: LenDist::Fixed(8),
+            prefix: PrefixTraffic::None,
             seed: 7,
         },
     }
@@ -197,6 +239,33 @@ pub fn smoke_kv() -> Scenario {
             arrival: ArrivalPattern::OpenLoop { rate_rps: 20_000.0 },
             prompt: LenDist::Fixed(32),
             steps: LenDist::Fixed(8),
+            prefix: PrefixTraffic::None,
+            seed: 7,
+        },
+    }
+}
+
+/// The CI prefix-sharing smoke scenario: six tiny requests sharing a
+/// 24-token head (deliberately *not* block-aligned, so both the
+/// reference-sharing and the copy-on-write paths fire within
+/// milliseconds of wall clock). Must report at least one shared-prefix
+/// hit — CI asserts it on the `prefix cache` output line.
+pub fn smoke_prefix() -> Scenario {
+    Scenario {
+        name: "smoke-prefix",
+        description: "tiny LLM, 24-token shared head, prefix sharing on (CI \
+                      shared-prefix determinism check)",
+        chip: TpuConfig::tpuv4i(),
+        model: ServingModel::Llm(tiny_transformer()),
+        parallelism: Parallelism::Replicated { chips: 1 },
+        policy: BatchPolicy::Continuous { max_batch: 4 },
+        memory: MemoryConfig::unlimited().with_prefix_sharing(),
+        traffic: TrafficSpec {
+            requests: 6,
+            arrival: ArrivalPattern::OpenLoop { rate_rps: 20_000.0 },
+            prompt: LenDist::Fixed(32),
+            steps: LenDist::Fixed(8),
+            prefix: PrefixTraffic::SharedHead { tokens: 24, groups: 1 },
             seed: 7,
         },
     }
@@ -213,6 +282,9 @@ pub fn by_name(name: &str) -> Result<Scenario> {
     }
     if name == "smoke-kv" {
         return Ok(smoke_kv());
+    }
+    if name == "smoke-prefix" {
+        return Ok(smoke_prefix());
     }
     headline()
         .into_iter()
@@ -231,7 +303,62 @@ mod tests {
         }
         assert_eq!(by_name("smoke").unwrap().name, "smoke");
         assert_eq!(by_name("smoke-kv").unwrap().name, "smoke-kv");
+        assert_eq!(by_name("smoke-prefix").unwrap().name, "smoke-prefix");
         assert!(by_name("nope").is_err());
+    }
+
+    #[test]
+    fn smoke_prefix_hits_deterministically() {
+        let a = smoke_prefix().run(None).unwrap();
+        let b = smoke_prefix().run(None).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.prefix, b.prefix);
+        assert_eq!(a.report.completed, 6);
+        // Five of the six requests re-hit the 24-token head, and the
+        // unaligned head tail exercises copy-on-write.
+        assert!(a.prefix.hits >= 1, "prefix stats: {}", a.prefix);
+        assert!(a.prefix.shared_tokens >= 24, "prefix stats: {}", a.prefix);
+        assert!(a.prefix.cow_copies >= 1, "prefix stats: {}", a.prefix);
+        // Sharing must actually cut work against the identical sharing-off
+        // run: same completions token-for-token, faster end to end.
+        let cold = Scenario { memory: MemoryConfig::unlimited(), ..smoke_prefix() }
+            .run(None)
+            .unwrap();
+        assert_eq!(
+            a.completions.iter().map(|c| (c.id, c.steps)).collect::<Vec<_>>(),
+            cold.completions.iter().map(|c| (c.id, c.steps)).collect::<Vec<_>>(),
+        );
+        assert!(a.report.makespan_s < cold.report.makespan_s, "{} vs {}", a.report, cold.report);
+        assert!(a.report.total_energy_j < cold.report.total_energy_j);
+    }
+
+    #[test]
+    fn shared_prefix_headline_beats_cold_control() {
+        // The headline pair at matched hardware: sharing must lower both
+        // TTFT and (prefill) energy while generating the same tokens.
+        let shared = by_name("llm-shared-prefix").unwrap().run(None).unwrap();
+        let cold = by_name("llm-cold-prefix").unwrap().run(None).unwrap();
+        assert_eq!(
+            shared.completions.iter().map(|c| (c.id, c.steps)).collect::<Vec<_>>(),
+            cold.completions.iter().map(|c| (c.id, c.steps)).collect::<Vec<_>>(),
+            "completions must be token-for-token equal"
+        );
+        assert!(shared.prefix.hits > 0, "prefix stats: {}", shared.prefix);
+        assert!(
+            shared.report.ttft.mean_ms < cold.report.ttft.mean_ms,
+            "shared TTFT {} ms !< cold {} ms",
+            shared.report.ttft.mean_ms,
+            cold.report.ttft.mean_ms
+        );
+        assert!(
+            shared.report.total_energy_j < cold.report.total_energy_j,
+            "shared energy {} J !< cold {} J (decode work is identical, so the \
+             difference is prefill energy)",
+            shared.report.total_energy_j,
+            cold.report.total_energy_j
+        );
+        assert_eq!(cold.prefix, cimtpu_kv::PrefixStats::default());
     }
 
     #[test]

@@ -62,6 +62,12 @@ impl EngineSession {
                 "chunked prefill is not supported on a tensor-parallel ring",
             ));
         }
+        if memory.prefix_sharing && matches!(parallelism, Parallelism::TensorParallel { .. }) {
+            return Err(Error::invalid_config(
+                "prefix sharing is not supported on a tensor-parallel ring \
+                 (shared-tail pricing needs chunked prefill)",
+            ));
+        }
         let backend = match parallelism {
             Parallelism::Replicated { .. } => {
                 Backend::Single(Simulator::new(engine.chip().clone())?)

@@ -23,7 +23,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use cimtpu_kv::PagedKvAllocator;
+use cimtpu_kv::{PagedKvAllocator, PrefixIndex, PrefixStats};
 use cimtpu_units::{Error, Joules, Result, Seconds};
 
 use crate::memory::MemoryConfig;
@@ -71,6 +71,8 @@ enum State {
 #[derive(Debug)]
 struct RtcState {
     allocs: Vec<PagedKvAllocator>,
+    /// Per-executor prefix index (`None` when sharing is off).
+    prefix: Vec<Option<PrefixIndex>>,
     free_at: Vec<Seconds>,
     /// First time each request was turned away by KV admission (it may
     /// still launch promptly on another executor — only the deferral
@@ -104,6 +106,9 @@ struct ContChip {
     /// arrivals): request index + tokens generated so far.
     resume: VecDeque<(usize, u64)>,
     alloc: PagedKvAllocator,
+    /// Prefix index over this chip's resident prompt blocks (`None` when
+    /// sharing is off).
+    prefix: Option<PrefixIndex>,
     queue_full: Seconds,
     preemptions: u64,
 }
@@ -132,11 +137,19 @@ impl<'a> EngineCore<'a> {
         allocs: Vec<PagedKvAllocator>,
     ) -> Self {
         let has_prefill = pricer.model().has_prefill();
+        // Prefix sharing needs a prefill phase to share; a DiT engine
+        // simply never builds an index.
+        let sharing = memory.prefix_sharing && has_prefill;
+        let index_for = |alloc: &PagedKvAllocator| {
+            sharing.then(|| PrefixIndex::new(alloc.block_tokens()))
+        };
         let state = match policy {
             BatchPolicy::Static { .. } | BatchPolicy::Dynamic { .. } => {
                 let free_at = vec![Seconds::ZERO; allocs.len()];
+                let prefix = allocs.iter().map(index_for).collect();
                 State::Rtc(RtcState {
                     allocs,
+                    prefix,
                     free_at,
                     kv_deferred_at: HashMap::new(),
                     queue_full: Seconds::ZERO,
@@ -149,6 +162,7 @@ impl<'a> EngineCore<'a> {
                         t: Seconds::ZERO,
                         active: Vec::new(),
                         resume: VecDeque::new(),
+                        prefix: index_for(&alloc),
                         alloc,
                         queue_full: Seconds::ZERO,
                         preemptions: 0,
@@ -372,6 +386,27 @@ impl<'a> EngineCore<'a> {
         }
     }
 
+    /// Prefix-sharing counters so far, summed over executors (all zero
+    /// when sharing is off).
+    pub fn prefix_stats(&self) -> PrefixStats {
+        let mut total = PrefixStats::default();
+        match &self.state {
+            State::Rtc(st) => {
+                for index in st.prefix.iter().flatten() {
+                    total.absorb(&index.stats());
+                }
+            }
+            State::Cont(st) => {
+                for chip in &st.chips {
+                    if let Some(index) = &chip.prefix {
+                        total.absorb(&index.stats());
+                    }
+                }
+            }
+        }
+        total
+    }
+
     /// Builds the aggregate report over everything completed so far.
     ///
     /// # Panics
@@ -388,7 +423,7 @@ impl<'a> EngineCore<'a> {
             self.energy,
             self.memory_stats(),
         );
-        ServingRun { report, completions }
+        ServingRun { report, completions, prefix: self.prefix_stats() }
     }
 
     /// Batch formation at the queue head. `now` is the current driver
@@ -476,6 +511,25 @@ impl<'a> EngineCore<'a> {
             (take, start)
         };
         let members: Vec<Request> = self.arrivals[next..next + take].to_vec();
+        {
+            // Between run-to-completion batches only index-held prefix
+            // blocks occupy the allocator; admission reserved the worst
+            // case against an *empty* one, so evict (last-reference, LRU)
+            // until the batch's worst case fits. Members re-match whatever
+            // survives when they are admitted below.
+            let State::Rtc(st) = &mut self.state else { unreachable!() };
+            if let (Some(index), Some(_)) =
+                (st.prefix[chip].as_mut(), st.allocs[chip].capacity_blocks())
+            {
+                let alloc = &mut st.allocs[chip];
+                let worst: u64 =
+                    members.iter().map(|r| alloc.blocks_for(r.prompt_len + r.steps)).sum();
+                let free = alloc.free_blocks().unwrap_or(u64::MAX);
+                if worst > free {
+                    index.evict(alloc, worst - free);
+                }
+            }
+        }
         let end = self.run_batch(&members, start, chip)?;
         let State::Rtc(st) = &mut self.state else { unreachable!() };
         st.free_at[chip] = end;
@@ -495,31 +549,83 @@ impl<'a> EngineCore<'a> {
         let max_steps = members.iter().map(|r| r.steps).max().expect("non-empty");
         let pads = self.policy.pads_to_batch_end();
 
-        // Prefill KV lands as the prompt is ingested.
+        // Prefill KV lands as the prompt is ingested. With prefix sharing
+        // on, each member first matches the chip's prefix index: fully
+        // matched blocks attach by reference, and the member's uncached
+        // full prompt blocks are promoted into the index (no speculative
+        // tail copies — admission reserved exactly the worst case).
+        let mut shared = vec![0u64; members.len()];
         {
             let State::Rtc(st) = &mut self.state else { unreachable!() };
-            for r in members {
-                let ok = st.allocs[chip].try_grow(r.id, r.prompt_len);
-                debug_assert!(ok, "admission reserved the worst case");
+            match st.prefix[chip].as_mut() {
+                None => {
+                    for r in members {
+                        let ok = st.allocs[chip].try_grow(r.id, r.prompt_len);
+                        debug_assert!(ok, "admission reserved the worst case");
+                    }
+                }
+                Some(index) => {
+                    for (i, r) in members.iter().enumerate() {
+                        let tokens = r.prompt_tokens();
+                        let m = index.lookup(&tokens);
+                        let ok = st.allocs[chip].try_admit(r.id, m.blocks(), r.prompt_len);
+                        debug_assert!(ok, "admission reserved the worst case");
+                        if ok {
+                            index.commit(&tokens, &m, r.id, &mut st.allocs[chip], false);
+                            shared[i] =
+                                m.matched_tokens().min(r.prompt_len.saturating_sub(1));
+                        }
+                    }
+                }
             }
         }
         let mut t = start;
         let mut first_token = vec![Seconds::ZERO; members.len()];
         if self.has_prefill {
-            match self.memory.chunk_tokens {
-                None => {
-                    let prefill = self.pricer.prefill(b, max_prompt)?;
-                    t += prefill.latency;
-                    self.energy += prefill.total_energy();
+            if shared.iter().any(|&s| s > 0) {
+                // Cold members prefill as one padded group (chunked or
+                // monolithic, as configured); prefix-hit members compute
+                // only their tails as a second group, padded to the
+                // longest tail and deepest cached past. The whole batch's
+                // first token stands at the end of all prefill, per
+                // run-to-completion semantics.
+                let cold = members
+                    .iter()
+                    .zip(&shared)
+                    .filter(|(_, &s)| s == 0)
+                    .map(|(r, _)| r.prompt_len)
+                    .max();
+                if let Some(cold_max) = cold {
+                    let n = shared.iter().filter(|&&s| s == 0).count() as u64;
+                    t += self.price_prefill_span(n, 0, cold_max)?;
                 }
-                Some(chunk) => {
-                    let mut past = 0;
-                    while past < max_prompt {
-                        let c = chunk.min(max_prompt - past);
-                        let cost = self.pricer.prefill_chunk(b, c, past)?;
-                        t += cost.latency;
-                        self.energy += cost.total_energy();
-                        past += c;
+                let hits: Vec<(u64, u64)> = members
+                    .iter()
+                    .zip(&shared)
+                    .filter(|(_, &s)| s > 0)
+                    .map(|(r, &s)| (s, r.prompt_len - s))
+                    .collect();
+                if !hits.is_empty() {
+                    let past = hits.iter().map(|&(s, _)| s).max().expect("non-empty");
+                    let tail = hits.iter().map(|&(_, c)| c).max().expect("non-empty");
+                    t += self.price_prefill_span(hits.len() as u64, past, past + tail)?;
+                }
+            } else {
+                match self.memory.chunk_tokens {
+                    None => {
+                        let prefill = self.pricer.prefill(b, max_prompt)?;
+                        t += prefill.latency;
+                        self.energy += prefill.total_energy();
+                    }
+                    Some(chunk) => {
+                        let mut past = 0;
+                        while past < max_prompt {
+                            let c = chunk.min(max_prompt - past);
+                            let cost = self.pricer.prefill_chunk(b, c, past)?;
+                            t += cost.latency;
+                            self.energy += cost.total_energy();
+                            past += c;
+                        }
                     }
                 }
             }
@@ -567,6 +673,24 @@ impl<'a> EngineCore<'a> {
         Ok(t)
     }
 
+    /// Prices `batch` members ingesting prompt positions `past..target`
+    /// (their cached prefix ends at `past`): one pass per configured
+    /// chunk window, or a single chunk covering the whole span.
+    /// Accumulates energy and returns the added latency.
+    fn price_prefill_span(&mut self, batch: u64, past: u64, target: u64) -> Result<Seconds> {
+        let mut t = Seconds::ZERO;
+        let mut at = past;
+        let span = self.memory.chunk_tokens.unwrap_or(u64::MAX);
+        while at < target {
+            let c = span.min(target - at);
+            let cost = self.pricer.prefill_chunk(batch, c, at)?;
+            t += cost.latency;
+            self.energy += cost.total_energy();
+            at += c;
+        }
+        Ok(t)
+    }
+
     /// Next continuous scheduling round: a chip with resident work steps
     /// now; an idle chip waits for the next queued arrival (ties pick the
     /// lowest index, keeping the schedule deterministic).
@@ -605,16 +729,16 @@ impl<'a> EngineCore<'a> {
         // Admit into free slots, KV permitting: preempted requests first
         // (their whole recomputed context must fit), then queued arrivals
         // (their prompt must fit). Head-of-line blocking on KV is what the
-        // queue-full metric measures.
-        let mut admitted: Vec<(usize, u64, bool)> = Vec::new(); // (idx, done, resumed)
+        // queue-full metric measures. With prefix sharing on, admission
+        // matches the chip's prefix index (attaching cached blocks by
+        // reference, evicting index-only blocks before giving up) and
+        // records how many prompt tokens the member skips.
+        let mut admitted: Vec<(usize, u64, u64)> = Vec::new(); // (idx, done, shared)
         let mut kv_blocked = false;
         while chip.active.len() + admitted.len() < max_batch as usize {
             if let Some(&(idx, done)) = chip.resume.front() {
-                if chip
-                    .alloc
-                    .try_grow(self.arrivals[idx].id, self.arrivals[idx].prompt_len + done)
-                {
-                    admitted.push((idx, done, true));
+                if let Some(shared) = cont_admit(chip, &self.arrivals[idx], done) {
+                    admitted.push((idx, done, shared));
                     chip.resume.pop_front();
                 } else {
                     kv_blocked = true;
@@ -623,11 +747,8 @@ impl<'a> EngineCore<'a> {
             } else if self.next < self.arrivals.len()
                 && self.arrivals[self.next].arrival() <= chip.t
             {
-                if chip
-                    .alloc
-                    .try_grow(self.arrivals[self.next].id, self.arrivals[self.next].prompt_len)
-                {
-                    admitted.push((self.next, 0, false));
+                if let Some(shared) = cont_admit(chip, &self.arrivals[self.next], 0) {
+                    admitted.push((self.next, 0, shared));
                     self.next += 1;
                 } else {
                     kv_blocked = true;
@@ -649,23 +770,53 @@ impl<'a> EngineCore<'a> {
         }
 
         // Prefill the admitted group. Monolithic: one padded prefill now
-        // (resumed members recompute their full context). Chunked: members
-        // enter mid-prefill and advance below.
+        // (resumed members recompute their full context; with sharing,
+        // cold members group and prefix-hit members compute only their
+        // tail, priced as a chunk over the cached past). Chunked: members
+        // enter mid-prefill — at their cached-prefix boundary when
+        // sharing — and advance below.
         match chunking {
             None => {
                 if !admitted.is_empty() && has_prefill {
-                    let padded = admitted
-                        .iter()
-                        .map(|&(idx, done, _)| self.arrivals[idx].prompt_len + done)
-                        .max()
-                        .expect("non-empty");
-                    let prefill = self.pricer.prefill(admitted.len() as u64, padded)?;
-                    chip.t += prefill.latency;
-                    self.energy += prefill.total_energy();
-                    for &(idx, _, _) in &admitted {
-                        if !self.ttft_set[idx] {
-                            self.first_token[idx] = chip.t;
-                            self.ttft_set[idx] = true;
+                    let cold: Vec<&(usize, u64, u64)> =
+                        admitted.iter().filter(|&&(_, _, s)| s == 0).collect();
+                    if !cold.is_empty() {
+                        let padded = cold
+                            .iter()
+                            .map(|&&(idx, done, _)| self.arrivals[idx].prompt_len + done)
+                            .max()
+                            .expect("non-empty");
+                        let prefill = self.pricer.prefill(cold.len() as u64, padded)?;
+                        chip.t += prefill.latency;
+                        self.energy += prefill.total_energy();
+                        for &&(idx, _, _) in &cold {
+                            if !self.ttft_set[idx] {
+                                self.first_token[idx] = chip.t;
+                                self.ttft_set[idx] = true;
+                            }
+                        }
+                    }
+                    // Prefix-hit members compute only their tails, grouped
+                    // into one chunk padded to the longest tail and
+                    // deepest cached past (the same padding rule as
+                    // grouped prefill).
+                    let hits: Vec<&(usize, u64, u64)> =
+                        admitted.iter().filter(|&&(_, _, s)| s > 0).collect();
+                    if !hits.is_empty() {
+                        let past = hits.iter().map(|&&(_, _, s)| s).max().expect("non-empty");
+                        let tail = hits
+                            .iter()
+                            .map(|&&(idx, done, s)| self.arrivals[idx].prompt_len + done - s)
+                            .max()
+                            .expect("non-empty");
+                        let cost = self.pricer.prefill_chunk(hits.len() as u64, tail, past)?;
+                        chip.t += cost.latency;
+                        self.energy += cost.total_energy();
+                        for &&(idx, _, _) in &hits {
+                            if !self.ttft_set[idx] {
+                                self.first_token[idx] = chip.t;
+                                self.ttft_set[idx] = true;
+                            }
                         }
                     }
                 }
@@ -675,15 +826,16 @@ impl<'a> EngineCore<'a> {
                 }));
             }
             Some(chunk) => {
-                chip.active.extend(admitted.into_iter().map(|(idx, done, _)| {
+                chip.active.extend(admitted.into_iter().map(|(idx, done, shared)| {
                     let target = self.arrivals[idx].prompt_len + done;
                     Active {
                         idx,
                         done,
                         // A model with no prefill phase (DiT) has no
                         // prompt to chunk: it enters decode directly,
-                        // whatever its nominal prompt length.
-                        prefilled: if has_prefill { 0 } else { target },
+                        // whatever its nominal prompt length. A cached
+                        // prefix skips straight to its divergence point.
+                        prefilled: if has_prefill { shared } else { target },
                         target,
                     }
                 }));
@@ -736,6 +888,14 @@ impl<'a> EngineCore<'a> {
                     .try_grow(self.arrivals[a.idx].id, self.arrivals[a.idx].prompt_len + a.done + 1)
             });
             if !fits {
+                // Cheapest relief first: evict cached prefix blocks whose
+                // last reference is the index (never a resident request's
+                // blocks), then retry the round before preempting anyone.
+                if let Some(index) = &mut chip.prefix {
+                    if index.evict(&mut chip.alloc, decoders.len() as u64) > 0 {
+                        continue;
+                    }
+                }
                 // Youngest = latest arrival (ids are arrival-ordered).
                 let victim_pos = (0..chip.active.len())
                     .max_by_key(|&p| chip.active[p].idx)
@@ -838,6 +998,49 @@ fn kv_admissible_prefix(alloc: &PagedKvAllocator, queue: &[Request]) -> Result<u
         )));
     }
     Ok(take)
+}
+
+/// Tries to admit `request` (resumed with `done` already-generated
+/// tokens) onto a continuous-batching chip, covering `prompt + done`
+/// tokens of KV. With prefix sharing on, cached blocks attach by
+/// reference, index-only blocks are evicted before giving up, and the
+/// admitted request's uncached prompt blocks are committed back into the
+/// index (including a best-effort partial-tail copy). Returns the
+/// shareable token count — how much of the prefill the scheduler may
+/// skip, capped so the prompt's final token is always computed — or
+/// `None` if the request does not fit.
+fn cont_admit(chip: &mut ContChip, request: &Request, done: u64) -> Option<u64> {
+    let target = request.prompt_len + done;
+    let Some(index) = &mut chip.prefix else {
+        return chip.alloc.try_grow(request.id, target).then_some(0);
+    };
+    let tokens = request.prompt_tokens();
+    let m = index.lookup(&tokens);
+    let mut admitted = chip.alloc.try_admit(request.id, m.blocks(), target);
+    if !admitted {
+        // Evict cached blocks nobody references (LRU) and retry once,
+        // pinning every block the match reads — the attached full blocks
+        // *and* the partial copy-on-write source — so eviction cannot
+        // take the very prefix this request is about to use.
+        let pinned = m.blocks().iter().copied().chain(m.partial_block());
+        for b in pinned.clone() {
+            chip.alloc.retain_shared(b);
+        }
+        let need = chip.alloc.blocks_for(target).saturating_sub(m.blocks().len() as u64);
+        let free = chip.alloc.free_blocks().unwrap_or(u64::MAX);
+        let evicted = index.evict(&mut chip.alloc, need.saturating_sub(free));
+        for b in pinned {
+            chip.alloc.release_shared(b);
+        }
+        if evicted > 0 {
+            admitted = chip.alloc.try_admit(request.id, m.blocks(), target);
+        }
+    }
+    if !admitted {
+        return None;
+    }
+    index.commit(&tokens, &m, request.id, &mut chip.alloc, true);
+    Some(m.matched_tokens().min(request.prompt_len.saturating_sub(1)))
 }
 
 /// Index of the executor that frees earliest (ties pick the lowest index,
@@ -963,6 +1166,7 @@ mod tests {
             arrival: ArrivalPattern::Burst,
             prompt: LenDist::Fixed(16),
             steps: LenDist::Fixed(4),
+            prefix: crate::PrefixTraffic::None,
             seed: 1,
         }
     }

@@ -4,7 +4,8 @@
 use cimtpu_core::TpuConfig;
 use cimtpu_models::TransformerConfig;
 use cimtpu_serving::{
-    ArrivalPattern, BatchPolicy, LenDist, Parallelism, ServingEngine, ServingModel, ServingRun,
+    ArrivalPattern, BatchPolicy, LenDist, Parallelism, PrefixTraffic, ServingEngine, ServingModel,
+    ServingRun,
     TrafficSpec,
 };
 
@@ -28,6 +29,7 @@ fn closed_loop(requests: u64, clients: u64, think_ms: f64, seed: u64) -> Traffic
         arrival: ArrivalPattern::ClosedLoop { clients, think_ms },
         prompt: LenDist::Uniform { lo: 16, hi: 48 },
         steps: LenDist::Uniform { lo: 2, hi: 8 },
+        prefix: PrefixTraffic::None,
         seed,
     }
 }

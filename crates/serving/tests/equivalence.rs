@@ -6,7 +6,8 @@
 use cimtpu_core::{Simulator, TpuConfig};
 use cimtpu_models::TransformerConfig;
 use cimtpu_serving::{
-    ArrivalPattern, BatchPolicy, LenDist, Parallelism, ServingEngine, ServingModel, TrafficSpec,
+    ArrivalPattern, BatchPolicy, LenDist, Parallelism, PrefixTraffic, ServingEngine, ServingModel,
+    TrafficSpec,
 };
 use cimtpu_units::Seconds;
 
@@ -43,6 +44,7 @@ fn serving_latency(config: &TpuConfig, policy: BatchPolicy, prompt: u64, steps: 
         arrival: ArrivalPattern::Burst,
         prompt: LenDist::Fixed(prompt),
         steps: LenDist::Fixed(steps),
+        prefix: PrefixTraffic::None,
         seed: 0,
     };
     let run = engine.run("equivalence", &traffic).unwrap();
@@ -96,6 +98,7 @@ fn batch1_ttft_is_prefill_latency_exactly() {
         arrival: ArrivalPattern::Burst,
         prompt: LenDist::Fixed(32),
         steps: LenDist::Fixed(4),
+        prefix: PrefixTraffic::None,
         seed: 0,
     };
     let run = engine.run("ttft", &traffic).unwrap();
@@ -120,6 +123,7 @@ fn queueing_only_delays_requests() {
         arrival: ArrivalPattern::Burst,
         prompt: LenDist::Fixed(32),
         steps: LenDist::Fixed(8),
+        prefix: PrefixTraffic::None,
         seed: 0,
     };
     let run = engine.run("queue", &traffic).unwrap();

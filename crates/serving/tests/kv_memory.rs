@@ -4,7 +4,8 @@
 use cimtpu_core::TpuConfig;
 use cimtpu_models::TransformerConfig;
 use cimtpu_serving::{
-    ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, Parallelism, ServingEngine, ServingModel,
+    ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, Parallelism, PrefixTraffic,
+    ServingEngine, ServingModel,
     ServingRun, TrafficSpec,
 };
 use cimtpu_units::Bytes;
@@ -33,6 +34,7 @@ fn traffic(seed: u64) -> TrafficSpec {
         arrival: ArrivalPattern::OpenLoop { rate_rps: 5_000.0 },
         prompt: LenDist::Uniform { lo: 17, hi: 64 },
         steps: LenDist::Uniform { lo: 3, hi: 12 },
+        prefix: PrefixTraffic::None,
         seed,
     }
 }
@@ -47,6 +49,7 @@ fn pressure_traffic() -> TrafficSpec {
         arrival: ArrivalPattern::Burst,
         prompt: LenDist::Fixed(32),
         steps: LenDist::Fixed(8),
+        prefix: PrefixTraffic::None,
         seed: 5,
     }
 }
@@ -185,6 +188,7 @@ fn chunked_prefill_with_dit_completes() {
         arrival: ArrivalPattern::Burst,
         prompt: LenDist::Fixed(32), // nominal; DiT ignores prompts
         steps: LenDist::Fixed(3),
+        prefix: PrefixTraffic::None,
         seed: 1,
     };
     let run = ServingEngine::new(
@@ -210,6 +214,7 @@ fn queue_full_not_charged_when_another_chip_serves() {
         arrival: ArrivalPattern::Burst,
         prompt: LenDist::Fixed(32),
         steps: LenDist::Fixed(8),
+        prefix: PrefixTraffic::None,
         seed: 2,
     };
     // 6 blocks: a static batch of 4 (3 blocks worst-case each) shrinks

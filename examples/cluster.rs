@@ -14,6 +14,7 @@ fn main() -> Result<()> {
         arrival: ArrivalPattern::OpenLoop { rate_rps: 5.0 },
         prompt: LenDist::Uniform { lo: 512, hi: 1024 },
         steps: LenDist::Fixed(32),
+        prefix: PrefixTraffic::None,
         seed: 0xC1A0,
     };
 

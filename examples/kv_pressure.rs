@@ -33,6 +33,7 @@ fn main() -> Result<()> {
         arrival: ArrivalPattern::OpenLoop { rate_rps: 6.0 },
         prompt: LenDist::Fixed(128),
         steps: LenDist::Uniform { lo: 64, hi: 256 },
+        prefix: PrefixTraffic::None,
         seed: 0xC1A0,
     };
     let engine = |memory: MemoryConfig| -> Result<ServingEngine> {

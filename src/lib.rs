@@ -22,6 +22,12 @@
 //!   heterogeneous replica groups, disaggregated prefill/decode with KV
 //!   handoff over the interconnect, closed-loop saturation studies).
 //!
+//! The repo-root `ARCHITECTURE.md` maps the five-layer stack, the data
+//! flow of one served request, the determinism/bit-identity contract,
+//! and the `BENCH_*.json` CI-diff workflow; `README.md` has the build
+//! quickstart and the scenario catalogs of the `serve_sim` /
+//! `cluster_sim` binaries.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -64,6 +70,7 @@
 //!     arrival: ArrivalPattern::OpenLoop { rate_rps: 20.0 },
 //!     prompt: LenDist::Fixed(64),
 //!     steps: LenDist::Fixed(4),
+//!     prefix: PrefixTraffic::None,
 //!     seed: 1,
 //! };
 //! let run = engine.run("quickstart", &traffic)?;
@@ -105,6 +112,26 @@
 //! `llm-kv-pressure` / `llm-chunked-prefill` scenarios in `serve_sim`;
 //! `BENCH_serving.json` tracks the headline serving metrics alongside
 //! `BENCH_sweep.json`.
+//!
+//! # Prefix sharing (copy-on-write KV blocks)
+//!
+//! Requests whose prompts open with a common head (a shared system
+//! prompt, a few-shot preamble) compute identical KV state for it.
+//! [`MemoryConfig::with_prefix_sharing`](serving::MemoryConfig::with_prefix_sharing)
+//! gives every executor a [`PrefixIndex`](kv::PrefixIndex) — a
+//! block-aligned radix tree over resident prompt blocks — so later
+//! requests attach the cached blocks by reference (ref-counted; freed
+//! only at the last reference), copy-on-write where their prompts
+//! diverge mid-block, and price only their prompt *tails*. Traffic opts
+//! in with [`PrefixTraffic::SharedHead`](serving::PrefixTraffic), and
+//! fleets route hits onto the right replica with
+//! [`RouterPolicy::PrefixAffinity`](cluster::RouterPolicy). Sharing
+//! changes cost, never text: completions are token-for-token identical
+//! to the unshared path (proptested across all three batching
+//! policies), and with sharing off the engine is bit-identical to
+//! before. See `examples/prefix_sharing.rs` and the
+//! `llm-shared-prefix` / `cluster-shared-prefix` scenarios with their
+//! cold controls.
 //!
 //! # Performance architecture: memoized pricing + parallel sweeps
 //!
@@ -160,11 +187,11 @@ pub mod prelude {
         OpInstance, Phase, Segment,
         TransformerConfig, Workload,
     };
-    pub use cimtpu_kv::{KvBudget, KvFootprint, PagedKvAllocator};
+    pub use cimtpu_kv::{KvBudget, KvFootprint, PagedKvAllocator, PrefixIndex, PrefixStats};
     pub use cimtpu_multi::{MultiTpu, RingTopology};
     pub use cimtpu_serving::{
         ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, MemoryStats, Parallelism,
-        ServingEngine, ServingModel, ServingReport, TrafficSpec,
+        PrefixTraffic, PromptPrefix, ServingEngine, ServingModel, ServingReport, TrafficSpec,
     };
     pub use cimtpu_cluster::{
         ClusterEngine, ClusterReport, InterconnectSpec, ReplicaSpec, Router, RouterPolicy,
