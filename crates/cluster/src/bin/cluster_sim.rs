@@ -3,6 +3,7 @@
 //! ```text
 //! cluster_sim [--scenario NAME|all] [--seed N] [--workers N] [--json PATH]
 //!             [--kv-budget BUDGET] [--clients N] [--think-ms MS]
+//!             [--fault-seed N] [--faults SPEC]
 //! ```
 //!
 //! Runs the named cluster scenario (default: all headline scenarios) and
@@ -19,6 +20,15 @@
 //! scenario's traffic to closed loop with `N` concurrent clients
 //! (`--think-ms` sets their think time; default 10 ms).
 //!
+//! `--faults SPEC` replaces every selected scenario's fault plan with
+//! the comma-separated events in `SPEC` (grammar in
+//! `cimtpu_cluster::parse_faults`, e.g.
+//! `crash@2s:replica1:repair=5s,link@0s-2s:x0.1`); `--fault-seed N`
+//! reseeds the plan, redrawing chaos-generated crashes while explicit
+//! events stand. Reports from fault runs carry an extra `availability`
+//! section; zero-fault output is byte-identical to builds without these
+//! flags.
+//!
 //! `--json PATH` additionally writes the full `ClusterReport` list as
 //! pretty-printed JSON (`-` writes JSON to stdout instead of the text
 //! report). The committed `BENCH_cluster.json` baseline is exactly
@@ -26,12 +36,12 @@
 
 use cimtpu_bench::sweep;
 use cimtpu_cluster::scenario::{self, Scenario};
-use cimtpu_cluster::ClusterReport;
+use cimtpu_cluster::{parse_faults, ClusterReport, FaultPlan};
 use cimtpu_serving::cli::{self, SimFlags};
 use cimtpu_serving::ArrivalPattern;
 
 fn main() {
-    let flags = match SimFlags::parse("cluster_sim", "every replica's", || {
+    let flags = match SimFlags::parse("cluster_sim", "every replica's", true, || {
         for s in scenario::headline() {
             println!("  {:<22} {}", s.name, s.description);
         }
@@ -56,6 +66,16 @@ fn main() {
             }
         }
     };
+    // `--faults` replaces each scenario's plan with the given explicit
+    // events; `--fault-seed` then reseeds whatever plan is in place
+    // (redrawing chaos-generated crashes, leaving explicit events alone).
+    let cli_events = flags.faults.as_deref().map(|spec| match parse_faults(spec) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("cluster_sim: {e}");
+            std::process::exit(2);
+        }
+    });
     for s in &mut scenarios {
         if let Some(budget) = flags.kv_budget {
             s.engine = s.engine.clone().with_kv_budget(budget);
@@ -63,6 +83,14 @@ fn main() {
         if let Some(clients) = flags.clients {
             s.traffic.arrival =
                 ArrivalPattern::ClosedLoop { clients, think_ms: flags.think_ms };
+        }
+        if let Some(events) = &cli_events {
+            s.engine =
+                s.engine.clone().with_faults(FaultPlan::none().with_events(events.clone()));
+        }
+        if let Some(seed) = flags.fault_seed {
+            let reseeded = s.engine.faults().clone().with_seed(seed);
+            s.engine = s.engine.clone().with_faults(reseeded);
         }
     }
 

@@ -27,6 +27,30 @@
 //! fit wait in the replica's pending queue (charged to the queue-full
 //! clock). Decode then proceeds continuous-batching style: one step per
 //! round at the live batch size and the longest member context.
+//!
+//! # Faults
+//!
+//! A non-empty [`FaultPlan`] switches to the
+//! failure-aware driver. Two fault kinds apply here:
+//!
+//! - **Decode-replica crashes.** Everything resident on or inbound to
+//!   the replica is lost and its paged allocator is emptied; the replica
+//!   is marked down, repaired, and warmed up before the decode router
+//!   sees it again. Faults land on scheduling-round boundaries: a decode
+//!   round that started before the crash completes atomically and its
+//!   completions stand. Each lost request retries under the plan's
+//!   [`RecoveryPolicy`](crate::fault::RecoveryPolicy): if the source
+//!   prefill replica still holds the cache (its post-transfer release
+//!   has not fired), the retry **re-hands-off** — a second transfer,
+//!   always cheaper than recomputing the prefill *and* transferring —
+//!   otherwise the request **recomputes** through the prefill pool.
+//!   Prefill replicas cannot crash (a crash event indexes the decode
+//!   pool), and stragglers are a colocated-fleet fault.
+//! - **Degraded links.** While a window is open, a transfer started
+//!   inside it pays `wire / bandwidth_factor` (hop latency unchanged)
+//!   and `energy × energy_factor` — retransmission-style degradation.
+
+use std::collections::HashMap;
 
 use cimtpu_kv::{KvFootprint, PagedKvAllocator};
 use cimtpu_multi::RingTopology;
@@ -36,9 +60,11 @@ use cimtpu_serving::{
 };
 use cimtpu_units::{Bandwidth, Bytes, Error, Joules, Result, Seconds};
 
+use crate::engine::release_client;
+use crate::fault::{AvailabilityStats, FaultEvent, FaultPlan};
 use crate::replica::ReplicaSpec;
 use crate::report::{ClusterReport, KvTransferStats, ReplicaUtilization};
-use crate::router::{ReplicaSnapshot, RouterPolicy};
+use crate::router::{HealthView, ReplicaHealth, ReplicaSnapshot, RouterPolicy};
 use crate::ClusterRun;
 
 /// The link KV caches migrate over between prefill and decode replicas:
@@ -149,9 +175,16 @@ impl<'a> PrefillUnit<'a> {
 
     /// Runs one FCFS prefill batch at the candidate time.
     fn step(&mut self) -> Result<PrefillBatch> {
-        let start = self.candidate().expect("step with an empty queue");
+        // A missing candidate is a driver bug, but under injected faults
+        // a typed error beats taking the whole simulator down.
+        let start = self
+            .candidate()
+            .ok_or_else(|| Error::internal("prefill step with an empty queue"))?;
         if let Some(cap) = self.alloc.capacity_blocks() {
-            let head = self.queue.front().expect("non-empty");
+            let head = self
+                .queue
+                .front()
+                .ok_or_else(|| Error::internal("prefill candidate with an empty queue"))?;
             if self.alloc.blocks_for(head.prompt_len) > cap {
                 return Err(Error::invalid_config(format!(
                     "prefill KV budget too small: request {} needs {} blocks but capacity \
@@ -168,11 +201,18 @@ impl<'a> PrefillUnit<'a> {
             if r.arrival() > start || !self.alloc.try_grow(r.id, r.prompt_len) {
                 break;
             }
-            members.push(self.queue.pop_front().expect("non-empty"));
+            members.push(
+                self.queue
+                    .pop_front()
+                    .ok_or_else(|| Error::internal("prefill queue emptied mid-batch"))?,
+            );
         }
-        assert!(!members.is_empty(), "the candidate start admits the queue head");
         let b = members.len() as u64;
-        let padded = members.iter().map(|r| r.prompt_len).max().expect("non-empty");
+        let padded = members
+            .iter()
+            .map(|r| r.prompt_len)
+            .max()
+            .ok_or_else(|| Error::internal("the candidate start admits the queue head"))?;
         let cost = self.pricer.prefill(b, padded)?;
         let end = start + cost.latency;
         self.busy += cost.latency;
@@ -231,14 +271,16 @@ impl<'a> DecodeUnit<'a> {
         self.pending
             .iter()
             .map(|p| p.ready)
-            .min_by(|a, b| a.partial_cmp(b).expect("times are never NaN"))
+            .min_by(|a, b| a.get().total_cmp(&b.get()))
             .map(|ready| self.t.max(ready))
     }
 
     /// One decode round: admit ready transfers (KV permitting), then one
     /// generation step for the whole batch.
     fn step(&mut self) -> Result<Vec<Completion>> {
-        let start = self.candidate().expect("step with nothing pending");
+        let start = self
+            .candidate()
+            .ok_or_else(|| Error::internal("decode step with nothing pending"))?;
         self.t = start;
         let round_start = self.t;
         let mut blocked = false;
@@ -251,8 +293,8 @@ impl<'a> DecodeUnit<'a> {
                 .filter(|(_, p)| p.ready <= self.t)
                 .min_by(|a, b| {
                     a.1.ready
-                        .partial_cmp(&b.1.ready)
-                        .expect("times are never NaN")
+                        .get()
+                        .total_cmp(&b.1.ready.get())
                         .then(a.1.req.id.cmp(&b.1.req.id))
                 })
                 .map(|(i, _)| i)
@@ -285,7 +327,7 @@ impl<'a> DecodeUnit<'a> {
             .iter()
             .map(|s| s.req.prompt_len + s.done)
             .max()
-            .expect("non-empty")
+            .ok_or_else(|| Error::internal("decode round with an empty batch"))?
             + 1;
         let cost = self.pricer.step(b, ctx)?;
         self.t += cost.latency;
@@ -376,6 +418,30 @@ fn validate_pool_replica<'a>(
 
 #[allow(clippy::too_many_arguments)] // one call site, from the engine dispatch
 pub(crate) fn run_disaggregated(
+    prefill: &[ReplicaSpec],
+    decode: &[ReplicaSpec],
+    router: RouterPolicy,
+    decode_router: RouterPolicy,
+    interconnect: InterconnectSpec,
+    label: &str,
+    traffic: &TrafficSpec,
+    slo_ms: Option<f64>,
+    plan: &FaultPlan,
+) -> Result<ClusterRun> {
+    if plan.is_empty() {
+        // Zero-fault runs take the untouched driver, bit-for-bit.
+        run_disaggregated_plain(
+            prefill, decode, router, decode_router, interconnect, label, traffic, slo_ms,
+        )
+    } else {
+        run_disaggregated_faulty(
+            prefill, decode, router, decode_router, interconnect, label, traffic, slo_ms, plan,
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // one call site, from the dispatch above
+fn run_disaggregated_plain(
     prefill: &[ReplicaSpec],
     decode: &[ReplicaSpec],
     router: RouterPolicy,
@@ -587,6 +653,561 @@ pub(crate) fn run_disaggregated(
         transfers,
         rows,
         slo_ms,
+        None,
+    );
+    for session in p_sessions.iter().chain(&d_sessions) {
+        session.persist_cache();
+    }
+    Ok(ClusterRun {
+        report,
+        replica_reports: Vec::new(),
+        completions,
+        prefix: cimtpu_serving::PrefixStats::default(),
+    })
+}
+
+/// A request waiting to re-enter the disaggregated pipeline after a
+/// decode crash (or parked because the whole decode pool is down).
+struct DisaggRetry {
+    /// When the retry fires.
+    fire: Seconds,
+    request: Request,
+    /// Retries already charged against the request's budget.
+    attempts: u32,
+    /// Prefill unit still holding the cache (re-handoff), or `None` to
+    /// recompute the prompt from scratch.
+    source: Option<usize>,
+    /// The TTFT the original prefill produced; a re-handoff keeps it.
+    first_token: Option<Seconds>,
+}
+
+/// One decode-replica crash on the books.
+struct DisaggCrash {
+    replica: usize,
+    at: Seconds,
+    up_again: Option<Seconds>,
+    first_completion: Option<Seconds>,
+}
+
+#[allow(clippy::too_many_arguments)] // one call site, from the dispatch above
+fn run_disaggregated_faulty(
+    prefill: &[ReplicaSpec],
+    decode: &[ReplicaSpec],
+    router: RouterPolicy,
+    decode_router: RouterPolicy,
+    interconnect: InterconnectSpec,
+    label: &str,
+    traffic: &TrafficSpec,
+    slo_ms: Option<f64>,
+    plan: &FaultPlan,
+) -> Result<ClusterRun> {
+    let recovery = *plan.recovery();
+    // Crash events index the DECODE pool; prefill replicas are the
+    // stateless front of the pipeline here and cannot crash.
+    let mut crash_timeline: Vec<(Seconds, usize, Seconds)> = Vec::new();
+    let mut windows: Vec<(Seconds, Seconds, f64, f64)> = Vec::new();
+    for event in plan.resolve(decode.len())? {
+        match event {
+            FaultEvent::Crash { at, replica, repair } => crash_timeline.push((at, replica, repair)),
+            FaultEvent::DegradedLink { from, until, bandwidth_factor, energy_factor } => {
+                windows.push((from, until, bandwidth_factor, energy_factor));
+            }
+            FaultEvent::Straggler { .. } => {
+                return Err(Error::invalid_config(
+                    "straggler faults apply to colocated replicas; disaggregated pools price \
+                     whole phases — degrade the link instead",
+                ));
+            }
+        }
+    }
+    crash_timeline.sort_by(|a, b| a.0.get().total_cmp(&b.0.get()));
+    let mut next_crash = 0usize;
+
+    let reference = validate_pool_replica(&prefill[0], "prefill")?.clone();
+    let pool_members = prefill
+        .iter()
+        .map(|s| (s, "prefill"))
+        .chain(decode.iter().map(|s| (s, "decode")));
+    for (spec, role) in pool_members {
+        let model = validate_pool_replica(spec, role)?;
+        if *model != reference {
+            return Err(Error::invalid_config(format!(
+                "disaggregated pools must host one common model: '{}' hosts {}, \
+                 expected {}",
+                spec.name,
+                model.name(),
+                reference.name()
+            )));
+        }
+    }
+    let full_fp = KvFootprint::of(&reference);
+
+    let p_sessions: Vec<EngineSession> = prefill
+        .iter()
+        .map(|r| EngineSession::new(&r.engine()?))
+        .collect::<Result<_>>()?;
+    let d_sessions: Vec<EngineSession> = decode
+        .iter()
+        .map(|r| EngineSession::new(&r.engine()?))
+        .collect::<Result<_>>()?;
+    let mut punits: Vec<PrefillUnit<'_>> = p_sessions
+        .iter()
+        .zip(prefill)
+        .map(|(s, spec)| {
+            Ok(PrefillUnit {
+                pricer: s.pricer(),
+                alloc: s.allocator()?,
+                cap: spec.policy.max_concurrency() as usize,
+                free_at: Seconds::ZERO,
+                queue: std::collections::VecDeque::new(),
+                pending_release: Vec::new(),
+                link_free: Seconds::ZERO,
+                busy: Seconds::ZERO,
+                energy: Joules::ZERO,
+                prefills: 0,
+            })
+        })
+        .collect::<Result<_>>()?;
+    let mut dunits: Vec<DecodeUnit<'_>> = d_sessions
+        .iter()
+        .zip(decode)
+        .map(|(s, spec)| {
+            Ok(DecodeUnit {
+                pricer: s.pricer(),
+                alloc: s.allocator()?,
+                cap: spec.policy.max_concurrency() as usize,
+                t: Seconds::ZERO,
+                pending: Vec::new(),
+                active: Vec::new(),
+                busy: Seconds::ZERO,
+                energy: Joules::ZERO,
+                queue_full: Seconds::ZERO,
+                completed: 0,
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    let mut stream = ArrivalStream::new(traffic)?;
+    let offered = stream.total();
+    let mut arouter = router.build();
+    let mut drouter = decode_router.build();
+    let mut p_assigned = vec![0u64; prefill.len()];
+    let mut d_assigned = vec![0u64; decode.len()];
+    let mut transfers = KvTransferStats::default();
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut dhealth = HealthView::all_up(decode.len());
+    let mut waiting: Vec<DisaggRetry> = Vec::new();
+    let mut origin: HashMap<u64, f64> = HashMap::new();
+    let mut attempts_of: HashMap<u64, u32> = HashMap::new();
+    let mut avail = AvailabilityStats::zero();
+    let mut crash_log: Vec<DisaggCrash> = Vec::new();
+
+    // Transfer cost at `t_start`, with every open degraded-link window
+    // applied: wire time divided by the bandwidth factor (the hop stands),
+    // energy multiplied by the energy factor.
+    let priced_transfer = |t_start: Seconds, bytes: Bytes| -> (Seconds, Joules) {
+        let base = interconnect.transfer_time(bytes);
+        let mut bw = 1.0;
+        let mut en = 1.0;
+        for &(from, until, b, e) in &windows {
+            if t_start >= from && t_start < until {
+                bw *= b;
+                en *= e;
+            }
+        }
+        let duration = if bw == 1.0 {
+            base
+        } else {
+            interconnect.hop_latency
+                + Seconds::new((base - interconnect.hop_latency).get() / bw)
+        };
+        (duration, Joules::new(interconnect.transfer_energy(bytes).get() * en))
+    };
+
+    // Hands one finished-prefill request off to a decode replica (a fresh
+    // handoff or a re-handoff): serializes on the source's egress link,
+    // holds the source cache until the transfer ends, and enqueues on the
+    // routed target. Returns the ready time.
+    // (Written as a macro-free block at both call sites below: the borrow
+    // sets differ.)
+
+    loop {
+        // The run is over when nothing can produce or receive work;
+        // trailing fault events on an idle fleet are dropped.
+        let punit_candidates: Vec<Option<Seconds>> =
+            punits.iter().map(PrefillUnit::candidate).collect();
+        let dunit_candidates: Vec<Option<Seconds>> =
+            dunits.iter().map(DecodeUnit::candidate).collect();
+        let any_unit = punit_candidates.iter().chain(&dunit_candidates).any(Option::is_some);
+        if stream.exhausted() && waiting.is_empty() && !any_unit {
+            break;
+        }
+
+        // Earliest event wins; ties resolve fault → arrival → retry →
+        // prefill → decode, then lowest index.
+        let mut best: Option<(Seconds, u8, usize)> = None;
+        let mut offer = |t: Seconds, class: u8, idx: usize| {
+            if best.is_none_or(|(bt, bc, bi)| t < bt || (t == bt && (class, idx) < (bc, bi))) {
+                best = Some((t, class, idx));
+            }
+        };
+        let scripted = (next_crash < crash_timeline.len()).then(|| crash_timeline[next_crash].0);
+        match (scripted, dhealth.next_transition()) {
+            (Some(a), Some(b)) => offer(a.min(b), 0, 0),
+            (Some(a), None) => offer(a, 0, 0),
+            (None, Some(b)) => offer(b, 0, 0),
+            (None, None) => {}
+        }
+        if let Some(ta) = stream.peek() {
+            offer(ta, 1, 0);
+        }
+        if let Some((i, w)) = waiting
+            .iter()
+            .enumerate()
+            .min_by(|(ai, a), (bi, b)| {
+                (a.fire.get(), a.request.id, *ai)
+                    .partial_cmp(&(b.fire.get(), b.request.id, *bi))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        {
+            offer(w.fire, 2, i);
+        }
+        for (i, t) in punit_candidates.iter().enumerate() {
+            if let Some(t) = t {
+                offer(*t, 3, i);
+            }
+        }
+        for (i, t) in dunit_candidates.iter().enumerate() {
+            if let Some(t) = t {
+                offer(*t, 4, i);
+            }
+        }
+        let Some((now, class, idx)) = best else {
+            if stream.exhausted() {
+                break;
+            }
+            return Err(Error::invalid_config(
+                "disaggregated driver stalled: requests pending but no unit can act",
+            ));
+        };
+        match class {
+            // Faults: restores first, then crashes due now.
+            0 => {
+                dhealth.advance(now, recovery.warmup);
+                for rec in crash_log.iter_mut() {
+                    if rec.up_again.is_none() && dhealth.is_up(rec.replica) {
+                        rec.up_again = Some(now);
+                    }
+                }
+                while next_crash < crash_timeline.len() && crash_timeline[next_crash].0 <= now {
+                    let (_, replica, repair) = crash_timeline[next_crash];
+                    next_crash += 1;
+                    if matches!(dhealth.state(replica), ReplicaHealth::Down { .. }) {
+                        continue; // already down: nothing left to kill
+                    }
+                    // Everything resident on or inbound to the replica is
+                    // lost; the allocator empties (high-water survives).
+                    let mut lost: Vec<(Request, Seconds)> = Vec::new();
+                    for p in dunits[replica].pending.drain(..) {
+                        lost.push((p.req, p.first_token));
+                    }
+                    for s in dunits[replica].active.drain(..) {
+                        lost.push((s.req, s.first_token));
+                    }
+                    dunits[replica].alloc.release_all();
+                    dhealth.mark_down(replica, now + repair);
+                    avail.crashes += 1;
+                    crash_log.push(DisaggCrash {
+                        replica,
+                        at: now,
+                        up_again: None,
+                        first_completion: None,
+                    });
+                    for (r, ft) in lost {
+                        // Where is the cache now? If the source prefill
+                        // replica has not released the blocks yet, pin
+                        // them and re-handoff (transfer-only — always
+                        // cheaper than recompute + transfer); otherwise
+                        // the prompt recomputes through the prefill pool.
+                        let mut source = None;
+                        for (pi, pu) in punits.iter_mut().enumerate() {
+                            if let Some(pos) = pu
+                                .pending_release
+                                .iter()
+                                .position(|&(t, id)| id == r.id && t > now)
+                            {
+                                pu.pending_release.remove(pos);
+                                source = Some(pi);
+                                break;
+                            }
+                        }
+                        let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
+                        let attempts = attempts_of.get(&r.id).copied().unwrap_or(0) + 1;
+                        let drop_blocks =
+                            |punits: &mut Vec<PrefillUnit<'_>>, source: Option<usize>| {
+                                if let Some(p) = source {
+                                    punits[p].alloc.release(r.id);
+                                }
+                            };
+                        if attempts > recovery.max_attempts {
+                            avail.shed += 1;
+                            drop_blocks(&mut punits, source);
+                            release_client(&mut stream, r.id, orig, now);
+                            continue;
+                        }
+                        let fire = now + recovery.backoff_for(attempts);
+                        if fire.get() > orig + recovery.deadline.get() {
+                            avail.timed_out += 1;
+                            drop_blocks(&mut punits, source);
+                            release_client(&mut stream, r.id, orig, now);
+                            continue;
+                        }
+                        attempts_of.insert(r.id, attempts);
+                        waiting.push(DisaggRetry {
+                            fire,
+                            request: r,
+                            attempts,
+                            source,
+                            first_token: source.is_some().then_some(ft),
+                        });
+                    }
+                }
+            }
+            // Arrival: routes across the (always-healthy) prefill pool.
+            1 => {
+                let request = stream.pop();
+                origin.insert(request.id, request.arrival_s);
+                let snaps: Vec<ReplicaSnapshot> = punits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, u)| u.snapshot(i, p_assigned[i]))
+                    .collect();
+                let k = arouter.route(&request, &snaps).min(punits.len() - 1);
+                p_assigned[k] += 1;
+                punits[k].queue.push_back(request);
+            }
+            // Retry fire: re-handoff, recompute, or repark.
+            2 => {
+                let item = waiting.remove(idx);
+                let r = item.request;
+                let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
+                if now.get() > orig + recovery.deadline.get() {
+                    avail.timed_out += 1;
+                    if let Some(p) = item.source {
+                        punits[p].alloc.release(r.id);
+                    }
+                    release_client(&mut stream, r.id, orig, now);
+                    continue;
+                }
+                match item.source {
+                    Some(p) => {
+                        let up = dhealth.up_replicas();
+                        if up.is_empty() {
+                            // Whole decode pool down: park until the next
+                            // repair finishes (no retry charged).
+                            let fire = dhealth.next_transition().ok_or_else(|| {
+                                Error::internal(
+                                    "every decode replica is down and none is scheduled to \
+                                     restart",
+                                )
+                            })?;
+                            waiting.push(DisaggRetry { fire, ..item });
+                            continue;
+                        }
+                        let snaps: Vec<ReplicaSnapshot> = up
+                            .iter()
+                            .enumerate()
+                            .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k]))
+                            .collect();
+                        let pos = drouter.route(&r, &snaps).min(up.len() - 1);
+                        let k = up[pos];
+                        d_assigned[k] += 1;
+                        if item.attempts > 0 {
+                            avail.retries += 1;
+                        }
+                        let bytes =
+                            full_fp.handoff_bytes(r.prompt_len, punits[p].alloc.block_tokens());
+                        let t_start = now.max(punits[p].link_free);
+                        let (duration, energy) = priced_transfer(t_start, bytes);
+                        let t_end = t_start + duration;
+                        punits[p].link_free = t_end;
+                        // The source cache is held until the re-transfer
+                        // lands, then released as usual.
+                        punits[p].pending_release.push((t_end, r.id));
+                        punits[p].pending_release.sort_by(|a, b| {
+                            a.0.get().total_cmp(&b.0.get()).then(a.1.cmp(&b.1))
+                        });
+                        transfers.record(bytes.get(), duration, energy);
+                        dunits[k].pending.push(PendingDecode {
+                            req: r,
+                            first_token: item.first_token.unwrap_or(t_end),
+                            ready: t_end,
+                        });
+                    }
+                    None => {
+                        // Recompute: the cache is gone — back through the
+                        // prefill pool; admission restarts at the fire
+                        // time, TTFT is re-earned.
+                        let snaps: Vec<ReplicaSnapshot> = punits
+                            .iter()
+                            .enumerate()
+                            .map(|(i, u)| u.snapshot(i, p_assigned[i]))
+                            .collect();
+                        let mut rr = r;
+                        rr.arrival_s = now.get();
+                        let k = arouter.route(&rr, &snaps).min(punits.len() - 1);
+                        p_assigned[k] += 1;
+                        if item.attempts > 0 {
+                            avail.retries += 1;
+                        }
+                        punits[k].queue.push_back(rr);
+                    }
+                }
+            }
+            // Prefill batch: hand each member off (or park it if the
+            // whole decode pool is down).
+            3 => {
+                let batch = punits[idx].step()?;
+                for req in batch.members {
+                    let up = dhealth.up_replicas();
+                    if up.is_empty() {
+                        let fire = dhealth.next_transition().ok_or_else(|| {
+                            Error::internal(
+                                "every decode replica is down and none is scheduled to restart",
+                            )
+                        })?;
+                        // The cache stays resident at the source (no
+                        // release is scheduled until a transfer is).
+                        waiting.push(DisaggRetry {
+                            fire,
+                            request: req,
+                            attempts: attempts_of.get(&req.id).copied().unwrap_or(0),
+                            source: Some(idx),
+                            first_token: Some(batch.end),
+                        });
+                        continue;
+                    }
+                    let snaps: Vec<ReplicaSnapshot> = up
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k]))
+                        .collect();
+                    let pos = drouter.route(&req, &snaps).min(up.len() - 1);
+                    let k = up[pos];
+                    d_assigned[k] += 1;
+                    let bytes =
+                        full_fp.handoff_bytes(req.prompt_len, punits[idx].alloc.block_tokens());
+                    let t_start = batch.end.max(punits[idx].link_free);
+                    let (duration, energy) = priced_transfer(t_start, bytes);
+                    let t_end = t_start + duration;
+                    punits[idx].link_free = t_end;
+                    punits[idx].pending_release.push((t_end, req.id));
+                    transfers.record(bytes.get(), duration, energy);
+                    dunits[k].pending.push(PendingDecode {
+                        req,
+                        first_token: batch.end,
+                        ready: t_end,
+                    });
+                }
+            }
+            // Decode round (atomic: a crash never lands mid-round).
+            _ => {
+                let finished = dunits[idx].step()?;
+                for c in &finished {
+                    if attempts_of.get(&c.id).copied().unwrap_or(0) > 0 {
+                        avail.retried_ok += 1;
+                    }
+                    for rec in crash_log.iter_mut() {
+                        if rec.replica == idx
+                            && rec.first_completion.is_none()
+                            && c.finish > rec.at
+                        {
+                            rec.first_completion = Some(c.finish);
+                        }
+                    }
+                    stream.on_complete(c);
+                }
+                completions.extend(finished);
+            }
+        }
+    }
+
+    // Recomputed requests were re-admitted at their retry fire time;
+    // report latency against the original arrival.
+    for c in &mut completions {
+        if let Some(orig) = origin.get(&c.id) {
+            c.arrival = Seconds::new(*orig);
+        }
+    }
+    completions.sort_by_key(|c| c.id);
+    debug_assert_eq!(
+        completions.len() as u64 + avail.shed + avail.timed_out,
+        offered,
+        "request conservation: arrived == completed + shed + timed out"
+    );
+
+    let finish = completions.iter().map(|c| c.finish).fold(Seconds::ZERO, Seconds::max);
+    let first_arrival = completions.iter().map(|c| c.arrival).fold(finish, Seconds::min);
+    let makespan = (finish - first_arrival).get().max(f64::MIN_POSITIVE);
+    let fleet = (prefill.len() + decode.len()) as f64;
+    let mut downtime = 0.0;
+    for rec in &crash_log {
+        let clip = |t: f64| t.clamp(first_arrival.get(), finish.get());
+        let start = clip(rec.at.get());
+        let end = clip(rec.up_again.map_or(finish.get(), |u| u.get()));
+        downtime += (end - start).max(0.0);
+        avail
+            .time_to_recover_s
+            .push((rec.first_completion.unwrap_or(finish).get() - rec.at.get()).max(0.0));
+    }
+    avail.downtime_s = downtime;
+    avail.availability = (1.0 - downtime / (fleet * makespan)).clamp(0.0, 1.0);
+
+    let mut rows = Vec::with_capacity(prefill.len() + decode.len());
+    let mut chip_energy = Joules::ZERO;
+    let mut queue_full_s = 0.0;
+    for (spec, unit) in prefill.iter().zip(&punits) {
+        chip_energy += unit.energy;
+        rows.push(ReplicaUtilization {
+            name: spec.name.clone(),
+            model: spec.model.name().to_owned(),
+            role: "prefill".to_owned(),
+            chips: spec.chips(),
+            requests: unit.prefills,
+            busy_s: unit.busy.get(),
+            utilization: 0.0,
+            energy_j: unit.energy.get(),
+            kv_hwm_frac: unit.alloc.high_water_frac(),
+        });
+    }
+    for (spec, unit) in decode.iter().zip(&dunits) {
+        chip_energy += unit.energy;
+        queue_full_s += unit.queue_full.get();
+        rows.push(ReplicaUtilization {
+            name: spec.name.clone(),
+            model: spec.model.name().to_owned(),
+            role: "decode".to_owned(),
+            chips: spec.chips(),
+            requests: unit.completed,
+            busy_s: unit.busy.get(),
+            utilization: 0.0,
+            energy_j: unit.energy.get(),
+            kv_hwm_frac: unit.alloc.high_water_frac(),
+        });
+    }
+    let report = ClusterReport::build(
+        label,
+        "disaggregated",
+        format!("{}\u{2192}{}", router.name(), decode_router.name()),
+        offered,
+        &completions,
+        chip_energy,
+        0, // worst-case decode reservation: the pools never preempt
+        queue_full_s,
+        transfers,
+        rows,
+        slo_ms,
+        Some(avail),
     );
     for session in p_sessions.iter().chain(&d_sessions) {
         session.persist_cache();

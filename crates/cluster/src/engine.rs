@@ -1,14 +1,18 @@
 //! The fleet engine: topology + router + traffic → [`ClusterRun`].
 
+use std::collections::HashMap;
+
 use cimtpu_serving::{
-    drive, ArrivalStream, Completion, EngineCore, EngineSession, ServingReport, TrafficSpec,
+    drive, ArrivalStream, Completion, EngineCore, EngineSession, PrefixStats, Request,
+    ServingReport, TrafficSpec,
 };
-use cimtpu_units::{Error, Joules, Result};
+use cimtpu_units::{Error, Joules, Result, Seconds};
 
 use crate::disagg::{run_disaggregated, InterconnectSpec};
+use crate::fault::{AvailabilityStats, FaultEvent, FaultPlan};
 use crate::replica::ReplicaSpec;
 use crate::report::{ClusterReport, KvTransferStats, ReplicaUtilization};
-use crate::router::{ReplicaSnapshot, RouterPolicy};
+use crate::router::{HealthView, ReplicaHealth, ReplicaSnapshot, RouterPolicy};
 
 /// How the fleet's replicas divide the serving pipeline.
 #[derive(Debug, Clone)]
@@ -44,6 +48,7 @@ pub enum ClusterTopology {
 pub struct ClusterEngine {
     topology: ClusterTopology,
     slo_ms: Option<f64>,
+    faults: FaultPlan,
 }
 
 /// Everything a cluster run produced.
@@ -77,6 +82,7 @@ impl ClusterEngine {
         Ok(ClusterEngine {
             topology: ClusterTopology::Colocated { replicas, router },
             slo_ms: None,
+            faults: FaultPlan::none(),
         })
     }
 
@@ -106,6 +112,7 @@ impl ClusterEngine {
                 interconnect,
             },
             slo_ms: None,
+            faults: FaultPlan::none(),
         })
     }
 
@@ -135,6 +142,22 @@ impl ClusterEngine {
         self
     }
 
+    /// Installs a fault plan. An **empty** plan (the default) takes the
+    /// exact zero-fault code path — runs stay bit-identical to an engine
+    /// without any plan; a non-empty plan switches to the failure-aware
+    /// driver (replica health view, retries, shedding) and the report
+    /// grows an availability section.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The installed fault plan (empty by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// The fleet topology.
     pub fn topology(&self) -> &ClusterTopology {
         &self.topology
@@ -151,7 +174,11 @@ impl ClusterEngine {
     pub fn run(&self, label: &str, traffic: &TrafficSpec) -> Result<ClusterRun> {
         match &self.topology {
             ClusterTopology::Colocated { replicas, router } => {
-                run_colocated(replicas, *router, label, traffic, self.slo_ms)
+                if self.faults.is_empty() {
+                    run_colocated(replicas, *router, label, traffic, self.slo_ms)
+                } else {
+                    run_colocated_faulty(replicas, *router, label, traffic, self.slo_ms, &self.faults)
+                }
             }
             ClusterTopology::Disaggregated {
                 prefill,
@@ -168,6 +195,7 @@ impl ClusterEngine {
                 label,
                 traffic,
                 self.slo_ms,
+                &self.faults,
             ),
         }
     }
@@ -255,9 +283,539 @@ fn run_colocated(
         KvTransferStats::default(),
         rows,
         slo_ms,
+        None,
     );
     for session in &sessions {
         session.persist_cache();
     }
     Ok(ClusterRun { report, replica_reports, completions, prefix })
+}
+
+/// A point action on the fault timeline (a [`FaultEvent`] window expands
+/// into a start and an end action).
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    Crash { replica: usize, repair: Seconds },
+    SlowStart { replica: usize, factor: f64 },
+    SlowEnd { replica: usize },
+}
+
+/// A request waiting to (re-)enter the fleet: a fresh arrival queued for
+/// admission, a crash-lost request backing off before its retry, or a
+/// request parked until some replica restarts.
+#[derive(Debug, Clone, Copy)]
+struct WaitingRetry {
+    /// When the request (re-)enters admission.
+    fire: Seconds,
+    /// The request (for retries, `arrival_s` is rewritten to the fire
+    /// time at push; the original arrival lives in the driver's origin
+    /// map and is restored on the delivered completion).
+    request: Request,
+    /// Retries already charged against the request's budget (0 for a
+    /// fresh arrival).
+    attempts: u32,
+}
+
+/// One crash on the books, for downtime and time-to-recover accounting.
+struct CrashRecord {
+    replica: usize,
+    at: Seconds,
+    /// When the replica came back `Up` (end of warmup).
+    up_again: Option<Seconds>,
+    /// Finish time of the replica's first completion after restart.
+    first_completion: Option<Seconds>,
+}
+
+/// Per-replica counters accumulated across incarnations: a crash replaces
+/// the replica's core, so its energy/busy/KV history is harvested at the
+/// crash instant and the restarted core starts a new ledger.
+#[derive(Default)]
+struct ReplicaAccum {
+    busy_s: f64,
+    energy_j: f64,
+    preemptions: u64,
+    queue_full_s: f64,
+    kv_hwm: f64,
+    prefix: PrefixStats,
+}
+
+impl ReplicaAccum {
+    fn harvest(&mut self, core: &EngineCore<'_>) {
+        let memory = core.memory_stats();
+        self.busy_s += core.busy().get();
+        self.energy_j += core.energy().get();
+        self.preemptions += memory.preemptions;
+        self.queue_full_s += memory.queue_full_s;
+        self.kv_hwm = self.kv_hwm.max(memory.kv_hwm_frac);
+        self.prefix.absorb(&core.prefix_stats());
+    }
+}
+
+/// Router snapshots over the healthy subset, re-indexed `0..up.len()` so
+/// index-returning and positional routers agree (see the health-view
+/// section of the [`router`](crate::router) module docs); the driver maps
+/// the routed position back through `up`.
+fn healthy_snapshots(
+    cores: &[EngineCore<'_>],
+    up: &[usize],
+    t: Seconds,
+    assigned: &[u64],
+) -> Vec<ReplicaSnapshot> {
+    up.iter()
+        .enumerate()
+        .map(|(pos, &k)| ReplicaSnapshot {
+            index: pos,
+            outstanding: cores[k].outstanding_at(t),
+            queued: cores[k].queued(),
+            kv_frac: cores[k].kv_frac(),
+            assigned: assigned[k],
+        })
+        .collect()
+}
+
+/// Releases a shed or timed-out request's closed-loop client: the client
+/// observes the failure at `at` and thinks before reissuing, so dropping
+/// a request never deadlocks a closed loop. Open-loop and burst streams
+/// ignore the synthetic completion.
+pub(crate) fn release_client(stream: &mut ArrivalStream, id: u64, orig_arrival: f64, at: Seconds) {
+    stream.on_complete(&Completion {
+        id,
+        arrival: Seconds::new(orig_arrival),
+        first_token: at,
+        finish: at,
+        steps: 0,
+    });
+}
+
+/// The failure-aware colocated driver: `drive` re-derived as an explicit
+/// event loop so fault events, deferred completion delivery, and retry
+/// timers can interleave with arrivals and engine steps.
+///
+/// Event classes at one instant resolve in a fixed order — faults/health
+/// transitions, then arrivals, then completion deliveries, then retry
+/// fires (admission), then engine steps — chosen so a run whose faults
+/// are all benign (e.g. a ×1 straggler window) replays the plain driver
+/// bit-for-bit. Completions are *delivered* (fed to closed-loop clients,
+/// added to the run ledger) at their finish time rather than inside the
+/// step that produced them, which is what lets a crash revoke
+/// in-flight-but-undelivered completions.
+fn run_colocated_faulty(
+    replicas: &[ReplicaSpec],
+    policy: RouterPolicy,
+    label: &str,
+    traffic: &TrafficSpec,
+    slo_ms: Option<f64>,
+    plan: &FaultPlan,
+) -> Result<ClusterRun> {
+    let recovery = *plan.recovery();
+    let mut timeline: Vec<(Seconds, FaultAction)> = Vec::new();
+    for event in plan.resolve(replicas.len())? {
+        match event {
+            FaultEvent::Crash { at, replica, repair } => {
+                timeline.push((at, FaultAction::Crash { replica, repair }));
+            }
+            FaultEvent::Straggler { replica, from, until, slowdown } => {
+                timeline.push((from, FaultAction::SlowStart { replica, factor: slowdown }));
+                timeline.push((until, FaultAction::SlowEnd { replica }));
+            }
+            FaultEvent::DegradedLink { .. } => {
+                return Err(Error::invalid_config(
+                    "degraded-link faults apply to the disaggregated interconnect; \
+                     a colocated fleet has no handoff link",
+                ));
+            }
+        }
+    }
+    timeline.sort_by(|a, b| a.0.get().total_cmp(&b.0.get()));
+    let mut next_fault = 0usize;
+
+    let sessions: Vec<EngineSession> = replicas
+        .iter()
+        .map(|r| EngineSession::new(&r.engine()?))
+        .collect::<Result<_>>()?;
+    let mut cores: Vec<EngineCore<'_>> =
+        sessions.iter().map(EngineSession::core).collect::<Result<_>>()?;
+    let mut stream = ArrivalStream::new(traffic)?;
+    let offered = stream.total();
+    let mut router = policy.build();
+    let n = replicas.len();
+    let mut assigned = vec![0u64; n];
+    let mut health = HealthView::all_up(n);
+    // Core liveness: a crashed core stays in `cores` (stale) until its
+    // replica restarts and a fresh core replaces it.
+    let mut stale = vec![false; n];
+    let mut slowdown = vec![1.0f64; n];
+    let mut last_push = vec![f64::NEG_INFINITY; n];
+    let mut exhausted_closed = false;
+
+    // The run ledger lives in the driver, not the cores: cores are
+    // replaced on restart, and a completion only counts once delivered.
+    let mut delivered: Vec<Completion> = Vec::new();
+    let mut deliveries: Vec<(usize, Completion)> = Vec::new();
+    let mut delivered_by = vec![0u64; n];
+    let mut waiting: Vec<WaitingRetry> = Vec::new();
+    let mut origin: HashMap<u64, f64> = HashMap::new();
+    let mut attempts_of: HashMap<u64, u32> = HashMap::new();
+    let mut avail = AvailabilityStats::zero();
+    let mut crash_log: Vec<CrashRecord> = Vec::new();
+    let mut accum: Vec<ReplicaAccum> = (0..n).map(|_| ReplicaAccum::default()).collect();
+
+    loop {
+        // Candidate events, classes in tie-break order.
+        let mut step_at: Option<(usize, Seconds)> = None;
+        for (i, core) in cores.iter().enumerate() {
+            if stale[i] {
+                continue;
+            }
+            if let Some(t) = core.next_action() {
+                if step_at.is_none_or(|(_, best)| t < best) {
+                    step_at = Some((i, t));
+                }
+            }
+        }
+        let delivery_at: Option<(usize, Seconds)> = deliveries
+            .iter()
+            .enumerate()
+            .min_by(|(ai, a), (bi, b)| {
+                a.1.finish.get().total_cmp(&b.1.finish.get()).then(ai.cmp(bi))
+            })
+            .map(|(i, d)| (i, d.1.finish));
+        let retry_at: Option<usize> = waiting
+            .iter()
+            .enumerate()
+            .min_by(|(ai, a), (bi, b)| {
+                let ka = (a.fire.get(), a.request.arrival_s, a.request.id);
+                let kb = (b.fire.get(), b.request.arrival_s, b.request.id);
+                ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal).then(ai.cmp(bi))
+            })
+            .map(|(i, _)| i);
+        let fault_at: Option<Seconds> = {
+            let scripted = (next_fault < timeline.len()).then(|| timeline[next_fault].0);
+            match (scripted, health.next_transition()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        };
+        let arrival_at = stream.peek();
+
+        // The run is over when nothing can produce or receive work —
+        // trailing fault events on an idle fleet are dropped.
+        if stream.exhausted() && waiting.is_empty() && deliveries.is_empty() && step_at.is_none()
+        {
+            break;
+        }
+
+        let candidates = [
+            (fault_at, 0u8),
+            (arrival_at, 1),
+            (delivery_at.map(|(_, t)| t), 2),
+            (retry_at.map(|i| waiting[i].fire), 3),
+            (step_at.map(|(_, t)| t), 4),
+        ];
+        let mut chosen: Option<(Seconds, u8)> = None;
+        for (t, class) in candidates {
+            if let Some(t) = t {
+                // Iteration order is ascending class: strict `<` keeps
+                // the earlier class on ties.
+                if chosen.is_none_or(|(bt, _)| t < bt) {
+                    chosen = Some((t, class));
+                }
+            }
+        }
+        let Some((now, class)) = chosen else {
+            // Closed-loop stall: clients wait on completions held in
+            // partial batches. Flush the lowest stalled core (mirrors
+            // `drive`); its completions become deliveries.
+            let mut progressed = false;
+            for (i, core) in cores.iter_mut().enumerate() {
+                if stale[i] {
+                    continue;
+                }
+                if core.flush_stalled()? {
+                    for c in core.drain_new().to_vec() {
+                        deliveries.push((i, c));
+                    }
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                return Err(Error::invalid_config(
+                    "serving driver stalled: closed-loop clients wait on completions \
+                     no engine can produce",
+                ));
+            }
+            continue;
+        };
+
+        match class {
+            // Faults and health transitions.
+            0 => {
+                // Restores first: a replica back up at `now` can take a
+                // crash scripted for the same instant.
+                for k in health.advance(now, recovery.warmup) {
+                    cores[k] = sessions[k].core()?;
+                    stale[k] = false;
+                    last_push[k] = f64::NEG_INFINITY;
+                    if slowdown[k] != 1.0 {
+                        cores[k].set_slowdown(slowdown[k]);
+                    }
+                    if exhausted_closed {
+                        cores[k].close();
+                    }
+                }
+                for rec in crash_log.iter_mut() {
+                    if rec.up_again.is_none() && health.is_up(rec.replica) {
+                        rec.up_again = Some(now);
+                    }
+                }
+                while next_fault < timeline.len() && timeline[next_fault].0 <= now {
+                    let (_, action) = timeline[next_fault];
+                    next_fault += 1;
+                    match action {
+                        FaultAction::Crash { replica, repair } => {
+                            if matches!(health.state(replica), ReplicaHealth::Down { .. }) {
+                                // Already down: nothing left to kill.
+                                continue;
+                            }
+                            let lost = cores[replica].crash(now);
+                            accum[replica].harvest(&cores[replica]);
+                            stale[replica] = true;
+                            health.mark_down(replica, now + repair);
+                            avail.crashes += 1;
+                            crash_log.push(CrashRecord {
+                                replica,
+                                at: now,
+                                up_again: None,
+                                first_completion: None,
+                            });
+                            // Revoke the dead incarnation's undelivered
+                            // completions — their requests are in `lost`.
+                            let lost_ids: Vec<u64> = lost.iter().map(|r| r.id).collect();
+                            deliveries
+                                .retain(|(k, c)| *k != replica || !lost_ids.contains(&c.id));
+                            for r in lost {
+                                let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
+                                let attempts = attempts_of.get(&r.id).copied().unwrap_or(0) + 1;
+                                if attempts > recovery.max_attempts {
+                                    avail.shed += 1;
+                                    release_client(&mut stream, r.id, orig, now);
+                                    continue;
+                                }
+                                let fire = now + recovery.backoff_for(attempts);
+                                if fire.get() > orig + recovery.deadline.get() {
+                                    avail.timed_out += 1;
+                                    release_client(&mut stream, r.id, orig, now);
+                                    continue;
+                                }
+                                attempts_of.insert(r.id, attempts);
+                                waiting.push(WaitingRetry { fire, request: r, attempts });
+                            }
+                        }
+                        FaultAction::SlowStart { replica, factor } => {
+                            slowdown[replica] = factor;
+                            if !stale[replica] {
+                                cores[replica].set_slowdown(factor);
+                            }
+                        }
+                        FaultAction::SlowEnd { replica } => {
+                            slowdown[replica] = 1.0;
+                            if !stale[replica] {
+                                cores[replica].set_slowdown(1.0);
+                            }
+                        }
+                    }
+                }
+            }
+            // Arrival: enters the admission queue (fires this instant;
+            // admission is the retry class so arrivals and retries share
+            // one code path).
+            1 => {
+                let request = stream.pop();
+                origin.insert(request.id, request.arrival_s);
+                waiting.push(WaitingRetry { fire: now, request, attempts: 0 });
+                if stream.exhausted() {
+                    exhausted_closed = true;
+                    for (i, core) in cores.iter_mut().enumerate() {
+                        if !stale[i] {
+                            core.close();
+                        }
+                    }
+                }
+            }
+            // Completion delivery.
+            2 => {
+                let (idx, _) = delivery_at
+                    .ok_or_else(|| Error::internal("class 2 implies a pending delivery"))?;
+                let (k, mut c) = deliveries.remove(idx);
+                if let Some(orig) = origin.get(&c.id) {
+                    c.arrival = Seconds::new(*orig);
+                }
+                if attempts_of.get(&c.id).copied().unwrap_or(0) > 0 {
+                    avail.retried_ok += 1;
+                }
+                stream.on_complete(&c);
+                delivered_by[k] += 1;
+                for rec in crash_log.iter_mut() {
+                    if rec.replica == k && rec.first_completion.is_none() && c.finish > rec.at {
+                        rec.first_completion = Some(c.finish);
+                    }
+                }
+                delivered.push(c);
+            }
+            // Admission (fresh arrivals and retries).
+            3 => {
+                let idx = retry_at
+                    .ok_or_else(|| Error::internal("class 3 implies a waiting request"))?;
+                let item = waiting.remove(idx);
+                let r = item.request;
+                let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
+                if now.get() > orig + recovery.deadline.get() {
+                    avail.timed_out += 1;
+                    release_client(&mut stream, r.id, orig, now);
+                    continue;
+                }
+                let up = health.up_replicas();
+                if up.is_empty() {
+                    // Nowhere to go: park until the next repair finishes
+                    // (no retry charged — the request was never placed).
+                    let fire = health.next_transition().ok_or_else(|| {
+                        Error::internal(
+                            "every replica is down and none is scheduled to restart",
+                        )
+                    })?;
+                    waiting.push(WaitingRetry { fire, ..item });
+                    continue;
+                }
+                if let Some(threshold) = recovery.shed_outstanding {
+                    if up.iter().all(|&k| cores[k].outstanding_at(now) >= threshold) {
+                        // Surviving capacity is saturated: shed oldest
+                        // first — this request and every waiting request
+                        // older than it (closest to their deadlines).
+                        let key = (orig, r.id);
+                        let mut doomed = vec![(r.id, orig)];
+                        waiting.retain(|w| {
+                            let worig =
+                                *origin.get(&w.request.id).unwrap_or(&w.request.arrival_s);
+                            if (worig, w.request.id) <= key {
+                                doomed.push((w.request.id, worig));
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        for (id, worig) in doomed {
+                            avail.shed += 1;
+                            release_client(&mut stream, id, worig, now);
+                        }
+                        continue;
+                    }
+                }
+                let snaps = healthy_snapshots(&cores, &up, now, &assigned);
+                let pos = router.route(&r, &snaps).min(up.len() - 1);
+                let k = up[pos];
+                assigned[k] += 1;
+                if item.attempts > 0 {
+                    avail.retries += 1;
+                }
+                let mut pushed = r;
+                pushed.arrival_s = if item.attempts > 0 { now.get() } else { r.arrival_s };
+                // A replica cannot see work arrive before its queue tail
+                // (a parked request can land on a replica that has taken
+                // later work meanwhile).
+                pushed.arrival_s = pushed.arrival_s.max(last_push[k]);
+                last_push[k] = pushed.arrival_s;
+                if exhausted_closed {
+                    cores[k].reopen();
+                    cores[k].push(pushed);
+                    cores[k].close();
+                } else {
+                    cores[k].push(pushed);
+                }
+            }
+            // Engine step; completions become pending deliveries.
+            _ => {
+                let (i, _) =
+                    step_at.ok_or_else(|| Error::internal("class 4 implies a steppable core"))?;
+                cores[i].step()?;
+                for c in cores[i].drain_new().to_vec() {
+                    deliveries.push((i, c));
+                }
+            }
+        }
+    }
+
+    // Harvest the surviving incarnations (crashed ones were harvested at
+    // their crash instant).
+    for (k, core) in cores.iter().enumerate() {
+        if !stale[k] {
+            accum[k].harvest(core);
+        }
+    }
+    delivered.sort_by_key(|c| c.id);
+    debug_assert_eq!(
+        delivered.len() as u64 + avail.shed + avail.timed_out,
+        offered,
+        "request conservation: arrived == completed + shed + timed out"
+    );
+
+    let finish = delivered.iter().map(|c| c.finish).fold(Seconds::ZERO, Seconds::max);
+    let first_arrival = delivered.iter().map(|c| c.arrival).fold(finish, Seconds::min);
+    let makespan = (finish - first_arrival).get().max(f64::MIN_POSITIVE);
+    let mut downtime = 0.0;
+    for rec in &crash_log {
+        let clip = |t: f64| t.clamp(first_arrival.get(), finish.get());
+        let start = clip(rec.at.get());
+        let end = clip(rec.up_again.map_or(finish.get(), |u| u.get()));
+        downtime += (end - start).max(0.0);
+        avail
+            .time_to_recover_s
+            .push((rec.first_completion.unwrap_or(finish).get() - rec.at.get()).max(0.0));
+    }
+    avail.downtime_s = downtime;
+    avail.availability = (1.0 - downtime / (n as f64 * makespan)).clamp(0.0, 1.0);
+
+    let mut chip_energy = Joules::ZERO;
+    let mut preemptions = 0;
+    let mut queue_full_s = 0.0;
+    let mut prefix = PrefixStats::default();
+    let mut rows = Vec::with_capacity(n);
+    for (k, spec) in replicas.iter().enumerate() {
+        let a = &accum[k];
+        chip_energy += Joules::new(a.energy_j);
+        preemptions += a.preemptions;
+        queue_full_s += a.queue_full_s;
+        prefix.absorb(&a.prefix);
+        rows.push(ReplicaUtilization {
+            name: spec.name.clone(),
+            model: spec.model.name().to_owned(),
+            role: "serve".to_owned(),
+            chips: spec.chips(),
+            requests: delivered_by[k],
+            busy_s: a.busy_s,
+            utilization: 0.0, // filled against the fleet makespan
+            energy_j: a.energy_j,
+            kv_hwm_frac: a.kv_hwm,
+        });
+    }
+    let report = ClusterReport::build(
+        label,
+        "colocated",
+        policy.name().to_owned(),
+        offered,
+        &delivered,
+        chip_energy,
+        preemptions,
+        queue_full_s,
+        KvTransferStats::default(),
+        rows,
+        slo_ms,
+        Some(avail),
+    );
+    for session in &sessions {
+        session.persist_cache();
+    }
+    // Per-incarnation ServingReports are not meaningful across crashes:
+    // fault runs report the fleet aggregate only.
+    Ok(ClusterRun { report, replica_reports: Vec::new(), completions: delivered, prefix })
 }

@@ -1,0 +1,688 @@
+//! Seeded, deterministic fault injection for the fleet simulator.
+//!
+//! A [`FaultPlan`] holds the failures one run will suffer: explicit
+//! [`FaultEvent`]s (a crash at 2 s, a straggler window, a degraded
+//! interconnect) plus an optional seeded [`ChaosSpec`] whose events are
+//! drawn from an RNG stream keyed only by the plan's seed — **separate
+//! from the traffic seed**, so a zero-fault plan replays today's runs
+//! bit-for-bit and re-seeding the faults never perturbs the arrivals.
+//!
+//! The plan also carries the [`RecoveryPolicy`] the failure-aware driver
+//! serves under: how often a lost request retries (capped exponential
+//! backoff), when it times out (a deadline from its *original* arrival),
+//! how long a restarted replica warms up before taking traffic again,
+//! and when admission sheds load instead of queueing unboundedly.
+//!
+//! What a run suffered is summarized in [`AvailabilityStats`], the
+//! availability section of the fleet report.
+
+use cimtpu_units::{Error, Result, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// One injected failure, in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// The replica dies at `at`: every in-flight request and all of its
+    /// KV/prefix blocks are lost. It restarts `repair` later with an
+    /// empty allocator and cold caches, then warms up for the recovery
+    /// policy's warmup before taking traffic again.
+    Crash {
+        /// When the replica dies.
+        at: Seconds,
+        /// Which replica (decode-pool index for disaggregated fleets).
+        replica: usize,
+        /// How long the restart takes.
+        repair: Seconds,
+    },
+    /// The replica's priced step latency is multiplied by `slowdown` for
+    /// the window (energy is unchanged: a slow chip computes the same
+    /// FLOPs, only later).
+    Straggler {
+        /// Which replica.
+        replica: usize,
+        /// Window start.
+        from: Seconds,
+        /// Window end.
+        until: Seconds,
+        /// Latency multiplier (> 1 slows the replica down).
+        slowdown: f64,
+    },
+    /// The disaggregated handoff interconnect degrades for the window:
+    /// effective bandwidth is multiplied by `bandwidth_factor` (< 1 slows
+    /// transfers; hop latency is unaffected) and transfer energy by
+    /// `energy_factor` (retransmissions burn extra joules).
+    DegradedLink {
+        /// Window start.
+        from: Seconds,
+        /// Window end.
+        until: Seconds,
+        /// Bandwidth multiplier in (0, ∞); < 1 degrades.
+        bandwidth_factor: f64,
+        /// Transfer-energy multiplier in (0, ∞).
+        energy_factor: f64,
+    },
+}
+
+impl FaultEvent {
+    /// When the event takes effect (crash instant or window start) —
+    /// the timeline sort key.
+    pub fn at(&self) -> Seconds {
+        match *self {
+            FaultEvent::Crash { at, .. } => at,
+            FaultEvent::Straggler { from, .. } | FaultEvent::DegradedLink { from, .. } => from,
+        }
+    }
+
+    /// Validates the event against a fleet of `replicas` replicas.
+    fn validate(&self, replicas: usize) -> Result<()> {
+        let finite_positive = |what: &str, x: f64| {
+            if x.is_finite() && x > 0.0 {
+                Ok(())
+            } else {
+                Err(Error::invalid_config(format!("{what} must be a positive finite factor")))
+            }
+        };
+        let in_range = |replica: usize| {
+            if replica < replicas {
+                Ok(())
+            } else {
+                Err(Error::invalid_config(format!(
+                    "fault targets replica {replica} but the fleet has {replicas} replica(s)"
+                )))
+            }
+        };
+        match *self {
+            FaultEvent::Crash { at, replica, repair } => {
+                in_range(replica)?;
+                if at < Seconds::ZERO || repair < Seconds::ZERO {
+                    return Err(Error::invalid_config("crash times must be non-negative"));
+                }
+                Ok(())
+            }
+            FaultEvent::Straggler { replica, from, until, slowdown } => {
+                in_range(replica)?;
+                finite_positive("straggler slowdown", slowdown)?;
+                if from < Seconds::ZERO || until <= from {
+                    return Err(Error::invalid_config(
+                        "straggler window must be non-negative and non-empty",
+                    ));
+                }
+                Ok(())
+            }
+            FaultEvent::DegradedLink { from, until, bandwidth_factor, energy_factor } => {
+                finite_positive("link bandwidth factor", bandwidth_factor)?;
+                finite_positive("link energy factor", energy_factor)?;
+                if from < Seconds::ZERO || until <= from {
+                    return Err(Error::invalid_config(
+                        "degraded-link window must be non-negative and non-empty",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// How the failure-aware driver recovers lost work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retry budget per request: how many times a lost request may be
+    /// re-injected before it is accounted as shed.
+    pub max_attempts: u32,
+    /// Base retry backoff; attempt `n` waits `backoff * 2^(n-1)`.
+    pub backoff: Seconds,
+    /// Cap on the exponential backoff.
+    pub max_backoff: Seconds,
+    /// Deadline from a request's *original* arrival; a retry that cannot
+    /// fire (or land) before it is accounted as timed out.
+    pub deadline: Seconds,
+    /// How long a restarted replica warms up (re-loading weights,
+    /// re-JITting) before the router re-admits it.
+    pub warmup: Seconds,
+    /// Admission sheds load when every healthy replica already has at
+    /// least this many requests outstanding (`None` = never shed). The
+    /// oldest waiting request (original arrival, then id) is dropped —
+    /// oldest-first, so a burst degrades to fresh work instead of
+    /// head-of-line retries.
+    pub shed_outstanding: Option<u64>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 3,
+            backoff: Seconds::new(0.002),
+            max_backoff: Seconds::new(1.0),
+            deadline: Seconds::new(60.0),
+            warmup: Seconds::new(0.001),
+            shed_outstanding: None,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The backoff before retry attempt `attempt` (1-based), capped.
+    pub fn backoff_for(&self, attempt: u32) -> Seconds {
+        let factor = 2.0f64.powi(attempt.saturating_sub(1).min(62) as i32);
+        Seconds::new((self.backoff.get() * factor).min(self.max_backoff.get()))
+    }
+}
+
+/// A seeded crash generator: `crashes` crash events drawn uniformly from
+/// `window`, each targeting a replica drawn from the same stream, all
+/// repaired after `repair`. Re-seeding the owning [`FaultPlan`] redraws
+/// the events; the traffic stream never sees these RNG draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// How many crashes to draw.
+    pub crashes: u32,
+    /// The window crash instants are drawn from.
+    pub window: (Seconds, Seconds),
+    /// Repair delay for every drawn crash.
+    pub repair: Seconds,
+}
+
+/// The complete fault configuration of one run. An empty plan (no
+/// events, no chaos spec) makes the engine take the exact zero-fault
+/// code path, bit-for-bit identical to a run without any plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+    chaos: Option<ChaosSpec>,
+    recovery: RecoveryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, today's behaviour.
+    pub fn none() -> Self {
+        FaultPlan { seed: 0, events: Vec::new(), chaos: None, recovery: RecoveryPolicy::default() }
+    }
+
+    /// An empty plan carrying `seed` for chaos draws added later.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, ..Self::none() }
+    }
+
+    /// Adds one explicit event.
+    #[must_use]
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Adds explicit events (e.g. from [`parse_faults`]).
+    #[must_use]
+    pub fn with_events(mut self, events: impl IntoIterator<Item = FaultEvent>) -> Self {
+        self.events.extend(events);
+        self
+    }
+
+    /// Sets the seeded chaos generator.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosSpec) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Sets the recovery policy.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Replaces the fault seed (what `cluster_sim --fault-seed` applies):
+    /// chaos-generated events are redrawn, explicit events stand.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The fault seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The recovery policy.
+    pub fn recovery(&self) -> &RecoveryPolicy {
+        &self.recovery
+    }
+
+    /// Whether the plan injects nothing (the zero-fault fast path).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.chaos.is_none()
+    }
+
+    /// Materializes the timeline for a fleet of `replicas` replicas:
+    /// explicit events plus chaos draws, validated, sorted by effect time
+    /// (ties keep insertion order, chaos draws after explicit events).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for an event targeting a replica
+    /// outside the fleet, an empty/negative window, or a non-positive
+    /// factor.
+    pub fn resolve(&self, replicas: usize) -> Result<Vec<FaultEvent>> {
+        if replicas == 0 {
+            return Err(Error::invalid_config("cannot inject faults into an empty fleet"));
+        }
+        let mut events = self.events.clone();
+        if let Some(chaos) = &self.chaos {
+            let (from, until) = chaos.window;
+            if until < from {
+                return Err(Error::invalid_config("chaos window must not be reversed"));
+            }
+            let mut rng = FaultRng::new(self.seed);
+            for _ in 0..chaos.crashes {
+                let at = Seconds::new(
+                    from.get() + rng.next_f64() * (until.get() - from.get()),
+                );
+                let replica = (rng.next_u64() % replicas as u64) as usize;
+                events.push(FaultEvent::Crash { at, replica, repair: chaos.repair });
+            }
+        }
+        for event in &events {
+            event.validate(replicas)?;
+        }
+        events.sort_by(|a, b| a.at().get().total_cmp(&b.at().get()));
+        Ok(events)
+    }
+}
+
+/// The availability/robustness section of a fleet report — what the run
+/// suffered and how serving degraded. Present only for runs with a
+/// non-empty [`FaultPlan`]; zero-fault reports omit it so the committed
+/// baselines stay byte-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityStats {
+    /// Replica crashes suffered.
+    pub crashes: u64,
+    /// Total replica downtime (crash to end of warmup), clipped to the
+    /// run's makespan, summed over crashes, in seconds.
+    pub downtime_s: f64,
+    /// Fraction of fleet capacity that was up: `1 - downtime / (replicas
+    /// × makespan)`.
+    pub availability: f64,
+    /// Retry attempts fired (re-injections of lost requests).
+    pub retries: u64,
+    /// Requests that completed after at least one retry — the measure of
+    /// the recovery path actually working.
+    pub retried_ok: u64,
+    /// Requests dropped by admission when surviving capacity was
+    /// insufficient or the retry budget ran out.
+    pub shed: u64,
+    /// Requests that missed their deadline before a retry could land.
+    pub timed_out: u64,
+    /// Per-crash recovery time: crash instant to the replica's first
+    /// completion after restart (end of run if it never completed
+    /// another request), in timeline order, seconds.
+    pub time_to_recover_s: Vec<f64>,
+}
+
+impl AvailabilityStats {
+    /// The all-zero section (a plan with only benign events, e.g. a
+    /// straggler window, reports full availability).
+    pub fn zero() -> Self {
+        AvailabilityStats {
+            crashes: 0,
+            downtime_s: 0.0,
+            availability: 1.0,
+            retries: 0,
+            retried_ok: 0,
+            shed: 0,
+            timed_out: 0,
+            time_to_recover_s: Vec::new(),
+        }
+    }
+}
+
+/// A splitmix64 stream for fault draws — deliberately distinct from the
+/// traffic RNG so fault seeds never perturb arrivals.
+struct FaultRng(u64);
+
+impl FaultRng {
+    fn new(seed: u64) -> Self {
+        // Offset the state so seed 0 still produces a lively stream.
+        FaultRng(seed ^ 0xFA17_FA17_FA17_FA17)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Parses a `--faults` spec: comma-separated events.
+///
+/// Grammar (case-insensitive, whitespace-free):
+///
+/// - `crash@<time>:<replica>[:repair=<time>]` — e.g.
+///   `crash@2s:replica1:repair=5s` (repair defaults to `1s`)
+/// - `straggler@<from>-<until>:<replica>:x<factor>` — e.g.
+///   `straggler@1s-3s:r0:x4`
+/// - `link@<from>-<until>:x<factor>[:energy=x<factor>]` — e.g.
+///   `link@0s-2s:x0.1` (energy factor defaults to 1)
+///
+/// `<time>` is a number with an optional `s` (default) or `ms` suffix;
+/// `<replica>` is an index, optionally prefixed `replica` or `r`.
+/// Events are validated against the fleet size at
+/// [`FaultPlan::resolve`] time, not here.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] naming the malformed event.
+///
+/// # Examples
+///
+/// ```
+/// use cimtpu_cluster::fault::{parse_faults, FaultEvent};
+/// let events = parse_faults("crash@2s:replica1:repair=5s,link@1s-2s:x0.1").unwrap();
+/// assert_eq!(events.len(), 2);
+/// assert!(matches!(events[0], FaultEvent::Crash { replica: 1, .. }));
+/// ```
+pub fn parse_faults(spec: &str) -> Result<Vec<FaultEvent>> {
+    let bad = |part: &str, why: &str| {
+        Error::invalid_config(format!(
+            "invalid fault spec '{part}': {why} (expected e.g. 'crash@2s:replica1:repair=5s', \
+             'straggler@1s-3s:r0:x4', or 'link@0s-2s:x0.1')"
+        ))
+    };
+    let mut events = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let lower = part.to_ascii_lowercase();
+        let (kind, rest) = lower
+            .split_once('@')
+            .ok_or_else(|| bad(part, "missing '@<time>'"))?;
+        let mut fields = rest.split(':');
+        let when = fields.next().ok_or_else(|| bad(part, "missing time"))?;
+        let event = match kind {
+            "crash" => {
+                let at = parse_time(when).ok_or_else(|| bad(part, "bad crash time"))?;
+                let replica = fields
+                    .next()
+                    .and_then(parse_replica)
+                    .ok_or_else(|| bad(part, "missing or bad replica"))?;
+                let repair = match fields.next() {
+                    None => Seconds::new(1.0),
+                    Some(f) => f
+                        .strip_prefix("repair=")
+                        .and_then(parse_time)
+                        .ok_or_else(|| bad(part, "bad repair delay"))?,
+                };
+                FaultEvent::Crash { at, replica, repair }
+            }
+            "straggler" => {
+                let (from, until) =
+                    parse_window(when).ok_or_else(|| bad(part, "bad straggler window"))?;
+                let replica = fields
+                    .next()
+                    .and_then(parse_replica)
+                    .ok_or_else(|| bad(part, "missing or bad replica"))?;
+                let slowdown = fields
+                    .next()
+                    .and_then(|f| f.strip_prefix('x'))
+                    .and_then(|f| f.parse::<f64>().ok())
+                    .ok_or_else(|| bad(part, "missing or bad ':x<factor>'"))?;
+                FaultEvent::Straggler { replica, from, until, slowdown }
+            }
+            "link" => {
+                let (from, until) =
+                    parse_window(when).ok_or_else(|| bad(part, "bad link window"))?;
+                let bandwidth_factor = fields
+                    .next()
+                    .and_then(|f| f.strip_prefix('x'))
+                    .and_then(|f| f.parse::<f64>().ok())
+                    .ok_or_else(|| bad(part, "missing or bad ':x<factor>'"))?;
+                let energy_factor = match fields.next() {
+                    None => 1.0,
+                    Some(f) => f
+                        .strip_prefix("energy=x")
+                        .and_then(|f| f.parse::<f64>().ok())
+                        .ok_or_else(|| bad(part, "bad ':energy=x<factor>'"))?,
+                };
+                FaultEvent::DegradedLink { from, until, bandwidth_factor, energy_factor }
+            }
+            other => return Err(bad(part, &format!("unknown fault kind '{other}'"))),
+        };
+        if let Some(extra) = fields.next() {
+            return Err(bad(part, &format!("trailing field '{extra}'")));
+        }
+        events.push(event);
+    }
+    if events.is_empty() {
+        return Err(Error::invalid_config("fault spec contains no events"));
+    }
+    Ok(events)
+}
+
+/// Parses `2s`, `150ms`, or a bare seconds number. `None` on any error.
+fn parse_time(s: &str) -> Option<Seconds> {
+    let (num, scale) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    let x: f64 = num.parse().ok()?;
+    (x.is_finite() && x >= 0.0).then(|| Seconds::new(x * scale))
+}
+
+/// Parses `<from>-<until>` as a time window.
+fn parse_window(s: &str) -> Option<(Seconds, Seconds)> {
+    let (a, b) = s.split_once('-')?;
+    Some((parse_time(a)?, parse_time(b)?))
+}
+
+/// Parses `replica3`, `r3`, or `3` as a replica index.
+fn parse_replica(s: &str) -> Option<usize> {
+    let digits = s.strip_prefix("replica").or_else(|| s.strip_prefix('r')).unwrap_or(s);
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.resolve(2).unwrap().is_empty());
+        assert!(!plan.clone().with_chaos(ChaosSpec {
+            crashes: 1,
+            window: (Seconds::ZERO, Seconds::new(1.0)),
+            repair: Seconds::new(0.5),
+        })
+        .is_empty());
+    }
+
+    #[test]
+    fn chaos_draws_are_seed_deterministic() {
+        let plan = |seed| {
+            FaultPlan::seeded(seed).with_chaos(ChaosSpec {
+                crashes: 3,
+                window: (Seconds::new(1.0), Seconds::new(2.0)),
+                repair: Seconds::new(0.25),
+            })
+        };
+        let a = plan(7).resolve(4).unwrap();
+        let b = plan(7).resolve(4).unwrap();
+        assert_eq!(a, b, "same seed, same timeline");
+        let c = plan(8).resolve(4).unwrap();
+        assert_ne!(a, c, "a different seed redraws the crashes");
+        for e in &a {
+            let FaultEvent::Crash { at, replica, repair } = *e else {
+                panic!("chaos draws crashes only")
+            };
+            assert!(at >= Seconds::new(1.0) && at < Seconds::new(2.0));
+            assert!(replica < 4);
+            assert_eq!(repair, Seconds::new(0.25));
+        }
+    }
+
+    #[test]
+    fn resolve_sorts_and_validates() {
+        let plan = FaultPlan::none()
+            .with_event(FaultEvent::Crash {
+                at: Seconds::new(3.0),
+                replica: 0,
+                repair: Seconds::new(1.0),
+            })
+            .with_event(FaultEvent::Straggler {
+                replica: 1,
+                from: Seconds::new(1.0),
+                until: Seconds::new(2.0),
+                slowdown: 4.0,
+            });
+        let events = plan.resolve(2).unwrap();
+        assert!(matches!(events[0], FaultEvent::Straggler { .. }), "sorted by effect time");
+        assert!(plan.resolve(1).is_err(), "replica 1 out of range");
+        assert!(FaultPlan::none()
+            .with_event(FaultEvent::Straggler {
+                replica: 0,
+                from: Seconds::new(2.0),
+                until: Seconds::new(1.0),
+                slowdown: 4.0,
+            })
+            .resolve(1)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_event(FaultEvent::DegradedLink {
+                from: Seconds::ZERO,
+                until: Seconds::new(1.0),
+                bandwidth_factor: 0.0,
+                energy_factor: 1.0,
+            })
+            .resolve(1)
+            .is_err());
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let policy = RecoveryPolicy {
+            backoff: Seconds::new(0.010),
+            max_backoff: Seconds::new(0.050),
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(policy.backoff_for(1), Seconds::new(0.010));
+        assert_eq!(policy.backoff_for(2), Seconds::new(0.020));
+        assert_eq!(policy.backoff_for(3), Seconds::new(0.040));
+        assert_eq!(policy.backoff_for(4), Seconds::new(0.050), "capped");
+        assert_eq!(policy.backoff_for(100), Seconds::new(0.050), "no overflow");
+    }
+
+    #[test]
+    fn fault_parsing() {
+        let events = parse_faults("crash@2s:replica1:repair=5s").unwrap();
+        assert_eq!(
+            events,
+            vec![FaultEvent::Crash {
+                at: Seconds::new(2.0),
+                replica: 1,
+                repair: Seconds::new(5.0),
+            }]
+        );
+        // Default repair, bare replica index, ms times, case folding.
+        assert_eq!(
+            parse_faults("CRASH@150ms:0").unwrap(),
+            vec![FaultEvent::Crash {
+                at: Seconds::new(0.150),
+                replica: 0,
+                repair: Seconds::new(1.0),
+            }]
+        );
+        assert_eq!(
+            parse_faults("straggler@1s-3s:r0:x4").unwrap(),
+            vec![FaultEvent::Straggler {
+                replica: 0,
+                from: Seconds::new(1.0),
+                until: Seconds::new(3.0),
+                slowdown: 4.0,
+            }]
+        );
+        assert_eq!(
+            parse_faults("link@0s-2s:x0.1").unwrap(),
+            vec![FaultEvent::DegradedLink {
+                from: Seconds::ZERO,
+                until: Seconds::new(2.0),
+                bandwidth_factor: 0.1,
+                energy_factor: 1.0,
+            }]
+        );
+        assert_eq!(
+            parse_faults("link@0-2:x0.5:energy=x2").unwrap(),
+            vec![FaultEvent::DegradedLink {
+                from: Seconds::ZERO,
+                until: Seconds::new(2.0),
+                bandwidth_factor: 0.5,
+                energy_factor: 2.0,
+            }]
+        );
+        // Multiple events, whitespace tolerated around commas.
+        let multi = parse_faults("crash@2s:r1, link@1s-2s:x0.1").unwrap();
+        assert_eq!(multi.len(), 2);
+
+        for bad in [
+            "",
+            "crash",
+            "crash@",
+            "crash@two:r0",
+            "crash@2s",
+            "crash@2s:rx",
+            "crash@2s:r0:repair=",
+            "crash@2s:r0:mend=1s",
+            "crash@2s:r0:repair=1s:extra",
+            "crash@-1s:r0",
+            "straggler@1s:r0:x4",
+            "straggler@1s-3s:r0",
+            "straggler@1s-3s:r0:4",
+            "link@1s-2s",
+            "link@1s-2s:0.1",
+            "link@1s-2s:x0.1:energy=2",
+            "flood@1s-2s:x0.1",
+        ] {
+            assert!(parse_faults(bad).is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    #[test]
+    fn availability_serializes_in_declaration_order() {
+        let stats = AvailabilityStats { crashes: 1, ..AvailabilityStats::zero() };
+        let json = serde_json::to_string(&stats).unwrap();
+        let keys = [
+            "\"crashes\"",
+            "\"downtime_s\"",
+            "\"availability\"",
+            "\"retries\"",
+            "\"retried_ok\"",
+            "\"shed\"",
+            "\"timed_out\"",
+            "\"time_to_recover_s\"",
+        ];
+        let positions: Vec<usize> = keys
+            .iter()
+            .map(|k| json.find(k).unwrap_or_else(|| panic!("{k} missing from {json}")))
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "field order drifted: {json}");
+    }
+}

@@ -63,6 +63,23 @@
 //! the fleet schedule that client's next arrival, so saturation studies
 //! (throughput and latency versus client count) run fleet-wide.
 //!
+//! # Faults
+//!
+//! The [`fault`] module injects failures into either topology: replica
+//! crashes (in-flight work and KV/prefix state lost, cold restart after
+//! repair), straggler windows (multiplicative step-latency slowdown on
+//! colocated replicas), and degraded interconnect windows (bandwidth /
+//! energy multipliers on the disaggregated handoff link). A
+//! [`FaultPlan`] combines explicit events with seeded [`ChaosSpec`]
+//! draws from an RNG stream separate from the traffic's, so reseeding
+//! faults never perturbs arrivals — and an *empty* plan dispatches to
+//! the unchanged zero-fault drivers, keeping today's runs bit-for-bit.
+//! The failure-aware drivers route around down replicas via a
+//! [`HealthView`], retry lost requests with capped exponential backoff
+//! under a per-request budget and deadline, and report an
+//! [`AvailabilityStats`] section (crashes, downtime, retries, shed /
+//! timed-out work, time-to-recover) on the [`ClusterReport`].
+//!
 //! # Reports
 //!
 //! A [`ClusterRun`] carries the fleet [`ClusterReport`] (p50/p95/p99
@@ -109,6 +126,7 @@
 
 pub mod disagg;
 mod engine;
+pub mod fault;
 mod replica;
 mod report;
 pub mod router;
@@ -116,6 +134,9 @@ pub mod scenario;
 
 pub use disagg::InterconnectSpec;
 pub use engine::{ClusterEngine, ClusterRun, ClusterTopology};
+pub use fault::{
+    parse_faults, AvailabilityStats, ChaosSpec, FaultEvent, FaultPlan, RecoveryPolicy,
+};
 pub use replica::ReplicaSpec;
 pub use report::{ClusterReport, KvTransferStats, ReplicaUtilization};
-pub use router::{ReplicaSnapshot, Router, RouterPolicy};
+pub use router::{HealthView, ReplicaHealth, ReplicaSnapshot, Router, RouterPolicy};

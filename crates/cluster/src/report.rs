@@ -1,10 +1,12 @@
 //! Fleet-level metrics: per-replica utilization and the aggregate
 //! [`ClusterReport`].
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use cimtpu_serving::{Completion, LatencyStats};
 use cimtpu_units::{Joules, Seconds};
+
+use crate::fault::AvailabilityStats;
 
 /// KV-cache handoff traffic over the cluster interconnect (disaggregated
 /// prefill→decode transfers; all-zero for colocated fleets).
@@ -58,11 +60,14 @@ pub struct ReplicaUtilization {
 ///
 /// # JSON stability
 ///
-/// Like `ServingReport`, serialization derives from this struct in
-/// declaration order — the committed `BENCH_cluster.json` baseline is
-/// diffed byte-for-byte in CI, so field changes require regenerating the
-/// baseline in the same commit (a unit test pins the key order).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Like `ServingReport`, serialization follows struct declaration order —
+/// the committed `BENCH_cluster.json` baseline is diffed byte-for-byte in
+/// CI, so field changes require regenerating the baseline in the same
+/// commit (a unit test pins the key order). Serialization is a manual
+/// impl (not derived) for one reason: the `availability` section must be
+/// **omitted entirely** when absent — a derived `Option` would emit
+/// `"availability": null` into every pre-existing baseline entry.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct ClusterReport {
     /// Scenario / run label.
     pub label: String,
@@ -114,6 +119,44 @@ pub struct ClusterReport {
     pub imbalance: f64,
     /// Per-replica utilization rows, in replica order.
     pub per_replica: Vec<ReplicaUtilization>,
+    /// Availability/robustness section — present only for runs under a
+    /// non-empty fault plan (zero-fault baselines omit the key).
+    pub availability: Option<AvailabilityStats>,
+}
+
+impl Serialize for ClusterReport {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            ("label".to_owned(), self.label.to_value()),
+            ("topology".to_owned(), self.topology.to_value()),
+            ("router".to_owned(), self.router.to_value()),
+            ("replicas".to_owned(), self.replicas.to_value()),
+            ("chips".to_owned(), self.chips.to_value()),
+            ("offered".to_owned(), self.offered.to_value()),
+            ("completed".to_owned(), self.completed.to_value()),
+            ("makespan_s".to_owned(), self.makespan_s.to_value()),
+            ("throughput_rps".to_owned(), self.throughput_rps.to_value()),
+            ("goodput_rps".to_owned(), self.goodput_rps.to_value()),
+            ("slo_ms".to_owned(), self.slo_ms.to_value()),
+            ("steps_per_second".to_owned(), self.steps_per_second.to_value()),
+            ("latency".to_owned(), self.latency.to_value()),
+            ("ttft".to_owned(), self.ttft.to_value()),
+            ("total_energy_j".to_owned(), self.total_energy_j.to_value()),
+            ("energy_per_request_j".to_owned(), self.energy_per_request_j.to_value()),
+            ("preemptions".to_owned(), self.preemptions.to_value()),
+            ("queue_full_s".to_owned(), self.queue_full_s.to_value()),
+            ("kv_transfers".to_owned(), self.kv_transfers.to_value()),
+            ("kv_transfer_bytes".to_owned(), self.kv_transfer_bytes.to_value()),
+            ("kv_transfer_s".to_owned(), self.kv_transfer_s.to_value()),
+            ("kv_transfer_energy_j".to_owned(), self.kv_transfer_energy_j.to_value()),
+            ("imbalance".to_owned(), self.imbalance.to_value()),
+            ("per_replica".to_owned(), self.per_replica.to_value()),
+        ];
+        if let Some(availability) = &self.availability {
+            map.push(("availability".to_owned(), availability.to_value()));
+        }
+        Value::Map(map)
+    }
 }
 
 impl ClusterReport {
@@ -121,9 +164,9 @@ impl ClusterReport {
     /// rows (whose `utilization` is filled in here, against the fleet
     /// makespan).
     ///
-    /// # Panics
-    ///
-    /// Panics if `completions` is empty.
+    /// `completions` may be empty under a fault plan (every request shed
+    /// or timed out): latency sections report zeros and the rate fields
+    /// fall back to a degenerate makespan.
     #[allow(clippy::too_many_arguments)] // one construction site per topology
     pub(crate) fn build(
         label: &str,
@@ -137,8 +180,8 @@ impl ClusterReport {
         transfers: KvTransferStats,
         mut per_replica: Vec<ReplicaUtilization>,
         slo_ms: Option<f64>,
+        availability: Option<AvailabilityStats>,
     ) -> Self {
-        assert!(!completions.is_empty(), "no completions to report");
         let finish = completions
             .iter()
             .map(|c| c.finish)
@@ -179,10 +222,14 @@ impl ClusterReport {
             goodput_rps: good as f64 / makespan,
             slo_ms: slo_ms.unwrap_or(0.0),
             steps_per_second: steps as f64 / makespan,
-            latency: LatencyStats::from_samples(&latencies),
-            ttft: LatencyStats::from_samples(&ttfts),
+            latency: LatencyStats::from_samples_or_zero(&latencies),
+            ttft: LatencyStats::from_samples_or_zero(&ttfts),
             total_energy_j: total_energy,
-            energy_per_request_j: total_energy / completions.len() as f64,
+            energy_per_request_j: if completions.is_empty() {
+                0.0
+            } else {
+                total_energy / completions.len() as f64
+            },
             preemptions,
             queue_full_s,
             kv_transfers: transfers.transfers,
@@ -191,6 +238,7 @@ impl ClusterReport {
             kv_transfer_energy_j: transfers.energy_j,
             imbalance,
             per_replica,
+            availability,
         }
     }
 }
@@ -241,6 +289,15 @@ impl std::fmt::Display for ClusterReport {
             self.kv_transfer_energy_j,
             self.imbalance
         )?;
+        if let Some(a) = &self.availability {
+            writeln!(
+                f,
+                "faults      {} crash(es), availability {:.4}, {:.3} s down  |  \
+                 {} retry(ies) ({} ok), {} shed, {} timed out",
+                a.crashes, a.availability, a.downtime_s, a.retries, a.retried_ok, a.shed,
+                a.timed_out
+            )?;
+        }
         for r in &self.per_replica {
             writeln!(
                 f,
@@ -302,6 +359,7 @@ mod tests {
             KvTransferStats::default(),
             vec![row("a", 3.0), row("b", 1.0)],
             slo_ms,
+            None,
         )
     }
 
@@ -382,5 +440,60 @@ mod tests {
             positions.windows(2).all(|w| w[0] < w[1]),
             "field order drifted: {json}"
         );
+    }
+
+    #[test]
+    fn availability_key_is_omitted_without_a_fault_plan() {
+        // Pre-existing BENCH entries must stay byte-identical: a zero-fault
+        // report must not even mention availability (no `null`).
+        let json = serde_json::to_string(&build(None)).unwrap();
+        assert!(!json.contains("availability"), "{json}");
+    }
+
+    #[test]
+    fn availability_section_serializes_last_and_round_trips() {
+        let mut rep = build(None);
+        rep.availability = Some(AvailabilityStats {
+            crashes: 1,
+            downtime_s: 0.5,
+            availability: 0.875,
+            retries: 2,
+            retried_ok: 2,
+            shed: 0,
+            timed_out: 0,
+            time_to_recover_s: vec![0.5],
+        });
+        let json = serde_json::to_string(&rep).unwrap();
+        let avail = json.find("\"availability\"").expect("availability key");
+        let per_replica = json.find("\"per_replica\"").expect("per_replica key");
+        assert!(avail > per_replica, "availability must be the last key: {json}");
+        let text = rep.to_string();
+        assert!(text.contains("1 crash(es)"), "{text}");
+        let back: ClusterReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn empty_completions_yield_a_zeroed_report() {
+        // Under a fault plan every request can be shed: the report must
+        // still build (zero latency sections, no NaN rates).
+        let rep = ClusterReport::build(
+            "t",
+            "colocated",
+            "round-robin".to_owned(),
+            2,
+            &[],
+            Joules::new(8.0),
+            0,
+            0.0,
+            KvTransferStats::default(),
+            vec![row("a", 0.0)],
+            None,
+            None,
+        );
+        assert_eq!(rep.completed, 0);
+        assert_eq!(rep.latency, LatencyStats::ZERO);
+        assert_eq!(rep.energy_per_request_j, 0.0);
+        assert!(rep.throughput_rps.is_finite());
     }
 }

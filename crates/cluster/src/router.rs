@@ -33,8 +33,23 @@
 //!
 //! Both hash with a fixed 64-bit finalizer — no RNG, no load feedback —
 //! so placement is reproducible whatever the interleaving.
+//!
+//! # Health view (failure-aware runs)
+//!
+//! Under a fault plan the driver keeps a [`HealthView`] — one
+//! [`ReplicaHealth`] per replica — and consults the router with
+//! snapshots of the **healthy subset only**, re-indexed `0..k` (the
+//! driver maps the choice back to real replica indices). Re-indexing
+//! keeps every policy's contract intact whether it returns a snapshot's
+//! `index` or a position: the two coincide. A crashed replica is
+//! [`Down`](ReplicaHealth::Down) (drained — it takes no traffic), then
+//! [`Warming`](ReplicaHealth::Warming) for the recovery policy's warmup
+//! after its restart, and only then [`Up`](ReplicaHealth::Up) and
+//! routable again. Affinity hashes mod the healthy count, so sessions
+//! fail over while a replica is out and may re-home when it returns.
 
 use cimtpu_serving::Request;
+use cimtpu_units::Seconds;
 
 /// What a router sees about one replica at a routing instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -184,12 +199,14 @@ impl Router for LeastKv {
     }
 
     fn route(&mut self, _request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
+        // total_cmp instead of partial_cmp: occupancy fractions are never
+        // NaN today, but a router consulted mid-fault must not be able to
+        // panic the simulator on one.
         replicas
             .iter()
             .min_by(|a, b| {
                 a.kv_frac
-                    .partial_cmp(&b.kv_frac)
-                    .expect("occupancy fractions are never NaN")
+                    .total_cmp(&b.kv_frac)
                     .then(a.outstanding.cmp(&b.outstanding))
                     .then(a.index.cmp(&b.index))
             })
@@ -225,6 +242,97 @@ impl Router for PrefixAffinity {
             request.session
         };
         (splitmix64(key) % replicas.len().max(1) as u64) as usize
+    }
+}
+
+/// One replica's place in the failure lifecycle (see the
+/// [module docs](self) on the health view).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplicaHealth {
+    /// Serving normally; routable.
+    Up,
+    /// Crashed and drained; restarts (enters warmup) at `until`.
+    Down {
+        /// When the repair completes.
+        until: Seconds,
+    },
+    /// Restarted with cold caches; routable again at `until`.
+    Warming {
+        /// When warmup ends.
+        until: Seconds,
+    },
+}
+
+/// The driver's view of which replicas can take traffic — a tiny
+/// deterministic state machine: `Up → Down → Warming → Up`. Transitions
+/// happen only in [`advance`](HealthView::advance), at times the driver
+/// controls, so two runs with the same fault timeline see identical
+/// health histories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthView {
+    states: Vec<ReplicaHealth>,
+}
+
+impl HealthView {
+    /// Every replica up.
+    pub fn all_up(replicas: usize) -> Self {
+        HealthView { states: vec![ReplicaHealth::Up; replicas] }
+    }
+
+    /// The replica's current state.
+    pub fn state(&self, replica: usize) -> ReplicaHealth {
+        self.states[replica]
+    }
+
+    /// Whether the replica is routable.
+    pub fn is_up(&self, replica: usize) -> bool {
+        matches!(self.states[replica], ReplicaHealth::Up)
+    }
+
+    /// Marks a replica down (crashed); it restarts at `restart_at`.
+    pub fn mark_down(&mut self, replica: usize, restart_at: Seconds) {
+        self.states[replica] = ReplicaHealth::Down { until: restart_at };
+    }
+
+    /// The earliest pending transition (a restart or a warmup end), if
+    /// any replica is not up — the driver schedules a timeline event
+    /// there.
+    pub fn next_transition(&self) -> Option<Seconds> {
+        self.states
+            .iter()
+            .filter_map(|s| match s {
+                ReplicaHealth::Up => None,
+                ReplicaHealth::Down { until } | ReplicaHealth::Warming { until } => Some(*until),
+            })
+            .reduce(Seconds::min)
+    }
+
+    /// Applies every transition due at or before `now` (in replica-index
+    /// order): a `Down` replica whose repair completed enters `Warming`
+    /// for `warmup`, and a warmed replica comes back `Up`. Returns the
+    /// replicas that restarted in this call — the driver rebuilds those
+    /// as fresh cores (empty allocator, cold caches).
+    pub fn advance(&mut self, now: Seconds, warmup: Seconds) -> Vec<usize> {
+        let mut restarted = Vec::new();
+        for (i, state) in self.states.iter_mut().enumerate() {
+            if let ReplicaHealth::Down { until } = *state {
+                if now >= until {
+                    *state = ReplicaHealth::Warming { until: until + warmup };
+                    restarted.push(i);
+                }
+            }
+            if let ReplicaHealth::Warming { until } = *state {
+                if now >= until {
+                    *state = ReplicaHealth::Up;
+                }
+            }
+        }
+        restarted
+    }
+
+    /// Indices of routable replicas, ascending.
+    pub fn up_replicas(&self) -> Vec<usize> {
+        (0..self.states.len()).filter(|&i| self.is_up(i)).collect()
     }
 }
 
@@ -332,6 +440,44 @@ mod tests {
                 sa.route(&req(0, session), &snaps),
             );
         }
+    }
+
+    #[test]
+    fn health_view_walks_down_warming_up() {
+        let mut h = HealthView::all_up(3);
+        assert!(h.is_up(1));
+        assert_eq!(h.next_transition(), None);
+        h.mark_down(1, Seconds::new(5.0));
+        assert!(!h.is_up(1));
+        assert_eq!(h.up_replicas(), vec![0, 2]);
+        assert_eq!(h.next_transition(), Some(Seconds::new(5.0)));
+        // Too early: nothing moves.
+        assert!(h.advance(Seconds::new(4.0), Seconds::new(1.0)).is_empty());
+        // Repair completes: the replica restarts but warms up first.
+        assert_eq!(h.advance(Seconds::new(5.0), Seconds::new(1.0)), vec![1]);
+        assert_eq!(h.state(1), ReplicaHealth::Warming { until: Seconds::new(6.0) });
+        assert!(!h.is_up(1), "warming replicas take no traffic");
+        assert_eq!(h.next_transition(), Some(Seconds::new(6.0)));
+        // Warmup ends: routable again; no second "restart" is reported.
+        assert!(h.advance(Seconds::new(6.0), Seconds::new(1.0)).is_empty());
+        assert!(h.is_up(1));
+        assert_eq!(h.up_replicas(), vec![0, 1, 2]);
+        // A zero warmup goes Down → Up in one call, still reporting the
+        // restart.
+        h.mark_down(0, Seconds::new(7.0));
+        assert_eq!(h.advance(Seconds::new(7.0), Seconds::ZERO), vec![0]);
+        assert!(h.is_up(0));
+    }
+
+    #[test]
+    fn least_kv_survives_nan_occupancy() {
+        // A NaN must not panic routing mid-fault; the exact pick is
+        // unimportant, determinism and in-range are.
+        let mut r = RouterPolicy::LeastKv.build();
+        let snaps = [snap(0, 1, f64::NAN), snap(1, 1, 0.5)];
+        let pick = r.route(&req(0, 0), &snaps);
+        assert!(pick < 2);
+        assert_eq!(pick, r.route(&req(1, 1), &snaps));
     }
 
     #[test]

@@ -6,10 +6,11 @@ use cimtpu_models::presets;
 use cimtpu_serving::{
     ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, PrefixTraffic, ServingModel, TrafficSpec,
 };
-use cimtpu_units::{Bytes, Error, Result};
+use cimtpu_units::{Bytes, Error, Result, Seconds};
 
 use crate::disagg::InterconnectSpec;
 use crate::engine::{ClusterEngine, ClusterRun};
+use crate::fault::{ChaosSpec, FaultEvent, FaultPlan};
 use crate::replica::ReplicaSpec;
 use crate::router::RouterPolicy;
 
@@ -84,8 +85,10 @@ fn closed_loop_point(
 
 /// The headline scenarios: a heterogeneous small+large-chip fleet, a
 /// two-model fleet under session-skewed traffic, disaggregated
-/// prefill/decode versus colocated at matched hardware, and a closed-loop
-/// saturation sweep (2 → 8 → 32 clients on one tiny fleet).
+/// prefill/decode versus colocated at matched hardware, a closed-loop
+/// saturation sweep (2 → 8 → 32 clients on one tiny fleet), and the
+/// chaos set (seeded crashes, a straggler window, a degraded handoff
+/// link) exercising the failure-aware drivers.
 pub fn headline() -> Vec<Scenario> {
     let disagg_traffic = TrafficSpec {
         requests: 24,
@@ -213,7 +216,86 @@ pub fn headline() -> Vec<Scenario> {
             engine: prefix_fleet(false),
             traffic: cluster_prefix_traffic(),
         },
+        Scenario {
+            name: "cluster-chaos-crash",
+            description: "2 seeded replica crashes (cold restart) under open-loop load \
+                          on a 2-replica tiny fleet; lost work retries with backoff",
+            engine: chaos_fleet(FaultPlan::seeded(0xFA17).with_chaos(ChaosSpec {
+                crashes: 2,
+                window: (Seconds::new(0.000_5), Seconds::new(0.002)),
+                repair: Seconds::new(0.002),
+            })),
+            traffic: chaos_traffic(),
+        },
+        Scenario {
+            name: "cluster-straggler",
+            description: "replica 0 runs 4x slow for a mid-run window; least-outstanding \
+                          routing shifts load to the healthy replica",
+            engine: chaos_fleet(FaultPlan::none().with_event(FaultEvent::Straggler {
+                replica: 0,
+                from: Seconds::new(0.000_5),
+                until: Seconds::new(0.005),
+                slowdown: 4.0,
+            })),
+            traffic: chaos_traffic(),
+        },
+        Scenario {
+            name: "cluster-degraded-link",
+            description: "tiny 1-prefill + 2-decode fleet with the handoff interconnect \
+                          at one-tenth bandwidth (and double energy) all run",
+            engine: ClusterEngine::disaggregated(
+                vec![ReplicaSpec::new("prefill-0", TpuConfig::tpuv4i(), tiny())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 4 })],
+                vec![
+                    ReplicaSpec::new("decode-0", TpuConfig::tpuv4i(), tiny())
+                        .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                    ReplicaSpec::new("decode-1", TpuConfig::tpuv4i(), tiny())
+                        .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                ],
+                RouterPolicy::RoundRobin,
+                RouterPolicy::LeastKv,
+                InterconnectSpec::ici(),
+            )
+            .expect("static fleet is valid")
+            .with_faults(FaultPlan::none().with_event(FaultEvent::DegradedLink {
+                from: Seconds::ZERO,
+                until: Seconds::new(10.0),
+                bandwidth_factor: 0.1,
+                energy_factor: 2.0,
+            })),
+            traffic: chaos_traffic(),
+        },
     ]
+}
+
+/// The chaos testbed: two identical tiny replicas behind
+/// least-outstanding routing, with the given fault plan installed.
+fn chaos_fleet(faults: FaultPlan) -> ClusterEngine {
+    ClusterEngine::colocated(
+        vec![
+            ReplicaSpec::new("chaos-0", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+            ReplicaSpec::new("chaos-1", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+        ],
+        RouterPolicy::LeastOutstanding,
+    )
+    .expect("static fleet is valid")
+    .with_faults(faults)
+}
+
+/// Chaos-set traffic: open-loop pressure past the tiny fleet's service
+/// rate, so queues build and the fault windows always overlap in-flight
+/// work.
+fn chaos_traffic() -> TrafficSpec {
+    TrafficSpec {
+        requests: 48,
+        arrival: ArrivalPattern::OpenLoop { rate_rps: 20_000.0 },
+        prompt: LenDist::Uniform { lo: 16, hi: 64 },
+        steps: LenDist::Uniform { lo: 8, hi: 16 },
+        prefix: PrefixTraffic::None,
+        seed: 0xC1A0,
+    }
 }
 
 /// The shared-vs-cold prefix fleet: two identical Design A replicas
@@ -359,6 +441,73 @@ mod tests {
         let again = by_name("cluster-shared-prefix").unwrap().run(None).unwrap();
         assert_eq!(shared.report, again.report);
         assert_eq!(shared.prefix, again.prefix);
+    }
+
+    #[test]
+    fn chaos_crash_reports_failures_and_recovers() {
+        let run = by_name("cluster-chaos-crash").unwrap().run(None).unwrap();
+        let avail =
+            run.report.availability.as_ref().expect("fault runs report availability");
+        assert!(avail.crashes >= 1, "report: {}", run.report);
+        assert!(avail.retries >= 1, "report: {}", run.report);
+        assert!(avail.retried_ok >= 1, "report: {}", run.report);
+        assert!(avail.availability < 1.0, "report: {}", run.report);
+        assert!(avail.downtime_s > 0.0);
+        assert_eq!(avail.time_to_recover_s.len(), avail.crashes as usize);
+        // Conservation: every offered request is accounted for.
+        assert_eq!(
+            run.report.completed + avail.shed + avail.timed_out,
+            run.report.offered,
+            "report: {}",
+            run.report
+        );
+        // Deterministic replay at the default fault seed.
+        let again = by_name("cluster-chaos-crash").unwrap().run(None).unwrap();
+        assert_eq!(run.report, again.report);
+        assert_eq!(run.completions, again.completions);
+    }
+
+    #[test]
+    fn straggler_window_slows_but_loses_nothing() {
+        let faulty = by_name("cluster-straggler").unwrap().run(None).unwrap();
+        let clean = Scenario {
+            engine: chaos_fleet(FaultPlan::none()),
+            ..by_name("cluster-straggler").unwrap()
+        }
+        .run(None)
+        .unwrap();
+        let avail = faulty.report.availability.as_ref().unwrap();
+        assert_eq!(avail.crashes, 0);
+        assert_eq!(avail.shed + avail.timed_out, 0);
+        assert_eq!(faulty.report.completed, clean.report.completed);
+        // A 4x-slow replica costs wall clock somewhere.
+        assert!(
+            faulty.report.latency.p99_ms > clean.report.latency.p99_ms,
+            "straggler p99 {} ms !> clean {} ms",
+            faulty.report.latency.p99_ms,
+            clean.report.latency.p99_ms
+        );
+    }
+
+    #[test]
+    fn degraded_link_stretches_transfers() {
+        let degraded = by_name("cluster-degraded-link").unwrap().run(None).unwrap();
+        let clean = Scenario {
+            engine: by_name("cluster-degraded-link").unwrap().engine.with_faults(FaultPlan::none()),
+            ..by_name("cluster-degraded-link").unwrap()
+        }
+        .run(None)
+        .unwrap();
+        assert_eq!(degraded.report.completed, clean.report.completed);
+        assert_eq!(degraded.report.kv_transfers, clean.report.kv_transfers);
+        assert_eq!(degraded.report.kv_transfer_bytes, clean.report.kv_transfer_bytes);
+        assert!(
+            degraded.report.kv_transfer_s > clean.report.kv_transfer_s,
+            "degraded transfer time {} s !> clean {} s",
+            degraded.report.kv_transfer_s,
+            clean.report.kv_transfer_s
+        );
+        assert!(degraded.report.kv_transfer_energy_j > clean.report.kv_transfer_energy_j);
     }
 
     #[test]

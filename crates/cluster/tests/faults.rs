@@ -1,0 +1,313 @@
+//! Fault-injection invariants, end to end:
+//!
+//! 1. **Zero-fault bit-identity.** An empty `FaultPlan` takes the exact
+//!    zero-fault code path; a *benign* non-empty plan (a 1.0× straggler
+//!    window, a 1.0× link window) forces the fault-aware drivers and
+//!    must still reproduce the plain drivers' completions bit-for-bit —
+//!    the strongest check that the new event loops add accounting, not
+//!    new scheduling semantics.
+//! 2. **Determinism.** The same fault seed replays the same chaos run;
+//!    fault draws come from their own RNG stream, so they never perturb
+//!    the traffic.
+//! 3. **Crash accounting.** A crash loses exactly the in-flight work,
+//!    retries recover it, and every offered request is conserved:
+//!    `arrived == completed + shed + timed_out`.
+
+use cimtpu_cluster::{
+    ChaosSpec, ClusterEngine, ClusterRun, FaultEvent, FaultPlan, InterconnectSpec,
+    RecoveryPolicy, ReplicaSpec, RouterPolicy,
+};
+use cimtpu_core::TpuConfig;
+use cimtpu_serving::{
+    ArrivalPattern, BatchPolicy, LenDist, PrefixTraffic, ServingModel, TrafficSpec,
+};
+use cimtpu_units::Seconds;
+use proptest::prelude::*;
+
+fn tiny() -> ServingModel {
+    ServingModel::Llm(cimtpu_serving::scenario::tiny_transformer())
+}
+
+fn fleet(policy: RouterPolicy, faults: FaultPlan) -> ClusterEngine {
+    ClusterEngine::colocated(
+        vec![
+            ReplicaSpec::new("f-0", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 4 }),
+            ReplicaSpec::new("f-1", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 4 }),
+        ],
+        policy,
+    )
+    .unwrap()
+    .with_faults(faults)
+}
+
+fn disagg_fleet(faults: FaultPlan) -> ClusterEngine {
+    ClusterEngine::disaggregated(
+        vec![ReplicaSpec::new("p-0", TpuConfig::tpuv4i(), tiny())
+            .with_policy(BatchPolicy::Continuous { max_batch: 4 })],
+        vec![
+            ReplicaSpec::new("d-0", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 4 }),
+            ReplicaSpec::new("d-1", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 4 }),
+        ],
+        RouterPolicy::RoundRobin,
+        RouterPolicy::LeastKv,
+        InterconnectSpec::ici(),
+    )
+    .unwrap()
+    .with_faults(faults)
+}
+
+fn traffics(seed: u64) -> [TrafficSpec; 2] {
+    let base = TrafficSpec {
+        requests: 16,
+        arrival: ArrivalPattern::OpenLoop { rate_rps: 4_000.0 },
+        prompt: LenDist::Uniform { lo: 16, hi: 48 },
+        steps: LenDist::Uniform { lo: 4, hi: 12 },
+        prefix: PrefixTraffic::None,
+        seed,
+    };
+    [base, TrafficSpec { arrival: ArrivalPattern::ClosedLoop { clients: 3, think_ms: 1.0 }, ..base }]
+}
+
+/// A non-empty plan that injects nothing observable: a 1.0× straggler
+/// window. It forces the fault-aware colocated driver, so comparing
+/// against the plain run validates the new event loop wholesale.
+fn benign_colocated_plan() -> FaultPlan {
+    FaultPlan::none().with_event(FaultEvent::Straggler {
+        replica: 0,
+        from: Seconds::new(0.001),
+        until: Seconds::new(0.010),
+        slowdown: 1.0,
+    })
+}
+
+/// The disaggregated counterpart: a 1.0×/1.0× link window.
+fn benign_disagg_plan() -> FaultPlan {
+    FaultPlan::none().with_event(FaultEvent::DegradedLink {
+        from: Seconds::ZERO,
+        until: Seconds::new(10.0),
+        bandwidth_factor: 1.0,
+        energy_factor: 1.0,
+    })
+}
+
+/// Asserts the faulty run equals the plain run bit-for-bit, modulo the
+/// availability section (present, all-zero) that only fault runs carry.
+fn assert_benign_equal(plain: &ClusterRun, faulty: &ClusterRun, label: &str) {
+    assert_eq!(plain.completions, faulty.completions, "{label}: completions diverged");
+    let avail = faulty.report.availability.as_ref().expect(label);
+    assert_eq!(avail.crashes, 0, "{label}");
+    assert_eq!(avail.availability, 1.0, "{label}");
+    assert_eq!(avail.retries + avail.shed + avail.timed_out, 0, "{label}");
+    let mut stripped = faulty.report.clone();
+    stripped.availability = None;
+    assert_eq!(&stripped, &plain.report, "{label}: report diverged");
+}
+
+#[test]
+fn empty_plan_is_the_zero_fault_path() {
+    for traffic in traffics(0xFA) {
+        let bare = fleet(RouterPolicy::LeastOutstanding, FaultPlan::none());
+        let plain = bare.run("zero", &traffic).unwrap();
+        let explicit = fleet(RouterPolicy::LeastOutstanding, FaultPlan::none())
+            .run("zero", &traffic)
+            .unwrap();
+        assert_eq!(plain.report, explicit.report);
+        assert_eq!(plain.completions, explicit.completions);
+        assert!(plain.report.availability.is_none());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Benign-plan equivalence across router policies and open/closed
+    /// loop: the fault-aware colocated driver is the plain driver plus
+    /// bookkeeping.
+    #[test]
+    fn benign_plan_matches_plain_colocated(seed in 0u64..500) {
+        let policies = [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastOutstanding,
+            RouterPolicy::LeastKv,
+            RouterPolicy::SessionAffinity,
+            RouterPolicy::PrefixAffinity,
+        ];
+        for policy in policies {
+            for traffic in traffics(seed) {
+                let plain = fleet(policy, FaultPlan::none()).run("benign", &traffic).unwrap();
+                let faulty =
+                    fleet(policy, benign_colocated_plan()).run("benign", &traffic).unwrap();
+                assert_benign_equal(&plain, &faulty, policy.name());
+            }
+        }
+    }
+
+    /// The disaggregated counterpart of the benign-plan equivalence.
+    #[test]
+    fn benign_plan_matches_plain_disagg(seed in 0u64..500) {
+        for traffic in traffics(seed) {
+            let plain = disagg_fleet(FaultPlan::none()).run("benign", &traffic).unwrap();
+            let faulty = disagg_fleet(benign_disagg_plan()).run("benign", &traffic).unwrap();
+            assert_benign_equal(&plain, &faulty, "disagg");
+        }
+    }
+
+    /// The same fault seed replays the same chaos run, completions and
+    /// report bit-for-bit.
+    #[test]
+    fn same_fault_seed_replays_bit_for_bit(fault_seed in 0u64..10_000) {
+        let chaos = FaultPlan::seeded(fault_seed).with_chaos(ChaosSpec {
+            crashes: 2,
+            window: (Seconds::new(0.000_2), Seconds::new(0.003)),
+            repair: Seconds::new(0.002),
+        });
+        let traffic = traffics(0xBEEF)[0];
+        let a = fleet(RouterPolicy::LeastOutstanding, chaos.clone())
+            .run("chaos", &traffic)
+            .unwrap();
+        let b = fleet(RouterPolicy::LeastOutstanding, chaos).run("chaos", &traffic).unwrap();
+        prop_assert_eq!(a.report, b.report);
+        prop_assert_eq!(a.completions, b.completions);
+        // Conservation holds for every drawn timeline.
+        let avail = a.report.availability.unwrap();
+        prop_assert_eq!(
+            a.report.completed + avail.shed + avail.timed_out,
+            a.report.offered
+        );
+    }
+}
+
+/// One request, one replica, one crash mid-decode: the crash loses
+/// exactly that in-flight request, the retry lands after restart, and
+/// the completion is accounted against the *original* arrival.
+#[test]
+fn crash_mid_decode_loses_exactly_the_in_flight_work() {
+    let traffic = TrafficSpec {
+        requests: 1,
+        arrival: ArrivalPattern::OpenLoop { rate_rps: 1_000_000.0 },
+        prompt: LenDist::Fixed(32),
+        steps: LenDist::Fixed(100),
+        prefix: PrefixTraffic::None,
+        seed: 7,
+    };
+    let crash_at = Seconds::new(0.000_2);
+    let plan = FaultPlan::none().with_event(FaultEvent::Crash {
+        at: crash_at,
+        replica: 0,
+        repair: Seconds::new(0.001),
+    });
+    let run = ClusterEngine::colocated(
+        vec![ReplicaSpec::new("solo", TpuConfig::tpuv4i(), tiny())
+            .with_policy(BatchPolicy::Continuous { max_batch: 4 })],
+        RouterPolicy::PassThrough,
+    )
+    .unwrap()
+    .with_faults(plan)
+    .run("crash-mid-decode", &traffic)
+    .unwrap();
+
+    let avail = run.report.availability.as_ref().unwrap();
+    assert_eq!(avail.crashes, 1);
+    assert_eq!(avail.retries, 1, "the lone in-flight request retries once");
+    assert_eq!(avail.retried_ok, 1, "and completes after the restart");
+    assert_eq!(run.report.completed, 1);
+    assert_eq!(avail.shed + avail.timed_out, 0);
+    assert!(avail.availability < 1.0);
+    assert_eq!(avail.time_to_recover_s.len(), 1);
+    let c = &run.completions[0];
+    // Latency spans the crash: original arrival stands, the finish is
+    // after restart + recompute.
+    assert_eq!(c.arrival, Seconds::ZERO);
+    assert!(c.finish > crash_at + Seconds::new(0.001), "finish {} not after repair", c.finish);
+}
+
+/// With a zero retry budget the lost work is shed — and still conserved.
+#[test]
+fn exhausted_retry_budget_sheds_and_conserves() {
+    let traffic = TrafficSpec {
+        requests: 4,
+        arrival: ArrivalPattern::OpenLoop { rate_rps: 1_000_000.0 },
+        prompt: LenDist::Fixed(32),
+        steps: LenDist::Fixed(100),
+        prefix: PrefixTraffic::None,
+        seed: 7,
+    };
+    let plan = FaultPlan::none()
+        .with_event(FaultEvent::Crash {
+            at: Seconds::new(0.000_5),
+            replica: 0,
+            repair: Seconds::new(0.001),
+        })
+        .with_recovery(RecoveryPolicy { max_attempts: 0, ..RecoveryPolicy::default() });
+    let run = ClusterEngine::colocated(
+        vec![ReplicaSpec::new("solo", TpuConfig::tpuv4i(), tiny())
+            .with_policy(BatchPolicy::Continuous { max_batch: 4 })],
+        RouterPolicy::PassThrough,
+    )
+    .unwrap()
+    .with_faults(plan)
+    .run("shed", &traffic)
+    .unwrap();
+
+    let avail = run.report.availability.as_ref().unwrap();
+    assert_eq!(avail.crashes, 1);
+    assert_eq!(avail.retries, 0, "no budget, no retries");
+    assert!(avail.shed >= 1, "in-flight work at the crash instant is shed");
+    assert_eq!(run.report.completed + avail.shed + avail.timed_out, run.report.offered);
+}
+
+/// A decode-pool crash in a disaggregated fleet: lost decodes come back
+/// (re-handoff or recompute) and the run conserves every request.
+#[test]
+fn disagg_decode_crash_recovers_and_conserves() {
+    let traffic = TrafficSpec {
+        requests: 12,
+        arrival: ArrivalPattern::OpenLoop { rate_rps: 50_000.0 },
+        prompt: LenDist::Fixed(48),
+        steps: LenDist::Fixed(32),
+        prefix: PrefixTraffic::None,
+        seed: 7,
+    };
+    let plan = FaultPlan::none().with_event(FaultEvent::Crash {
+        at: Seconds::new(0.000_4),
+        replica: 0, // decode-pool index
+        repair: Seconds::new(0.001),
+    });
+    let run = disagg_fleet(plan).run("disagg-crash", &traffic).unwrap();
+    let avail = run.report.availability.as_ref().unwrap();
+    assert_eq!(avail.crashes, 1);
+    assert_eq!(
+        run.report.completed + avail.shed + avail.timed_out,
+        run.report.offered,
+        "report: {}",
+        run.report
+    );
+    assert!(avail.availability < 1.0);
+    // Deterministic replay.
+    let again = disagg_fleet(FaultPlan::none().with_event(FaultEvent::Crash {
+        at: Seconds::new(0.000_4),
+        replica: 0,
+        repair: Seconds::new(0.001),
+    }))
+    .run("disagg-crash", &traffic)
+    .unwrap();
+    assert_eq!(run.report, again.report);
+}
+
+/// Straggler faults don't apply to disaggregated pools, degraded-link
+/// faults don't apply to colocated fleets — both are configuration
+/// errors, not silent no-ops.
+#[test]
+fn cross_topology_faults_are_rejected() {
+    let traffic = traffics(1)[0];
+    let err = disagg_fleet(benign_colocated_plan()).run("bad", &traffic).unwrap_err();
+    assert!(err.to_string().contains("straggler"), "{err}");
+    let err = fleet(RouterPolicy::RoundRobin, benign_disagg_plan())
+        .run("bad", &traffic)
+        .unwrap_err();
+    assert!(err.to_string().contains("link"), "{err}");
+}

@@ -230,6 +230,21 @@ impl PagedKvAllocator {
         freed
     }
 
+    /// Frees every holding and every shared block at once — the "replica
+    /// died" path. A crash loses the HBM contents wholesale, so there is
+    /// no per-request teardown to respect: all private blocks, all shared
+    /// prefix blocks, and all references vanish together. Returns the
+    /// number of physical blocks freed. High-water statistics survive the
+    /// reset (they describe the incarnation that just died) and shared
+    /// block ids are never reused across it.
+    pub fn release_all(&mut self) -> u64 {
+        let freed = self.used_blocks;
+        self.held.clear();
+        self.shared.clear();
+        self.used_blocks = 0;
+        freed
+    }
+
     /// Blocks request `id` currently holds (private + shared references).
     pub fn held_blocks(&self, id: u64) -> u64 {
         self.held.get(&id).map_or(0, Holding::blocks)
@@ -378,6 +393,27 @@ mod tests {
         assert_eq!(a.used_blocks(), 1);
         assert_eq!(a.high_water_blocks(), 4);
         assert_eq!(a.high_water_frac(), 1.0);
+    }
+
+    #[test]
+    fn release_all_frees_private_and_shared_but_keeps_high_water() {
+        let mut a = PagedKvAllocator::new(16, 8).unwrap();
+        assert!(a.try_grow(0, 32)); // 2 private blocks
+        let b = a.promote_to_shared(0).unwrap();
+        assert!(a.try_admit(1, &[b], 17)); // shares b + 1 private
+        assert!(a.try_grow(2, 16)); // 1 private block
+        assert_eq!(a.used_blocks(), 4);
+        assert_eq!(a.release_all(), 4);
+        assert_eq!(a.used_blocks(), 0);
+        assert_eq!(a.holders(), 0);
+        assert_eq!(a.shared_blocks(), 0);
+        assert_eq!(a.shared_refs(b), 0, "shared refs are gone wholesale");
+        assert_eq!(a.held_blocks(1), 0);
+        assert_eq!(a.high_water_blocks(), 4, "statistics outlive the crash");
+        assert_eq!(a.release_all(), 0, "second reset is a no-op");
+        // The allocator is usable again at full capacity.
+        assert!(a.try_grow(9, 16 * 8));
+        assert_eq!(a.free_blocks(), Some(0));
     }
 
     #[test]

@@ -378,6 +378,19 @@ impl PrefixIndex {
         }
     }
 
+    /// Drops every cached prefix at once — the "replica died" path,
+    /// paired with [`PagedKvAllocator::release_all`]. The index does not
+    /// touch any allocator here: the caller has already (or is about to)
+    /// release the whole allocator, so per-block reference bookkeeping
+    /// would be against state that no longer exists. Counters in
+    /// [`stats`](Self::stats) are cumulative across the reset so a report
+    /// still accounts for hits served before the crash.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.roots.clear();
+    }
+
     /// Frees up to `need` blocks by evicting leaves whose block's sole
     /// remaining reference is the index (least-recently-used first, ties
     /// by node index). Blocks still referenced by resident requests are
@@ -465,6 +478,32 @@ mod tests {
         // Nothing new inserted; the priced skip caps at prompt_len - 1.
         assert_eq!(index.live_nodes(), 3);
         assert_eq!(m1.matched_tokens().min(p.len() as u64 - 1), 39);
+    }
+
+    #[test]
+    fn clear_resets_structure_but_keeps_cumulative_stats() {
+        let mut alloc = PagedKvAllocator::unlimited(16).unwrap();
+        let mut index = PrefixIndex::new(16);
+        let p = prompt(7, 40, 0, 40);
+        admit(&mut index, &mut alloc, 0, &p);
+        admit(&mut index, &mut alloc, 1, &p);
+        assert!(index.live_nodes() > 0);
+        let hits_before = index.stats().hits;
+        assert!(hits_before > 0);
+
+        // The replica dies: allocator resets wholesale, index follows.
+        alloc.release_all();
+        index.clear();
+        assert_eq!(index.live_nodes(), 0);
+        assert_eq!(index.stats().hits, hits_before, "counters are cumulative");
+        let m = index.lookup(&p);
+        assert_eq!(m.matched_tokens(), 0, "the restarted cache is cold");
+
+        // The index rebuilds from scratch against the reset allocator.
+        admit(&mut index, &mut alloc, 2, &p);
+        assert_eq!(index.live_nodes(), 3);
+        let m = index.lookup(&p);
+        assert_eq!(m.matched_tokens(), 40);
     }
 
     #[test]

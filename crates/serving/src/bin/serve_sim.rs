@@ -33,7 +33,7 @@ use cimtpu_serving::scenario::{self, Scenario};
 use cimtpu_serving::{ArrivalPattern, ServingReport};
 
 fn main() {
-    let flags = match SimFlags::parse("serve_sim", "the scenario's", || {
+    let flags = match SimFlags::parse("serve_sim", "the scenario's", false, || {
         for s in scenario::headline() {
             println!("  {:<20} {}", s.name, s.description);
         }

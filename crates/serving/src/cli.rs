@@ -24,12 +24,21 @@ pub struct SimFlags {
     pub clients: Option<u64>,
     /// `--think-ms MS`: closed-loop think time (default 10 ms).
     pub think_ms: f64,
+    /// `--fault-seed N`: fault-plan seed override (fleet binaries only;
+    /// a single engine has no fault plan).
+    pub fault_seed: Option<u64>,
+    /// `--faults SPEC`: comma-separated fault events, passed through raw
+    /// — `cimtpu_cluster::parse_faults` owns the grammar and this crate
+    /// cannot depend on it.
+    pub faults: Option<String>,
 }
 
 impl SimFlags {
     /// Parses `std::env::args`. `binary` names the program and
     /// `budget_scope` phrases what `--kv-budget` overrides (e.g. "the
-    /// scenario's" / "every replica's"); `print_scenarios` lists the
+    /// scenario's" / "every replica's"); `fault_flags` accepts the
+    /// fleet-only `--fault-seed` / `--faults` pair (single-engine
+    /// binaries reject them as unknown); `print_scenarios` lists the
     /// binary's scenarios under `--help` (which prints usage and exits).
     ///
     /// `--workers N` is applied on the spot by setting `CIMTPU_WORKERS`
@@ -42,6 +51,7 @@ impl SimFlags {
     pub fn parse(
         binary: &str,
         budget_scope: &str,
+        fault_flags: bool,
         print_scenarios: impl Fn(),
     ) -> Result<SimFlags, String> {
         let mut flags = SimFlags {
@@ -51,6 +61,8 @@ impl SimFlags {
             kv_budget: None,
             clients: None,
             think_ms: 10.0,
+            fault_seed: None,
+            faults: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
@@ -90,10 +102,24 @@ impl SimFlags {
                         .parse()
                         .map_err(|e| format!("bad --think-ms: {e}"))?;
                 }
+                "--fault-seed" if fault_flags => {
+                    flags.fault_seed = Some(
+                        value("--fault-seed")?
+                            .parse()
+                            .map_err(|e| format!("bad --fault-seed: {e}"))?,
+                    );
+                }
+                "--faults" if fault_flags => flags.faults = Some(value("--faults")?),
                 "--help" | "-h" => {
+                    let fault_usage = if fault_flags {
+                        " [--fault-seed N] [--faults SPEC]"
+                    } else {
+                        ""
+                    };
                     println!(
                         "usage: {binary} [--scenario NAME|all] [--seed N] [--workers N] \
-                         [--json PATH] [--kv-budget BUDGET] [--clients N] [--think-ms MS]"
+                         [--json PATH] [--kv-budget BUDGET] [--clients N] \
+                         [--think-ms MS]{fault_usage}"
                     );
                     println!(
                         "  --kv-budget BUDGET   override {budget_scope} KV budget: 'unlimited',"
@@ -106,6 +132,24 @@ impl SimFlags {
                         "  --clients N          convert traffic to closed loop with N clients"
                     );
                     println!("  --think-ms MS        closed-loop think time (default 10)");
+                    if fault_flags {
+                        println!(
+                            "  --fault-seed N       reseed each scenario's fault plan \
+                             (chaos draws redraw; explicit events stand)"
+                        );
+                        println!(
+                            "  --faults SPEC        replace each scenario's fault plan: \
+                             comma-separated"
+                        );
+                        println!(
+                            "                       'crash@<t>:<replica>[:repair=<t>]', \
+                             'straggler@<from>-<until>:<replica>:x<f>',"
+                        );
+                        println!(
+                            "                       'link@<from>-<until>:x<f>[:energy=x<f>]' \
+                             (times take an s/ms suffix)"
+                        );
+                    }
                     println!("scenarios:");
                     print_scenarios();
                     std::process::exit(0);

@@ -48,6 +48,22 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
+    /// The all-zero summary — the only sensible summary of an empty
+    /// sample set (a fault scenario can shed or time out every request,
+    /// leaving no latencies to rank).
+    pub const ZERO: LatencyStats =
+        LatencyStats { p50_ms: 0.0, p95_ms: 0.0, p99_ms: 0.0, mean_ms: 0.0, max_ms: 0.0 };
+
+    /// Summarizes a set of durations (nearest-rank percentiles), or
+    /// [`ZERO`](Self::ZERO) for an empty set.
+    pub fn from_samples_or_zero(samples: &[Seconds]) -> Self {
+        if samples.is_empty() {
+            LatencyStats::ZERO
+        } else {
+            Self::from_samples(samples)
+        }
+    }
+
     /// Summarizes a set of durations (nearest-rank percentiles).
     ///
     /// # Panics

@@ -57,6 +57,12 @@ pub struct EngineCore<'a> {
     /// first tokens locally).
     first_token: Vec<Seconds>,
     ttft_set: Vec<bool>,
+    /// Multiplier on priced step latency (a straggler window sets it
+    /// above 1.0; energy is unaffected — a slow chip still computes the
+    /// same FLOPs).
+    slowdown: f64,
+    /// Set once by [`crash`](EngineCore::crash); the core is inert after.
+    crashed: bool,
     state: State,
 }
 
@@ -186,6 +192,8 @@ impl<'a> EngineCore<'a> {
             busy: Seconds::ZERO,
             first_token: Vec::new(),
             ttft_set: Vec::new(),
+            slowdown: 1.0,
+            crashed: false,
             state,
         }
     }
@@ -287,6 +295,103 @@ impl<'a> EngineCore<'a> {
         let start = st.free_at[chip].max(self.arrivals[self.next + take - 1].arrival());
         self.rtc_launch(RtcLaunch { chip, take, start })?;
         Ok(true)
+    }
+
+    /// Reverses [`close`](EngineCore::close) so a fault-aware driver can
+    /// re-inject lost requests after the original stream exhausted (a
+    /// retry arrives later than every organic arrival, so push-order
+    /// monotonicity still holds). Callers re-close immediately after the
+    /// push; the zero-fault [`drive`] loop never needs this.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a crashed core (a dead replica takes no retries — the
+    /// driver restarts it as a fresh core instead).
+    pub fn reopen(&mut self) {
+        assert!(!self.crashed, "reopen on a crashed core");
+        self.closed = false;
+    }
+
+    /// Sets the straggler multiplier applied to priced step latency from
+    /// the next scheduling round on (`1.0` restores full speed). Energy
+    /// is unchanged: a slowed chip computes the same work, only later.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or non-finite factor.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "straggler slowdown must be a positive finite factor"
+        );
+        self.slowdown = factor;
+    }
+
+    /// Kills the replica at simulated time `at`: every request still in
+    /// flight is lost, along with all of its KV blocks and the prefix
+    /// index contents. Returns the lost requests (queued, resident, and —
+    /// because run-to-completion batches price their entire future at
+    /// launch — requests whose completion would only have materialized
+    /// after `at`, which are revoked), sorted by arrival order, for the
+    /// driver to retry elsewhere. Completions that finished at or before
+    /// `at` stand. Energy and busy time already accrued stay on the
+    /// books: work a crash destroys was still computed and paid for.
+    ///
+    /// The core is inert afterwards — [`next_action`](Self::next_action)
+    /// returns `None` and [`is_done`](Self::is_done) holds — and the
+    /// driver models the restart by building a fresh core (empty
+    /// allocator, cold caches) from the session after the repair delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core already crashed.
+    pub fn crash(&mut self, at: Seconds) -> Vec<Request> {
+        assert!(!self.crashed, "crash on an already-crashed core");
+        self.crashed = true;
+        // Revoke completions scheduled past the crash instant.
+        let mut lost_ids: Vec<u64> = Vec::new();
+        self.completions.retain(|c| {
+            if c.finish > at {
+                lost_ids.push(c.id);
+                false
+            } else {
+                true
+            }
+        });
+        self.drained = self.drained.min(self.completions.len());
+        let mut lost_idx: Vec<usize> = Vec::new();
+        match &mut self.state {
+            State::Rtc(st) => {
+                for alloc in &mut st.allocs {
+                    alloc.release_all();
+                }
+                for index in st.prefix.iter_mut().flatten() {
+                    index.clear();
+                }
+                st.kv_deferred_at.clear();
+            }
+            State::Cont(st) => {
+                for chip in &mut st.chips {
+                    lost_idx.extend(chip.active.drain(..).map(|a| a.idx));
+                    lost_idx.extend(chip.resume.drain(..).map(|(idx, _)| idx));
+                    chip.alloc.release_all();
+                    if let Some(index) = &mut chip.prefix {
+                        index.clear();
+                    }
+                }
+            }
+        }
+        lost_idx.extend(self.next..self.arrivals.len());
+        for (i, r) in self.arrivals.iter().enumerate() {
+            if lost_ids.contains(&r.id) {
+                lost_idx.push(i);
+            }
+        }
+        self.next = self.arrivals.len();
+        self.closed = true;
+        lost_idx.sort_unstable();
+        lost_idx.dedup();
+        lost_idx.into_iter().map(|i| self.arrivals[i]).collect()
     }
 
     /// Whether every pushed request has been completed and the stream is
@@ -614,7 +719,7 @@ impl<'a> EngineCore<'a> {
                 match self.memory.chunk_tokens {
                     None => {
                         let prefill = self.pricer.prefill(b, max_prompt)?;
-                        t += prefill.latency;
+                        t += stretch(prefill.latency, self.slowdown);
                         self.energy += prefill.total_energy();
                     }
                     Some(chunk) => {
@@ -622,7 +727,7 @@ impl<'a> EngineCore<'a> {
                         while past < max_prompt {
                             let c = chunk.min(max_prompt - past);
                             let cost = self.pricer.prefill_chunk(b, c, past)?;
-                            t += cost.latency;
+                            t += stretch(cost.latency, self.slowdown);
                             self.energy += cost.total_energy();
                             past += c;
                         }
@@ -646,7 +751,7 @@ impl<'a> EngineCore<'a> {
                 }
             }
             let step = self.pricer.step(active, max_prompt + s + 1)?;
-            t += step.latency;
+            t += stretch(step.latency, self.slowdown);
             self.energy += step.total_energy();
             if s == 0 && !self.has_prefill {
                 first_token.fill(t);
@@ -684,7 +789,7 @@ impl<'a> EngineCore<'a> {
         while at < target {
             let c = span.min(target - at);
             let cost = self.pricer.prefill_chunk(batch, c, at)?;
-            t += cost.latency;
+            t += stretch(cost.latency, self.slowdown);
             self.energy += cost.total_energy();
             at += c;
         }
@@ -720,6 +825,7 @@ impl<'a> EngineCore<'a> {
     fn cont_round(&mut self, ci: usize, t: Seconds) -> Result<()> {
         let has_prefill = self.has_prefill;
         let chunking = self.memory.chunk_tokens;
+        let slowdown = self.slowdown;
         let State::Cont(st) = &mut self.state else { unreachable!() };
         let max_batch = st.max_batch;
         let chip = &mut st.chips[ci];
@@ -787,7 +893,7 @@ impl<'a> EngineCore<'a> {
                             .max()
                             .expect("non-empty");
                         let prefill = self.pricer.prefill(cold.len() as u64, padded)?;
-                        chip.t += prefill.latency;
+                        chip.t += stretch(prefill.latency, slowdown);
                         self.energy += prefill.total_energy();
                         for &&(idx, _, _) in &cold {
                             if !self.ttft_set[idx] {
@@ -810,7 +916,7 @@ impl<'a> EngineCore<'a> {
                             .max()
                             .expect("non-empty");
                         let cost = self.pricer.prefill_chunk(hits.len() as u64, tail, past)?;
-                        chip.t += cost.latency;
+                        chip.t += stretch(cost.latency, slowdown);
                         self.energy += cost.total_energy();
                         for &&(idx, _, _) in &hits {
                             if !self.ttft_set[idx] {
@@ -856,7 +962,7 @@ impl<'a> EngineCore<'a> {
                         .max()
                         .expect("non-empty");
                     let cost = self.pricer.prefill_chunk(prefilling.len() as u64, c, past)?;
-                    chip.t += cost.latency;
+                    chip.t += stretch(cost.latency, slowdown);
                     self.energy += cost.total_energy();
                     let now = chip.t;
                     for p in prefilling {
@@ -923,7 +1029,7 @@ impl<'a> EngineCore<'a> {
                 .expect("non-empty")
                 + 1;
             let step = self.pricer.step(b, ctx)?;
-            chip.t += step.latency;
+            chip.t += stretch(step.latency, slowdown);
             self.energy += step.total_energy();
             let now = chip.t;
             for &p in &decoders {
@@ -1041,6 +1147,16 @@ fn cont_admit(chip: &mut ContChip, request: &Request, done: u64) -> Option<u64> 
     }
     index.commit(&tokens, &m, request.id, &mut chip.alloc, true);
     Some(m.matched_tokens().min(request.prompt_len.saturating_sub(1)))
+}
+
+/// Applies a straggler multiplier to a priced latency. The factor 1.0
+/// short-circuits so un-faulted runs see bit-identical arithmetic.
+fn stretch(latency: Seconds, slowdown: f64) -> Seconds {
+    if slowdown == 1.0 {
+        latency
+    } else {
+        Seconds::new(latency.get() * slowdown)
+    }
 }
 
 /// Index of the executor that frees earliest (ties pick the lowest index,
@@ -1230,6 +1346,76 @@ mod tests {
         assert_eq!(core.completions().len(), 3);
         // Nothing left to flush.
         assert!(!core.flush_stalled().unwrap());
+    }
+
+    #[test]
+    fn crash_loses_exactly_the_in_flight_set() {
+        let engine = tiny_engine(BatchPolicy::Continuous { max_batch: 2 });
+        let session = crate::EngineSession::new(&engine).unwrap();
+        let mut core = session.core().unwrap();
+        for r in burst(6).generate() {
+            core.push(r);
+        }
+        core.close();
+        // Step until some (not all) requests completed: 2 resident, rest
+        // queued.
+        while core.completions().is_empty() {
+            core.step().unwrap();
+        }
+        let done: Vec<u64> = core.completions().iter().map(|c| c.id).collect();
+        let at = core.completions().iter().map(|c| c.finish).fold(Seconds::ZERO, Seconds::max);
+        let lost = core.crash(at);
+        // Conservation: every pushed request is either completed or lost,
+        // never both, never dropped.
+        assert_eq!(done.len() + lost.len(), 6);
+        for c in core.completions() {
+            assert!(!lost.iter().any(|r| r.id == c.id), "lost xor completed");
+        }
+        assert!(core.is_done(), "a crashed core is inert");
+        assert_eq!(core.next_action(), None);
+        assert_eq!(core.kv_frac(), 0.0, "all KV blocks released");
+        assert_eq!(core.outstanding_at(Seconds::ZERO), done.len() as u64);
+        assert!(core.energy().get() > 0.0, "spent energy stays on the books");
+    }
+
+    #[test]
+    fn rtc_crash_revokes_future_completions() {
+        // A static batch prices its whole future at launch; a crash at
+        // t=0 revokes all of it.
+        let engine = tiny_engine(BatchPolicy::Static { batch: 2 });
+        let session = crate::EngineSession::new(&engine).unwrap();
+        let mut core = session.core().unwrap();
+        for r in burst(2).generate() {
+            core.push(r);
+        }
+        core.close();
+        core.step().unwrap();
+        assert_eq!(core.completions().len(), 2);
+        let lost = core.crash(Seconds::ZERO);
+        assert_eq!(core.completions().len(), 0);
+        assert_eq!(lost.len(), 2);
+    }
+
+    #[test]
+    fn slowdown_stretches_latency_not_energy() {
+        let run = |factor: f64| {
+            let engine = tiny_engine(BatchPolicy::Continuous { max_batch: 4 });
+            let session = crate::EngineSession::new(&engine).unwrap();
+            let mut core = session.core().unwrap();
+            core.set_slowdown(factor);
+            for r in burst(4).generate() {
+                core.push(r);
+            }
+            core.close();
+            while core.next_action().is_some() {
+                core.step().unwrap();
+            }
+            (core.busy(), core.energy())
+        };
+        let (busy1, energy1) = run(1.0);
+        let (busy3, energy3) = run(3.0);
+        assert!((busy3.get() - 3.0 * busy1.get()).abs() < 1e-12 * busy3.get());
+        assert_eq!(energy1, energy3, "a straggler burns time, not extra energy");
     }
 
     #[test]

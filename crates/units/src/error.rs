@@ -27,6 +27,11 @@ pub enum Error {
     Unmappable(String),
     /// A named preset (model or architecture) was not found.
     UnknownPreset(String),
+    /// A simulator invariant was violated at runtime (a scheduling state
+    /// that should be unreachable, a numeric result outside its domain).
+    /// Surfacing these as errors instead of panics keeps injected faults
+    /// from taking the whole simulator down with them.
+    Internal(String),
 }
 
 impl Error {
@@ -49,6 +54,11 @@ impl Error {
     pub fn unknown_preset(msg: impl Into<String>) -> Self {
         Error::UnknownPreset(msg.into())
     }
+
+    /// Creates an [`Error::Internal`].
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -58,6 +68,7 @@ impl fmt::Display for Error {
             Error::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
             Error::Unmappable(msg) => write!(f, "workload cannot be mapped: {msg}"),
             Error::UnknownPreset(msg) => write!(f, "unknown preset: {msg}"),
+            Error::Internal(msg) => write!(f, "internal simulator error: {msg}"),
         }
     }
 }
@@ -79,6 +90,15 @@ mod tests {
         let e = Error::unmappable("tile larger than VMEM");
         let s = e.to_string();
         assert!(s.starts_with("workload cannot be mapped"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn internal_display() {
+        let e = Error::internal("router returned out-of-range replica");
+        let s = e.to_string();
+        assert!(s.starts_with("internal simulator error"));
+        assert!(s.contains("out-of-range"));
         assert!(!s.ends_with('.'));
     }
 }
