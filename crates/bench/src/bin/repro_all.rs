@@ -9,6 +9,13 @@
 //! everything before it — has finished, so the combined log matches a
 //! sequential run section for section. Set `CIMTPU_WORKERS=1` to
 //! serialize the whole thing (children then inherit all cores).
+//!
+//! `--shard I/N` splits the binary list across N cooperating processes
+//! (e.g. CI jobs): shard I runs the binaries at positions `≡ I (mod N)`.
+//! Point `CIMTPU_CACHE_DIR` at a directory the shards share and each
+//! worker warm-starts from the persistent mapping caches while its saves
+//! merge back into them (sorted, union-of-entries files), so the shards
+//! converge to exactly the cache a single process would have written.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -76,6 +83,7 @@ fn print_section(bin: &str, run: BinRun) {
 fn main() {
     // `--workers N` overrides the CIMTPU_WORKERS environment variable
     // (and is inherited by the child binaries through it).
+    let mut shard: Option<sweep::Shard> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -89,8 +97,22 @@ fn main() {
                     });
                 std::env::set_var("CIMTPU_WORKERS", n.max(1).to_string());
             }
+            "--shard" => {
+                shard = Some(
+                    args.next().as_deref().and_then(sweep::Shard::parse).unwrap_or_else(|| {
+                        eprintln!("repro_all: --shard needs i/n with 0 <= i < n");
+                        std::process::exit(2);
+                    }),
+                );
+            }
             "--help" | "-h" => {
-                println!("usage: repro_all [--workers N]");
+                println!("usage: repro_all [--workers N] [--shard I/N]");
+                println!();
+                println!("  --shard I/N  run only this process's 1-in-N slice of the");
+                println!("               reproduction binaries (0-based, by position).");
+                println!("               Set CIMTPU_CACHE_DIR to a shared directory so");
+                println!("               the shards warm-start from — and merge their");
+                println!("               mapping caches back into — the same files.");
                 return;
             }
             other => {
@@ -99,6 +121,14 @@ fn main() {
             }
         }
     }
+
+    // The shard owns a deterministic, position-based slice of the binary
+    // list; the cache-directory merge-on-save makes N sharded processes
+    // converge to the cache files one process would have written.
+    let bins: Vec<&str> = match shard {
+        Some(s) => s.select(BINS).into_iter().copied().collect(),
+        None => BINS.to_vec(),
+    };
 
     // When invoked through cargo the sibling binaries sit next to us.
     let me = std::env::current_exe().expect("current exe path");
@@ -109,13 +139,13 @@ fn main() {
     // CIMTPU_WORKERS=1 the outer loop is sequential and each child gets
     // every core (the long fig7 child then parallelizes internally).
     let workers = sweep::available_workers();
-    let outer = workers.clamp(1, 4).min(BINS.len());
+    let outer = workers.clamp(1, 4).min(bins.len().max(1));
     let child_workers = (workers / outer).max(1);
 
     std::env::set_var("CIMTPU_WORKERS", outer.to_string());
     sweep::parallel_map_consume(
-        BINS,
+        &bins,
         |bin| run_bin(&dir, bin, child_workers),
-        |i, run| print_section(BINS[i], run),
+        |i, run| print_section(bins[i], run),
     );
 }

@@ -54,6 +54,43 @@ impl SweepMode {
     }
 }
 
+/// A deterministic `index/count` split of a work list across processes
+/// (the `--shard i/n` flag on `repro_all`).
+///
+/// Shard `i` of `n` owns exactly the items whose position is congruent
+/// to `i` modulo `n`: the shards partition any item list, every item
+/// belongs to exactly one shard, and the assignment depends only on
+/// positions — never on timing — so re-running a shard reproduces its
+/// work exactly. Cross-process sharing happens through the persistent
+/// mapping-cache directory (`CIMTPU_CACHE_DIR`): each shard warm-starts
+/// from it and its saves *merge* into it (union of entries,
+/// deterministic sorted files), so n sharded processes converge to the
+/// same cache files one process would have written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    index: usize,
+    count: usize,
+}
+
+impl Shard {
+    /// Parses `"i/n"` (0-based `i < n`, `n ≥ 1`); `None` on anything else.
+    pub fn parse(s: &str) -> Option<Shard> {
+        let (i, n) = s.split_once('/')?;
+        let (index, count) = (i.parse().ok()?, n.parse().ok()?);
+        (count >= 1 && index < count).then_some(Shard { index, count })
+    }
+
+    /// Whether this shard owns the item at `position`.
+    pub fn owns(&self, position: usize) -> bool {
+        position % self.count == self.index
+    }
+
+    /// The sub-list of `items` this shard owns, in the original order.
+    pub fn select<'a, T>(&self, items: &'a [T]) -> Vec<&'a T> {
+        items.iter().enumerate().filter(|(i, _)| self.owns(*i)).map(|(_, t)| t).collect()
+    }
+}
+
 /// Worker threads available to sweeps (`CIMTPU_WORKERS` overrides the
 /// detected CPU parallelism).
 pub fn available_workers() -> usize {
@@ -207,6 +244,34 @@ fn pool_run<T, S, R, I, F>(
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn shards_partition_any_item_list() {
+        let items: Vec<u64> = (0..37).collect();
+        for n in 1..=5 {
+            let shards: Vec<Shard> =
+                (0..n).map(|i| Shard::parse(&format!("{i}/{n}")).unwrap()).collect();
+            // Every item is owned by exactly one shard, order preserved.
+            let mut owners = vec![0usize; items.len()];
+            for s in &shards {
+                let mine = s.select(&items);
+                assert!(mine.windows(2).all(|w| w[0] < w[1]));
+                for &&x in &mine {
+                    owners[x as usize] += 1;
+                }
+            }
+            assert!(owners.iter().all(|&c| c == 1), "{n} shards");
+        }
+    }
+
+    #[test]
+    fn shard_parse_rejects_malformed_specs() {
+        assert_eq!(Shard::parse("0/1"), Some(Shard { index: 0, count: 1 }));
+        assert_eq!(Shard::parse("2/3"), Some(Shard { index: 2, count: 3 }));
+        for bad in ["", "1", "3/3", "4/3", "1/0", "-1/2", "a/b", "1/2/3"] {
+            assert_eq!(Shard::parse(bad), None, "{bad}");
+        }
+    }
 
     #[test]
     fn preserves_item_order() {

@@ -3,7 +3,7 @@
 //! ```text
 //! cluster_sim [--scenario NAME|all] [--seed N] [--workers N] [--json PATH]
 //!             [--kv-budget BUDGET] [--clients N] [--think-ms MS]
-//!             [--fault-seed N] [--faults SPEC]
+//!             [--fault-seed N] [--faults SPEC] [--perf-json PATH]
 //! ```
 //!
 //! Runs the named cluster scenario (default: all headline scenarios) and
@@ -33,10 +33,18 @@
 //! pretty-printed JSON (`-` writes JSON to stdout instead of the text
 //! report). The committed `BENCH_cluster.json` baseline is exactly
 //! `cluster_sim --json BENCH_cluster.json`.
+//!
+//! `--perf-json PATH` also writes one wall-clock [`PerfRecord`] per
+//! scenario — how fast the discrete-event driver itself ran on this
+//! machine (`requests_per_second`, `steps_per_second` against the host
+//! clock). The committed `BENCH_cluster_perf.json` snapshot is
+//! `cluster_sim --perf-json BENCH_cluster_perf.json` on the dev box;
+//! wall times are machine-dependent, so CI checks a floor on the
+//! `cluster-day-smoke` record rather than diffing bytes.
 
 use cimtpu_bench::sweep;
 use cimtpu_cluster::scenario::{self, Scenario};
-use cimtpu_cluster::{parse_faults, ClusterReport, FaultPlan};
+use cimtpu_cluster::{parse_faults, ClusterReport, FaultPlan, PerfRecord};
 use cimtpu_serving::cli::{self, SimFlags};
 use cimtpu_serving::ArrivalPattern;
 
@@ -45,8 +53,9 @@ fn main() {
         for s in scenario::headline() {
             println!("  {:<22} {}", s.name, s.description);
         }
-        let s = scenario::smoke_cluster();
-        println!("  {:<22} {}", s.name, s.description);
+        for s in [scenario::smoke_cluster(), scenario::cluster_day_smoke()] {
+            println!("  {:<22} {}", s.name, s.description);
+        }
     }) {
         Ok(flags) => flags,
         Err(e) => {
@@ -96,18 +105,30 @@ fn main() {
 
     // Scenarios are independent simulations: fan them out over the sweep
     // worker pool (results return in scenario order, so output is stable).
+    // Each worker clocks its own scenario, so the wall times feeding
+    // `--perf-json` are per-run driver times even under the fan-out.
     let seed = flags.seed;
-    let results = sweep::parallel_map(&scenarios, |s| s.run(seed));
+    let results = sweep::parallel_map(&scenarios, |s| {
+        let start = std::time::Instant::now();
+        (s.run(seed), start.elapsed().as_secs_f64())
+    });
 
     let mut reports: Vec<ClusterReport> = Vec::new();
+    let mut perf: Vec<PerfRecord> = Vec::new();
     let mut prefix_lines: Vec<(&str, cimtpu_serving::PrefixStats)> = Vec::new();
     let mut failed = false;
-    for (s, result) in scenarios.iter().zip(results) {
+    for (s, (result, wall_s)) in scenarios.iter().zip(results) {
         match result {
             Ok(run) => {
                 if run.prefix.lookups > 0 {
                     prefix_lines.push((s.name, run.prefix));
                 }
+                perf.push(PerfRecord::measure(
+                    s.name,
+                    run.report.offered,
+                    &run.completions,
+                    wall_s,
+                ));
                 reports.push(run.report);
             }
             Err(e) => {
@@ -118,6 +139,16 @@ fn main() {
     }
 
     failed |= cli::emit_reports("cluster_sim", &reports, flags.json.as_deref());
+    // Wall-clock throughput goes to its own sidecar: the numbers are
+    // machine-dependent, so they must never leak into the byte-diffed
+    // `--json` baseline.
+    if let Some(path) = flags.perf_json.as_deref() {
+        let payload = serde_json::to_string_pretty(&perf).expect("perf records serialize");
+        if let Err(e) = std::fs::write(path, payload + "\n") {
+            eprintln!("cluster_sim: writing {path}: {e}");
+            failed = true;
+        }
+    }
     // Prefix-sharing fleets append their cache counters (absent when
     // sharing is off, keeping default output and the JSON shape
     // unchanged).

@@ -55,8 +55,8 @@ use std::collections::HashMap;
 use cimtpu_kv::{KvFootprint, PagedKvAllocator};
 use cimtpu_multi::RingTopology;
 use cimtpu_serving::{
-    ArrivalStream, Completion, EngineSession, Parallelism, PhasePricer, Request, ServingModel,
-    TrafficSpec,
+    ActionHeap, ArrivalStream, Completion, EngineSession, Parallelism, PhasePricer, Request,
+    ServingModel, TrafficSpec,
 };
 use cimtpu_units::{Bandwidth, Bytes, Error, Joules, Result, Seconds};
 
@@ -526,31 +526,33 @@ fn run_disaggregated_plain(
     let mut transfers = KvTransferStats::default();
     let mut completions: Vec<Completion> = Vec::new();
 
+    // One event queue spans both pools: prefill unit `i` owns slot `i`,
+    // decode unit `j` slot `prefill.len() + j`, so the heap's
+    // (time, lowest-slot) order reproduces the old scan's
+    // arrival → prefill → decode, lowest-index tie-break exactly.
+    // Arrivals are compared outside the heap and win ties.
+    let pn = punits.len();
+    let mut heap = ActionHeap::new(pn + dunits.len());
+    for (i, u) in punits.iter().enumerate() {
+        heap.set(i, u.candidate());
+    }
+    for (j, u) in dunits.iter().enumerate() {
+        heap.set(pn + j, u.candidate());
+    }
+    // Router-view scratch, reused across events instead of collected anew.
+    let mut psnaps: Vec<ReplicaSnapshot> = Vec::with_capacity(punits.len());
+    let mut dsnaps: Vec<ReplicaSnapshot> = Vec::with_capacity(dunits.len());
+
     loop {
-        // The earliest event wins; ties go arrival → prefill → decode,
-        // then lowest index — a fixed order, so runs replay exactly.
-        let mut best: Option<(Seconds, u8, usize)> = None;
-        let mut offer = |t: Seconds, class: u8, idx: usize| {
-            if best.is_none_or(|(bt, bc, bi)| {
-                t < bt || (t == bt && (class, idx) < (bc, bi))
-            }) {
-                best = Some((t, class, idx));
+        let unit_at = heap.peek();
+        let chosen: Option<(u8, usize)> = match (stream.peek(), unit_at) {
+            (Some(ta), act) if act.is_none_or(|(_, t)| ta <= t) => Some((0, 0)),
+            (_, Some((slot, _))) => {
+                Some(if slot < pn { (1, slot) } else { (2, slot - pn) })
             }
+            (_, None) => None,
         };
-        if let Some(ta) = stream.peek() {
-            offer(ta, 0, 0);
-        }
-        for (i, u) in punits.iter().enumerate() {
-            if let Some(t) = u.candidate() {
-                offer(t, 1, i);
-            }
-        }
-        for (i, u) in dunits.iter().enumerate() {
-            if let Some(t) = u.candidate() {
-                offer(t, 2, i);
-            }
-        }
-        let Some((_, class, idx)) = best else {
+        let Some((class, idx)) = chosen else {
             if stream.exhausted() {
                 break;
             }
@@ -561,14 +563,14 @@ fn run_disaggregated_plain(
         match class {
             0 => {
                 let request = stream.pop();
-                let snaps: Vec<ReplicaSnapshot> = punits
-                    .iter()
-                    .enumerate()
-                    .map(|(i, u)| u.snapshot(i, p_assigned[i]))
-                    .collect();
-                let k = arouter.route(&request, &snaps).min(punits.len() - 1);
+                psnaps.clear();
+                psnaps.extend(
+                    punits.iter().enumerate().map(|(i, u)| u.snapshot(i, p_assigned[i])),
+                );
+                let k = arouter.route(&request, &psnaps).min(punits.len() - 1);
                 p_assigned[k] += 1;
                 punits[k].queue.push_back(request);
+                heap.set(k, punits[k].candidate());
             }
             1 => {
                 let batch = punits[idx].step()?;
@@ -576,12 +578,11 @@ fn run_disaggregated_plain(
                     // Route the handoff, serialize it on this replica's
                     // egress link, and gate the decode admission on the
                     // target's allocator (via its pending queue).
-                    let snaps: Vec<ReplicaSnapshot> = dunits
-                        .iter()
-                        .enumerate()
-                        .map(|(i, u)| u.snapshot(i, d_assigned[i]))
-                        .collect();
-                    let k = drouter.route(&req, &snaps).min(dunits.len() - 1);
+                    dsnaps.clear();
+                    dsnaps.extend(
+                        dunits.iter().enumerate().map(|(i, u)| u.snapshot(i, d_assigned[i])),
+                    );
+                    let k = drouter.route(&req, &dsnaps).min(dunits.len() - 1);
                     d_assigned[k] += 1;
                     let bytes =
                         full_fp.handoff_bytes(req.prompt_len, punits[idx].alloc.block_tokens());
@@ -596,10 +597,13 @@ fn run_disaggregated_plain(
                         first_token: batch.end,
                         ready: t_end,
                     });
+                    heap.set(pn + k, dunits[k].candidate());
                 }
+                heap.set(idx, punits[idx].candidate());
             }
             _ => {
                 let finished = dunits[idx].step()?;
+                heap.set(pn + idx, dunits[idx].candidate());
                 for c in &finished {
                     stream.on_complete(c);
                 }
@@ -831,15 +835,24 @@ fn run_disaggregated_faulty(
     // (Written as a macro-free block at both call sites below: the borrow
     // sets differ.)
 
+    // One event queue spans both pools (prefill `i` → slot `i`, decode
+    // `j` → slot `pn + j`): its (time, lowest-slot) order reproduces the
+    // old scan's prefill → decode, lowest-index tie-break; the fault /
+    // arrival / retry classes are compared outside and win ties.
+    let pn = punits.len();
+    let mut unit_heap = ActionHeap::new(pn + dunits.len());
+    for (i, u) in punits.iter().enumerate() {
+        unit_heap.set(i, u.candidate());
+    }
+    for (j, u) in dunits.iter().enumerate() {
+        unit_heap.set(pn + j, u.candidate());
+    }
+
     loop {
         // The run is over when nothing can produce or receive work;
         // trailing fault events on an idle fleet are dropped.
-        let punit_candidates: Vec<Option<Seconds>> =
-            punits.iter().map(PrefillUnit::candidate).collect();
-        let dunit_candidates: Vec<Option<Seconds>> =
-            dunits.iter().map(DecodeUnit::candidate).collect();
-        let any_unit = punit_candidates.iter().chain(&dunit_candidates).any(Option::is_some);
-        if stream.exhausted() && waiting.is_empty() && !any_unit {
+        let unit_at = unit_heap.peek();
+        if stream.exhausted() && waiting.is_empty() && unit_at.is_none() {
             break;
         }
 
@@ -872,14 +885,11 @@ fn run_disaggregated_faulty(
         {
             offer(w.fire, 2, i);
         }
-        for (i, t) in punit_candidates.iter().enumerate() {
-            if let Some(t) = t {
-                offer(*t, 3, i);
-            }
-        }
-        for (i, t) in dunit_candidates.iter().enumerate() {
-            if let Some(t) = t {
-                offer(*t, 4, i);
+        if let Some((slot, t)) = unit_at {
+            if slot < pn {
+                offer(t, 3, slot);
+            } else {
+                offer(t, 4, slot - pn);
             }
         }
         let Some((now, class, idx)) = best else {
@@ -972,6 +982,16 @@ fn run_disaggregated_faulty(
                         });
                     }
                 }
+                // A crash empties a decode unit and can unpin caches on
+                // any prefill unit (releases change their admission
+                // starts): refresh every slot. Fault events are rare, so
+                // the `O(fleet)` refresh is off the hot path.
+                for (i, u) in punits.iter().enumerate() {
+                    unit_heap.set(i, u.candidate());
+                }
+                for (j, u) in dunits.iter().enumerate() {
+                    unit_heap.set(pn + j, u.candidate());
+                }
             }
             // Arrival: routes across the (always-healthy) prefill pool.
             1 => {
@@ -985,6 +1005,7 @@ fn run_disaggregated_faulty(
                 let k = arouter.route(&request, &snaps).min(punits.len() - 1);
                 p_assigned[k] += 1;
                 punits[k].queue.push_back(request);
+                unit_heap.set(k, punits[k].candidate());
             }
             // Retry fire: re-handoff, recompute, or repark.
             2 => {
@@ -995,6 +1016,7 @@ fn run_disaggregated_faulty(
                     avail.timed_out += 1;
                     if let Some(p) = item.source {
                         punits[p].alloc.release(r.id);
+                        unit_heap.set(p, punits[p].candidate());
                     }
                     release_client(&mut stream, r.id, orig, now);
                     continue;
@@ -1043,6 +1065,8 @@ fn run_disaggregated_faulty(
                             first_token: item.first_token.unwrap_or(t_end),
                             ready: t_end,
                         });
+                        unit_heap.set(p, punits[p].candidate());
+                        unit_heap.set(pn + k, dunits[k].candidate());
                     }
                     None => {
                         // Recompute: the cache is gone — back through the
@@ -1061,6 +1085,7 @@ fn run_disaggregated_faulty(
                             avail.retries += 1;
                         }
                         punits[k].queue.push_back(rr);
+                        unit_heap.set(k, punits[k].candidate());
                     }
                 }
             }
@@ -1108,11 +1133,14 @@ fn run_disaggregated_faulty(
                         first_token: batch.end,
                         ready: t_end,
                     });
+                    unit_heap.set(pn + k, dunits[k].candidate());
                 }
+                unit_heap.set(idx, punits[idx].candidate());
             }
             // Decode round (atomic: a crash never lands mid-round).
             _ => {
                 let finished = dunits[idx].step()?;
+                unit_heap.set(pn + idx, dunits[idx].candidate());
                 for c in &finished {
                     if attempts_of.get(&c.id).copied().unwrap_or(0) > 0 {
                         avail.retried_ok += 1;
@@ -1222,7 +1250,12 @@ fn run_disaggregated_faulty(
 
 #[cfg(test)]
 mod tests {
+    use cimtpu_core::TpuConfig;
+    use cimtpu_serving::{ArrivalPattern, BatchPolicy, LenDist, PrefixTraffic};
+    use proptest::prelude::*;
+
     use super::*;
+    use crate::fault::ChaosSpec;
 
     #[test]
     fn interconnect_prices_time_and_energy() {
@@ -1247,5 +1280,892 @@ mod tests {
         // A transfer over this spec equals the ring's neighbour p2p time.
         let bytes = Bytes::from_mib(8);
         assert_eq!(link.transfer_time(bytes), ring.p2p_time(bytes));
+    }
+
+    // ------------------------------------------------------------------
+    // Scan oracles: the pre-heap pipeline drivers, kept verbatim so
+    // proptests can pin the heap-scheduled drivers bit-for-bit against
+    // them.
+    // ------------------------------------------------------------------
+
+    /// The zero-fault pipeline as it was before the [`ActionHeap`] port:
+    /// a full scan over every unit's candidate per event, with fresh
+    /// snapshot collects per routing decision.
+    #[allow(clippy::too_many_arguments)] // mirrors the driver it pins
+    fn run_disaggregated_plain_oracle(
+        prefill: &[ReplicaSpec],
+        decode: &[ReplicaSpec],
+        router: RouterPolicy,
+        decode_router: RouterPolicy,
+        interconnect: InterconnectSpec,
+        label: &str,
+        traffic: &TrafficSpec,
+        slo_ms: Option<f64>,
+    ) -> Result<ClusterRun> {
+        let reference = validate_pool_replica(&prefill[0], "prefill")?.clone();
+        let pool_members = prefill
+            .iter()
+            .map(|s| (s, "prefill"))
+            .chain(decode.iter().map(|s| (s, "decode")));
+        for (spec, role) in pool_members {
+            let model = validate_pool_replica(spec, role)?;
+            if *model != reference {
+                return Err(Error::invalid_config(format!(
+                    "disaggregated pools must host one common model: '{}' hosts {}, \
+                     expected {}",
+                    spec.name,
+                    model.name(),
+                    reference.name()
+                )));
+            }
+        }
+        // The cache that crosses the wire is the full (unsharded) footprint,
+        // whatever the pool sharding.
+        let full_fp = KvFootprint::of(&reference);
+
+        let p_sessions: Vec<EngineSession> = prefill
+            .iter()
+            .map(|r| EngineSession::new(&r.engine()?))
+            .collect::<Result<_>>()?;
+        let d_sessions: Vec<EngineSession> = decode
+            .iter()
+            .map(|r| EngineSession::new(&r.engine()?))
+            .collect::<Result<_>>()?;
+        let mut punits: Vec<PrefillUnit<'_>> = p_sessions
+            .iter()
+            .zip(prefill)
+            .map(|(s, spec)| {
+                Ok(PrefillUnit {
+                    pricer: s.pricer(),
+                    alloc: s.allocator()?,
+                    cap: spec.policy.max_concurrency() as usize,
+                    free_at: Seconds::ZERO,
+                    queue: std::collections::VecDeque::new(),
+                    pending_release: Vec::new(),
+                    link_free: Seconds::ZERO,
+                    busy: Seconds::ZERO,
+                    energy: Joules::ZERO,
+                    prefills: 0,
+                })
+            })
+            .collect::<Result<_>>()?;
+        let mut dunits: Vec<DecodeUnit<'_>> = d_sessions
+            .iter()
+            .zip(decode)
+            .map(|(s, spec)| {
+                Ok(DecodeUnit {
+                    pricer: s.pricer(),
+                    alloc: s.allocator()?,
+                    cap: spec.policy.max_concurrency() as usize,
+                    t: Seconds::ZERO,
+                    pending: Vec::new(),
+                    active: Vec::new(),
+                    busy: Seconds::ZERO,
+                    energy: Joules::ZERO,
+                    queue_full: Seconds::ZERO,
+                    completed: 0,
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        let mut stream = ArrivalStream::new(traffic)?;
+        let offered = stream.total();
+        let mut arouter = router.build();
+        let mut drouter = decode_router.build();
+        let mut p_assigned = vec![0u64; prefill.len()];
+        let mut d_assigned = vec![0u64; decode.len()];
+        let mut transfers = KvTransferStats::default();
+        let mut completions: Vec<Completion> = Vec::new();
+
+        loop {
+            // The earliest event wins; ties go arrival → prefill → decode,
+            // then lowest index — a fixed order, so runs replay exactly.
+            let mut best: Option<(Seconds, u8, usize)> = None;
+            let mut offer = |t: Seconds, class: u8, idx: usize| {
+                if best.is_none_or(|(bt, bc, bi)| {
+                    t < bt || (t == bt && (class, idx) < (bc, bi))
+                }) {
+                    best = Some((t, class, idx));
+                }
+            };
+            if let Some(ta) = stream.peek() {
+                offer(ta, 0, 0);
+            }
+            for (i, u) in punits.iter().enumerate() {
+                if let Some(t) = u.candidate() {
+                    offer(t, 1, i);
+                }
+            }
+            for (i, u) in dunits.iter().enumerate() {
+                if let Some(t) = u.candidate() {
+                    offer(t, 2, i);
+                }
+            }
+            let Some((_, class, idx)) = best else {
+                if stream.exhausted() {
+                    break;
+                }
+                return Err(Error::invalid_config(
+                    "disaggregated driver stalled: requests pending but no unit can act",
+                ));
+            };
+            match class {
+                0 => {
+                    let request = stream.pop();
+                    let snaps: Vec<ReplicaSnapshot> = punits
+                        .iter()
+                        .enumerate()
+                        .map(|(i, u)| u.snapshot(i, p_assigned[i]))
+                        .collect();
+                    let k = arouter.route(&request, &snaps).min(punits.len() - 1);
+                    p_assigned[k] += 1;
+                    punits[k].queue.push_back(request);
+                }
+                1 => {
+                    let batch = punits[idx].step()?;
+                    for req in batch.members {
+                        // Route the handoff, serialize it on this replica's
+                        // egress link, and gate the decode admission on the
+                        // target's allocator (via its pending queue).
+                        let snaps: Vec<ReplicaSnapshot> = dunits
+                            .iter()
+                            .enumerate()
+                            .map(|(i, u)| u.snapshot(i, d_assigned[i]))
+                            .collect();
+                        let k = drouter.route(&req, &snaps).min(dunits.len() - 1);
+                        d_assigned[k] += 1;
+                        let bytes =
+                            full_fp.handoff_bytes(req.prompt_len, punits[idx].alloc.block_tokens());
+                        let duration = interconnect.transfer_time(bytes);
+                        let t_start = batch.end.max(punits[idx].link_free);
+                        let t_end = t_start + duration;
+                        punits[idx].link_free = t_end;
+                        punits[idx].pending_release.push((t_end, req.id));
+                        transfers.record(bytes.get(), duration, interconnect.transfer_energy(bytes));
+                        dunits[k].pending.push(PendingDecode {
+                            req,
+                            first_token: batch.end,
+                            ready: t_end,
+                        });
+                    }
+                }
+                _ => {
+                    let finished = dunits[idx].step()?;
+                    for c in &finished {
+                        stream.on_complete(c);
+                    }
+                    completions.extend(finished);
+                }
+            }
+        }
+
+        completions.sort_by_key(|c| c.id);
+        let mut rows = Vec::with_capacity(prefill.len() + decode.len());
+        let mut chip_energy = Joules::ZERO;
+        let mut queue_full_s = 0.0;
+        for (spec, unit) in prefill.iter().zip(&punits) {
+            chip_energy += unit.energy;
+            rows.push(ReplicaUtilization {
+                name: spec.name.clone(),
+                model: spec.model.name().to_owned(),
+                role: "prefill".to_owned(),
+                chips: spec.chips(),
+                requests: unit.prefills,
+                busy_s: unit.busy.get(),
+                utilization: 0.0,
+                energy_j: unit.energy.get(),
+                kv_hwm_frac: unit.alloc.high_water_frac(),
+            });
+        }
+        for (spec, unit) in decode.iter().zip(&dunits) {
+            chip_energy += unit.energy;
+            queue_full_s += unit.queue_full.get();
+            rows.push(ReplicaUtilization {
+                name: spec.name.clone(),
+                model: spec.model.name().to_owned(),
+                role: "decode".to_owned(),
+                chips: spec.chips(),
+                requests: unit.completed,
+                busy_s: unit.busy.get(),
+                utilization: 0.0,
+                energy_j: unit.energy.get(),
+                kv_hwm_frac: unit.alloc.high_water_frac(),
+            });
+        }
+        let report = ClusterReport::build(
+            label,
+            "disaggregated",
+            format!("{}\u{2192}{}", router.name(), decode_router.name()),
+            offered,
+            &completions,
+            chip_energy,
+            0, // worst-case decode reservation: the pools never preempt
+            queue_full_s,
+            transfers,
+            rows,
+            slo_ms,
+            None,
+        );
+        for session in p_sessions.iter().chain(&d_sessions) {
+            session.persist_cache();
+        }
+        Ok(ClusterRun {
+            report,
+            replica_reports: Vec::new(),
+            completions,
+            prefix: cimtpu_serving::PrefixStats::default(),
+        })
+    }
+
+    /// The failure-aware pipeline as it was before the [`ActionHeap`]
+    /// port, scan loop and all.
+    #[allow(clippy::too_many_arguments)] // mirrors the driver it pins
+    #[allow(clippy::too_many_lines)] // verbatim copy of the old driver
+    fn run_disaggregated_faulty_oracle(
+        prefill: &[ReplicaSpec],
+        decode: &[ReplicaSpec],
+        router: RouterPolicy,
+        decode_router: RouterPolicy,
+        interconnect: InterconnectSpec,
+        label: &str,
+        traffic: &TrafficSpec,
+        slo_ms: Option<f64>,
+        plan: &FaultPlan,
+    ) -> Result<ClusterRun> {
+        let recovery = *plan.recovery();
+        // Crash events index the DECODE pool; prefill replicas are the
+        // stateless front of the pipeline here and cannot crash.
+        let mut crash_timeline: Vec<(Seconds, usize, Seconds)> = Vec::new();
+        let mut windows: Vec<(Seconds, Seconds, f64, f64)> = Vec::new();
+        for event in plan.resolve(decode.len())? {
+            match event {
+                FaultEvent::Crash { at, replica, repair } => crash_timeline.push((at, replica, repair)),
+                FaultEvent::DegradedLink { from, until, bandwidth_factor, energy_factor } => {
+                    windows.push((from, until, bandwidth_factor, energy_factor));
+                }
+                FaultEvent::Straggler { .. } => {
+                    return Err(Error::invalid_config(
+                        "straggler faults apply to colocated replicas; disaggregated pools price \
+                         whole phases — degrade the link instead",
+                    ));
+                }
+            }
+        }
+        crash_timeline.sort_by(|a, b| a.0.get().total_cmp(&b.0.get()));
+        let mut next_crash = 0usize;
+
+        let reference = validate_pool_replica(&prefill[0], "prefill")?.clone();
+        let pool_members = prefill
+            .iter()
+            .map(|s| (s, "prefill"))
+            .chain(decode.iter().map(|s| (s, "decode")));
+        for (spec, role) in pool_members {
+            let model = validate_pool_replica(spec, role)?;
+            if *model != reference {
+                return Err(Error::invalid_config(format!(
+                    "disaggregated pools must host one common model: '{}' hosts {}, \
+                     expected {}",
+                    spec.name,
+                    model.name(),
+                    reference.name()
+                )));
+            }
+        }
+        let full_fp = KvFootprint::of(&reference);
+
+        let p_sessions: Vec<EngineSession> = prefill
+            .iter()
+            .map(|r| EngineSession::new(&r.engine()?))
+            .collect::<Result<_>>()?;
+        let d_sessions: Vec<EngineSession> = decode
+            .iter()
+            .map(|r| EngineSession::new(&r.engine()?))
+            .collect::<Result<_>>()?;
+        let mut punits: Vec<PrefillUnit<'_>> = p_sessions
+            .iter()
+            .zip(prefill)
+            .map(|(s, spec)| {
+                Ok(PrefillUnit {
+                    pricer: s.pricer(),
+                    alloc: s.allocator()?,
+                    cap: spec.policy.max_concurrency() as usize,
+                    free_at: Seconds::ZERO,
+                    queue: std::collections::VecDeque::new(),
+                    pending_release: Vec::new(),
+                    link_free: Seconds::ZERO,
+                    busy: Seconds::ZERO,
+                    energy: Joules::ZERO,
+                    prefills: 0,
+                })
+            })
+            .collect::<Result<_>>()?;
+        let mut dunits: Vec<DecodeUnit<'_>> = d_sessions
+            .iter()
+            .zip(decode)
+            .map(|(s, spec)| {
+                Ok(DecodeUnit {
+                    pricer: s.pricer(),
+                    alloc: s.allocator()?,
+                    cap: spec.policy.max_concurrency() as usize,
+                    t: Seconds::ZERO,
+                    pending: Vec::new(),
+                    active: Vec::new(),
+                    busy: Seconds::ZERO,
+                    energy: Joules::ZERO,
+                    queue_full: Seconds::ZERO,
+                    completed: 0,
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        let mut stream = ArrivalStream::new(traffic)?;
+        let offered = stream.total();
+        let mut arouter = router.build();
+        let mut drouter = decode_router.build();
+        let mut p_assigned = vec![0u64; prefill.len()];
+        let mut d_assigned = vec![0u64; decode.len()];
+        let mut transfers = KvTransferStats::default();
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut dhealth = HealthView::all_up(decode.len());
+        let mut waiting: Vec<DisaggRetry> = Vec::new();
+        let mut origin: HashMap<u64, f64> = HashMap::new();
+        let mut attempts_of: HashMap<u64, u32> = HashMap::new();
+        let mut avail = AvailabilityStats::zero();
+        let mut crash_log: Vec<DisaggCrash> = Vec::new();
+
+        // Transfer cost at `t_start`, with every open degraded-link window
+        // applied: wire time divided by the bandwidth factor (the hop stands),
+        // energy multiplied by the energy factor.
+        let priced_transfer = |t_start: Seconds, bytes: Bytes| -> (Seconds, Joules) {
+            let base = interconnect.transfer_time(bytes);
+            let mut bw = 1.0;
+            let mut en = 1.0;
+            for &(from, until, b, e) in &windows {
+                if t_start >= from && t_start < until {
+                    bw *= b;
+                    en *= e;
+                }
+            }
+            let duration = if bw == 1.0 {
+                base
+            } else {
+                interconnect.hop_latency
+                    + Seconds::new((base - interconnect.hop_latency).get() / bw)
+            };
+            (duration, Joules::new(interconnect.transfer_energy(bytes).get() * en))
+        };
+
+        // Hands one finished-prefill request off to a decode replica (a fresh
+        // handoff or a re-handoff): serializes on the source's egress link,
+        // holds the source cache until the transfer ends, and enqueues on the
+        // routed target. Returns the ready time.
+        // (Written as a macro-free block at both call sites below: the borrow
+        // sets differ.)
+
+        loop {
+            // The run is over when nothing can produce or receive work;
+            // trailing fault events on an idle fleet are dropped.
+            let punit_candidates: Vec<Option<Seconds>> =
+                punits.iter().map(PrefillUnit::candidate).collect();
+            let dunit_candidates: Vec<Option<Seconds>> =
+                dunits.iter().map(DecodeUnit::candidate).collect();
+            let any_unit = punit_candidates.iter().chain(&dunit_candidates).any(Option::is_some);
+            if stream.exhausted() && waiting.is_empty() && !any_unit {
+                break;
+            }
+
+            // Earliest event wins; ties resolve fault → arrival → retry →
+            // prefill → decode, then lowest index.
+            let mut best: Option<(Seconds, u8, usize)> = None;
+            let mut offer = |t: Seconds, class: u8, idx: usize| {
+                if best.is_none_or(|(bt, bc, bi)| t < bt || (t == bt && (class, idx) < (bc, bi))) {
+                    best = Some((t, class, idx));
+                }
+            };
+            let scripted = (next_crash < crash_timeline.len()).then(|| crash_timeline[next_crash].0);
+            match (scripted, dhealth.next_transition()) {
+                (Some(a), Some(b)) => offer(a.min(b), 0, 0),
+                (Some(a), None) => offer(a, 0, 0),
+                (None, Some(b)) => offer(b, 0, 0),
+                (None, None) => {}
+            }
+            if let Some(ta) = stream.peek() {
+                offer(ta, 1, 0);
+            }
+            if let Some((i, w)) = waiting
+                .iter()
+                .enumerate()
+                .min_by(|(ai, a), (bi, b)| {
+                    (a.fire.get(), a.request.id, *ai)
+                        .partial_cmp(&(b.fire.get(), b.request.id, *bi))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+            {
+                offer(w.fire, 2, i);
+            }
+            for (i, t) in punit_candidates.iter().enumerate() {
+                if let Some(t) = t {
+                    offer(*t, 3, i);
+                }
+            }
+            for (i, t) in dunit_candidates.iter().enumerate() {
+                if let Some(t) = t {
+                    offer(*t, 4, i);
+                }
+            }
+            let Some((now, class, idx)) = best else {
+                if stream.exhausted() {
+                    break;
+                }
+                return Err(Error::invalid_config(
+                    "disaggregated driver stalled: requests pending but no unit can act",
+                ));
+            };
+            match class {
+                // Faults: restores first, then crashes due now.
+                0 => {
+                    dhealth.advance(now, recovery.warmup);
+                    for rec in crash_log.iter_mut() {
+                        if rec.up_again.is_none() && dhealth.is_up(rec.replica) {
+                            rec.up_again = Some(now);
+                        }
+                    }
+                    while next_crash < crash_timeline.len() && crash_timeline[next_crash].0 <= now {
+                        let (_, replica, repair) = crash_timeline[next_crash];
+                        next_crash += 1;
+                        if matches!(dhealth.state(replica), ReplicaHealth::Down { .. }) {
+                            continue; // already down: nothing left to kill
+                        }
+                        // Everything resident on or inbound to the replica is
+                        // lost; the allocator empties (high-water survives).
+                        let mut lost: Vec<(Request, Seconds)> = Vec::new();
+                        for p in dunits[replica].pending.drain(..) {
+                            lost.push((p.req, p.first_token));
+                        }
+                        for s in dunits[replica].active.drain(..) {
+                            lost.push((s.req, s.first_token));
+                        }
+                        dunits[replica].alloc.release_all();
+                        dhealth.mark_down(replica, now + repair);
+                        avail.crashes += 1;
+                        crash_log.push(DisaggCrash {
+                            replica,
+                            at: now,
+                            up_again: None,
+                            first_completion: None,
+                        });
+                        for (r, ft) in lost {
+                            // Where is the cache now? If the source prefill
+                            // replica has not released the blocks yet, pin
+                            // them and re-handoff (transfer-only — always
+                            // cheaper than recompute + transfer); otherwise
+                            // the prompt recomputes through the prefill pool.
+                            let mut source = None;
+                            for (pi, pu) in punits.iter_mut().enumerate() {
+                                if let Some(pos) = pu
+                                    .pending_release
+                                    .iter()
+                                    .position(|&(t, id)| id == r.id && t > now)
+                                {
+                                    pu.pending_release.remove(pos);
+                                    source = Some(pi);
+                                    break;
+                                }
+                            }
+                            let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
+                            let attempts = attempts_of.get(&r.id).copied().unwrap_or(0) + 1;
+                            let drop_blocks =
+                                |punits: &mut Vec<PrefillUnit<'_>>, source: Option<usize>| {
+                                    if let Some(p) = source {
+                                        punits[p].alloc.release(r.id);
+                                    }
+                                };
+                            if attempts > recovery.max_attempts {
+                                avail.shed += 1;
+                                drop_blocks(&mut punits, source);
+                                release_client(&mut stream, r.id, orig, now);
+                                continue;
+                            }
+                            let fire = now + recovery.backoff_for(attempts);
+                            if fire.get() > orig + recovery.deadline.get() {
+                                avail.timed_out += 1;
+                                drop_blocks(&mut punits, source);
+                                release_client(&mut stream, r.id, orig, now);
+                                continue;
+                            }
+                            attempts_of.insert(r.id, attempts);
+                            waiting.push(DisaggRetry {
+                                fire,
+                                request: r,
+                                attempts,
+                                source,
+                                first_token: source.is_some().then_some(ft),
+                            });
+                        }
+                    }
+                }
+                // Arrival: routes across the (always-healthy) prefill pool.
+                1 => {
+                    let request = stream.pop();
+                    origin.insert(request.id, request.arrival_s);
+                    let snaps: Vec<ReplicaSnapshot> = punits
+                        .iter()
+                        .enumerate()
+                        .map(|(i, u)| u.snapshot(i, p_assigned[i]))
+                        .collect();
+                    let k = arouter.route(&request, &snaps).min(punits.len() - 1);
+                    p_assigned[k] += 1;
+                    punits[k].queue.push_back(request);
+                }
+                // Retry fire: re-handoff, recompute, or repark.
+                2 => {
+                    let item = waiting.remove(idx);
+                    let r = item.request;
+                    let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
+                    if now.get() > orig + recovery.deadline.get() {
+                        avail.timed_out += 1;
+                        if let Some(p) = item.source {
+                            punits[p].alloc.release(r.id);
+                        }
+                        release_client(&mut stream, r.id, orig, now);
+                        continue;
+                    }
+                    match item.source {
+                        Some(p) => {
+                            let up = dhealth.up_replicas();
+                            if up.is_empty() {
+                                // Whole decode pool down: park until the next
+                                // repair finishes (no retry charged).
+                                let fire = dhealth.next_transition().ok_or_else(|| {
+                                    Error::internal(
+                                        "every decode replica is down and none is scheduled to \
+                                         restart",
+                                    )
+                                })?;
+                                waiting.push(DisaggRetry { fire, ..item });
+                                continue;
+                            }
+                            let snaps: Vec<ReplicaSnapshot> = up
+                                .iter()
+                                .enumerate()
+                                .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k]))
+                                .collect();
+                            let pos = drouter.route(&r, &snaps).min(up.len() - 1);
+                            let k = up[pos];
+                            d_assigned[k] += 1;
+                            if item.attempts > 0 {
+                                avail.retries += 1;
+                            }
+                            let bytes =
+                                full_fp.handoff_bytes(r.prompt_len, punits[p].alloc.block_tokens());
+                            let t_start = now.max(punits[p].link_free);
+                            let (duration, energy) = priced_transfer(t_start, bytes);
+                            let t_end = t_start + duration;
+                            punits[p].link_free = t_end;
+                            // The source cache is held until the re-transfer
+                            // lands, then released as usual.
+                            punits[p].pending_release.push((t_end, r.id));
+                            punits[p].pending_release.sort_by(|a, b| {
+                                a.0.get().total_cmp(&b.0.get()).then(a.1.cmp(&b.1))
+                            });
+                            transfers.record(bytes.get(), duration, energy);
+                            dunits[k].pending.push(PendingDecode {
+                                req: r,
+                                first_token: item.first_token.unwrap_or(t_end),
+                                ready: t_end,
+                            });
+                        }
+                        None => {
+                            // Recompute: the cache is gone — back through the
+                            // prefill pool; admission restarts at the fire
+                            // time, TTFT is re-earned.
+                            let snaps: Vec<ReplicaSnapshot> = punits
+                                .iter()
+                                .enumerate()
+                                .map(|(i, u)| u.snapshot(i, p_assigned[i]))
+                                .collect();
+                            let mut rr = r;
+                            rr.arrival_s = now.get();
+                            let k = arouter.route(&rr, &snaps).min(punits.len() - 1);
+                            p_assigned[k] += 1;
+                            if item.attempts > 0 {
+                                avail.retries += 1;
+                            }
+                            punits[k].queue.push_back(rr);
+                        }
+                    }
+                }
+                // Prefill batch: hand each member off (or park it if the
+                // whole decode pool is down).
+                3 => {
+                    let batch = punits[idx].step()?;
+                    for req in batch.members {
+                        let up = dhealth.up_replicas();
+                        if up.is_empty() {
+                            let fire = dhealth.next_transition().ok_or_else(|| {
+                                Error::internal(
+                                    "every decode replica is down and none is scheduled to restart",
+                                )
+                            })?;
+                            // The cache stays resident at the source (no
+                            // release is scheduled until a transfer is).
+                            waiting.push(DisaggRetry {
+                                fire,
+                                request: req,
+                                attempts: attempts_of.get(&req.id).copied().unwrap_or(0),
+                                source: Some(idx),
+                                first_token: Some(batch.end),
+                            });
+                            continue;
+                        }
+                        let snaps: Vec<ReplicaSnapshot> = up
+                            .iter()
+                            .enumerate()
+                            .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k]))
+                            .collect();
+                        let pos = drouter.route(&req, &snaps).min(up.len() - 1);
+                        let k = up[pos];
+                        d_assigned[k] += 1;
+                        let bytes =
+                            full_fp.handoff_bytes(req.prompt_len, punits[idx].alloc.block_tokens());
+                        let t_start = batch.end.max(punits[idx].link_free);
+                        let (duration, energy) = priced_transfer(t_start, bytes);
+                        let t_end = t_start + duration;
+                        punits[idx].link_free = t_end;
+                        punits[idx].pending_release.push((t_end, req.id));
+                        transfers.record(bytes.get(), duration, energy);
+                        dunits[k].pending.push(PendingDecode {
+                            req,
+                            first_token: batch.end,
+                            ready: t_end,
+                        });
+                    }
+                }
+                // Decode round (atomic: a crash never lands mid-round).
+                _ => {
+                    let finished = dunits[idx].step()?;
+                    for c in &finished {
+                        if attempts_of.get(&c.id).copied().unwrap_or(0) > 0 {
+                            avail.retried_ok += 1;
+                        }
+                        for rec in crash_log.iter_mut() {
+                            if rec.replica == idx
+                                && rec.first_completion.is_none()
+                                && c.finish > rec.at
+                            {
+                                rec.first_completion = Some(c.finish);
+                            }
+                        }
+                        stream.on_complete(c);
+                    }
+                    completions.extend(finished);
+                }
+            }
+        }
+
+        // Recomputed requests were re-admitted at their retry fire time;
+        // report latency against the original arrival.
+        for c in &mut completions {
+            if let Some(orig) = origin.get(&c.id) {
+                c.arrival = Seconds::new(*orig);
+            }
+        }
+        completions.sort_by_key(|c| c.id);
+        debug_assert_eq!(
+            completions.len() as u64 + avail.shed + avail.timed_out,
+            offered,
+            "request conservation: arrived == completed + shed + timed out"
+        );
+
+        let finish = completions.iter().map(|c| c.finish).fold(Seconds::ZERO, Seconds::max);
+        let first_arrival = completions.iter().map(|c| c.arrival).fold(finish, Seconds::min);
+        let makespan = (finish - first_arrival).get().max(f64::MIN_POSITIVE);
+        let fleet = (prefill.len() + decode.len()) as f64;
+        let mut downtime = 0.0;
+        for rec in &crash_log {
+            let clip = |t: f64| t.clamp(first_arrival.get(), finish.get());
+            let start = clip(rec.at.get());
+            let end = clip(rec.up_again.map_or(finish.get(), |u| u.get()));
+            downtime += (end - start).max(0.0);
+            avail
+                .time_to_recover_s
+                .push((rec.first_completion.unwrap_or(finish).get() - rec.at.get()).max(0.0));
+        }
+        avail.downtime_s = downtime;
+        avail.availability = (1.0 - downtime / (fleet * makespan)).clamp(0.0, 1.0);
+
+        let mut rows = Vec::with_capacity(prefill.len() + decode.len());
+        let mut chip_energy = Joules::ZERO;
+        let mut queue_full_s = 0.0;
+        for (spec, unit) in prefill.iter().zip(&punits) {
+            chip_energy += unit.energy;
+            rows.push(ReplicaUtilization {
+                name: spec.name.clone(),
+                model: spec.model.name().to_owned(),
+                role: "prefill".to_owned(),
+                chips: spec.chips(),
+                requests: unit.prefills,
+                busy_s: unit.busy.get(),
+                utilization: 0.0,
+                energy_j: unit.energy.get(),
+                kv_hwm_frac: unit.alloc.high_water_frac(),
+            });
+        }
+        for (spec, unit) in decode.iter().zip(&dunits) {
+            chip_energy += unit.energy;
+            queue_full_s += unit.queue_full.get();
+            rows.push(ReplicaUtilization {
+                name: spec.name.clone(),
+                model: spec.model.name().to_owned(),
+                role: "decode".to_owned(),
+                chips: spec.chips(),
+                requests: unit.completed,
+                busy_s: unit.busy.get(),
+                utilization: 0.0,
+                energy_j: unit.energy.get(),
+                kv_hwm_frac: unit.alloc.high_water_frac(),
+            });
+        }
+        let report = ClusterReport::build(
+            label,
+            "disaggregated",
+            format!("{}\u{2192}{}", router.name(), decode_router.name()),
+            offered,
+            &completions,
+            chip_energy,
+            0, // worst-case decode reservation: the pools never preempt
+            queue_full_s,
+            transfers,
+            rows,
+            slo_ms,
+            Some(avail),
+        );
+        for session in p_sessions.iter().chain(&d_sessions) {
+            session.persist_cache();
+        }
+        Ok(ClusterRun {
+            report,
+            replica_reports: Vec::new(),
+            completions,
+            prefix: cimtpu_serving::PrefixStats::default(),
+        })
+    }
+
+    fn tiny() -> ServingModel {
+        ServingModel::Llm(cimtpu_serving::scenario::tiny_transformer())
+    }
+
+    /// A small heterogeneous pool: two prefill replicas with different
+    /// admission caps feeding two decode replicas.
+    fn pools() -> (Vec<ReplicaSpec>, Vec<ReplicaSpec>) {
+        (
+            vec![
+                ReplicaSpec::new("p-0", TpuConfig::tpuv4i(), tiny())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 4 }),
+                ReplicaSpec::new("p-1", TpuConfig::tpuv4i(), tiny())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 2 }),
+            ],
+            vec![
+                ReplicaSpec::new("d-0", TpuConfig::tpuv4i(), tiny())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 4 }),
+                ReplicaSpec::new("d-1", TpuConfig::tpuv4i(), tiny())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 4 }),
+            ],
+        )
+    }
+
+    fn traffics(seed: u64) -> [TrafficSpec; 2] {
+        let base = TrafficSpec {
+            requests: 16,
+            arrival: ArrivalPattern::OpenLoop { rate_rps: 4_000.0 },
+            prompt: LenDist::Uniform { lo: 16, hi: 48 },
+            steps: LenDist::Uniform { lo: 4, hi: 12 },
+            prefix: PrefixTraffic::None,
+            seed,
+        };
+        [
+            base,
+            TrafficSpec {
+                arrival: ArrivalPattern::ClosedLoop { clients: 3, think_ms: 1.0 },
+                ..base
+            },
+        ]
+    }
+
+    /// Arrival-router → decode-router pairings under test.
+    const PAIRS: [(RouterPolicy, RouterPolicy); 4] = [
+        (RouterPolicy::RoundRobin, RouterPolicy::LeastKv),
+        (RouterPolicy::LeastOutstanding, RouterPolicy::LeastOutstanding),
+        (RouterPolicy::PassThrough, RouterPolicy::RoundRobin),
+        (RouterPolicy::SessionAffinity, RouterPolicy::LeastOutstanding),
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        /// The heap-scheduled zero-fault pipeline replays the scan
+        /// oracle bit-for-bit for every router pairing, in open and
+        /// closed loop.
+        #[test]
+        fn heap_plain_matches_scan_oracle(seed in 0u64..1_000) {
+            let (prefill, decode) = pools();
+            for traffic in traffics(seed) {
+                for (ap, dp) in PAIRS {
+                    let fast = run_disaggregated_plain(
+                        &prefill, &decode, ap, dp, InterconnectSpec::ici(), "eq", &traffic,
+                        Some(50.0),
+                    )
+                    .unwrap();
+                    let slow = run_disaggregated_plain_oracle(
+                        &prefill, &decode, ap, dp, InterconnectSpec::ici(), "eq", &traffic,
+                        Some(50.0),
+                    )
+                    .unwrap();
+                    prop_assert_eq!(&fast, &slow, "{}→{}", ap.name(), dp.name());
+                }
+            }
+        }
+
+        /// The heap-scheduled failure-aware pipeline replays the scan
+        /// oracle bit-for-bit under a scripted decode crash + degraded
+        /// link window and under seeded chaos.
+        #[test]
+        fn heap_faulty_matches_scan_oracle(seed in 0u64..1_000) {
+            let (prefill, decode) = pools();
+            let scripted = FaultPlan::none()
+                .with_event(FaultEvent::Crash {
+                    at: Seconds::new(0.000_4),
+                    replica: 0,
+                    repair: Seconds::new(0.002),
+                })
+                .with_event(FaultEvent::DegradedLink {
+                    from: Seconds::new(0.000_2),
+                    until: Seconds::new(0.003),
+                    bandwidth_factor: 0.5,
+                    energy_factor: 1.5,
+                });
+            let chaos = FaultPlan::seeded(seed ^ 0xD15A6).with_chaos(ChaosSpec {
+                crashes: 2,
+                window: (Seconds::new(0.000_2), Seconds::new(0.003)),
+                repair: Seconds::new(0.002),
+            });
+            for traffic in traffics(seed) {
+                for plan in [&scripted, &chaos] {
+                    for (ap, dp) in PAIRS {
+                        let fast = run_disaggregated_faulty(
+                            &prefill, &decode, ap, dp, InterconnectSpec::ici(), "eq",
+                            &traffic, None, plan,
+                        )
+                        .unwrap();
+                        let slow = run_disaggregated_faulty_oracle(
+                            &prefill, &decode, ap, dp, InterconnectSpec::ici(), "eq",
+                            &traffic, None, plan,
+                        )
+                        .unwrap();
+                        prop_assert_eq!(&fast, &slow, "{}→{}", ap.name(), dp.name());
+                    }
+                }
+            }
+        }
     }
 }

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use cimtpu_serving::{
-    drive, ArrivalStream, Completion, EngineCore, EngineSession, PrefixStats, Request,
-    ServingReport, TrafficSpec,
+    drive_with, ActionHeap, ArrivalStream, Completion, DriveHooks, EngineCore, EngineSession,
+    PrefixStats, Request, ServingReport, TrafficSpec,
 };
 use cimtpu_units::{Error, Joules, Result, Seconds};
 
@@ -12,7 +12,9 @@ use crate::disagg::{run_disaggregated, InterconnectSpec};
 use crate::fault::{AvailabilityStats, FaultEvent, FaultPlan};
 use crate::replica::ReplicaSpec;
 use crate::report::{ClusterReport, KvTransferStats, ReplicaUtilization};
-use crate::router::{HealthView, ReplicaHealth, ReplicaSnapshot, RouterPolicy};
+use crate::router::{
+    HealthView, ReplicaHealth, ReplicaSnapshot, Router, RouterPolicy, SnapshotTracker,
+};
 
 /// How the fleet's replicas divide the serving pipeline.
 #[derive(Debug, Clone)]
@@ -201,19 +203,37 @@ impl ClusterEngine {
     }
 }
 
-/// Builds router snapshots of every core at arrival instant `t`.
-fn snapshots(cores: &[EngineCore<'_>], t: cimtpu_units::Seconds, assigned: &[u64]) -> Vec<ReplicaSnapshot> {
-    cores
-        .iter()
-        .enumerate()
-        .map(|(index, core)| ReplicaSnapshot {
-            index,
-            outstanding: core.outstanding_at(t),
-            queued: core.queued(),
-            kv_frac: core.kv_frac(),
-            assigned: assigned[index],
-        })
-        .collect()
+/// [`DriveHooks`] for the zero-fault colocated fleet: routes each
+/// arrival over a [`SnapshotTracker`]'s incrementally-maintained fleet
+/// view instead of rebuilding every [`ReplicaSnapshot`] — with its
+/// `O(completions)` `outstanding_at` scan per replica — at every
+/// arrival. The tracker-vs-rebuild equivalence is proptested in this
+/// module's tests.
+struct ColocatedHooks {
+    router: Box<dyn Router>,
+    tracker: SnapshotTracker,
+}
+
+impl DriveHooks for ColocatedHooks {
+    fn route(&mut self, request: &Request, cores: &[EngineCore<'_>]) -> usize {
+        let t = request.arrival();
+        if t < self.tracker.now() {
+            // A stall flush launched work in the past and re-armed a
+            // closed-loop client below the tracker's clock: rebuild.
+            self.tracker.resync(t, cores);
+        } else {
+            self.tracker.advance_to(t);
+        }
+        self.router.route(request, self.tracker.snapshots())
+    }
+
+    fn on_push(&mut self, k: usize, cores: &[EngineCore<'_>]) {
+        self.tracker.on_push(k, cores[k].queued());
+    }
+
+    fn on_step(&mut self, k: usize, cores: &[EngineCore<'_>], new: &[Completion]) {
+        self.tracker.on_step(k, cores[k].queued(), cores[k].kv_frac(), new);
+    }
 }
 
 fn run_colocated(
@@ -231,15 +251,15 @@ fn run_colocated(
         sessions.iter().map(EngineSession::core).collect::<Result<_>>()?;
     let mut stream = ArrivalStream::new(traffic)?;
     let offered = stream.total();
-    let mut router = policy.build();
-    let mut assigned = vec![0u64; replicas.len()];
 
-    drive(&mut cores, &mut stream, |request, cores| {
-        let snaps = snapshots(cores, request.arrival(), &assigned);
-        let k = router.route(request, &snaps).min(cores.len() - 1);
-        assigned[k] += 1;
-        k
-    })?;
+    drive_with(
+        &mut cores,
+        &mut stream,
+        ColocatedHooks {
+            router: policy.build(),
+            tracker: SnapshotTracker::new(replicas.len()),
+        },
+    )?;
 
     let mut completions: Vec<Completion> = Vec::new();
     let mut chip_energy = Joules::ZERO;
@@ -460,19 +480,21 @@ fn run_colocated_faulty(
     let mut crash_log: Vec<CrashRecord> = Vec::new();
     let mut accum: Vec<ReplicaAccum> = (0..n).map(|_| ReplicaAccum::default()).collect();
 
+    // The step-event queue: one slot per replica, keyed by the core's
+    // next-action time (`None` while the replica is down). Every
+    // core-mutating event below refreshes the owning slot, so the heap
+    // minimum always matches what a fresh `O(replicas)` scan over the
+    // non-stale cores would pick — same time, same lowest-index
+    // tie-break (pinned against the scan oracle by this module's
+    // proptests).
+    let mut step_heap = ActionHeap::new(n);
+    for (i, core) in cores.iter().enumerate() {
+        step_heap.set(i, core.next_action());
+    }
+
     loop {
         // Candidate events, classes in tie-break order.
-        let mut step_at: Option<(usize, Seconds)> = None;
-        for (i, core) in cores.iter().enumerate() {
-            if stale[i] {
-                continue;
-            }
-            if let Some(t) = core.next_action() {
-                if step_at.is_none_or(|(_, best)| t < best) {
-                    step_at = Some((i, t));
-                }
-            }
-        }
+        let step_at = step_heap.peek();
         let delivery_at: Option<(usize, Seconds)> = deliveries
             .iter()
             .enumerate()
@@ -532,7 +554,8 @@ fn run_colocated_faulty(
                     continue;
                 }
                 if core.flush_stalled()? {
-                    for c in core.drain_new().to_vec() {
+                    step_heap.set(i, core.next_action());
+                    for &c in core.drain_new() {
                         deliveries.push((i, c));
                     }
                     progressed = true;
@@ -563,6 +586,7 @@ fn run_colocated_faulty(
                     if exhausted_closed {
                         cores[k].close();
                     }
+                    step_heap.set(k, cores[k].next_action());
                 }
                 for rec in crash_log.iter_mut() {
                     if rec.up_again.is_none() && health.is_up(rec.replica) {
@@ -581,6 +605,7 @@ fn run_colocated_faulty(
                             let lost = cores[replica].crash(now);
                             accum[replica].harvest(&cores[replica]);
                             stale[replica] = true;
+                            step_heap.set(replica, None);
                             health.mark_down(replica, now + repair);
                             avail.crashes += 1;
                             crash_log.push(CrashRecord {
@@ -616,12 +641,14 @@ fn run_colocated_faulty(
                             slowdown[replica] = factor;
                             if !stale[replica] {
                                 cores[replica].set_slowdown(factor);
+                                step_heap.set(replica, cores[replica].next_action());
                             }
                         }
                         FaultAction::SlowEnd { replica } => {
                             slowdown[replica] = 1.0;
                             if !stale[replica] {
                                 cores[replica].set_slowdown(1.0);
+                                step_heap.set(replica, cores[replica].next_action());
                             }
                         }
                     }
@@ -639,6 +666,7 @@ fn run_colocated_faulty(
                     for (i, core) in cores.iter_mut().enumerate() {
                         if !stale[i] {
                             core.close();
+                            step_heap.set(i, core.next_action());
                         }
                     }
                 }
@@ -732,13 +760,15 @@ fn run_colocated_faulty(
                 } else {
                     cores[k].push(pushed);
                 }
+                step_heap.set(k, cores[k].next_action());
             }
             // Engine step; completions become pending deliveries.
             _ => {
                 let (i, _) =
                     step_at.ok_or_else(|| Error::internal("class 4 implies a steppable core"))?;
                 cores[i].step()?;
-                for c in cores[i].drain_new().to_vec() {
+                step_heap.set(i, cores[i].next_action());
+                for &c in cores[i].drain_new() {
                     deliveries.push((i, c));
                 }
             }
@@ -818,4 +848,614 @@ fn run_colocated_faulty(
     // Per-incarnation ServingReports are not meaningful across crashes:
     // fault runs report the fleet aggregate only.
     Ok(ClusterRun { report, replica_reports: Vec::new(), completions: delivered, prefix })
+}
+
+#[cfg(test)]
+mod tests {
+    use cimtpu_core::TpuConfig;
+    use cimtpu_serving::{
+        drive, ArrivalPattern, BatchPolicy, LenDist, PrefixTraffic, ServingModel,
+    };
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::fault::ChaosSpec;
+
+    // ------------------------------------------------------------------
+    // Scan oracles: the pre-heap drivers, kept verbatim so proptests can
+    // pin the heap-scheduled drivers bit-for-bit against them.
+    // ------------------------------------------------------------------
+
+    /// Pre-refactor router view: rebuilds every replica's snapshot (with
+    /// an `O(completions)` `outstanding_at` scan each) at instant `t`.
+    fn snapshots(cores: &[EngineCore<'_>], t: Seconds, assigned: &[u64]) -> Vec<ReplicaSnapshot> {
+        cores
+            .iter()
+            .enumerate()
+            .map(|(index, core)| ReplicaSnapshot {
+                index,
+                outstanding: core.outstanding_at(t),
+                queued: core.queued(),
+                kv_frac: core.kv_frac(),
+                assigned: assigned[index],
+            })
+            .collect()
+    }
+
+    /// The zero-fault colocated driver as it was before the
+    /// [`SnapshotTracker`] port: per-arrival snapshot rebuilds over the
+    /// (already heap-scheduled) [`drive`] loop.
+    fn run_colocated_oracle(
+        replicas: &[ReplicaSpec],
+        policy: RouterPolicy,
+        label: &str,
+        traffic: &TrafficSpec,
+        slo_ms: Option<f64>,
+    ) -> Result<ClusterRun> {
+        let sessions: Vec<EngineSession> = replicas
+            .iter()
+            .map(|r| EngineSession::new(&r.engine()?))
+            .collect::<Result<_>>()?;
+        let mut cores: Vec<EngineCore<'_>> =
+            sessions.iter().map(EngineSession::core).collect::<Result<_>>()?;
+        let mut stream = ArrivalStream::new(traffic)?;
+        let offered = stream.total();
+        let mut router = policy.build();
+        let mut assigned = vec![0u64; replicas.len()];
+
+        drive(&mut cores, &mut stream, |request, cores| {
+            let snaps = snapshots(cores, request.arrival(), &assigned);
+            let k = router.route(request, &snaps).min(cores.len() - 1);
+            assigned[k] += 1;
+            k
+        })?;
+
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut chip_energy = Joules::ZERO;
+        let mut preemptions = 0;
+        let mut queue_full_s = 0.0;
+        let mut prefix = cimtpu_serving::PrefixStats::default();
+        let mut rows = Vec::with_capacity(replicas.len());
+        let mut replica_reports = Vec::new();
+        for (spec, core) in replicas.iter().zip(&cores) {
+            let memory = core.memory_stats();
+            preemptions += memory.preemptions;
+            queue_full_s += memory.queue_full_s;
+            prefix.absorb(&core.prefix_stats());
+            chip_energy += core.energy();
+            completions.extend_from_slice(core.completions());
+            rows.push(ReplicaUtilization {
+                name: spec.name.clone(),
+                model: spec.model.name().to_owned(),
+                role: "serve".to_owned(),
+                chips: spec.chips(),
+                requests: core.completions().len() as u64,
+                busy_s: core.busy().get(),
+                utilization: 0.0, // filled against the fleet makespan
+                energy_j: core.energy().get(),
+                kv_hwm_frac: memory.kv_hwm_frac,
+            });
+            if !core.completions().is_empty() {
+                replica_reports.push(core.finish(&spec.name).report);
+            }
+        }
+        completions.sort_by_key(|c| c.id);
+        let report = ClusterReport::build(
+            label,
+            "colocated",
+            policy.name().to_owned(),
+            offered,
+            &completions,
+            chip_energy,
+            preemptions,
+            queue_full_s,
+            KvTransferStats::default(),
+            rows,
+            slo_ms,
+            None,
+        );
+        for session in &sessions {
+            session.persist_cache();
+        }
+        Ok(ClusterRun { report, replica_reports, completions, prefix })
+    }
+
+    /// The failure-aware colocated driver as it was before the
+    /// [`ActionHeap`] port: the step event re-derived by an `O(replicas)`
+    /// scan over the non-stale cores at every loop iteration.
+    #[allow(clippy::too_many_lines)]
+    fn run_colocated_faulty_oracle(
+        replicas: &[ReplicaSpec],
+        policy: RouterPolicy,
+        label: &str,
+        traffic: &TrafficSpec,
+        slo_ms: Option<f64>,
+        plan: &FaultPlan,
+    ) -> Result<ClusterRun> {
+        let recovery = *plan.recovery();
+        let mut timeline: Vec<(Seconds, FaultAction)> = Vec::new();
+        for event in plan.resolve(replicas.len())? {
+            match event {
+                FaultEvent::Crash { at, replica, repair } => {
+                    timeline.push((at, FaultAction::Crash { replica, repair }));
+                }
+                FaultEvent::Straggler { replica, from, until, slowdown } => {
+                    timeline.push((from, FaultAction::SlowStart { replica, factor: slowdown }));
+                    timeline.push((until, FaultAction::SlowEnd { replica }));
+                }
+                FaultEvent::DegradedLink { .. } => {
+                    return Err(Error::invalid_config(
+                        "degraded-link faults apply to the disaggregated interconnect; \
+                         a colocated fleet has no handoff link",
+                    ));
+                }
+            }
+        }
+        timeline.sort_by(|a, b| a.0.get().total_cmp(&b.0.get()));
+        let mut next_fault = 0usize;
+
+        let sessions: Vec<EngineSession> = replicas
+            .iter()
+            .map(|r| EngineSession::new(&r.engine()?))
+            .collect::<Result<_>>()?;
+        let mut cores: Vec<EngineCore<'_>> =
+            sessions.iter().map(EngineSession::core).collect::<Result<_>>()?;
+        let mut stream = ArrivalStream::new(traffic)?;
+        let offered = stream.total();
+        let mut router = policy.build();
+        let n = replicas.len();
+        let mut assigned = vec![0u64; n];
+        let mut health = HealthView::all_up(n);
+        let mut stale = vec![false; n];
+        let mut slowdown = vec![1.0f64; n];
+        let mut last_push = vec![f64::NEG_INFINITY; n];
+        let mut exhausted_closed = false;
+
+        let mut delivered: Vec<Completion> = Vec::new();
+        let mut deliveries: Vec<(usize, Completion)> = Vec::new();
+        let mut delivered_by = vec![0u64; n];
+        let mut waiting: Vec<WaitingRetry> = Vec::new();
+        let mut origin: HashMap<u64, f64> = HashMap::new();
+        let mut attempts_of: HashMap<u64, u32> = HashMap::new();
+        let mut avail = AvailabilityStats::zero();
+        let mut crash_log: Vec<CrashRecord> = Vec::new();
+        let mut accum: Vec<ReplicaAccum> = (0..n).map(|_| ReplicaAccum::default()).collect();
+
+        loop {
+            let mut step_at: Option<(usize, Seconds)> = None;
+            for (i, core) in cores.iter().enumerate() {
+                if stale[i] {
+                    continue;
+                }
+                if let Some(t) = core.next_action() {
+                    if step_at.is_none_or(|(_, best)| t < best) {
+                        step_at = Some((i, t));
+                    }
+                }
+            }
+            let delivery_at: Option<(usize, Seconds)> = deliveries
+                .iter()
+                .enumerate()
+                .min_by(|(ai, a), (bi, b)| {
+                    a.1.finish.get().total_cmp(&b.1.finish.get()).then(ai.cmp(bi))
+                })
+                .map(|(i, d)| (i, d.1.finish));
+            let retry_at: Option<usize> = waiting
+                .iter()
+                .enumerate()
+                .min_by(|(ai, a), (bi, b)| {
+                    let ka = (a.fire.get(), a.request.arrival_s, a.request.id);
+                    let kb = (b.fire.get(), b.request.arrival_s, b.request.id);
+                    ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal).then(ai.cmp(bi))
+                })
+                .map(|(i, _)| i);
+            let fault_at: Option<Seconds> = {
+                let scripted = (next_fault < timeline.len()).then(|| timeline[next_fault].0);
+                match (scripted, health.next_transition()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
+            };
+            let arrival_at = stream.peek();
+
+            if stream.exhausted()
+                && waiting.is_empty()
+                && deliveries.is_empty()
+                && step_at.is_none()
+            {
+                break;
+            }
+
+            let candidates = [
+                (fault_at, 0u8),
+                (arrival_at, 1),
+                (delivery_at.map(|(_, t)| t), 2),
+                (retry_at.map(|i| waiting[i].fire), 3),
+                (step_at.map(|(_, t)| t), 4),
+            ];
+            let mut chosen: Option<(Seconds, u8)> = None;
+            for (t, class) in candidates {
+                if let Some(t) = t {
+                    if chosen.is_none_or(|(bt, _)| t < bt) {
+                        chosen = Some((t, class));
+                    }
+                }
+            }
+            let Some((now, class)) = chosen else {
+                let mut progressed = false;
+                for (i, core) in cores.iter_mut().enumerate() {
+                    if stale[i] {
+                        continue;
+                    }
+                    if core.flush_stalled()? {
+                        for c in core.drain_new().to_vec() {
+                            deliveries.push((i, c));
+                        }
+                        progressed = true;
+                        break;
+                    }
+                }
+                if !progressed {
+                    return Err(Error::invalid_config(
+                        "serving driver stalled: closed-loop clients wait on completions \
+                         no engine can produce",
+                    ));
+                }
+                continue;
+            };
+
+            match class {
+                0 => {
+                    for k in health.advance(now, recovery.warmup) {
+                        cores[k] = sessions[k].core()?;
+                        stale[k] = false;
+                        last_push[k] = f64::NEG_INFINITY;
+                        if slowdown[k] != 1.0 {
+                            cores[k].set_slowdown(slowdown[k]);
+                        }
+                        if exhausted_closed {
+                            cores[k].close();
+                        }
+                    }
+                    for rec in crash_log.iter_mut() {
+                        if rec.up_again.is_none() && health.is_up(rec.replica) {
+                            rec.up_again = Some(now);
+                        }
+                    }
+                    while next_fault < timeline.len() && timeline[next_fault].0 <= now {
+                        let (_, action) = timeline[next_fault];
+                        next_fault += 1;
+                        match action {
+                            FaultAction::Crash { replica, repair } => {
+                                if matches!(health.state(replica), ReplicaHealth::Down { .. }) {
+                                    continue;
+                                }
+                                let lost = cores[replica].crash(now);
+                                accum[replica].harvest(&cores[replica]);
+                                stale[replica] = true;
+                                health.mark_down(replica, now + repair);
+                                avail.crashes += 1;
+                                crash_log.push(CrashRecord {
+                                    replica,
+                                    at: now,
+                                    up_again: None,
+                                    first_completion: None,
+                                });
+                                let lost_ids: Vec<u64> = lost.iter().map(|r| r.id).collect();
+                                deliveries
+                                    .retain(|(k, c)| *k != replica || !lost_ids.contains(&c.id));
+                                for r in lost {
+                                    let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
+                                    let attempts =
+                                        attempts_of.get(&r.id).copied().unwrap_or(0) + 1;
+                                    if attempts > recovery.max_attempts {
+                                        avail.shed += 1;
+                                        release_client(&mut stream, r.id, orig, now);
+                                        continue;
+                                    }
+                                    let fire = now + recovery.backoff_for(attempts);
+                                    if fire.get() > orig + recovery.deadline.get() {
+                                        avail.timed_out += 1;
+                                        release_client(&mut stream, r.id, orig, now);
+                                        continue;
+                                    }
+                                    attempts_of.insert(r.id, attempts);
+                                    waiting.push(WaitingRetry { fire, request: r, attempts });
+                                }
+                            }
+                            FaultAction::SlowStart { replica, factor } => {
+                                slowdown[replica] = factor;
+                                if !stale[replica] {
+                                    cores[replica].set_slowdown(factor);
+                                }
+                            }
+                            FaultAction::SlowEnd { replica } => {
+                                slowdown[replica] = 1.0;
+                                if !stale[replica] {
+                                    cores[replica].set_slowdown(1.0);
+                                }
+                            }
+                        }
+                    }
+                }
+                1 => {
+                    let request = stream.pop();
+                    origin.insert(request.id, request.arrival_s);
+                    waiting.push(WaitingRetry { fire: now, request, attempts: 0 });
+                    if stream.exhausted() {
+                        exhausted_closed = true;
+                        for (i, core) in cores.iter_mut().enumerate() {
+                            if !stale[i] {
+                                core.close();
+                            }
+                        }
+                    }
+                }
+                2 => {
+                    let (idx, _) = delivery_at
+                        .ok_or_else(|| Error::internal("class 2 implies a pending delivery"))?;
+                    let (k, mut c) = deliveries.remove(idx);
+                    if let Some(orig) = origin.get(&c.id) {
+                        c.arrival = Seconds::new(*orig);
+                    }
+                    if attempts_of.get(&c.id).copied().unwrap_or(0) > 0 {
+                        avail.retried_ok += 1;
+                    }
+                    stream.on_complete(&c);
+                    delivered_by[k] += 1;
+                    for rec in crash_log.iter_mut() {
+                        if rec.replica == k && rec.first_completion.is_none() && c.finish > rec.at
+                        {
+                            rec.first_completion = Some(c.finish);
+                        }
+                    }
+                    delivered.push(c);
+                }
+                3 => {
+                    let idx = retry_at
+                        .ok_or_else(|| Error::internal("class 3 implies a waiting request"))?;
+                    let item = waiting.remove(idx);
+                    let r = item.request;
+                    let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
+                    if now.get() > orig + recovery.deadline.get() {
+                        avail.timed_out += 1;
+                        release_client(&mut stream, r.id, orig, now);
+                        continue;
+                    }
+                    let up = health.up_replicas();
+                    if up.is_empty() {
+                        let fire = health.next_transition().ok_or_else(|| {
+                            Error::internal(
+                                "every replica is down and none is scheduled to restart",
+                            )
+                        })?;
+                        waiting.push(WaitingRetry { fire, ..item });
+                        continue;
+                    }
+                    if let Some(threshold) = recovery.shed_outstanding {
+                        if up.iter().all(|&k| cores[k].outstanding_at(now) >= threshold) {
+                            let key = (orig, r.id);
+                            let mut doomed = vec![(r.id, orig)];
+                            waiting.retain(|w| {
+                                let worig =
+                                    *origin.get(&w.request.id).unwrap_or(&w.request.arrival_s);
+                                if (worig, w.request.id) <= key {
+                                    doomed.push((w.request.id, worig));
+                                    false
+                                } else {
+                                    true
+                                }
+                            });
+                            for (id, worig) in doomed {
+                                avail.shed += 1;
+                                release_client(&mut stream, id, worig, now);
+                            }
+                            continue;
+                        }
+                    }
+                    let snaps = healthy_snapshots(&cores, &up, now, &assigned);
+                    let pos = router.route(&r, &snaps).min(up.len() - 1);
+                    let k = up[pos];
+                    assigned[k] += 1;
+                    if item.attempts > 0 {
+                        avail.retries += 1;
+                    }
+                    let mut pushed = r;
+                    pushed.arrival_s = if item.attempts > 0 { now.get() } else { r.arrival_s };
+                    pushed.arrival_s = pushed.arrival_s.max(last_push[k]);
+                    last_push[k] = pushed.arrival_s;
+                    if exhausted_closed {
+                        cores[k].reopen();
+                        cores[k].push(pushed);
+                        cores[k].close();
+                    } else {
+                        cores[k].push(pushed);
+                    }
+                }
+                _ => {
+                    let (i, _) = step_at
+                        .ok_or_else(|| Error::internal("class 4 implies a steppable core"))?;
+                    cores[i].step()?;
+                    for c in cores[i].drain_new().to_vec() {
+                        deliveries.push((i, c));
+                    }
+                }
+            }
+        }
+
+        for (k, core) in cores.iter().enumerate() {
+            if !stale[k] {
+                accum[k].harvest(core);
+            }
+        }
+        delivered.sort_by_key(|c| c.id);
+        debug_assert_eq!(
+            delivered.len() as u64 + avail.shed + avail.timed_out,
+            offered,
+            "request conservation: arrived == completed + shed + timed out"
+        );
+
+        let finish = delivered.iter().map(|c| c.finish).fold(Seconds::ZERO, Seconds::max);
+        let first_arrival = delivered.iter().map(|c| c.arrival).fold(finish, Seconds::min);
+        let makespan = (finish - first_arrival).get().max(f64::MIN_POSITIVE);
+        let mut downtime = 0.0;
+        for rec in &crash_log {
+            let clip = |t: f64| t.clamp(first_arrival.get(), finish.get());
+            let start = clip(rec.at.get());
+            let end = clip(rec.up_again.map_or(finish.get(), |u| u.get()));
+            downtime += (end - start).max(0.0);
+            avail
+                .time_to_recover_s
+                .push((rec.first_completion.unwrap_or(finish).get() - rec.at.get()).max(0.0));
+        }
+        avail.downtime_s = downtime;
+        avail.availability = (1.0 - downtime / (n as f64 * makespan)).clamp(0.0, 1.0);
+
+        let mut chip_energy = Joules::ZERO;
+        let mut preemptions = 0;
+        let mut queue_full_s = 0.0;
+        let mut prefix = PrefixStats::default();
+        let mut rows = Vec::with_capacity(n);
+        for (k, spec) in replicas.iter().enumerate() {
+            let a = &accum[k];
+            chip_energy += Joules::new(a.energy_j);
+            preemptions += a.preemptions;
+            queue_full_s += a.queue_full_s;
+            prefix.absorb(&a.prefix);
+            rows.push(ReplicaUtilization {
+                name: spec.name.clone(),
+                model: spec.model.name().to_owned(),
+                role: "serve".to_owned(),
+                chips: spec.chips(),
+                requests: delivered_by[k],
+                busy_s: a.busy_s,
+                utilization: 0.0, // filled against the fleet makespan
+                energy_j: a.energy_j,
+                kv_hwm_frac: a.kv_hwm,
+            });
+        }
+        let report = ClusterReport::build(
+            label,
+            "colocated",
+            policy.name().to_owned(),
+            offered,
+            &delivered,
+            chip_energy,
+            preemptions,
+            queue_full_s,
+            KvTransferStats::default(),
+            rows,
+            slo_ms,
+            Some(avail),
+        );
+        for session in &sessions {
+            session.persist_cache();
+        }
+        Ok(ClusterRun { report, replica_reports: Vec::new(), completions: delivered, prefix })
+    }
+
+    // ------------------------------------------------------------------
+    // Equivalence proptests: heap-scheduled drivers == scan oracles.
+    // ------------------------------------------------------------------
+
+    fn tiny() -> ServingModel {
+        ServingModel::Llm(cimtpu_serving::scenario::tiny_transformer())
+    }
+
+    /// A three-replica fleet mixing batching policies (continuous,
+    /// static, dynamic) so the equivalence runs cross every scheduler
+    /// state machine, including the static stall-flush path.
+    fn mixed_fleet() -> Vec<ReplicaSpec> {
+        vec![
+            ReplicaSpec::new("cont", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 4 }),
+            ReplicaSpec::new("stat", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Static { batch: 2 }),
+            ReplicaSpec::new("dyn", TpuConfig::design_a(), tiny())
+                .with_policy(BatchPolicy::Dynamic { max_batch: 4, max_wait_ms: 0.5 }),
+        ]
+    }
+
+    fn traffics(seed: u64) -> [TrafficSpec; 2] {
+        let base = TrafficSpec {
+            requests: 24,
+            arrival: ArrivalPattern::OpenLoop { rate_rps: 4_000.0 },
+            prompt: LenDist::Uniform { lo: 8, hi: 48 },
+            steps: LenDist::Uniform { lo: 2, hi: 10 },
+            prefix: PrefixTraffic::None,
+            seed,
+        };
+        let closed = TrafficSpec {
+            arrival: ArrivalPattern::ClosedLoop { clients: 5, think_ms: 0.2 },
+            ..base
+        };
+        [base, closed]
+    }
+
+    const POLICIES: [RouterPolicy; 6] = [
+        RouterPolicy::PassThrough,
+        RouterPolicy::RoundRobin,
+        RouterPolicy::LeastOutstanding,
+        RouterPolicy::LeastKv,
+        RouterPolicy::SessionAffinity,
+        RouterPolicy::PrefixAffinity,
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        /// The tracker-routed zero-fault driver replays the per-arrival
+        /// snapshot rebuild bit-for-bit, for every router policy and
+        /// both open- and closed-loop traffic.
+        #[test]
+        fn tracked_colocated_matches_rebuild_oracle(seed in 0u64..1_000) {
+            let fleet = mixed_fleet();
+            for traffic in traffics(seed) {
+                for policy in POLICIES {
+                    let fast = run_colocated(&fleet, policy, "eq", &traffic, Some(50.0)).unwrap();
+                    let slow =
+                        run_colocated_oracle(&fleet, policy, "eq", &traffic, Some(50.0)).unwrap();
+                    prop_assert_eq!(&fast, &slow, "policy {}", policy.name());
+                }
+            }
+        }
+
+        /// The heap-scheduled failure-aware driver replays the scan
+        /// oracle bit-for-bit under scripted crashes + a straggler
+        /// window and under seeded chaos, for every router policy.
+        #[test]
+        fn heap_faulty_matches_scan_oracle(seed in 0u64..1_000) {
+            let fleet = mixed_fleet();
+            let scripted = FaultPlan::none()
+                .with_event(FaultEvent::Crash {
+                    at: Seconds::new(0.000_4),
+                    replica: 0,
+                    repair: Seconds::new(0.001),
+                })
+                .with_event(FaultEvent::Straggler {
+                    replica: 2,
+                    from: Seconds::new(0.000_2),
+                    until: Seconds::new(0.002),
+                    slowdown: 3.0,
+                });
+            let chaos = FaultPlan::seeded(seed ^ 0xFA417).with_chaos(ChaosSpec {
+                crashes: 2,
+                window: (Seconds::new(0.000_2), Seconds::new(0.003)),
+                repair: Seconds::new(0.002),
+            });
+            for traffic in traffics(seed) {
+                for plan in [&scripted, &chaos] {
+                    for policy in POLICIES {
+                        let fast =
+                            run_colocated_faulty(&fleet, policy, "eq", &traffic, None, plan)
+                                .unwrap();
+                        let slow =
+                            run_colocated_faulty_oracle(&fleet, policy, "eq", &traffic, None, plan)
+                                .unwrap();
+                        prop_assert_eq!(&fast, &slow, "policy {}", policy.name());
+                    }
+                }
+            }
+        }
+    }
 }

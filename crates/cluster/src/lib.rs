@@ -138,5 +138,5 @@ pub use fault::{
     parse_faults, AvailabilityStats, ChaosSpec, FaultEvent, FaultPlan, RecoveryPolicy,
 };
 pub use replica::ReplicaSpec;
-pub use report::{ClusterReport, KvTransferStats, ReplicaUtilization};
+pub use report::{ClusterReport, KvTransferStats, PerfRecord, ReplicaUtilization};
 pub use router::{HealthView, ReplicaHealth, ReplicaSnapshot, Router, RouterPolicy};

@@ -32,6 +32,51 @@ impl KvTransferStats {
     }
 }
 
+/// Wall-clock driver-throughput record for one scenario run — the
+/// `--perf-json` sidecar the perf-smoke CI check reads.
+///
+/// Everything here is measured against the **host clock**, not simulated
+/// time: `requests_per_second` is how fast the discrete-event driver
+/// chews through offered requests on this machine. Wall times vary
+/// across machines, so these records live in their own file
+/// (`BENCH_cluster_perf.json`) and are never part of the byte-diffed
+/// `BENCH_cluster.json` baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfRecord {
+    /// Scenario / run label.
+    pub label: String,
+    /// Requests offered by the traffic spec.
+    pub offered: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Generation steps simulated.
+    pub steps: u64,
+    /// Host wall-clock time the run took, in seconds.
+    pub wall_s: f64,
+    /// Completed requests per wall-clock second.
+    pub requests_per_second: f64,
+    /// Generation steps per wall-clock second.
+    pub steps_per_second: f64,
+}
+
+impl PerfRecord {
+    /// Builds the record from a finished run's completions and the
+    /// driver's measured wall time.
+    pub fn measure(label: &str, offered: u64, completions: &[Completion], wall_s: f64) -> Self {
+        let wall = wall_s.max(f64::MIN_POSITIVE);
+        let steps: u64 = completions.iter().map(|c| c.steps).sum();
+        PerfRecord {
+            label: label.to_owned(),
+            offered,
+            completed: completions.len() as u64,
+            steps,
+            wall_s,
+            requests_per_second: completions.len() as f64 / wall,
+            steps_per_second: steps as f64 / wall,
+        }
+    }
+}
+
 /// One replica's row in the fleet report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReplicaUtilization {
@@ -471,6 +516,21 @@ mod tests {
         assert!(text.contains("1 crash(es)"), "{text}");
         let back: ClusterReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn perf_record_measures_wall_rates() {
+        let rec = PerfRecord::measure("t", 3, &[c(0, 0.0, 0.5, 1.0), c(1, 0.0, 1.5, 4.0)], 0.5);
+        assert_eq!(rec.offered, 3);
+        assert_eq!(rec.completed, 2);
+        assert_eq!(rec.steps, 20);
+        assert!((rec.requests_per_second - 4.0).abs() < 1e-12);
+        assert!((rec.steps_per_second - 40.0).abs() < 1e-12);
+        // Degenerate wall times stay finite.
+        assert!(PerfRecord::measure("t", 0, &[], 0.0).requests_per_second.is_finite());
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: PerfRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
     }
 
     #[test]

@@ -48,7 +48,10 @@
 //! routable again. Affinity hashes mod the healthy count, so sessions
 //! fail over while a replica is out and may re-home when it returns.
 
-use cimtpu_serving::Request;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cimtpu_serving::{Completion, EngineCore, Request};
 use cimtpu_units::Seconds;
 
 /// What a router sees about one replica at a routing instant.
@@ -271,12 +274,18 @@ pub enum ReplicaHealth {
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthView {
     states: Vec<ReplicaHealth>,
+    /// Maintained min over every non-`Up` replica's `until` — a function
+    /// of `states`, updated on [`mark_down`](HealthView::mark_down) and
+    /// recomputed on [`advance`](HealthView::advance), so
+    /// [`next_transition`](HealthView::next_transition) is `O(1)` on the
+    /// fault-aware drivers' per-event path.
+    next: Option<Seconds>,
 }
 
 impl HealthView {
     /// Every replica up.
     pub fn all_up(replicas: usize) -> Self {
-        HealthView { states: vec![ReplicaHealth::Up; replicas] }
+        HealthView { states: vec![ReplicaHealth::Up; replicas], next: None }
     }
 
     /// The replica's current state.
@@ -292,19 +301,27 @@ impl HealthView {
     /// Marks a replica down (crashed); it restarts at `restart_at`.
     pub fn mark_down(&mut self, replica: usize, restart_at: Seconds) {
         self.states[replica] = ReplicaHealth::Down { until: restart_at };
+        self.next = Some(self.next.map_or(restart_at, |t| t.min(restart_at)));
     }
 
     /// The earliest pending transition (a restart or a warmup end), if
     /// any replica is not up — the driver schedules a timeline event
     /// there.
     pub fn next_transition(&self) -> Option<Seconds> {
-        self.states
+        self.next
+    }
+
+    /// Recomputes the maintained transition min from scratch (after
+    /// `advance` moved states around).
+    fn recompute_next(&mut self) {
+        self.next = self
+            .states
             .iter()
             .filter_map(|s| match s {
                 ReplicaHealth::Up => None,
                 ReplicaHealth::Down { until } | ReplicaHealth::Warming { until } => Some(*until),
             })
-            .reduce(Seconds::min)
+            .reduce(Seconds::min);
     }
 
     /// Applies every transition due at or before `now` (in replica-index
@@ -327,12 +344,161 @@ impl HealthView {
                 }
             }
         }
+        self.recompute_next();
         restarted
     }
 
     /// Indices of routable replicas, ascending.
     pub fn up_replicas(&self) -> Vec<usize> {
         (0..self.states.len()).filter(|&i| self.is_up(i)).collect()
+    }
+}
+
+/// A completion's finish time ordered by `total_cmp` (times are never NaN
+/// in a healthy run, but an ordering that cannot panic keeps the expiry
+/// heap total).
+#[derive(Debug, Clone, Copy)]
+struct FinishKey(f64);
+
+impl PartialEq for FinishKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for FinishKey {}
+impl PartialOrd for FinishKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FinishKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Incrementally-maintained router snapshots for the zero-fault colocated
+/// driver: the `O(1)`-per-event replacement for rebuilding a
+/// [`ReplicaSnapshot`] vector (with an `O(completions)`
+/// `outstanding_at` scan per replica) at every arrival.
+///
+/// The tracker exploits the identity `outstanding_at(t) = pushed −
+/// #{completions with finish ≤ t}`: it counts pushes up and expires
+/// scheduled completions through a global `(finish, replica)` min-heap as
+/// routing time advances. Routing instants are nondecreasing in the
+/// discrete-event loop (each arrival is the earliest pending event when
+/// it routes), so expiry is a forward-only sweep — with one exception: a
+/// stall flush launches a static batch *in the past* (its start is the
+/// batch's own arrival window, which can predate already-routed
+/// arrivals), and the flushed completions can re-arm closed-loop clients
+/// below the tracker's clock. The driver handles that rare case by
+/// [`resync`](SnapshotTracker::resync)ing from the cores' completion
+/// ledgers instead of advancing. `queued` and `kv_frac` are refreshed
+/// from the replica's own `O(1)`/`O(chips)` getters after each event
+/// that can move them.
+#[derive(Debug)]
+pub struct SnapshotTracker {
+    snaps: Vec<ReplicaSnapshot>,
+    /// Scheduled completions not yet counted out of `outstanding`.
+    expiry: BinaryHeap<Reverse<(FinishKey, usize)>>,
+    /// The last routing instant (monotone; debug-asserted).
+    now: Seconds,
+}
+
+impl SnapshotTracker {
+    /// A tracker over `replicas` idle replicas.
+    pub fn new(replicas: usize) -> Self {
+        SnapshotTracker {
+            snaps: (0..replicas)
+                .map(|index| ReplicaSnapshot {
+                    index,
+                    outstanding: 0,
+                    queued: 0,
+                    kv_frac: 0.0,
+                    assigned: 0,
+                })
+                .collect(),
+            expiry: BinaryHeap::new(),
+            now: Seconds::ZERO,
+        }
+    }
+
+    /// The last routing instant.
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Moves routing time forward to `t`: completions with `finish <= t`
+    /// stop counting as outstanding, matching
+    /// [`outstanding_at`](cimtpu_serving::EngineCore::outstanding_at)'s
+    /// strict `finish > t` rule. `t` must not precede
+    /// [`now`](SnapshotTracker::now) — rewind with
+    /// [`resync`](SnapshotTracker::resync) instead.
+    pub fn advance_to(&mut self, t: Seconds) {
+        debug_assert!(t >= self.now, "routing instants regressed: {t:?} < {:?}", self.now);
+        self.now = t;
+        while let Some(&Reverse((FinishKey(finish), k))) = self.expiry.peek() {
+            if finish > t.get() {
+                break;
+            }
+            self.expiry.pop();
+            self.snaps[k].outstanding -= 1;
+        }
+    }
+
+    /// The current per-replica snapshots (valid for the instant last
+    /// passed to [`advance_to`](SnapshotTracker::advance_to)).
+    pub fn snapshots(&self) -> &[ReplicaSnapshot] {
+        &self.snaps
+    }
+
+    /// Rewinds routing time to `t < now` by rebuilding the outstanding
+    /// sets from the cores' completion ledgers — the slow exact path for
+    /// the one event that moves routing instants backwards (a stall
+    /// flush, see the type docs). `O(total completions)`, paid only when
+    /// a regression actually happens; `assigned` counts are preserved
+    /// (they are cumulative, not time-indexed).
+    pub fn resync(&mut self, t: Seconds, cores: &[EngineCore<'_>]) {
+        self.now = t;
+        self.expiry.clear();
+        for (k, core) in cores.iter().enumerate() {
+            let s = &mut self.snaps[k];
+            s.outstanding = core.outstanding_at(t);
+            s.queued = core.queued();
+            s.kv_frac = core.kv_frac();
+            for c in core.completions() {
+                if c.finish > t {
+                    self.expiry.push(Reverse((FinishKey(c.finish.get()), k)));
+                }
+            }
+        }
+    }
+
+    /// Records a request pushed into replica `k` (whose queue depth is
+    /// now `queued`).
+    pub fn on_push(&mut self, k: usize, queued: u64) {
+        let s = &mut self.snaps[k];
+        s.assigned += 1;
+        s.outstanding += 1;
+        s.queued = queued;
+    }
+
+    /// Records a scheduling step on replica `k`: refreshed queue depth
+    /// and KV occupancy, plus the completions the step scheduled (each
+    /// stays outstanding until routing time passes its finish).
+    pub fn on_step(&mut self, k: usize, queued: u64, kv_frac: f64, new: &[Completion]) {
+        let s = &mut self.snaps[k];
+        s.queued = queued;
+        s.kv_frac = kv_frac;
+        for c in new {
+            if c.finish.get() > self.now.get() {
+                self.expiry.push(Reverse((FinishKey(c.finish.get()), k)));
+            } else {
+                // Already in the past at the current routing instant:
+                // it would expire on the next advance anyway.
+                s.outstanding -= 1;
+            }
+        }
     }
 }
 

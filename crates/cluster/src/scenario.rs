@@ -86,9 +86,11 @@ fn closed_loop_point(
 /// The headline scenarios: a heterogeneous small+large-chip fleet, a
 /// two-model fleet under session-skewed traffic, disaggregated
 /// prefill/decode versus colocated at matched hardware, a closed-loop
-/// saturation sweep (2 → 8 → 32 clients on one tiny fleet), and the
+/// saturation sweep (2 → 8 → 32 clients on one tiny fleet), the
 /// chaos set (seeded crashes, a straggler window, a degraded handoff
-/// link) exercising the failure-aware drivers.
+/// link) exercising the failure-aware drivers, and the `cluster-day`
+/// scale point (10M requests over 100 replicas) exercising the
+/// heap-scheduled event core.
 pub fn headline() -> Vec<Scenario> {
     let disagg_traffic = TrafficSpec {
         requests: 24,
@@ -265,7 +267,67 @@ pub fn headline() -> Vec<Scenario> {
             })),
             traffic: chaos_traffic(),
         },
+        // Appended last: the BENCH_cluster.json baseline grows at the
+        // end, leaving every pre-existing entry byte-identical.
+        cluster_day(),
     ]
+}
+
+/// The million-request scale point: `cluster-day` offers ten million
+/// closed-loop requests (a thousand clients on ~8.6 s think time — about
+/// one simulated day of traffic) to a 100-replica tiny fleet. The
+/// round-robin router keeps routing O(1), so the run measures the
+/// discrete-event core itself; `cluster_sim --perf-json` records how
+/// fast the driver chews through it in wall clock.
+fn cluster_day_point(
+    name: &'static str,
+    description: &'static str,
+    requests: u64,
+) -> Scenario {
+    let replicas = (0..100)
+        .map(|i| {
+            ReplicaSpec::new(format!("day-{i:02}"), TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 8 })
+        })
+        .collect();
+    Scenario {
+        name,
+        description,
+        engine: ClusterEngine::colocated(replicas, RouterPolicy::RoundRobin)
+            .expect("static fleet is valid"),
+        traffic: TrafficSpec {
+            requests,
+            arrival: ArrivalPattern::ClosedLoop { clients: 1000, think_ms: 8640.0 },
+            prompt: LenDist::Uniform { lo: 16, hi: 48 },
+            steps: LenDist::Uniform { lo: 2, hi: 6 },
+            prefix: PrefixTraffic::None,
+            seed: 0xC1A0,
+        },
+    }
+}
+
+/// The headline `cluster-day` scenario: 10M requests over 100 replicas.
+fn cluster_day() -> Scenario {
+    cluster_day_point(
+        "cluster-day",
+        "a simulated day of traffic: 10M closed-loop requests (1000 clients) \
+         over a 100-replica tiny fleet, round-robin routing",
+        10_000_000,
+    )
+}
+
+/// The CI perf-smoke scenario: `cluster-day` at 1/40 the request count
+/// (same fleet, same clients), small enough for every CI run. The
+/// perf-smoke check replays it twice for the determinism diff and reads
+/// the `--perf-json` sidecar against the committed
+/// `requests_per_second` floor.
+pub fn cluster_day_smoke() -> Scenario {
+    cluster_day_point(
+        "cluster-day-smoke",
+        "cluster-day at 1/40 scale: 250k closed-loop requests over the same \
+         100-replica fleet (CI perf floor + determinism check)",
+        250_000,
+    )
 }
 
 /// The chaos testbed: two identical tiny replicas behind
@@ -379,6 +441,9 @@ pub fn by_name(name: &str) -> Result<Scenario> {
     if name == "smoke-cluster" {
         return Ok(smoke_cluster());
     }
+    if name == "cluster-day-smoke" {
+        return Ok(cluster_day_smoke());
+    }
     headline()
         .into_iter()
         .find(|s| s.name == name)
@@ -395,7 +460,24 @@ mod tests {
             assert_eq!(by_name(s.name).unwrap().name, s.name);
         }
         assert_eq!(by_name("smoke-cluster").unwrap().name, "smoke-cluster");
+        assert_eq!(by_name("cluster-day-smoke").unwrap().name, "cluster-day-smoke");
         assert!(by_name("nope").is_err());
+    }
+
+    #[test]
+    fn cluster_day_fleet_completes_everything_deterministically() {
+        // The full cluster-day point is a release-binary benchmark; the
+        // unit test drives the same 100-replica fleet at a debug-friendly
+        // request count.
+        let tiny_day = cluster_day_point("day-tiny", "", 2_000);
+        let a = tiny_day.run(None).unwrap();
+        assert_eq!(a.report.completed, 2_000);
+        assert_eq!(a.report.replicas, 100);
+        // Round-robin spreads a light closed loop evenly.
+        assert!(a.report.imbalance < 1.5, "imbalance {}", a.report.imbalance);
+        let b = tiny_day.run(None).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.completions, b.completions);
     }
 
     #[test]

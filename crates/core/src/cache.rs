@@ -536,6 +536,43 @@ mod tests {
     }
 
     #[test]
+    fn two_shard_saves_match_one_process() {
+        // The sharded-sweep workflow (`repro_all --shard i/n` over a
+        // shared CIMTPU_CACHE_DIR): each shard warm-starts from the
+        // directory, prices its slice, and merge-saves. Two shards over
+        // disjoint slices must leave byte-identical files to one process
+        // pricing everything.
+        let sharded = temp_cache_dir("two-shards");
+        let whole = temp_cache_dir("one-process");
+
+        let s0 = MappingCache::for_config(&TpuConfig::tpuv4i());
+        s0.load_from_dir(&sharded).unwrap();
+        for m in [8, 32] {
+            s0.get_or_try_insert(key(m), || Ok(full_cost(m as f64 / 3.0))).unwrap();
+        }
+        s0.save_to_dir(&sharded).unwrap();
+
+        let s1 = MappingCache::for_config(&TpuConfig::tpuv4i());
+        s1.load_from_dir(&sharded).unwrap();
+        for m in [16, 64] {
+            s1.get_or_try_insert(key(m), || Ok(full_cost(m as f64 / 3.0))).unwrap();
+        }
+        s1.save_to_dir(&sharded).unwrap();
+
+        let one = MappingCache::for_config(&TpuConfig::tpuv4i());
+        for m in [8, 16, 32, 64] {
+            one.get_or_try_insert(key(m), || Ok(full_cost(m as f64 / 3.0))).unwrap();
+        }
+        one.save_to_dir(&whole).unwrap();
+
+        let a = std::fs::read_to_string(one.persist_path(&sharded)).unwrap();
+        let b = std::fs::read_to_string(one.persist_path(&whole)).unwrap();
+        assert_eq!(a, b, "sharded merge differs from the one-process file");
+        let _ = std::fs::remove_dir_all(&sharded);
+        let _ = std::fs::remove_dir_all(&whole);
+    }
+
+    #[test]
     fn different_fingerprints_use_different_files() {
         let dir = temp_cache_dir("fingerprints");
         let v4i = MappingCache::for_config(&TpuConfig::tpuv4i());

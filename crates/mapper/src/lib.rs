@@ -63,6 +63,15 @@ use cimtpu_units::{Cycles, DataType, Error, Frequency, GemmShape, Result, Second
 pub trait TileCostModel {
     /// Cycles for the engine to process one `[tm × tk] · [tk × tn]` tile
     /// with freshly loaded weights (internal folding included).
+    ///
+    /// # Contract
+    ///
+    /// The cost must be monotone non-decreasing in each tile dimension:
+    /// shrinking an edge never makes the tile slower. Every folding /
+    /// ceiling-based engine satisfies this naturally; the map-space
+    /// search relies on it to prune dominated candidates that share
+    /// their tile counts with a smaller tile (see
+    /// [`for_each_candidate`]).
     fn tile_cycles(&self, shape: GemmShape, dtype: DataType) -> Cycles;
 
     /// The engine clock, used to convert cycles to wall time for overlap
@@ -205,12 +214,18 @@ impl Mapper {
         // from `tile_cycles`) then simply allocates fresh buffers instead
         // of hitting a RefCell double-borrow panic.
         let mut scratch = self.scratch.take();
+        // Dominated-candidate pruning is only winner-preserving when the
+        // double-buffering prologue makes the domination strict; without
+        // it a dominated tile can tie on total latency and win the
+        // first-minimal tie-break.
+        let prune = self.levels.double_buffering();
         mapspace::for_each_candidate(
             shape,
             dtype,
             pref_k,
             pref_n,
             budget,
+            prune,
             &mut scratch,
             |tile| {
                 if failure.is_some() {

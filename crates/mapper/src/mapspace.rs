@@ -48,7 +48,7 @@ pub fn candidate_tiles(
 ) -> Vec<(u64, u64, u64)> {
     let mut out = Vec::new();
     let mut scratch = EdgeBuffers::default();
-    for_each_candidate(shape, dtype, pref_k, pref_n, budget, &mut scratch, |tile| {
+    for_each_candidate(shape, dtype, pref_k, pref_n, budget, false, &mut scratch, |tile| {
         out.push(tile);
     });
     out
@@ -59,12 +59,25 @@ pub fn candidate_tiles(
 ///
 /// Candidates arrive in the same order `candidate_tiles` returns them:
 /// `(tk, tn)` pairs largest-first, each with its largest feasible `tm`.
+///
+/// `prune_dominated` additionally drops `(tk, tn)` candidates that share
+/// their `(⌈k/tk⌉, ⌈n/tn⌉)` tile counts with a smaller candidate: at
+/// equal tile counts the aggregate DMA is identical while per-tile
+/// compute (a [monotone](crate::TileCostModel::tile_cycles) cost) and the
+/// double-buffering prologue (strictly increasing in the tile footprint)
+/// only favor the smaller edges, so the smallest member of each class
+/// strictly dominates the rest. The strict prologue inequality is what
+/// makes the pruned stream's first-minimal winner identical to the full
+/// stream's — only enable it for double-buffered schedules (without the
+/// prologue, a dominated candidate can tie and win the index tie-break).
+#[allow(clippy::too_many_arguments)] // mirrors candidate_tiles + the flag
 pub fn for_each_candidate(
     shape: GemmShape,
     dtype: DataType,
     pref_k: u64,
     pref_n: u64,
     budget: Bytes,
+    prune_dominated: bool,
     scratch: &mut EdgeBuffers,
     mut f: impl FnMut((u64, u64, u64)),
 ) {
@@ -78,6 +91,10 @@ pub fn for_each_candidate(
     edge_candidates_into(shape.m(), 1, &mut scratch.m);
     edge_candidates_into(shape.k(), pref_k, &mut scratch.k);
     edge_candidates_into(shape.n(), pref_n, &mut scratch.n);
+    if prune_dominated {
+        prune_equal_ceil(shape.k(), &mut scratch.k);
+        prune_equal_ceil(shape.n(), &mut scratch.n);
+    }
 
     for &tk in &scratch.k {
         for &tn in &scratch.n {
@@ -123,6 +140,21 @@ fn edge_candidates_into(extent: u64, pref: u64, out: &mut Vec<u64>) {
         out.truncate(15);
         out.push(1);
     }
+}
+
+/// Keeps only the smallest candidate of each equal-`⌈extent/edge⌉` run
+/// (the list is sorted descending, so that is the last element of the
+/// run). Feasibility is preserved: the kept edge has the smallest
+/// footprint of its class, so it fits whenever any class member did.
+fn prune_equal_ceil(extent: u64, out: &mut Vec<u64>) {
+    let mut w = 0;
+    for i in 0..out.len() {
+        if i + 1 == out.len() || extent.div_ceil(out[i]) != extent.div_ceil(out[i + 1]) {
+            out[w] = out[i];
+            w += 1;
+        }
+    }
+    out.truncate(w);
 }
 
 #[cfg(test)]
@@ -215,10 +247,52 @@ mod tests {
             let budget = Bytes::from_mib(8);
             let vec_path = candidate_tiles(shape, DataType::Int8, 128, 128, budget);
             let mut streamed = Vec::new();
-            for_each_candidate(shape, DataType::Int8, 128, 128, budget, &mut scratch, |t| {
+            for_each_candidate(shape, DataType::Int8, 128, 128, budget, false, &mut scratch, |t| {
                 streamed.push(t);
             });
             assert_eq!(vec_path, streamed, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn prune_keeps_smallest_of_each_ceil_class() {
+        // Extent 1000: 896 and 512 both tile as ⌈1000/·⌉ = 2; only the
+        // smaller survives. The full extent (ceil 1) is its own class.
+        let mut v = vec![1000, 896, 512, 256, 128, 1];
+        prune_equal_ceil(1000, &mut v);
+        assert_eq!(v, vec![1000, 512, 256, 128, 1]);
+        // Singleton runs survive untouched.
+        let mut v = vec![64, 32, 16];
+        prune_equal_ceil(64, &mut v);
+        assert_eq!(v, vec![64, 32, 16]);
+        // The full extent (ceil 1) is always its own class.
+        let mut v = vec![128, 127];
+        prune_equal_ceil(128, &mut v);
+        assert_eq!(v, vec![128, 127]);
+    }
+
+    #[test]
+    fn pruned_stream_is_a_subset_with_equal_ceil_coverage() {
+        let mut scratch = EdgeBuffers::default();
+        for (m, k, n) in [(1, 7168, 7168), (8192, 7168, 28672), (13, 1000, 999)] {
+            let shape = GemmShape::new(m, k, n).unwrap();
+            let budget = Bytes::from_mib(8);
+            let full = candidate_tiles(shape, DataType::Int8, 128, 128, budget);
+            let mut pruned = Vec::new();
+            for_each_candidate(shape, DataType::Int8, 128, 128, budget, true, &mut scratch, |t| {
+                pruned.push(t);
+            });
+            assert!(!pruned.is_empty());
+            assert!(pruned.iter().all(|t| full.contains(t)), "{m}x{k}x{n}: not a subset");
+            // Every (⌈k/tk⌉, ⌈n/tn⌉) class of the full space stays
+            // represented (by its smallest member or a feasible stand-in).
+            for &(_, tk, tn) in &full {
+                let class = (k.div_ceil(tk), n.div_ceil(tn));
+                assert!(
+                    pruned.iter().any(|&(_, pk, pn)| (k.div_ceil(pk), n.div_ceil(pn)) == class),
+                    "{m}x{k}x{n}: class {class:?} lost"
+                );
+            }
         }
     }
 }

@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 
-use cimtpu_units::{Cycles, DataType, Frequency, GemmShape};
+use cimtpu_units::{Bytes, Cycles, DataType, Frequency, GemmShape};
 
-use crate::{candidate_tiles, Mapper, MemoryLevels, TileCostModel};
+use crate::{candidate_tiles, Mapper, Mapping, MemoryLevels, TileCostModel};
 
 /// Ideal engine: peak 16384 MACs/cycle, no overheads.
 struct Ideal;
@@ -24,6 +24,54 @@ impl TileCostModel for Ideal {
     fn preferred_n(&self) -> u64 {
         128
     }
+}
+
+/// A coarser-grained engine (256-row, 64-column folding) whose per-tile
+/// cost rounds each edge up to the fold — monotone, but with plateaus
+/// that produce latency ties between distinct tiles.
+struct Coarse;
+
+impl TileCostModel for Coarse {
+    fn tile_cycles(&self, s: GemmShape, _d: DataType) -> Cycles {
+        let folded = s.m() * s.k().next_multiple_of(256) * s.n().next_multiple_of(64);
+        Cycles::new(folded.div_ceil(16384))
+    }
+    fn clock(&self) -> Frequency {
+        Frequency::from_ghz(0.94)
+    }
+    fn preferred_k(&self) -> u64 {
+        256
+    }
+    fn preferred_n(&self) -> u64 {
+        64
+    }
+}
+
+/// Folds the full (unpruned) candidate stream to the first-minimal
+/// mapping — the search loop's tie-break without the dominated-candidate
+/// pruning, as the oracle for winner identity.
+fn unpruned_winner(
+    mapper: &Mapper,
+    shape: GemmShape,
+    dtype: DataType,
+    engine: &dyn TileCostModel,
+) -> Option<Mapping> {
+    let mut best: Option<Mapping> = None;
+    let tiles = candidate_tiles(
+        shape,
+        dtype,
+        engine.preferred_k(),
+        engine.preferred_n(),
+        mapper.levels().vmem_tile_budget(),
+    );
+    for tile in tiles {
+        let m = mapper.evaluate(shape, dtype, engine, false, tile).expect("evaluable");
+        match &best {
+            Some(b) if b.total() <= m.total() => {}
+            _ => best = Some(m),
+        }
+    }
+    best
 }
 
 fn shape_strategy() -> impl Strategy<Value = GemmShape> {
@@ -84,6 +132,35 @@ proptest! {
         let compute_floor = shape.macs() as f64 / (16384.0 * 1.05e9);
         let hbm_floor = shape.weight_bytes(DataType::Int8).get() as f64 / 614e9;
         prop_assert!(m.total().get() >= compute_floor.max(hbm_floor) * 0.999);
+    }
+
+    /// Dominated-candidate pruning never changes the selected mapping:
+    /// across hierarchy presets, operand dtypes, and engine
+    /// granularities, the pruned search returns bit-identically the
+    /// winner the full candidate stream picks under the first-minimal
+    /// tie-break.
+    #[test]
+    fn pruned_search_selects_identical_winner(shape in shape_strategy()) {
+        // Presets: the stock hierarchy plus coalescing-off and a tighter
+        // VMEM — all double-buffered, the gate the pruning hangs on.
+        let presets = [
+            MemoryLevels::tpuv4i(),
+            MemoryLevels::tpuv4i().with_memory_coalescing(false),
+            MemoryLevels::tpuv4i().with_vmem(Bytes::from_mib(4)),
+        ];
+        for levels in presets {
+            let mapper = Mapper::new(levels);
+            for dtype in [DataType::Int8, DataType::Bf16] {
+                for engine in [&Ideal as &dyn TileCostModel, &Coarse] {
+                    let pruned = mapper
+                        .best_gemm_mapping(shape, dtype, engine, false)
+                        .expect("mappable");
+                    let full =
+                        unpruned_winner(&mapper, shape, dtype, engine).expect("mappable");
+                    prop_assert_eq!(&pruned, &full, "{} {:?}", shape, dtype);
+                }
+            }
+        }
     }
 
     /// Resident weights are never slower than streamed weights.

@@ -31,15 +31,21 @@ pub struct SimFlags {
     /// — `cimtpu_cluster::parse_faults` owns the grammar and this crate
     /// cannot depend on it.
     pub faults: Option<String>,
+    /// `--perf-json PATH`: also write wall-clock driver-throughput
+    /// records (fleet binaries only). Wall times are machine-dependent,
+    /// so they go to a sidecar file, never into the byte-diffed
+    /// `--json` baselines.
+    pub perf_json: Option<String>,
 }
 
 impl SimFlags {
     /// Parses `std::env::args`. `binary` names the program and
     /// `budget_scope` phrases what `--kv-budget` overrides (e.g. "the
-    /// scenario's" / "every replica's"); `fault_flags` accepts the
-    /// fleet-only `--fault-seed` / `--faults` pair (single-engine
-    /// binaries reject them as unknown); `print_scenarios` lists the
-    /// binary's scenarios under `--help` (which prints usage and exits).
+    /// scenario's" / "every replica's"); `fleet_flags` accepts the
+    /// fleet-only `--fault-seed` / `--faults` / `--perf-json` flags
+    /// (single-engine binaries reject them as unknown);
+    /// `print_scenarios` lists the binary's scenarios under `--help`
+    /// (which prints usage and exits).
     ///
     /// `--workers N` is applied on the spot by setting `CIMTPU_WORKERS`
     /// (the `cimtpu_bench::sweep` pool reads it).
@@ -51,7 +57,7 @@ impl SimFlags {
     pub fn parse(
         binary: &str,
         budget_scope: &str,
-        fault_flags: bool,
+        fleet_flags: bool,
         print_scenarios: impl Fn(),
     ) -> Result<SimFlags, String> {
         let mut flags = SimFlags {
@@ -63,6 +69,7 @@ impl SimFlags {
             think_ms: 10.0,
             fault_seed: None,
             faults: None,
+            perf_json: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
@@ -102,17 +109,20 @@ impl SimFlags {
                         .parse()
                         .map_err(|e| format!("bad --think-ms: {e}"))?;
                 }
-                "--fault-seed" if fault_flags => {
+                "--fault-seed" if fleet_flags => {
                     flags.fault_seed = Some(
                         value("--fault-seed")?
                             .parse()
                             .map_err(|e| format!("bad --fault-seed: {e}"))?,
                     );
                 }
-                "--faults" if fault_flags => flags.faults = Some(value("--faults")?),
+                "--faults" if fleet_flags => flags.faults = Some(value("--faults")?),
+                "--perf-json" if fleet_flags => {
+                    flags.perf_json = Some(value("--perf-json")?);
+                }
                 "--help" | "-h" => {
-                    let fault_usage = if fault_flags {
-                        " [--fault-seed N] [--faults SPEC]"
+                    let fault_usage = if fleet_flags {
+                        " [--fault-seed N] [--faults SPEC] [--perf-json PATH]"
                     } else {
                         ""
                     };
@@ -132,7 +142,15 @@ impl SimFlags {
                         "  --clients N          convert traffic to closed loop with N clients"
                     );
                     println!("  --think-ms MS        closed-loop think time (default 10)");
-                    if fault_flags {
+                    if fleet_flags {
+                        println!(
+                            "  --perf-json PATH     also write wall-clock driver-throughput \
+                             records"
+                        );
+                        println!(
+                            "                       (machine-dependent; kept out of the \
+                             --json baseline)"
+                        );
                         println!(
                             "  --fault-seed N       reseed each scenario's fault plan \
                              (chaos draws redraw; explicit events stand)"

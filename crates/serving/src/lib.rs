@@ -141,6 +141,7 @@
 
 pub mod cli;
 mod engine;
+mod heap;
 mod memory;
 mod metrics;
 mod policy;
@@ -159,5 +160,6 @@ pub use pricer::{PhasePricer, ServingModel};
 pub use request::{
     ArrivalPattern, ArrivalStream, LenDist, PrefixTraffic, PromptPrefix, Request, TrafficSpec,
 };
+pub use heap::ActionHeap;
 pub use session::EngineSession;
-pub use step::{drive, EngineCore};
+pub use step::{drive, drive_with, DriveHooks, EngineCore};

@@ -21,10 +21,13 @@
 //! [`ServingEngine::run`](crate::ServingEngine::run) and the cluster
 //! driver both lean on that invariant (and the equivalence tests pin it).
 
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 
 use cimtpu_kv::{PagedKvAllocator, PrefixIndex, PrefixStats};
 use cimtpu_units::{Error, Joules, Result, Seconds};
+
+use crate::heap::ActionHeap;
 
 use crate::memory::MemoryConfig;
 use crate::metrics::{Completion, MemoryStats, ServingReport};
@@ -63,6 +66,13 @@ pub struct EngineCore<'a> {
     slowdown: f64,
     /// Set once by [`crash`](EngineCore::crash); the core is inert after.
     crashed: bool,
+    /// Bumped by every state transition (push/close/step/…); stamps the
+    /// memoized [`next_action`](EngineCore::next_action) so drivers see a
+    /// dirty-flag instead of re-deriving the schedule on every poll.
+    epoch: u64,
+    /// `(epoch, next_action)` at the last computation; valid while the
+    /// epoch still matches.
+    cached_action: Cell<Option<(u64, Option<Seconds>)>>,
     state: State,
 }
 
@@ -194,8 +204,23 @@ impl<'a> EngineCore<'a> {
             ttft_set: Vec::new(),
             slowdown: 1.0,
             crashed: false,
+            epoch: 0,
+            cached_action: Cell::new(None),
             state,
         }
+    }
+
+    /// Marks the scheduling state dirty: the next
+    /// [`next_action`](EngineCore::next_action) recomputes.
+    fn touch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Monotone counter of state transitions: any mutation that can move
+    /// the core's schedule bumps it, so a driver (or event queue) can tell
+    /// whether a cached next-action time is still current.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Enqueues an arrival. Pushes must be in non-decreasing arrival
@@ -212,6 +237,7 @@ impl<'a> EngineCore<'a> {
                 "arrivals must be pushed in time order"
             );
         }
+        self.touch();
         self.arrivals.push(request);
         self.first_token.push(Seconds::ZERO);
         self.ttft_set.push(false);
@@ -220,6 +246,7 @@ impl<'a> EngineCore<'a> {
     /// Declares the arrival stream finished: tail batches smaller than a
     /// static batch size may now launch.
     pub fn close(&mut self) {
+        self.touch();
         self.closed = true;
     }
 
@@ -229,13 +256,20 @@ impl<'a> EngineCore<'a> {
     /// engine is blocked until a push or [`close`](EngineCore::close) —
     /// or finished.
     pub fn next_action(&self) -> Option<Seconds> {
-        match &self.state {
+        if let Some((epoch, at)) = self.cached_action.get() {
+            if epoch == self.epoch {
+                return at;
+            }
+        }
+        let at = match &self.state {
             State::Rtc(_) => self.rtc_decide(None).map(|p| match p {
                 RtcPlan::Launch(l) => l.start,
                 RtcPlan::Wait { at } => at,
             }),
             State::Cont(_) => self.cont_pick().map(|(_, t)| t),
-        }
+        };
+        self.cached_action.set(Some((self.epoch, at)));
+        at
     }
 
     /// Performs the next scheduling action (see
@@ -246,6 +280,7 @@ impl<'a> EngineCore<'a> {
     /// Returns an error if no action is runnable, an operator cannot be
     /// mapped, or the KV budget cannot hold even a single request.
     pub fn step(&mut self) -> Result<()> {
+        self.touch();
         match self.state {
             State::Rtc(_) => {
                 let plan = match self.rtc_decide(None) {
@@ -293,6 +328,7 @@ impl<'a> EngineCore<'a> {
         let take = self.arrivals.len() - self.next;
         let chip = earliest(&st.free_at);
         let start = st.free_at[chip].max(self.arrivals[self.next + take - 1].arrival());
+        self.touch();
         self.rtc_launch(RtcLaunch { chip, take, start })?;
         Ok(true)
     }
@@ -309,6 +345,7 @@ impl<'a> EngineCore<'a> {
     /// driver restarts it as a fresh core instead).
     pub fn reopen(&mut self) {
         assert!(!self.crashed, "reopen on a crashed core");
+        self.touch();
         self.closed = false;
     }
 
@@ -324,6 +361,7 @@ impl<'a> EngineCore<'a> {
             factor.is_finite() && factor > 0.0,
             "straggler slowdown must be a positive finite factor"
         );
+        self.touch();
         self.slowdown = factor;
     }
 
@@ -347,6 +385,7 @@ impl<'a> EngineCore<'a> {
     /// Panics if the core already crashed.
     pub fn crash(&mut self, at: Seconds) -> Vec<Request> {
         assert!(!self.crashed, "crash on an already-crashed core");
+        self.touch();
         self.crashed = true;
         // Revoke completions scheduled past the crash instant.
         let mut lost_ids: Vec<u64> = Vec::new();
@@ -1171,6 +1210,39 @@ fn earliest(free_at: &[Seconds]) -> usize {
     best
 }
 
+/// Driver-side observers for the [`drive_with`] event loop.
+///
+/// `route` picks the core an arrival is pushed into; the remaining hooks
+/// let a fleet driver maintain incremental state (router snapshots,
+/// per-replica ledgers) without rescanning the cores on every event. A
+/// plain `FnMut(&Request, &[EngineCore]) -> usize` routing closure
+/// implements the trait with no-op observers, so single-engine callers
+/// keep using [`drive`].
+pub trait DriveHooks {
+    /// Chooses the core index for `request` (out-of-range clamps).
+    fn route(&mut self, request: &Request, cores: &[EngineCore<'_>]) -> usize;
+
+    /// Called after `request`-routing pushed into (clamped) core `k`.
+    fn on_push(&mut self, k: usize, cores: &[EngineCore<'_>]) {
+        let _ = (k, cores);
+    }
+
+    /// Called after core `k` stepped (or flushed a stalled batch), with
+    /// the completions the step produced.
+    fn on_step(&mut self, k: usize, cores: &[EngineCore<'_>], new: &[Completion]) {
+        let _ = (k, cores, new);
+    }
+}
+
+/// Adapts a routing closure into no-op [`DriveHooks`].
+struct RouteOnly<F>(F);
+
+impl<F: FnMut(&Request, &[EngineCore<'_>]) -> usize> DriveHooks for RouteOnly<F> {
+    fn route(&mut self, request: &Request, cores: &[EngineCore<'_>]) -> usize {
+        (self.0)(request, cores)
+    }
+}
+
 /// Drives one or more engine cores against an arrival stream until both
 /// are drained: the shared event loop of single-engine closed-loop runs
 /// and fleet-level (cluster) simulation.
@@ -1185,12 +1257,112 @@ fn earliest(free_at: &[Seconds]) -> usize {
 /// (static batching waiting for a batch that closed-loop clients can no
 /// longer fill), stalled cores flush their partial batches.
 ///
+/// Next-action times live in an [`ActionHeap`], so each event costs
+/// `O(log n)` instead of an `O(n)` rescan of every core; the heap's
+/// tie-break (lowest core index at equal times) reproduces the original
+/// scan bit-for-bit.
+///
 /// # Errors
 ///
 /// Propagates engine errors, and reports a deadlock if no engine can make
 /// progress on a non-exhausted stream (cannot happen with the built-in
 /// policies; the flush rule above resolves the static-batching stall).
 pub fn drive(
+    cores: &mut [EngineCore<'_>],
+    stream: &mut ArrivalStream,
+    route: impl FnMut(&Request, &[EngineCore<'_>]) -> usize,
+) -> Result<()> {
+    drive_with(cores, stream, RouteOnly(route))
+}
+
+/// [`drive`] with full [`DriveHooks`] — the entry point fleet drivers use
+/// to observe pushes and completions incrementally.
+///
+/// # Errors
+///
+/// As for [`drive`].
+pub fn drive_with(
+    cores: &mut [EngineCore<'_>],
+    stream: &mut ArrivalStream,
+    mut hooks: impl DriveHooks,
+) -> Result<()> {
+    assert!(!cores.is_empty(), "drive needs at least one core");
+    let mut heap = ActionHeap::new(cores.len());
+    for (i, core) in cores.iter().enumerate() {
+        heap.set(i, core.next_action());
+    }
+    // Completions drain into a scratch buffer reused across steps — the
+    // closed-loop feedback path allocates nothing per event.
+    let mut scratch: Vec<Completion> = Vec::new();
+    loop {
+        let action = heap.peek();
+        let arrival = stream.peek();
+        match (arrival, action) {
+            (Some(ta), act) if act.is_none_or(|(_, t)| ta <= t) => {
+                let request = stream.pop();
+                let k = hooks.route(&request, cores).min(cores.len() - 1);
+                cores[k].push(request);
+                heap.set(k, cores[k].next_action());
+                hooks.on_push(k, cores);
+                if stream.exhausted() {
+                    for core in cores.iter_mut() {
+                        core.close();
+                    }
+                    for (i, core) in cores.iter().enumerate() {
+                        heap.set(i, core.next_action());
+                    }
+                }
+            }
+            (_, Some((i, _))) => {
+                cores[i].step()?;
+                heap.set(i, cores[i].next_action());
+                scratch.clear();
+                scratch.extend_from_slice(cores[i].drain_new());
+                for c in &scratch {
+                    stream.on_complete(c);
+                }
+                hooks.on_step(i, cores, &scratch);
+            }
+            // `(Some, None)` is caught by the first arm (its guard is
+            // vacuously true with no pending action).
+            (_, None) => {
+                if stream.exhausted() {
+                    debug_assert!(cores.iter().all(EngineCore::is_done));
+                    return Ok(());
+                }
+                // Closed-loop stall: clients wait on completions held in
+                // partial batches. Flush the lowest stalled core and
+                // re-enter the loop (its completions may unblock clients).
+                let mut progressed = false;
+                for i in 0..cores.len() {
+                    if cores[i].flush_stalled()? {
+                        heap.set(i, cores[i].next_action());
+                        scratch.clear();
+                        scratch.extend_from_slice(cores[i].drain_new());
+                        for c in &scratch {
+                            stream.on_complete(c);
+                        }
+                        hooks.on_step(i, cores, &scratch);
+                        progressed = true;
+                        break;
+                    }
+                }
+                if !progressed {
+                    return Err(Error::invalid_config(
+                        "serving driver stalled: closed-loop clients wait on completions \
+                         no engine can produce",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The pre-heap linear-scan driver, kept verbatim as the equivalence
+/// oracle for the event-queue rewrite: proptests pin [`drive`] bit-equal
+/// to this loop across policies, traffic shapes, and router choices.
+#[cfg(test)]
+pub(crate) fn drive_scan(
     cores: &mut [EngineCore<'_>],
     stream: &mut ArrivalStream,
     mut route: impl FnMut(&Request, &[EngineCore<'_>]) -> usize,
@@ -1224,16 +1396,11 @@ pub fn drive(
                     stream.on_complete(c);
                 }
             }
-            // `(Some, None)` is caught by the first arm (its guard is
-            // vacuously true with no pending action).
             (_, None) => {
                 if stream.exhausted() {
                     debug_assert!(cores.iter().all(EngineCore::is_done));
                     return Ok(());
                 }
-                // Closed-loop stall: clients wait on completions held in
-                // partial batches. Flush the lowest stalled core and
-                // re-enter the loop (its completions may unblock clients).
                 let mut progressed = false;
                 for core in cores.iter_mut() {
                     if core.flush_stalled()? {
@@ -1434,5 +1601,75 @@ mod tests {
         // One executor, burst arrivals: busy time equals the makespan.
         assert!((core.busy().get() - run.report.makespan_s).abs() < 1e-12);
         assert!(core.energy().get() > 0.0);
+    }
+
+    /// Runs a mixed-policy fleet through the given driver and returns
+    /// every core's finished run.
+    fn fleet_run(
+        engines: &[ServingEngine],
+        traffic: &TrafficSpec,
+        driver: impl FnOnce(
+            &mut [EngineCore<'_>],
+            &mut ArrivalStream,
+            &mut dyn FnMut(&Request, &[EngineCore<'_>]) -> usize,
+        ) -> Result<()>,
+    ) -> Vec<crate::ServingRun> {
+        let sessions: Vec<crate::EngineSession> =
+            engines.iter().map(|e| crate::EngineSession::new(e).unwrap()).collect();
+        let mut cores: Vec<EngineCore<'_>> =
+            sessions.iter().map(|s| s.core().unwrap()).collect();
+        let mut stream = ArrivalStream::new(traffic).unwrap();
+        // Round-robin perturbed by the request id: every core sees work
+        // and equal-time tie-breaks get exercised from both sides.
+        let mut rr = 0usize;
+        let mut route = move |request: &Request, cores: &[EngineCore<'_>]| {
+            rr += 1;
+            (rr + request.id as usize) % cores.len()
+        };
+        driver(&mut cores, &mut stream, &mut route).unwrap();
+        cores.iter().map(|core| core.finish("eq")).collect()
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// The heap-scheduled [`drive`] replays the pre-heap linear scan
+        /// ([`drive_scan`]) bit-for-bit — same per-core reports, same
+        /// completions — across batch policies and traffic shapes.
+        #[test]
+        fn heap_drive_matches_scan_oracle(seed in 0u64..1_000) {
+            let engines = [
+                tiny_engine(BatchPolicy::Continuous { max_batch: 2 }),
+                tiny_engine(BatchPolicy::Static { batch: 2 }),
+                tiny_engine(BatchPolicy::Dynamic { max_batch: 3, max_wait_ms: 0.5 }),
+            ];
+            let base = TrafficSpec {
+                requests: 12,
+                arrival: ArrivalPattern::OpenLoop { rate_rps: 4_000.0 },
+                prompt: LenDist::Uniform { lo: 8, hi: 32 },
+                steps: LenDist::Uniform { lo: 2, hi: 8 },
+                prefix: crate::PrefixTraffic::None,
+                seed,
+            };
+            let traffics = [
+                base,
+                TrafficSpec {
+                    arrival: ArrivalPattern::ClosedLoop { clients: 3, think_ms: 0.5 },
+                    ..base
+                },
+                TrafficSpec { arrival: ArrivalPattern::Burst, ..base },
+            ];
+            for traffic in traffics {
+                let fast = fleet_run(&engines, &traffic, |cores, stream, route| {
+                    drive(cores, stream, route)
+                });
+                let slow = fleet_run(&engines, &traffic, |cores, stream, route| {
+                    drive_scan(cores, stream, route)
+                });
+                prop_assert_eq!(&fast, &slow, "{:?}", traffic.arrival);
+            }
+        }
     }
 }
