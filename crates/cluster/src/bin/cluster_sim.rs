@@ -3,7 +3,8 @@
 //! ```text
 //! cluster_sim [--scenario NAME|all] [--seed N] [--workers N] [--json PATH]
 //!             [--kv-budget BUDGET] [--clients N] [--think-ms MS]
-//!             [--fault-seed N] [--faults SPEC] [--perf-json PATH]
+//!             [--fault-seed N] [--faults SPEC] [--autoscale SPEC]
+//!             [--perf-json PATH]
 //! ```
 //!
 //! Runs the named cluster scenario (default: all headline scenarios) and
@@ -15,7 +16,7 @@
 //!
 //! `--kv-budget BUDGET` overrides every replica's KV budget (both pools
 //! of a disaggregated fleet): `unlimited`, `hbm` (HBM minus resident
-//! weights), or a byte count with an optional `KiB`/`MiB`/`GiB` suffix —
+//! weights), or a byte count with an optional `KiB`/`MiB`/`GiB`/`TiB` suffix —
 //! see `cimtpu_serving::parse_kv_budget`. `--clients N` converts the
 //! scenario's traffic to closed loop with `N` concurrent clients
 //! (`--think-ms` sets their think time; default 10 ms).
@@ -28,6 +29,22 @@
 //! events stand. Reports from fault runs carry an extra `availability`
 //! section; zero-fault output is byte-identical to builds without these
 //! flags.
+//!
+//! `--autoscale SPEC` installs an autoscale policy on every selected
+//! scenario (grammar in `cimtpu_autoscale::parse_autoscale`), making each
+//! replica group an elastic pool the reconcile loop sizes to the traffic:
+//! comma-separated, case-insensitive knobs `interval=1s` (reconcile
+//! cadence), `provision=2s` / `warmup=500ms` (boot cost model),
+//! `idle-w=30` (idle watts pricing held-but-idle chips), `replicas=LO..HI`
+//! (every group's band; `LO=0` enables scale-to-zero), `group<K>=LO..HI`
+//! (one group's band), `init=N` (initial size), `conc=N` (target
+//! concurrency per replica), `up=0.75` / `down=0.25` (utilization
+//! thresholds), `up-cd=2s` / `down-cd=5s` (cooldowns), `slo-floor=0.9`
+//! (rolling-goodput trigger), and `swap` (allow model swaps between
+//! groups). Reports gain a `scaling` section; a pinned band
+//! (`LO == HI`, no `swap`) reproduces the plain run bit-for-bit plus
+//! that section. Elastic policies compose with neither `--faults` /
+//! `--fault-seed` nor disaggregated scenarios (typed errors).
 //!
 //! `--json PATH` additionally writes the full `ClusterReport` list as
 //! pretty-printed JSON (`-` writes JSON to stdout instead of the text
@@ -44,7 +61,9 @@
 
 use cimtpu_bench::sweep;
 use cimtpu_cluster::scenario::{self, Scenario};
-use cimtpu_cluster::{parse_faults, ClusterReport, FaultPlan, PerfRecord};
+use cimtpu_cluster::{
+    parse_faults, parse_autoscale, ClusterReport, ClusterTopology, FaultPlan, PerfRecord,
+};
 use cimtpu_serving::cli::{self, SimFlags};
 use cimtpu_serving::ArrivalPattern;
 
@@ -53,7 +72,12 @@ fn main() {
         for s in scenario::headline() {
             println!("  {:<22} {}", s.name, s.description);
         }
-        for s in [scenario::smoke_cluster(), scenario::cluster_day_smoke()] {
+        let smoke = [
+            scenario::smoke_cluster(),
+            scenario::cluster_day_smoke(),
+            scenario::smoke_autoscale(),
+        ];
+        for s in smoke {
             println!("  {:<22} {}", s.name, s.description);
         }
     }) {
@@ -85,6 +109,15 @@ fn main() {
             std::process::exit(2);
         }
     });
+    // `--autoscale` parses once; the per-group policy expansion happens
+    // per scenario, since each fleet has its own group count.
+    let cli_autoscale = flags.autoscale.as_deref().map(|spec| match parse_autoscale(spec) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("cluster_sim: {e}");
+            std::process::exit(2);
+        }
+    });
     for s in &mut scenarios {
         if let Some(budget) = flags.kv_budget {
             s.engine = s.engine.clone().with_kv_budget(budget);
@@ -100,6 +133,21 @@ fn main() {
         if let Some(seed) = flags.fault_seed {
             let reseeded = s.engine.faults().clone().with_seed(seed);
             s.engine = s.engine.clone().with_faults(reseeded);
+        }
+        if let Some(spec) = &cli_autoscale {
+            let ngroups = match s.engine.topology() {
+                ClusterTopology::Colocated { replicas, .. } => replicas.len(),
+                ClusterTopology::Disaggregated { prefill, decode, .. } => {
+                    prefill.len() + decode.len()
+                }
+            };
+            match spec.policy_for(ngroups) {
+                Ok(policy) => s.engine = s.engine.clone().with_autoscale(policy),
+                Err(e) => {
+                    eprintln!("cluster_sim: {}: {e}", s.name);
+                    std::process::exit(2);
+                }
+            }
         }
     }
 

@@ -6,9 +6,11 @@ use cimtpu_serving::{
     drive_with, ActionHeap, ArrivalStream, Completion, DriveHooks, EngineCore, EngineSession,
     PrefixStats, Request, ServingReport, TrafficSpec,
 };
+use cimtpu_autoscale::{AutoscalePolicy, ScalingStats};
 use cimtpu_units::{Error, Joules, Result, Seconds};
 
 use crate::disagg::{run_disaggregated, InterconnectSpec};
+use crate::elastic::run_colocated_elastic;
 use crate::fault::{AvailabilityStats, FaultEvent, FaultPlan};
 use crate::replica::ReplicaSpec;
 use crate::report::{ClusterReport, KvTransferStats, ReplicaUtilization};
@@ -51,6 +53,7 @@ pub struct ClusterEngine {
     topology: ClusterTopology,
     slo_ms: Option<f64>,
     faults: FaultPlan,
+    autoscale: Option<AutoscalePolicy>,
 }
 
 /// Everything a cluster run produced.
@@ -85,6 +88,7 @@ impl ClusterEngine {
             topology: ClusterTopology::Colocated { replicas, router },
             slo_ms: None,
             faults: FaultPlan::none(),
+            autoscale: None,
         })
     }
 
@@ -115,6 +119,7 @@ impl ClusterEngine {
             },
             slo_ms: None,
             faults: FaultPlan::none(),
+            autoscale: None,
         })
     }
 
@@ -160,6 +165,31 @@ impl ClusterEngine {
         &self.faults
     }
 
+    /// Installs an autoscale policy: one [`GroupPolicy`] per replica
+    /// group, making each group an elastic pool of up to `max` slots
+    /// named `{name}-{slot}` that a reconcile loop grows and shrinks
+    /// against the policy's utilization band.
+    ///
+    /// A **pinned** policy (every band `min == max`, no swaps) keeps the
+    /// plain fleet code paths: the fleet is expanded to its pinned sizes
+    /// and dispatched to the non-elastic drivers bit-identically — the
+    /// report just gains a `scaling` section pricing the static fleet.
+    /// An *elastic* policy switches a colocated fleet to the autoscaled
+    /// driver; elastic disaggregated fleets and elastic runs under a
+    /// fault plan are rejected by [`run`](ClusterEngine::run).
+    ///
+    /// [`GroupPolicy`]: cimtpu_autoscale::GroupPolicy
+    #[must_use]
+    pub fn with_autoscale(mut self, policy: AutoscalePolicy) -> Self {
+        self.autoscale = Some(policy);
+        self
+    }
+
+    /// The installed autoscale policy, if any.
+    pub fn autoscale(&self) -> Option<&AutoscalePolicy> {
+        self.autoscale.as_ref()
+    }
+
     /// The fleet topology.
     pub fn topology(&self) -> &ClusterTopology {
         &self.topology
@@ -174,6 +204,9 @@ impl ClusterEngine {
     /// configuration, an unmappable operator, or a KV budget too small to
     /// hold a single request.
     pub fn run(&self, label: &str, traffic: &TrafficSpec) -> Result<ClusterRun> {
+        if let Some(policy) = &self.autoscale {
+            return self.run_autoscaled(policy, label, traffic);
+        }
         match &self.topology {
             ClusterTopology::Colocated { replicas, router } => {
                 if self.faults.is_empty() {
@@ -199,6 +232,102 @@ impl ClusterEngine {
                 self.slo_ms,
                 &self.faults,
             ),
+        }
+    }
+
+    /// Dispatch under an autoscale policy: pinned policies expand the
+    /// fleet and reuse the plain drivers unchanged (bit-identity is
+    /// proptested); elastic policies take the reconcile-loop driver.
+    fn run_autoscaled(
+        &self,
+        policy: &AutoscalePolicy,
+        label: &str,
+        traffic: &TrafficSpec,
+    ) -> Result<ClusterRun> {
+        policy.validate()?;
+        let ngroups = match &self.topology {
+            ClusterTopology::Colocated { replicas, .. } => replicas.len(),
+            ClusterTopology::Disaggregated { prefill, decode, .. } => {
+                prefill.len() + decode.len()
+            }
+        };
+        if policy.groups.len() != ngroups {
+            return Err(Error::invalid_config(format!(
+                "the autoscale policy covers {} group(s) but the fleet has {ngroups}",
+                policy.groups.len()
+            )));
+        }
+        if policy.is_pinned() {
+            // Expand every group to its pinned size and run the plain
+            // (non-elastic) drivers unchanged; the report just gains a
+            // `scaling` section pricing the static fleet.
+            let expand = |specs: &[ReplicaSpec], offset: usize| -> Vec<ReplicaSpec> {
+                specs
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(g, base)| {
+                        (0..policy.groups[offset + g].min).map(move |j| {
+                            let mut spec = base.clone();
+                            spec.name = format!("{}-{j}", base.name);
+                            spec
+                        })
+                    })
+                    .collect()
+            };
+            let topology = match &self.topology {
+                ClusterTopology::Colocated { replicas, router } => ClusterTopology::Colocated {
+                    replicas: expand(replicas, 0),
+                    router: *router,
+                },
+                ClusterTopology::Disaggregated {
+                    prefill,
+                    decode,
+                    router,
+                    decode_router,
+                    interconnect,
+                } => ClusterTopology::Disaggregated {
+                    prefill: expand(prefill, 0),
+                    decode: expand(decode, prefill.len()),
+                    router: *router,
+                    decode_router: *decode_router,
+                    interconnect: *interconnect,
+                },
+            };
+            let pinned = ClusterEngine {
+                topology,
+                slo_ms: self.slo_ms,
+                faults: self.faults.clone(),
+                autoscale: None,
+            };
+            let mut run = pinned.run(label, traffic)?;
+            let chip_seconds = run.report.chips as f64 * run.report.makespan_s;
+            let busy_chip_s: f64 = run
+                .report
+                .per_replica
+                .iter()
+                .map(|r| r.busy_s * r.chips as f64)
+                .sum();
+            run.report.scaling = Some(ScalingStats::static_fleet(
+                run.report.replicas,
+                chip_seconds,
+                busy_chip_s,
+                run.report.total_energy_j,
+                policy.idle_watts,
+            ));
+            return Ok(run);
+        }
+        match &self.topology {
+            ClusterTopology::Colocated { replicas, router } if self.faults.is_empty() => {
+                run_colocated_elastic(replicas, *router, label, traffic, self.slo_ms, policy)
+            }
+            ClusterTopology::Colocated { .. } => Err(Error::invalid_config(
+                "an elastic autoscale policy cannot run under a fault plan; pin the \
+                 policy (min == max, no swap) or drop the faults",
+            )),
+            ClusterTopology::Disaggregated { .. } => Err(Error::invalid_config(
+                "autoscaling a disaggregated fleet is not supported; pin the policy \
+                 (min == max, no swap) to size the pools statically",
+            )),
         }
     }
 }
@@ -350,17 +479,17 @@ struct CrashRecord {
 /// the replica's core, so its energy/busy/KV history is harvested at the
 /// crash instant and the restarted core starts a new ledger.
 #[derive(Default)]
-struct ReplicaAccum {
-    busy_s: f64,
-    energy_j: f64,
-    preemptions: u64,
-    queue_full_s: f64,
-    kv_hwm: f64,
-    prefix: PrefixStats,
+pub(crate) struct ReplicaAccum {
+    pub(crate) busy_s: f64,
+    pub(crate) energy_j: f64,
+    pub(crate) preemptions: u64,
+    pub(crate) queue_full_s: f64,
+    pub(crate) kv_hwm: f64,
+    pub(crate) prefix: PrefixStats,
 }
 
 impl ReplicaAccum {
-    fn harvest(&mut self, core: &EngineCore<'_>) {
+    pub(crate) fn harvest(&mut self, core: &EngineCore<'_>) {
         let memory = core.memory_stats();
         self.busy_s += core.busy().get();
         self.energy_j += core.energy().get();

@@ -80,6 +80,23 @@
 //! [`AvailabilityStats`] section (crashes, downtime, retries, shed /
 //! timed-out work, time-to-recover) on the [`ClusterReport`].
 //!
+//! # Autoscaling
+//!
+//! [`ClusterEngine::with_autoscale`] installs an
+//! [`AutoscalePolicy`]: each
+//! [`ReplicaSpec`] becomes an elastic group of up to `max` slots that a
+//! deterministic reconcile loop grows and
+//! shrinks on a fixed interval of the simulated clock — scale-ups pay a
+//! provisioning delay plus warmup before turning `Up` in the
+//! [`HealthView`], scale-downs drain in-flight work, groups with
+//! `min == 0` scale to zero and park arrivals until woken, and model
+//! swaps repurpose capacity between groups under skewed traffic. The
+//! report gains a `scaling` section (action log, ramp SLO violations,
+//! chip-seconds and joules) so an elastic run compares head-to-head
+//! with a peak-sized static fleet. A **pinned** policy (`min == max`
+//! everywhere, no swaps) expands the fleet and reuses the plain drivers
+//! bit-identically.
+//!
 //! # Reports
 //!
 //! A [`ClusterRun`] carries the fleet [`ClusterReport`] (p50/p95/p99
@@ -125,6 +142,7 @@
 #![warn(missing_docs)]
 
 pub mod disagg;
+mod elastic;
 mod engine;
 pub mod fault;
 mod replica;
@@ -132,6 +150,9 @@ mod report;
 pub mod router;
 pub mod scenario;
 
+pub use cimtpu_autoscale::{
+    parse_autoscale, AutoscalePolicy, AutoscaleSpec, GroupPolicy, ScalingAction, ScalingStats,
+};
 pub use disagg::InterconnectSpec;
 pub use engine::{ClusterEngine, ClusterRun, ClusterTopology};
 pub use fault::{

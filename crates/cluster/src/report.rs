@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize, Value};
 
+use cimtpu_autoscale::ScalingStats;
 use cimtpu_serving::{Completion, LatencyStats};
 use cimtpu_units::{Joules, Seconds};
 
@@ -109,9 +110,10 @@ pub struct ReplicaUtilization {
 /// the committed `BENCH_cluster.json` baseline is diffed byte-for-byte in
 /// CI, so field changes require regenerating the baseline in the same
 /// commit (a unit test pins the key order). Serialization is a manual
-/// impl (not derived) for one reason: the `availability` section must be
-/// **omitted entirely** when absent — a derived `Option` would emit
-/// `"availability": null` into every pre-existing baseline entry.
+/// impl (not derived) for one reason: the `availability` and `scaling`
+/// sections must be **omitted entirely** when absent — a derived `Option`
+/// would emit `"availability": null` / `"scaling": null` into every
+/// pre-existing baseline entry.
 #[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct ClusterReport {
     /// Scenario / run label.
@@ -167,6 +169,9 @@ pub struct ClusterReport {
     /// Availability/robustness section — present only for runs under a
     /// non-empty fault plan (zero-fault baselines omit the key).
     pub availability: Option<AvailabilityStats>,
+    /// Scaling section — present only for runs under an autoscale policy
+    /// (plain fleet runs omit the key, keeping old baselines byte-stable).
+    pub scaling: Option<ScalingStats>,
 }
 
 impl Serialize for ClusterReport {
@@ -199,6 +204,9 @@ impl Serialize for ClusterReport {
         ];
         if let Some(availability) = &self.availability {
             map.push(("availability".to_owned(), availability.to_value()));
+        }
+        if let Some(scaling) = &self.scaling {
+            map.push(("scaling".to_owned(), scaling.to_value()));
         }
         Value::Map(map)
     }
@@ -284,6 +292,7 @@ impl ClusterReport {
             imbalance,
             per_replica,
             availability,
+            scaling: None,
         }
     }
 }
@@ -341,6 +350,24 @@ impl std::fmt::Display for ClusterReport {
                  {} retry(ies) ({} ok), {} shed, {} timed out",
                 a.crashes, a.availability, a.downtime_s, a.retries, a.retried_ok, a.shed,
                 a.timed_out
+            )?;
+        }
+        if let Some(s) = &self.scaling {
+            writeln!(
+                f,
+                "scaling     {} reconcile(s): {} scale-up, {} scale-down ({} to zero), \
+                 {} swap(s)  |  peak {} replica(s), {:.3} chip-s, cost {:.4} J \
+                 ({:.4} J idle), {} ramp SLO miss(es)",
+                s.reconciles,
+                s.scale_ups,
+                s.scale_downs,
+                s.scale_to_zero,
+                s.swaps,
+                s.peak_replicas,
+                s.chip_seconds,
+                s.total_cost_j,
+                s.idle_energy_j,
+                s.slo_violations_ramp
             )?;
         }
         for r in &self.per_replica {
@@ -493,6 +520,49 @@ mod tests {
         // report must not even mention availability (no `null`).
         let json = serde_json::to_string(&build(None)).unwrap();
         assert!(!json.contains("availability"), "{json}");
+    }
+
+    #[test]
+    fn scaling_key_is_omitted_without_an_autoscale_policy() {
+        // Same byte-stability contract as availability: a plain fleet run
+        // must not even mention scaling (no `null`).
+        let json = serde_json::to_string(&build(None)).unwrap();
+        assert!(!json.contains("scaling"), "{json}");
+    }
+
+    #[test]
+    fn scaling_section_serializes_after_availability_and_round_trips() {
+        let mut rep = build(None);
+        rep.scaling = Some(ScalingStats {
+            reconciles: 10,
+            scale_ups: 3,
+            scale_downs: 2,
+            scale_to_zero: 1,
+            ..ScalingStats::default()
+        });
+        let json = serde_json::to_string(&rep).unwrap();
+        let scaling = json.find("\"scaling\"").expect("scaling key");
+        let per_replica = json.find("\"per_replica\"").expect("per_replica key");
+        assert!(scaling > per_replica, "scaling must trail per_replica: {json}");
+        let back: ClusterReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+        // Both trailing optionals together: availability first, then scaling.
+        rep.availability = Some(AvailabilityStats {
+            crashes: 0,
+            downtime_s: 0.0,
+            availability: 1.0,
+            retries: 0,
+            retried_ok: 0,
+            shed: 0,
+            timed_out: 0,
+            time_to_recover_s: vec![],
+        });
+        let json = serde_json::to_string(&rep).unwrap();
+        let avail = json.find("\"availability\"").expect("availability key");
+        let scaling = json.find("\"scaling\"").expect("scaling key");
+        assert!(avail < scaling, "{json}");
+        let text = rep.to_string();
+        assert!(text.contains("3 scale-up, 2 scale-down (1 to zero)"), "{text}");
     }
 
     #[test]

@@ -504,7 +504,7 @@ impl SnapshotTracker {
 
 /// A stable 64-bit finalizer (splitmix64), so nearby session ids spread
 /// across replicas while every run hashes identically.
-fn splitmix64(seed: u64) -> u64 {
+pub(crate) fn splitmix64(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -1,6 +1,7 @@
 //! Named cluster scenarios: the reference fleets the `cluster_sim`
 //! binary and the CI smoke/baseline checks run.
 
+use cimtpu_autoscale::{AutoscalePolicy, GroupPolicy};
 use cimtpu_core::TpuConfig;
 use cimtpu_models::presets;
 use cimtpu_serving::{
@@ -270,6 +271,19 @@ pub fn headline() -> Vec<Scenario> {
         // Appended last: the BENCH_cluster.json baseline grows at the
         // end, leaving every pre-existing entry byte-identical.
         cluster_day(),
+        diurnal_point(
+            "cluster-diurnal-autoscale",
+            "a compressed diurnal day on an elastic 1..6-replica tiny group — \
+             the reconcile loop rides the curve (scale-ups pay provisioning \
+             + warmup, scale-downs drain)",
+            false,
+        ),
+        diurnal_point(
+            "cluster-diurnal-static",
+            "the same diurnal day and hardware pinned at the 6-replica peak \
+             size all day — the cost baseline the autoscaled run must beat",
+            true,
+        ),
     ]
 }
 
@@ -328,6 +342,118 @@ pub fn cluster_day_smoke() -> Scenario {
          100-replica fleet (CI perf floor + determinism check)",
         250_000,
     )
+}
+
+/// The diurnal head-to-head: one elastic group of tiny replicas under a
+/// compressed diurnal day. `pinned_at_peak` selects the static baseline —
+/// the same hardware held at the elastic band's 6-replica peak size all
+/// day — so the pair compares elasticity cost (chip-seconds and joules)
+/// at matched traffic. The elastic policy's utilization band is sized
+/// from the tiny replica's measured operating curve (~31k rps saturated,
+/// steady-state in-flight ≈ 0.6 at light load to ≈ 7 near saturation):
+/// target concurrency 4 with the 0.25/0.75 band scales up past ~2/3 of
+/// a replica's service rate and down below ~1/5 of it.
+fn diurnal_point(
+    name: &'static str,
+    description: &'static str,
+    pinned_at_peak: bool,
+) -> Scenario {
+    let elastic = GroupPolicy {
+        min: 1,
+        max: 6,
+        initial: 2,
+        concurrency: 4,
+        scale_up_above: 0.75,
+        scale_down_below: 0.25,
+        up_cooldown: Seconds::new(0.002),
+        down_cooldown: Seconds::new(0.008),
+        slo_floor: 0.0,
+    };
+    let group = if pinned_at_peak {
+        GroupPolicy { min: 6, initial: 6, ..elastic }
+    } else {
+        elastic
+    };
+    let policy = AutoscalePolicy {
+        interval: Seconds::new(0.002),
+        provision: Seconds::new(0.002),
+        warmup: Seconds::new(0.001),
+        ..AutoscalePolicy::new(vec![group])
+    };
+    Scenario {
+        name,
+        description,
+        engine: ClusterEngine::colocated(
+            vec![ReplicaSpec::new("diurnal", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 8 })],
+            RouterPolicy::LeastOutstanding,
+        )
+        .expect("static fleet is valid")
+        .with_slo_ms(2.0)
+        .with_autoscale(policy),
+        traffic: TrafficSpec {
+            requests: 30_000,
+            arrival: ArrivalPattern::Diurnal {
+                peak_rps: 100_000.0,
+                day_s: 0.6, // hour_len = 25 ms; ~32k requests per day
+                burst_x: 1.5,
+                bursts: 1,
+            },
+            prompt: LenDist::Uniform { lo: 16, hi: 64 },
+            steps: LenDist::Uniform { lo: 4, hi: 12 },
+            prefix: PrefixTraffic::None,
+            seed: 0xC1A0,
+        },
+    }
+}
+
+/// The CI autoscale smoke: a single tiny group allowed to scale to zero
+/// (band 0..2) under a bursty compressed day, tuned so the committed
+/// seed deterministically produces at least one scale-up, one
+/// scale-down, and one scale-to-zero — the events the CI grep asserts.
+pub fn smoke_autoscale() -> Scenario {
+    let policy = AutoscalePolicy {
+        interval: Seconds::new(0.001),
+        provision: Seconds::new(0.001),
+        warmup: Seconds::new(0.000_5),
+        ..AutoscalePolicy::new(vec![GroupPolicy {
+            min: 0,
+            max: 2,
+            initial: 1,
+            concurrency: 4,
+            scale_up_above: 0.75,
+            scale_down_below: 0.25,
+            up_cooldown: Seconds::new(0.001),
+            down_cooldown: Seconds::new(0.002),
+            slo_floor: 0.0,
+        }])
+    };
+    Scenario {
+        name: "smoke-autoscale",
+        description: "bursty compressed day on a scale-to-zero 0..2-replica tiny \
+                      group (CI grep: scale-up, scale-down, scale-to-zero)",
+        engine: ClusterEngine::colocated(
+            vec![ReplicaSpec::new("burst", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 8 })],
+            RouterPolicy::LeastOutstanding,
+        )
+        .expect("static fleet is valid")
+        .with_slo_ms(2.0)
+        .with_autoscale(policy),
+        traffic: TrafficSpec {
+            requests: 3_000,
+            arrival: ArrivalPattern::Diurnal {
+                peak_rps: 24_000.0,
+                day_s: 0.24, // hour_len = 10 ms
+                burst_x: 2.0,
+                bursts: 1,
+            },
+            prompt: LenDist::Uniform { lo: 16, hi: 64 },
+            steps: LenDist::Uniform { lo: 4, hi: 12 },
+            prefix: PrefixTraffic::None,
+            seed: 0xC1A0,
+        },
+    }
 }
 
 /// The chaos testbed: two identical tiny replicas behind
@@ -444,6 +570,9 @@ pub fn by_name(name: &str) -> Result<Scenario> {
     if name == "cluster-day-smoke" {
         return Ok(cluster_day_smoke());
     }
+    if name == "smoke-autoscale" {
+        return Ok(smoke_autoscale());
+    }
     headline()
         .into_iter()
         .find(|s| s.name == name)
@@ -461,7 +590,67 @@ mod tests {
         }
         assert_eq!(by_name("smoke-cluster").unwrap().name, "smoke-cluster");
         assert_eq!(by_name("cluster-day-smoke").unwrap().name, "cluster-day-smoke");
+        assert_eq!(by_name("smoke-autoscale").unwrap().name, "smoke-autoscale");
         assert!(by_name("nope").is_err());
+    }
+
+    #[test]
+    fn autoscaled_diurnal_beats_the_static_peak_fleet() {
+        let auto = by_name("cluster-diurnal-autoscale").unwrap().run(None).unwrap();
+        let fixed = by_name("cluster-diurnal-static").unwrap().run(None).unwrap();
+        assert_eq!(auto.report.completed, auto.report.offered);
+        assert_eq!(fixed.report.completed, fixed.report.offered);
+        let a = auto.report.scaling.as_ref().expect("elastic run reports scaling");
+        let s = fixed.report.scaling.as_ref().expect("pinned run reports scaling");
+        // The elastic fleet breathes with the curve: it grows toward the
+        // peak and shrinks back down the evening slope.
+        assert!(
+            a.scale_ups >= 1 && a.scale_downs >= 1,
+            "expected scaling activity, got {} up / {} down",
+            a.scale_ups,
+            a.scale_downs
+        );
+        assert!(a.peak_replicas <= 6);
+        // The pinned baseline holds 6 replicas all day and never acts.
+        assert_eq!(fixed.report.replicas, 6);
+        assert_eq!(s.scale_ups + s.scale_downs + s.swaps, 0);
+        // The headline acceptance: strictly lower chip-seconds AND joules
+        // at matched traffic.
+        assert!(
+            a.chip_seconds < s.chip_seconds,
+            "elastic {:.4} chip-s !< static {:.4} chip-s",
+            a.chip_seconds,
+            s.chip_seconds
+        );
+        assert!(
+            a.total_cost_j < s.total_cost_j,
+            "elastic {:.4} J !< static {:.4} J",
+            a.total_cost_j,
+            s.total_cost_j
+        );
+        // SLO violations during provisioning/warmup ramps are bounded:
+        // under 1% of the day's traffic.
+        assert!(
+            a.slo_violations_ramp <= auto.report.offered / 100,
+            "{} ramp SLO misses on {} requests",
+            a.slo_violations_ramp,
+            auto.report.offered
+        );
+    }
+
+    #[test]
+    fn smoke_autoscale_emits_every_event_kind_deterministically() {
+        let run = smoke_autoscale().run(None).unwrap();
+        let s = run.report.scaling.as_ref().expect("elastic run reports scaling");
+        // The three events the CI grep asserts on the report text.
+        assert!(s.scale_ups >= 1, "scaling: {s:?}");
+        assert!(s.scale_downs >= 1, "scaling: {s:?}");
+        assert!(s.scale_to_zero >= 1, "scaling: {s:?}");
+        // Scale-to-zero parks arrivals rather than dropping them.
+        assert_eq!(run.report.completed, run.report.offered);
+        let again = smoke_autoscale().run(None).unwrap();
+        assert_eq!(run.report, again.report);
+        assert_eq!(run.completions, again.completions);
     }
 
     #[test]

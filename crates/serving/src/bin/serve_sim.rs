@@ -16,7 +16,7 @@
 //! `--kv-budget BUDGET` overrides the scenario's KV budget so
 //! memory-pressure studies are tunable from the CLI: `unlimited`, `hbm`
 //! (HBM capacity minus resident weights), or a byte count with an
-//! optional `KiB`/`MiB`/`GiB` suffix (e.g. `1GiB`) — the grammar of
+//! optional `KiB`/`MiB`/`GiB`/`TiB` suffix (e.g. `1GiB`) — the grammar of
 //! [`cimtpu_serving::parse_kv_budget`]. `--clients N` converts the
 //! scenario's traffic to closed loop: `N` concurrent clients, each with
 //! one request in flight, re-issuing after a think time (`--think-ms`,

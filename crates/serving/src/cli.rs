@@ -31,6 +31,10 @@ pub struct SimFlags {
     /// — `cimtpu_cluster::parse_faults` owns the grammar and this crate
     /// cannot depend on it.
     pub faults: Option<String>,
+    /// `--autoscale SPEC`: autoscale-policy override, passed through raw
+    /// — `cimtpu_autoscale::parse_autoscale` owns the grammar (fleet
+    /// binaries only).
+    pub autoscale: Option<String>,
     /// `--perf-json PATH`: also write wall-clock driver-throughput
     /// records (fleet binaries only). Wall times are machine-dependent,
     /// so they go to a sidecar file, never into the byte-diffed
@@ -69,6 +73,7 @@ impl SimFlags {
             think_ms: 10.0,
             fault_seed: None,
             faults: None,
+            autoscale: None,
             perf_json: None,
         };
         let mut it = std::env::args().skip(1);
@@ -117,12 +122,16 @@ impl SimFlags {
                     );
                 }
                 "--faults" if fleet_flags => flags.faults = Some(value("--faults")?),
+                "--autoscale" if fleet_flags => {
+                    flags.autoscale = Some(value("--autoscale")?);
+                }
                 "--perf-json" if fleet_flags => {
                     flags.perf_json = Some(value("--perf-json")?);
                 }
                 "--help" | "-h" => {
                     let fault_usage = if fleet_flags {
-                        " [--fault-seed N] [--faults SPEC] [--perf-json PATH]"
+                        " [--fault-seed N] [--faults SPEC] [--autoscale SPEC] \
+                         [--perf-json PATH]"
                     } else {
                         ""
                     };
@@ -135,7 +144,7 @@ impl SimFlags {
                         "  --kv-budget BUDGET   override {budget_scope} KV budget: 'unlimited',"
                     );
                     println!(
-                        "                       'hbm', or bytes with KiB/MiB/GiB suffix \
+                        "                       'hbm', or bytes with KiB/MiB/GiB/TiB suffix \
                          (e.g. 1GiB)"
                     );
                     println!(
@@ -166,6 +175,22 @@ impl SimFlags {
                         println!(
                             "                       'link@<from>-<until>:x<f>[:energy=x<f>]' \
                              (times take an s/ms suffix)"
+                        );
+                        println!(
+                            "  --autoscale SPEC     install an autoscale policy on each \
+                             scenario: comma-separated"
+                        );
+                        println!(
+                            "                       'interval=1s', 'provision=2s', \
+                             'warmup=500ms', 'idle-w=30', 'conc=4',"
+                        );
+                        println!(
+                            "                       'replicas=LO..HI' (every group), \
+                             'group<K>=LO..HI', 'init=N', 'up=0.75',"
+                        );
+                        println!(
+                            "                       'down=0.25', 'up-cd=2s', 'down-cd=5s', \
+                             'slo-floor=0.9', 'swap'"
                         );
                     }
                     println!("scenarios:");

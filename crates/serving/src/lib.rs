@@ -158,7 +158,8 @@ pub use metrics::{Completion, LatencyStats, MemoryStats, ServingReport};
 pub use policy::BatchPolicy;
 pub use pricer::{PhasePricer, ServingModel};
 pub use request::{
-    ArrivalPattern, ArrivalStream, LenDist, PrefixTraffic, PromptPrefix, Request, TrafficSpec,
+    ArrivalPattern, ArrivalStream, LenDist, PrefixTraffic, PromptPrefix, Request,
+    TrafficSpec, DIURNAL_CURVE,
 };
 pub use heap::ActionHeap;
 pub use session::EngineSession;

@@ -116,7 +116,7 @@ impl MemoryConfig {
 /// - `unlimited` — no KV capacity limit ([`KvBudget::Unlimited`]);
 /// - `hbm` — the chip's HBM capacity minus resident weights
 ///   ([`KvBudget::HbmMinusWeights`]);
-/// - a byte count, optionally suffixed `KiB` / `MiB` / `GiB`
+/// - a byte count, optionally suffixed `KiB` / `MiB` / `GiB` / `TiB`
 ///   (e.g. `1GiB`, `64MiB`, `65536`) — an explicit cap
 ///   ([`KvBudget::Bytes`]).
 ///
@@ -124,8 +124,10 @@ impl MemoryConfig {
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidConfig`] for anything else (including byte
-/// counts that overflow `u64`).
+/// Returns [`Error::InvalidConfig`] for anything else. Negative counts
+/// and counts that overflow `u64` bytes get their own messages (they are
+/// the two ways a plausible-looking number is still unusable) rather
+/// than the generic grammar error.
 pub fn parse_kv_budget(arg: &str) -> Result<KvBudget> {
     let t = arg.trim();
     if t.eq_ignore_ascii_case("unlimited") {
@@ -135,7 +137,9 @@ pub fn parse_kv_budget(arg: &str) -> Result<KvBudget> {
         return Ok(KvBudget::HbmMinusWeights);
     }
     let lower = t.to_ascii_lowercase();
-    let (digits, shift) = if let Some(n) = lower.strip_suffix("gib") {
+    let (digits, shift) = if let Some(n) = lower.strip_suffix("tib") {
+        (n, 40)
+    } else if let Some(n) = lower.strip_suffix("gib") {
         (n, 30)
     } else if let Some(n) = lower.strip_suffix("mib") {
         (n, 20)
@@ -147,11 +151,29 @@ pub fn parse_kv_budget(arg: &str) -> Result<KvBudget> {
     let bad = || {
         Error::invalid_config(format!(
             "bad KV budget '{arg}': want 'unlimited', 'hbm', or a byte count with an \
-             optional KiB/MiB/GiB suffix (e.g. 1GiB)"
+             optional KiB/MiB/GiB/TiB suffix (e.g. 1GiB)"
         ))
     };
-    let n: u64 = digits.trim().parse().map_err(|_| bad())?;
-    let bytes = n.checked_shl(shift).filter(|b| b >> shift == n).ok_or_else(bad)?;
+    let digits = digits.trim();
+    if digits.starts_with('-') {
+        return Err(Error::invalid_config(format!(
+            "bad KV budget '{arg}': a KV budget cannot be negative"
+        )));
+    }
+    let overflow = || {
+        Error::invalid_config(format!(
+            "bad KV budget '{arg}': overflows the u64 byte range"
+        ))
+    };
+    let n: u64 = digits.parse().map_err(|e: std::num::ParseIntError| {
+        if matches!(e.kind(), std::num::IntErrorKind::PosOverflow) {
+            overflow()
+        } else {
+            bad()
+        }
+    })?;
+    let bytes =
+        n.checked_shl(shift).filter(|b| b >> shift == n).ok_or_else(overflow)?;
     Ok(KvBudget::Bytes(Bytes::new(bytes)))
 }
 
@@ -210,11 +232,30 @@ mod tests {
             parse_kv_budget(" 1GiB ").unwrap(),
             KvBudget::Bytes(Bytes::from_gib(1))
         );
+        assert_eq!(
+            parse_kv_budget("2TiB").unwrap(),
+            KvBudget::Bytes(Bytes::from_gib(2048))
+        );
+        assert_eq!(
+            parse_kv_budget(" 1tib ").unwrap(),
+            KvBudget::Bytes(Bytes::from_gib(1024))
+        );
         assert!(parse_kv_budget("").is_err());
         assert!(parse_kv_budget("1GB").is_err());
-        assert!(parse_kv_budget("-3").is_err());
-        assert!(parse_kv_budget("99999999999999999999GiB").is_err());
-        // Value overflow (dropped high bits) is rejected, not wrapped.
-        assert!(parse_kv_budget("18446744073709551615GiB").is_err());
+    }
+
+    #[test]
+    fn kv_budget_negative_and_overflow_are_typed() {
+        let msg = |arg: &str| parse_kv_budget(arg).unwrap_err().to_string();
+        assert!(msg("-3").contains("cannot be negative"), "{}", msg("-3"));
+        assert!(msg("-1GiB").contains("cannot be negative"), "{}", msg("-1GiB"));
+        // Digit-string overflow of u64 itself…
+        assert!(msg("99999999999999999999GiB").contains("overflows"));
+        // …and value overflow from the suffix shift (dropped high bits) are
+        // both rejected as overflow, not wrapped and not a grammar error.
+        assert!(msg("18446744073709551615GiB").contains("overflows"));
+        assert!(msg("16777216TiB").contains("overflows"));
+        // Junk stays the generic grammar error.
+        assert!(msg("1PiB").contains("optional KiB/MiB/GiB/TiB suffix"));
     }
 }

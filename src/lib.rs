@@ -20,7 +20,10 @@
 //!   preemption / chunked prefill, latency percentiles);
 //! - [`cluster`] — fleet-level serving (request routing over
 //!   heterogeneous replica groups, disaggregated prefill/decode with KV
-//!   handoff over the interconnect, closed-loop saturation studies).
+//!   handoff over the interconnect, closed-loop saturation studies);
+//! - [`autoscale`] — the reconcile-loop autoscaling control plane
+//!   (declarative per-group policies, deterministic scaling decisions,
+//!   elasticity cost accounting) the cluster layer applies.
 //!
 //! The repo-root `ARCHITECTURE.md` maps the five-layer stack, the data
 //! flow of one served request, the determinism/bit-identity contract,
@@ -165,6 +168,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use cimtpu_autoscale as autoscale;
 pub use cimtpu_cim as cim;
 pub use cimtpu_cluster as cluster;
 pub use cimtpu_core as core;
