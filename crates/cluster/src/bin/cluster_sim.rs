@@ -4,7 +4,8 @@
 //! cluster_sim [--scenario NAME|all] [--seed N] [--workers N] [--json PATH]
 //!             [--kv-budget BUDGET] [--clients N] [--think-ms MS]
 //!             [--fault-seed N] [--faults SPEC] [--autoscale SPEC]
-//!             [--perf-json PATH]
+//!             [--perf-json PATH] [--trace PATH] [--trace-filter SPEC]
+//!             [--metrics-csv PATH] [--summary]
 //! ```
 //!
 //! Runs the named cluster scenario (default: all headline scenarios) and
@@ -58,14 +59,78 @@
 //! `cluster_sim --perf-json BENCH_cluster_perf.json` on the dev box;
 //! wall times are machine-dependent, so CI checks a floor on the
 //! `cluster-day-smoke` record rather than diffing bytes.
+//!
+//! `--trace PATH` attaches the `cimtpu-obs` flight recorder and writes a
+//! Chrome trace-event JSON file per scenario (load it in Perfetto or
+//! `chrome://tracing`; with several scenarios selected, the scenario
+//! name is inserted before the extension). One track per replica slot
+//! plus one per control plane; `--trace-filter crash,retry,...` keeps
+//! only the named event kinds. `--metrics-csv PATH` writes the
+//! downsampled gauge series (`scenario,series,t_s,value` rows), and
+//! traced runs gain a `timeseries` section in the `--json` report.
+//! Traces are keyed by simulated time, so a fixed `--seed` reproduces
+//! them byte-for-byte; recorder-off output is byte-identical to builds
+//! without these flags. Traced scenarios run sequentially (the recorder
+//! is single-threaded state); leave these flags off for perf runs.
+//!
+//! `--summary` prints a one-screen table — one row per scenario with
+//! goodput, availability, scaling-action counts, and latency
+//! percentiles — instead of the full per-replica reports.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use cimtpu_bench::sweep;
 use cimtpu_cluster::scenario::{self, Scenario};
 use cimtpu_cluster::{
     parse_faults, parse_autoscale, ClusterReport, ClusterTopology, FaultPlan, PerfRecord,
+    Recorder, SharedRecorder, TraceFilter,
 };
 use cimtpu_serving::cli::{self, SimFlags};
 use cimtpu_serving::ArrivalPattern;
+
+/// Derives the per-scenario trace path when several scenarios share one
+/// `--trace` argument: `out.json` → `out.<scenario>.json`.
+fn per_scenario_path(base: &str, scenario: &str) -> String {
+    let p = std::path::Path::new(base);
+    match (p.file_stem().and_then(|s| s.to_str()), p.extension().and_then(|e| e.to_str())) {
+        (Some(stem), Some(ext)) => p
+            .with_file_name(format!("{stem}.{scenario}.{ext}"))
+            .to_string_lossy()
+            .into_owned(),
+        _ => format!("{base}.{scenario}"),
+    }
+}
+
+/// The `--summary` one-screen table: one row per scenario with goodput,
+/// availability, scaling-action counts, and latency percentiles.
+fn print_summary(reports: &[ClusterReport]) {
+    println!(
+        "{:<26} {:>9} {:>9} {:>13} {:>10} {:>10} {:>6}  scale(+/-/0/swap)",
+        "scenario", "offered", "done", "goodput_rps", "p50_ms", "p99_ms", "avail"
+    );
+    for r in reports {
+        let avail = r
+            .availability
+            .as_ref()
+            .map_or_else(|| "-".to_owned(), |a| format!("{:.3}", a.availability));
+        let scaling = r.scaling.as_ref().map_or_else(
+            || "-".to_owned(),
+            |s| format!("{}/{}/{}/{}", s.scale_ups, s.scale_downs, s.scale_to_zero, s.swaps),
+        );
+        println!(
+            "{:<26} {:>9} {:>9} {:>13.2} {:>10.3} {:>10.3} {:>6}  {}",
+            r.label,
+            r.offered,
+            r.completed,
+            r.goodput_rps,
+            r.latency.p50_ms,
+            r.latency.p99_ms,
+            avail,
+            scaling
+        );
+    }
+}
 
 fn main() {
     let flags = match SimFlags::parse("cluster_sim", "every replica's", true, || {
@@ -151,20 +216,79 @@ fn main() {
         }
     }
 
-    // Scenarios are independent simulations: fan them out over the sweep
-    // worker pool (results return in scenario order, so output is stable).
-    // Each worker clocks its own scenario, so the wall times feeding
-    // `--perf-json` are per-run driver times even under the fan-out.
+    let filter = match flags.trace_filter.as_deref() {
+        None => TraceFilter::default(),
+        Some(spec) => match TraceFilter::parse(spec) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cluster_sim: bad --trace-filter: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+
     let seed = flags.seed;
-    let results = sweep::parallel_map(&scenarios, |s| {
-        let start = std::time::Instant::now();
-        (s.run(seed), start.elapsed().as_secs_f64())
-    });
+    let observing = flags.trace.is_some() || flags.metrics_csv.is_some();
+    let mut failed = false;
+    let mut csv = String::new();
+    // Traced runs attach an `Rc`-shared recorder, which is not `Send`:
+    // they run sequentially, exporting each scenario's trace/CSV on the
+    // spot. The untraced path keeps the worker-pool fan-out below —
+    // scenarios are independent simulations that return in scenario
+    // order, so output is stable, and each worker clocks its own
+    // scenario so the wall times feeding `--perf-json` are per-run
+    // driver times even under the fan-out.
+    let results: Vec<_> = if observing {
+        scenarios
+            .iter()
+            .map(|s| {
+                let start = std::time::Instant::now();
+                let rec: SharedRecorder = Rc::new(RefCell::new(Recorder::new()));
+                let result = s.run_observed(seed, Some(&rec)).map(|mut run| {
+                    let rec = rec.borrow();
+                    run.report.timeseries = Some(rec.timeseries());
+                    if let Some(base) = flags.trace.as_deref() {
+                        let path = if scenarios.len() > 1 {
+                            per_scenario_path(base, s.name)
+                        } else {
+                            base.to_owned()
+                        };
+                        if let Err(e) = std::fs::write(&path, rec.to_chrome_json(&filter)) {
+                            eprintln!("cluster_sim: writing {path}: {e}");
+                            failed = true;
+                        }
+                    }
+                    if flags.metrics_csv.is_some() {
+                        let body = rec.metrics_csv(s.name);
+                        // One header for the whole file: strip it from
+                        // every scenario after the first.
+                        if csv.is_empty() {
+                            csv.push_str(&body);
+                        } else if let Some((_, rows)) = body.split_once('\n') {
+                            csv.push_str(rows);
+                        }
+                    }
+                    run
+                });
+                (result, start.elapsed().as_secs_f64())
+            })
+            .collect()
+    } else {
+        sweep::parallel_map(&scenarios, |s| {
+            let start = std::time::Instant::now();
+            (s.run(seed), start.elapsed().as_secs_f64())
+        })
+    };
+    if let Some(path) = flags.metrics_csv.as_deref() {
+        if let Err(e) = std::fs::write(path, &csv) {
+            eprintln!("cluster_sim: writing {path}: {e}");
+            failed = true;
+        }
+    }
 
     let mut reports: Vec<ClusterReport> = Vec::new();
     let mut perf: Vec<PerfRecord> = Vec::new();
     let mut prefix_lines: Vec<(&str, cimtpu_serving::PrefixStats)> = Vec::new();
-    let mut failed = false;
     for (s, (result, wall_s)) in scenarios.iter().zip(results) {
         match result {
             Ok(run) => {
@@ -186,7 +310,21 @@ fn main() {
         }
     }
 
-    failed |= cli::emit_reports("cluster_sim", &reports, flags.json.as_deref());
+    if flags.summary && flags.json.as_deref() != Some("-") {
+        // One row per scenario instead of the full per-replica reports;
+        // `--json PATH` still writes the complete report list.
+        if let Some(path) = flags.json.as_deref() {
+            let payload =
+                serde_json::to_string_pretty(&reports).expect("reports serialize");
+            if let Err(e) = std::fs::write(path, payload + "\n") {
+                eprintln!("cluster_sim: writing {path}: {e}");
+                failed = true;
+            }
+        }
+        print_summary(&reports);
+    } else {
+        failed |= cli::emit_reports("cluster_sim", &reports, flags.json.as_deref());
+    }
     // Wall-clock throughput goes to its own sidecar: the numbers are
     // machine-dependent, so they must never leak into the byte-diffed
     // `--json` baseline.

@@ -51,8 +51,10 @@
 //!   and `energy × energy_factor` — retransmission-style degradation.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use cimtpu_kv::{KvFootprint, PagedKvAllocator};
+use cimtpu_obs::{EventKind, SharedRecorder, TraceSink as _};
 use cimtpu_multi::RingTopology;
 use cimtpu_serving::{
     ActionHeap, ArrivalStream, Completion, EngineSession, Parallelism, PhasePricer, Request,
@@ -132,9 +134,11 @@ struct PrefillUnit<'a> {
 }
 
 /// A finished prefill group: members (in admission order) whose caches
-/// are ready to migrate at `end`.
+/// are ready to migrate at `end`; the batch occupied the executor from
+/// `start` (the flight recorder's prefill span).
 struct PrefillBatch {
     members: Vec<Request>,
+    start: Seconds,
     end: Seconds,
 }
 
@@ -219,7 +223,7 @@ impl<'a> PrefillUnit<'a> {
         self.energy += cost.total_energy();
         self.prefills += b;
         self.free_at = end;
-        Ok(PrefillBatch { members, end })
+        Ok(PrefillBatch { members, start, end })
     }
 
     fn snapshot(&self, index: usize, assigned: u64) -> ReplicaSnapshot {
@@ -416,6 +420,56 @@ fn validate_pool_replica<'a>(
     Ok(model)
 }
 
+/// Tracks and gauge series for both pools: one track per replica (the
+/// prefill pool first, then the decode pool), `[queued, kv_frac]` gauges
+/// per unit, and a control track for fleet-level events.
+struct PoolTrace {
+    rec: SharedRecorder,
+    ptracks: Vec<u32>,
+    dtracks: Vec<u32>,
+    pseries: Vec<[usize; 2]>,
+    dseries: Vec<[usize; 2]>,
+    control: u32,
+}
+
+impl PoolTrace {
+    fn attach(rec: &SharedRecorder, prefill: &[ReplicaSpec], decode: &[ReplicaSpec]) -> PoolTrace {
+        let mut r = rec.borrow_mut();
+        let series = |specs: &[ReplicaSpec], r: &mut cimtpu_obs::Recorder| {
+            specs
+                .iter()
+                .map(|s| {
+                    [
+                        r.gauge_series(&format!("{}/queued", s.name)),
+                        r.gauge_series(&format!("{}/kv_frac", s.name)),
+                    ]
+                })
+                .collect()
+        };
+        let ptracks = prefill.iter().map(|s| r.track(&s.name)).collect();
+        let dtracks = decode.iter().map(|s| r.track(&s.name)).collect();
+        let pseries = series(prefill, &mut r);
+        let dseries = series(decode, &mut r);
+        let control = r.track("control");
+        drop(r);
+        PoolTrace { rec: Rc::clone(rec), ptracks, dtracks, pseries, dseries, control }
+    }
+
+    /// Samples a decode unit's queue depth and KV occupancy at `t`.
+    fn sample_decode(&self, j: usize, t: Seconds, unit: &DecodeUnit<'_>) {
+        let mut rec = self.rec.borrow_mut();
+        rec.sample(self.dseries[j][0], t.get(), (unit.pending.len() + unit.active.len()) as f64);
+        rec.sample(self.dseries[j][1], t.get(), kv_frac(&unit.alloc));
+    }
+
+    /// Samples a prefill unit's queue depth and KV occupancy at `t`.
+    fn sample_prefill(&self, i: usize, t: Seconds, unit: &PrefillUnit<'_>) {
+        let mut rec = self.rec.borrow_mut();
+        rec.sample(self.pseries[i][0], t.get(), unit.queue.len() as f64);
+        rec.sample(self.pseries[i][1], t.get(), kv_frac(&unit.alloc));
+    }
+}
+
 #[allow(clippy::too_many_arguments)] // one call site, from the engine dispatch
 pub(crate) fn run_disaggregated(
     prefill: &[ReplicaSpec],
@@ -427,15 +481,17 @@ pub(crate) fn run_disaggregated(
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
     plan: &FaultPlan,
+    recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
     if plan.is_empty() {
         // Zero-fault runs take the untouched driver, bit-for-bit.
         run_disaggregated_plain(
-            prefill, decode, router, decode_router, interconnect, label, traffic, slo_ms,
+            prefill, decode, router, decode_router, interconnect, label, traffic, slo_ms, recorder,
         )
     } else {
         run_disaggregated_faulty(
             prefill, decode, router, decode_router, interconnect, label, traffic, slo_ms, plan,
+            recorder,
         )
     }
 }
@@ -450,7 +506,9 @@ fn run_disaggregated_plain(
     label: &str,
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
+    recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
+    let trace = recorder.map(|rec| PoolTrace::attach(rec, prefill, decode));
     let reference = validate_pool_replica(&prefill[0], "prefill")?.clone();
     let pool_members = prefill
         .iter()
@@ -569,7 +627,17 @@ fn run_disaggregated_plain(
                 );
                 let k = arouter.route(&request, &psnaps).min(punits.len() - 1);
                 p_assigned[k] += 1;
+                if let Some(tr) = &trace {
+                    tr.rec.borrow_mut().request_arrival(
+                        tr.ptracks[k],
+                        request.id,
+                        request.arrival_s,
+                    );
+                }
                 punits[k].queue.push_back(request);
+                if let Some(tr) = &trace {
+                    tr.sample_prefill(k, request.arrival(), &punits[k]);
+                }
                 heap.set(k, punits[k].candidate());
             }
             1 => {
@@ -592,12 +660,32 @@ fn run_disaggregated_plain(
                     punits[idx].link_free = t_end;
                     punits[idx].pending_release.push((t_end, req.id));
                     transfers.record(bytes.get(), duration, interconnect.transfer_energy(bytes));
+                    if let Some(tr) = &trace {
+                        let mut rec = tr.rec.borrow_mut();
+                        rec.span(
+                            tr.ptracks[idx],
+                            EventKind::Prefill,
+                            req.id,
+                            batch.start.get(),
+                            batch.end.get(),
+                        );
+                        rec.span(
+                            tr.ptracks[idx],
+                            EventKind::KvHandoff,
+                            req.id,
+                            t_start.get(),
+                            t_end.get(),
+                        );
+                    }
                     dunits[k].pending.push(PendingDecode {
                         req,
                         first_token: batch.end,
                         ready: t_end,
                     });
                     heap.set(pn + k, dunits[k].candidate());
+                }
+                if let Some(tr) = &trace {
+                    tr.sample_prefill(idx, batch.end, &punits[idx]);
                 }
                 heap.set(idx, punits[idx].candidate());
             }
@@ -606,6 +694,21 @@ fn run_disaggregated_plain(
                 heap.set(pn + idx, dunits[idx].candidate());
                 for c in &finished {
                     stream.on_complete(c);
+                }
+                if let Some(tr) = &trace {
+                    {
+                        let mut rec = tr.rec.borrow_mut();
+                        for c in &finished {
+                            rec.complete(
+                                tr.dtracks[idx],
+                                c.id,
+                                c.finish.get(),
+                                c.latency().as_millis(),
+                                c.ttft().as_millis(),
+                            );
+                        }
+                    }
+                    tr.sample_decode(idx, dunits[idx].t, &dunits[idx]);
                 }
                 completions.extend(finished);
             }
@@ -704,7 +807,9 @@ fn run_disaggregated_faulty(
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
     plan: &FaultPlan,
+    recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
+    let trace = recorder.map(|rec| PoolTrace::attach(rec, prefill, decode));
     let recovery = *plan.recovery();
     // Crash events index the DECODE pool; prefill replicas are the
     // stateless front of the pipeline here and cannot crash.
@@ -903,7 +1008,11 @@ fn run_disaggregated_faulty(
         match class {
             // Faults: restores first, then crashes due now.
             0 => {
-                dhealth.advance(now, recovery.warmup);
+                for k in dhealth.advance(now, recovery.warmup) {
+                    if let Some(tr) = &trace {
+                        tr.rec.borrow_mut().instant(tr.dtracks[k], EventKind::Repair, 0, now.get());
+                    }
+                }
                 for rec in crash_log.iter_mut() {
                     if rec.up_again.is_none() && dhealth.is_up(rec.replica) {
                         rec.up_again = Some(now);
@@ -933,6 +1042,14 @@ fn run_disaggregated_faulty(
                         up_again: None,
                         first_completion: None,
                     });
+                    if let Some(tr) = &trace {
+                        tr.rec.borrow_mut().instant(
+                            tr.dtracks[replica],
+                            EventKind::Crash,
+                            0,
+                            now.get(),
+                        );
+                    }
                     for (r, ft) in lost {
                         // Where is the cache now? If the source prefill
                         // replica has not released the blocks yet, pin
@@ -961,6 +1078,14 @@ fn run_disaggregated_faulty(
                             };
                         if attempts > recovery.max_attempts {
                             avail.shed += 1;
+                            if let Some(tr) = &trace {
+                                tr.rec.borrow_mut().instant(
+                                    tr.control,
+                                    EventKind::Shed,
+                                    r.id,
+                                    now.get(),
+                                );
+                            }
                             drop_blocks(&mut punits, source);
                             release_client(&mut stream, r.id, orig, now);
                             continue;
@@ -968,9 +1093,26 @@ fn run_disaggregated_faulty(
                         let fire = now + recovery.backoff_for(attempts);
                         if fire.get() > orig + recovery.deadline.get() {
                             avail.timed_out += 1;
+                            if let Some(tr) = &trace {
+                                tr.rec.borrow_mut().instant(
+                                    tr.control,
+                                    EventKind::Timeout,
+                                    r.id,
+                                    now.get(),
+                                );
+                            }
                             drop_blocks(&mut punits, source);
                             release_client(&mut stream, r.id, orig, now);
                             continue;
+                        }
+                        if let Some(tr) = &trace {
+                            tr.rec.borrow_mut().span(
+                                tr.control,
+                                EventKind::Retry,
+                                r.id,
+                                now.get(),
+                                fire.get(),
+                            );
                         }
                         attempts_of.insert(r.id, attempts);
                         waiting.push(DisaggRetry {
@@ -1004,7 +1146,17 @@ fn run_disaggregated_faulty(
                     .collect();
                 let k = arouter.route(&request, &snaps).min(punits.len() - 1);
                 p_assigned[k] += 1;
+                if let Some(tr) = &trace {
+                    tr.rec.borrow_mut().request_arrival(
+                        tr.ptracks[k],
+                        request.id,
+                        request.arrival_s,
+                    );
+                }
                 punits[k].queue.push_back(request);
+                if let Some(tr) = &trace {
+                    tr.sample_prefill(k, request.arrival(), &punits[k]);
+                }
                 unit_heap.set(k, punits[k].candidate());
             }
             // Retry fire: re-handoff, recompute, or repark.
@@ -1014,6 +1166,9 @@ fn run_disaggregated_faulty(
                 let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
                 if now.get() > orig + recovery.deadline.get() {
                     avail.timed_out += 1;
+                    if let Some(tr) = &trace {
+                        tr.rec.borrow_mut().instant(tr.control, EventKind::Timeout, r.id, now.get());
+                    }
                     if let Some(p) = item.source {
                         punits[p].alloc.release(r.id);
                         unit_heap.set(p, punits[p].candidate());
@@ -1033,6 +1188,14 @@ fn run_disaggregated_faulty(
                                      restart",
                                 )
                             })?;
+                            if let Some(tr) = &trace {
+                                tr.rec.borrow_mut().instant(
+                                    tr.control,
+                                    EventKind::Park,
+                                    r.id,
+                                    now.get(),
+                                );
+                            }
                             waiting.push(DisaggRetry { fire, ..item });
                             continue;
                         }
@@ -1060,6 +1223,15 @@ fn run_disaggregated_faulty(
                             a.0.get().total_cmp(&b.0.get()).then(a.1.cmp(&b.1))
                         });
                         transfers.record(bytes.get(), duration, energy);
+                        if let Some(tr) = &trace {
+                            tr.rec.borrow_mut().span(
+                                tr.ptracks[p],
+                                EventKind::KvHandoff,
+                                r.id,
+                                t_start.get(),
+                                t_end.get(),
+                            );
+                        }
                         dunits[k].pending.push(PendingDecode {
                             req: r,
                             first_token: item.first_token.unwrap_or(t_end),
@@ -1094,6 +1266,15 @@ fn run_disaggregated_faulty(
             3 => {
                 let batch = punits[idx].step()?;
                 for req in batch.members {
+                    if let Some(tr) = &trace {
+                        tr.rec.borrow_mut().span(
+                            tr.ptracks[idx],
+                            EventKind::Prefill,
+                            req.id,
+                            batch.start.get(),
+                            batch.end.get(),
+                        );
+                    }
                     let up = dhealth.up_replicas();
                     if up.is_empty() {
                         let fire = dhealth.next_transition().ok_or_else(|| {
@@ -1101,6 +1282,14 @@ fn run_disaggregated_faulty(
                                 "every decode replica is down and none is scheduled to restart",
                             )
                         })?;
+                        if let Some(tr) = &trace {
+                            tr.rec.borrow_mut().instant(
+                                tr.control,
+                                EventKind::Park,
+                                req.id,
+                                now.get(),
+                            );
+                        }
                         // The cache stays resident at the source (no
                         // release is scheduled until a transfer is).
                         waiting.push(DisaggRetry {
@@ -1128,12 +1317,24 @@ fn run_disaggregated_faulty(
                     punits[idx].link_free = t_end;
                     punits[idx].pending_release.push((t_end, req.id));
                     transfers.record(bytes.get(), duration, energy);
+                    if let Some(tr) = &trace {
+                        tr.rec.borrow_mut().span(
+                            tr.ptracks[idx],
+                            EventKind::KvHandoff,
+                            req.id,
+                            t_start.get(),
+                            t_end.get(),
+                        );
+                    }
                     dunits[k].pending.push(PendingDecode {
                         req,
                         first_token: batch.end,
                         ready: t_end,
                     });
                     unit_heap.set(pn + k, dunits[k].candidate());
+                }
+                if let Some(tr) = &trace {
+                    tr.sample_prefill(idx, batch.end, &punits[idx]);
                 }
                 unit_heap.set(idx, punits[idx].candidate());
             }
@@ -1154,6 +1355,28 @@ fn run_disaggregated_faulty(
                         }
                     }
                     stream.on_complete(c);
+                }
+                if let Some(tr) = &trace {
+                    {
+                        let mut rec = tr.rec.borrow_mut();
+                        for c in &finished {
+                            // The loop restores original arrivals only
+                            // after the run; the recorder needs the
+                            // restored latency now.
+                            let mut cc = *c;
+                            if let Some(orig) = origin.get(&cc.id) {
+                                cc.arrival = Seconds::new(*orig);
+                            }
+                            rec.complete(
+                                tr.dtracks[idx],
+                                cc.id,
+                                cc.finish.get(),
+                                cc.latency().as_millis(),
+                                cc.ttft().as_millis(),
+                            );
+                        }
+                    }
+                    tr.sample_decode(idx, dunits[idx].t, &dunits[idx]);
                 }
                 completions.extend(finished);
             }
@@ -2113,7 +2336,7 @@ mod tests {
                 for (ap, dp) in PAIRS {
                     let fast = run_disaggregated_plain(
                         &prefill, &decode, ap, dp, InterconnectSpec::ici(), "eq", &traffic,
-                        Some(50.0),
+                        Some(50.0), None,
                     )
                     .unwrap();
                     let slow = run_disaggregated_plain_oracle(
@@ -2154,7 +2377,7 @@ mod tests {
                     for (ap, dp) in PAIRS {
                         let fast = run_disaggregated_faulty(
                             &prefill, &decode, ap, dp, InterconnectSpec::ici(), "eq",
-                            &traffic, None, plan,
+                            &traffic, None, plan, None,
                         )
                         .unwrap();
                         let slow = run_disaggregated_faulty_oracle(

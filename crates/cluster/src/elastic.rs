@@ -31,7 +31,9 @@
 //! bit-for-bit (the scaling-action log is pinned by a replay test).
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
+use cimtpu_obs::{EventKind, SharedRecorder, TraceHandle, TraceSink as _};
 use cimtpu_autoscale::{action, AutoscalePolicy, GroupObservation, Reconciler, ScalingAction, ScalingDecision, ScalingStats};
 use cimtpu_serving::{
     ActionHeap, ArrivalStream, Completion, EngineCore, EngineSession, PrefixStats, Request,
@@ -68,6 +70,16 @@ struct Slot {
     spec: ReplicaSpec,
 }
 
+/// Recorder wiring for the elastic driver: one track per slot, a
+/// `"reconciler"` control track for fleet-level events, and per-group
+/// `[queued, outstanding]` gauges sampled at each reconcile tick.
+struct ElasticTrace {
+    rec: SharedRecorder,
+    tracks: Vec<u32>,
+    control: u32,
+    gseries: Vec<[usize; 2]>,
+}
+
 pub(crate) fn run_colocated_elastic(
     replicas: &[ReplicaSpec],
     policy: RouterPolicy,
@@ -75,6 +87,7 @@ pub(crate) fn run_colocated_elastic(
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
     autoscale: &AutoscalePolicy,
+    recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
     // ---- static wiring ------------------------------------------------
     let ngroups = replicas.len();
@@ -102,6 +115,27 @@ pub(crate) fn run_colocated_elastic(
         .collect::<Result<_>>()?;
     let mut cores: Vec<EngineCore<'_>> =
         sessions.iter().map(EngineSession::core).collect::<Result<_>>()?;
+    let trace = recorder.map(|rec| {
+        let mut r = rec.borrow_mut();
+        let tracks: Vec<u32> = slots.iter().map(|s| r.track(&s.spec.name)).collect();
+        let control = r.track("reconciler");
+        let gseries: Vec<[usize; 2]> = replicas
+            .iter()
+            .map(|g| {
+                [
+                    r.gauge_series(&format!("{}/queued", g.name)),
+                    r.gauge_series(&format!("{}/outstanding", g.name)),
+                ]
+            })
+            .collect();
+        drop(r);
+        ElasticTrace { rec: Rc::clone(rec), tracks, control, gseries }
+    });
+    if let Some(tr) = &trace {
+        for (k, core) in cores.iter_mut().enumerate() {
+            core.attach_trace(TraceHandle::new(Rc::clone(&tr.rec), tr.tracks[k]));
+        }
+    }
     let mut stream = ArrivalStream::new(traffic)?;
     let offered = stream.total();
     let mut routers: Vec<Box<dyn Router>> = (0..ngroups).map(|_| policy.build()).collect();
@@ -241,6 +275,9 @@ pub(crate) fn run_colocated_elastic(
                     // Warmup starts on a fresh core: empty allocator, cold
                     // mapping cache — the boot pays real warm-up work.
                     cores[k] = sessions[k].core()?;
+                    if let Some(tr) = &trace {
+                        cores[k].attach_trace(TraceHandle::new(Rc::clone(&tr.rec), tr.tracks[k]));
+                    }
                     live[k] = true;
                     last_push[k] = f64::NEG_INFINITY;
                     if exhausted_closed {
@@ -262,6 +299,14 @@ pub(crate) fn run_colocated_elastic(
                                 &replicas[g].name,
                                 slots[k].spec.name.clone(),
                             ));
+                            if let Some(tr) = &trace {
+                                tr.rec.borrow_mut().instant(
+                                    tr.tracks[k],
+                                    EventKind::Up,
+                                    0,
+                                    now.get(),
+                                );
+                            }
                             for ramp in ramps.iter_mut() {
                                 if ramp.group == g && ramp.end.is_none() {
                                     ramp.end = Some(now.get());
@@ -284,6 +329,14 @@ pub(crate) fn run_colocated_elastic(
             1 => {
                 next_tick += interval;
                 stats.reconciles += 1;
+                if let Some(tr) = &trace {
+                    tr.rec.borrow_mut().instant(
+                        tr.control,
+                        EventKind::Reconcile,
+                        stats.reconciles,
+                        now.get(),
+                    );
+                }
                 let obs: Vec<GroupObservation> = (0..ngroups)
                     .map(|g| {
                         let up = routable(&health, &draining, g);
@@ -313,6 +366,13 @@ pub(crate) fn run_colocated_elastic(
                     })
                     .collect();
                 since_tick = vec![(0, 0); ngroups];
+                if let Some(tr) = &trace {
+                    let mut rec = tr.rec.borrow_mut();
+                    for (g, o) in obs.iter().enumerate() {
+                        rec.sample(tr.gseries[g][0], now.get(), o.queued as f64);
+                        rec.sample(tr.gseries[g][1], now.get(), o.outstanding as f64);
+                    }
+                }
                 for decision in reconciler.reconcile(now, &obs) {
                     match decision {
                         ScalingDecision::Add { group } => {
@@ -325,6 +385,14 @@ pub(crate) fn run_colocated_elastic(
                                 );
                                 stats.scale_ups += 1;
                                 held_now += 1;
+                                if let Some(tr) = &trace {
+                                    tr.rec.borrow_mut().instant(
+                                        tr.tracks[k],
+                                        EventKind::ScaleUp,
+                                        0,
+                                        now.get(),
+                                    );
+                                }
                             }
                         }
                         ScalingDecision::Drain { group } => {
@@ -343,6 +411,14 @@ pub(crate) fn run_colocated_elastic(
                                     &replicas[group].name,
                                     slots[k].spec.name.clone(),
                                 ));
+                                if let Some(tr) = &trace {
+                                    let ek = if emptied {
+                                        EventKind::ScaleToZero
+                                    } else {
+                                        EventKind::ScaleDown
+                                    };
+                                    tr.rec.borrow_mut().instant(tr.tracks[k], ek, 0, now.get());
+                                }
                                 begin_drain(k, &mut cores, &mut draining, &mut step_heap);
                             }
                         }
@@ -367,6 +443,11 @@ pub(crate) fn run_colocated_elastic(
                                     &replicas[to].name, &slots[t].spec.name,
                                 );
                                 held_now += 1;
+                                if let Some(tr) = &trace {
+                                    let mut rec = tr.rec.borrow_mut();
+                                    rec.instant(tr.tracks[v], EventKind::SwapOut, 0, now.get());
+                                    rec.instant(tr.tracks[t], EventKind::SwapIn, 0, now.get());
+                                }
                             }
                         }
                     }
@@ -376,12 +457,18 @@ pub(crate) fn run_colocated_elastic(
                 held_now -= retire_idle(
                     now, &mut cores, &mut health, &mut live, &mut draining, &mut held,
                     &mut accum, &mut step_heap, &slots, replicas, &mut stats, offline_until,
+                    trace.as_ref(),
                 );
             }
             // Arrival: hash the session onto its group, route or park.
             2 => {
                 let r = stream.pop();
                 origin.insert(r.id, r.arrival_s);
+                if let Some(tr) = &trace {
+                    // Emitted by the driver: a parked arrival may wait a
+                    // long time before any core sees it.
+                    tr.rec.borrow_mut().request_arrival(tr.control, r.id, r.arrival_s);
+                }
                 if stream.exhausted() {
                     exhausted_closed = true;
                     for (k, core) in cores.iter_mut().enumerate() {
@@ -398,6 +485,9 @@ pub(crate) fn run_colocated_elastic(
                     // reconciler wakes the group. The original arrival is
                     // preserved, so the wake-up wait lands in the
                     // request's latency.
+                    if let Some(tr) = &trace {
+                        tr.rec.borrow_mut().instant(tr.control, EventKind::Park, r.id, now.get());
+                    }
                     parked[g].push(r);
                 } else {
                     let snaps = group_snapshots(&cores, &up, now, &assigned);
@@ -427,13 +517,22 @@ pub(crate) fn run_colocated_elastic(
                     } else if in_ramp(&ramps, g, c.finish.get()) {
                         stats.slo_violations_ramp += 1;
                     }
+                    if let Some(tr) = &trace {
+                        tr.rec.borrow_mut().complete(
+                            tr.tracks[k],
+                            c.id,
+                            c.finish.get(),
+                            c.latency().as_millis(),
+                            c.ttft().as_millis(),
+                        );
+                    }
                     delivered.push(c);
                 }
                 if draining[k] {
                     held_now -= retire_idle(
                         now, &mut cores, &mut health, &mut live, &mut draining, &mut held,
                         &mut accum, &mut step_heap, &slots, replicas, &mut stats,
-                        offline_until,
+                        offline_until, trace.as_ref(),
                     );
                 }
             }
@@ -615,6 +714,7 @@ fn retire_idle(
     replicas: &[ReplicaSpec],
     stats: &mut ScalingStats,
     offline_until: Seconds,
+    trace: Option<&ElasticTrace>,
 ) -> u64 {
     let mut retired = 0;
     for k in 0..cores.len() {
@@ -638,6 +738,9 @@ fn retire_idle(
             &replicas[slots[k].group].name,
             slots[k].spec.name.clone(),
         ));
+        if let Some(tr) = trace {
+            tr.rec.borrow_mut().instant(tr.tracks[k], EventKind::Retired, 0, now.get());
+        }
         retired += 1;
     }
     retired

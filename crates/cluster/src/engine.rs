@@ -1,7 +1,9 @@
 //! The fleet engine: topology + router + traffic → [`ClusterRun`].
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
+use cimtpu_obs::{EventKind, SharedRecorder, TraceHandle, TraceSink as _};
 use cimtpu_serving::{
     drive_with, ActionHeap, ArrivalStream, Completion, DriveHooks, EngineCore, EngineSession,
     PrefixStats, Request, ServingReport, TrafficSpec,
@@ -204,15 +206,42 @@ impl ClusterEngine {
     /// configuration, an unmappable operator, or a KV budget too small to
     /// hold a single request.
     pub fn run(&self, label: &str, traffic: &TrafficSpec) -> Result<ClusterRun> {
+        self.run_observed(label, traffic, None)
+    }
+
+    /// [`run`](Self::run) with an optional flight recorder threaded
+    /// through whichever driver the topology dispatches to: replicas get
+    /// one track each, control-plane events (crashes, retries, scaling
+    /// actions, reconcile ticks) land on a control track, and queue/KV
+    /// gauges stream into the recorder's timeseries. `None` is exactly
+    /// [`run`](Self::run) — the recorder-off paths stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_observed(
+        &self,
+        label: &str,
+        traffic: &TrafficSpec,
+        recorder: Option<&SharedRecorder>,
+    ) -> Result<ClusterRun> {
         if let Some(policy) = &self.autoscale {
-            return self.run_autoscaled(policy, label, traffic);
+            return self.run_autoscaled(policy, label, traffic, recorder);
         }
         match &self.topology {
             ClusterTopology::Colocated { replicas, router } => {
                 if self.faults.is_empty() {
-                    run_colocated(replicas, *router, label, traffic, self.slo_ms)
+                    run_colocated(replicas, *router, label, traffic, self.slo_ms, recorder)
                 } else {
-                    run_colocated_faulty(replicas, *router, label, traffic, self.slo_ms, &self.faults)
+                    run_colocated_faulty(
+                        replicas,
+                        *router,
+                        label,
+                        traffic,
+                        self.slo_ms,
+                        &self.faults,
+                        recorder,
+                    )
                 }
             }
             ClusterTopology::Disaggregated {
@@ -231,6 +260,7 @@ impl ClusterEngine {
                 traffic,
                 self.slo_ms,
                 &self.faults,
+                recorder,
             ),
         }
     }
@@ -243,6 +273,7 @@ impl ClusterEngine {
         policy: &AutoscalePolicy,
         label: &str,
         traffic: &TrafficSpec,
+        recorder: Option<&SharedRecorder>,
     ) -> Result<ClusterRun> {
         policy.validate()?;
         let ngroups = match &self.topology {
@@ -299,7 +330,7 @@ impl ClusterEngine {
                 faults: self.faults.clone(),
                 autoscale: None,
             };
-            let mut run = pinned.run(label, traffic)?;
+            let mut run = pinned.run_observed(label, traffic, recorder)?;
             let chip_seconds = run.report.chips as f64 * run.report.makespan_s;
             let busy_chip_s: f64 = run
                 .report
@@ -318,7 +349,9 @@ impl ClusterEngine {
         }
         match &self.topology {
             ClusterTopology::Colocated { replicas, router } if self.faults.is_empty() => {
-                run_colocated_elastic(replicas, *router, label, traffic, self.slo_ms, policy)
+                run_colocated_elastic(
+                    replicas, *router, label, traffic, self.slo_ms, policy, recorder,
+                )
             }
             ClusterTopology::Colocated { .. } => Err(Error::invalid_config(
                 "an elastic autoscale policy cannot run under a fault plan; pin the \
@@ -341,6 +374,9 @@ impl ClusterEngine {
 struct ColocatedHooks {
     router: Box<dyn Router>,
     tracker: SnapshotTracker,
+    /// Recorder + per-replica `[queued, kv_frac]` gauge series, when the
+    /// run is observed.
+    gauges: Option<(SharedRecorder, Vec<[usize; 2]>)>,
 }
 
 impl DriveHooks for ColocatedHooks {
@@ -362,6 +398,64 @@ impl DriveHooks for ColocatedHooks {
 
     fn on_step(&mut self, k: usize, cores: &[EngineCore<'_>], new: &[Completion]) {
         self.tracker.on_step(k, cores[k].queued(), cores[k].kv_frac(), new);
+        if let Some((rec, series)) = &self.gauges {
+            let t = new
+                .iter()
+                .map(|c| c.finish.get())
+                .fold(self.tracker.now().get(), f64::max);
+            let mut rec = rec.borrow_mut();
+            rec.sample(series[k][0], t, cores[k].queued() as f64);
+            rec.sample(series[k][1], t, cores[k].kv_frac());
+        }
+    }
+}
+
+/// Registers one track per replica (named after the spec), attaches a
+/// [`TraceHandle`] to each core, and returns the track ids plus one
+/// `[queued, kv_frac]` gauge-series pair per replica.
+fn attach_replica_tracks(
+    rec: &SharedRecorder,
+    specs: &[ReplicaSpec],
+    cores: &mut [EngineCore<'_>],
+) -> (Vec<u32>, Vec<[usize; 2]>) {
+    let mut tracks = Vec::with_capacity(specs.len());
+    let mut series = Vec::with_capacity(specs.len());
+    {
+        let mut r = rec.borrow_mut();
+        for spec in specs {
+            tracks.push(r.track(&spec.name));
+            series.push([
+                r.gauge_series(&format!("{}/queued", spec.name)),
+                r.gauge_series(&format!("{}/kv_frac", spec.name)),
+            ]);
+        }
+    }
+    for (core, &track) in cores.iter_mut().zip(&tracks) {
+        core.attach_trace(TraceHandle::new(Rc::clone(rec), track));
+    }
+    (tracks, series)
+}
+
+/// Everything the failure-aware drivers need to emit: the shared
+/// recorder, one track and one `[queued, kv_frac]` gauge pair per
+/// replica, and a control track for fleet-level events (arrivals,
+/// retries, sheds, reconcile ticks).
+struct FleetTrace {
+    rec: SharedRecorder,
+    tracks: Vec<u32>,
+    series: Vec<[usize; 2]>,
+    control: u32,
+}
+
+impl FleetTrace {
+    fn attach(
+        rec: &SharedRecorder,
+        specs: &[ReplicaSpec],
+        cores: &mut [EngineCore<'_>],
+    ) -> FleetTrace {
+        let (tracks, series) = attach_replica_tracks(rec, specs, cores);
+        let control = rec.borrow_mut().track("control");
+        FleetTrace { rec: Rc::clone(rec), tracks, series, control }
     }
 }
 
@@ -371,6 +465,7 @@ fn run_colocated(
     label: &str,
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
+    recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
     let sessions: Vec<EngineSession> = replicas
         .iter()
@@ -380,6 +475,10 @@ fn run_colocated(
         sessions.iter().map(EngineSession::core).collect::<Result<_>>()?;
     let mut stream = ArrivalStream::new(traffic)?;
     let offered = stream.total();
+    let gauges = recorder.map(|rec| {
+        let (_, series) = attach_replica_tracks(rec, replicas, &mut cores);
+        (Rc::clone(rec), series)
+    });
 
     drive_with(
         &mut cores,
@@ -387,6 +486,7 @@ fn run_colocated(
         ColocatedHooks {
             router: policy.build(),
             tracker: SnapshotTracker::new(replicas.len()),
+            gauges,
         },
     )?;
 
@@ -404,6 +504,19 @@ fn run_colocated(
         prefix.absorb(&core.prefix_stats());
         chip_energy += core.energy();
         completions.extend_from_slice(core.completions());
+        if let Some(rec) = recorder {
+            let track = core.trace_track().expect("recorder attached above");
+            let mut rec = rec.borrow_mut();
+            for c in core.completions() {
+                rec.complete(
+                    track,
+                    c.id,
+                    c.finish.get(),
+                    c.latency().as_millis(),
+                    c.ttft().as_millis(),
+                );
+            }
+        }
         rows.push(ReplicaUtilization {
             name: spec.name.clone(),
             model: spec.model.name().to_owned(),
@@ -555,6 +668,7 @@ fn run_colocated_faulty(
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
     plan: &FaultPlan,
+    recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
     let recovery = *plan.recovery();
     let mut timeline: Vec<(Seconds, FaultAction)> = Vec::new();
@@ -588,6 +702,10 @@ fn run_colocated_faulty(
     let offered = stream.total();
     let mut router = policy.build();
     let n = replicas.len();
+    let trace = recorder.map(|rec| FleetTrace::attach(rec, replicas, &mut cores));
+    // Start of the straggler window in flight per replica (NaN = none);
+    // the Straggler span is emitted when the window closes.
+    let mut slow_since = vec![f64::NAN; n];
     let mut assigned = vec![0u64; n];
     let mut health = HealthView::all_up(n);
     // Core liveness: a crashed core stays in `cores` (stale) until its
@@ -709,6 +827,10 @@ fn run_colocated_faulty(
                     cores[k] = sessions[k].core()?;
                     stale[k] = false;
                     last_push[k] = f64::NEG_INFINITY;
+                    if let Some(tr) = &trace {
+                        cores[k].attach_trace(TraceHandle::new(Rc::clone(&tr.rec), tr.tracks[k]));
+                        tr.rec.borrow_mut().instant(tr.tracks[k], EventKind::Repair, 0, now.get());
+                    }
                     if slowdown[k] != 1.0 {
                         cores[k].set_slowdown(slowdown[k]);
                     }
@@ -743,6 +865,14 @@ fn run_colocated_faulty(
                                 up_again: None,
                                 first_completion: None,
                             });
+                            if let Some(tr) = &trace {
+                                tr.rec.borrow_mut().instant(
+                                    tr.tracks[replica],
+                                    EventKind::Crash,
+                                    0,
+                                    now.get(),
+                                );
+                            }
                             // Revoke the dead incarnation's undelivered
                             // completions — their requests are in `lost`.
                             let lost_ids: Vec<u64> = lost.iter().map(|r| r.id).collect();
@@ -753,14 +883,39 @@ fn run_colocated_faulty(
                                 let attempts = attempts_of.get(&r.id).copied().unwrap_or(0) + 1;
                                 if attempts > recovery.max_attempts {
                                     avail.shed += 1;
+                                    if let Some(tr) = &trace {
+                                        tr.rec.borrow_mut().instant(
+                                            tr.control,
+                                            EventKind::Shed,
+                                            r.id,
+                                            now.get(),
+                                        );
+                                    }
                                     release_client(&mut stream, r.id, orig, now);
                                     continue;
                                 }
                                 let fire = now + recovery.backoff_for(attempts);
                                 if fire.get() > orig + recovery.deadline.get() {
                                     avail.timed_out += 1;
+                                    if let Some(tr) = &trace {
+                                        tr.rec.borrow_mut().instant(
+                                            tr.control,
+                                            EventKind::Timeout,
+                                            r.id,
+                                            now.get(),
+                                        );
+                                    }
                                     release_client(&mut stream, r.id, orig, now);
                                     continue;
+                                }
+                                if let Some(tr) = &trace {
+                                    tr.rec.borrow_mut().span(
+                                        tr.control,
+                                        EventKind::Retry,
+                                        r.id,
+                                        now.get(),
+                                        fire.get(),
+                                    );
                                 }
                                 attempts_of.insert(r.id, attempts);
                                 waiting.push(WaitingRetry { fire, request: r, attempts });
@@ -768,6 +923,7 @@ fn run_colocated_faulty(
                         }
                         FaultAction::SlowStart { replica, factor } => {
                             slowdown[replica] = factor;
+                            slow_since[replica] = now.get();
                             if !stale[replica] {
                                 cores[replica].set_slowdown(factor);
                                 step_heap.set(replica, cores[replica].next_action());
@@ -775,6 +931,18 @@ fn run_colocated_faulty(
                         }
                         FaultAction::SlowEnd { replica } => {
                             slowdown[replica] = 1.0;
+                            if let Some(tr) = &trace {
+                                if slow_since[replica].is_finite() {
+                                    tr.rec.borrow_mut().span(
+                                        tr.tracks[replica],
+                                        EventKind::Straggler,
+                                        0,
+                                        slow_since[replica],
+                                        now.get(),
+                                    );
+                                }
+                            }
+                            slow_since[replica] = f64::NAN;
                             if !stale[replica] {
                                 cores[replica].set_slowdown(1.0);
                                 step_heap.set(replica, cores[replica].next_action());
@@ -789,6 +957,11 @@ fn run_colocated_faulty(
             1 => {
                 let request = stream.pop();
                 origin.insert(request.id, request.arrival_s);
+                if let Some(tr) = &trace {
+                    // Emitted by the driver, not the core: a request can
+                    // be shed or time out before ever reaching a core.
+                    tr.rec.borrow_mut().request_arrival(tr.control, request.id, request.arrival_s);
+                }
                 waiting.push(WaitingRetry { fire: now, request, attempts: 0 });
                 if stream.exhausted() {
                     exhausted_closed = true;
@@ -818,6 +991,15 @@ fn run_colocated_faulty(
                         rec.first_completion = Some(c.finish);
                     }
                 }
+                if let Some(tr) = &trace {
+                    tr.rec.borrow_mut().complete(
+                        tr.tracks[k],
+                        c.id,
+                        c.finish.get(),
+                        c.latency().as_millis(),
+                        c.ttft().as_millis(),
+                    );
+                }
                 delivered.push(c);
             }
             // Admission (fresh arrivals and retries).
@@ -829,6 +1011,9 @@ fn run_colocated_faulty(
                 let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
                 if now.get() > orig + recovery.deadline.get() {
                     avail.timed_out += 1;
+                    if let Some(tr) = &trace {
+                        tr.rec.borrow_mut().instant(tr.control, EventKind::Timeout, r.id, now.get());
+                    }
                     release_client(&mut stream, r.id, orig, now);
                     continue;
                 }
@@ -841,6 +1026,9 @@ fn run_colocated_faulty(
                             "every replica is down and none is scheduled to restart",
                         )
                     })?;
+                    if let Some(tr) = &trace {
+                        tr.rec.borrow_mut().instant(tr.control, EventKind::Park, r.id, now.get());
+                    }
                     waiting.push(WaitingRetry { fire, ..item });
                     continue;
                 }
@@ -863,6 +1051,9 @@ fn run_colocated_faulty(
                         });
                         for (id, worig) in doomed {
                             avail.shed += 1;
+                            if let Some(tr) = &trace {
+                                tr.rec.borrow_mut().instant(tr.control, EventKind::Shed, id, now.get());
+                            }
                             release_client(&mut stream, id, worig, now);
                         }
                         continue;
@@ -899,6 +1090,11 @@ fn run_colocated_faulty(
                 step_heap.set(i, cores[i].next_action());
                 for &c in cores[i].drain_new() {
                     deliveries.push((i, c));
+                }
+                if let Some(tr) = &trace {
+                    let mut rec = tr.rec.borrow_mut();
+                    rec.sample(tr.series[i][0], now.get(), cores[i].queued() as f64);
+                    rec.sample(tr.series[i][1], now.get(), cores[i].kv_frac());
                 }
             }
         }
@@ -1541,7 +1737,8 @@ mod tests {
             let fleet = mixed_fleet();
             for traffic in traffics(seed) {
                 for policy in POLICIES {
-                    let fast = run_colocated(&fleet, policy, "eq", &traffic, Some(50.0)).unwrap();
+                    let fast =
+                        run_colocated(&fleet, policy, "eq", &traffic, Some(50.0), None).unwrap();
                     let slow =
                         run_colocated_oracle(&fleet, policy, "eq", &traffic, Some(50.0)).unwrap();
                     prop_assert_eq!(&fast, &slow, "policy {}", policy.name());
@@ -1576,7 +1773,7 @@ mod tests {
                 for plan in [&scripted, &chaos] {
                     for policy in POLICIES {
                         let fast =
-                            run_colocated_faulty(&fleet, policy, "eq", &traffic, None, plan)
+                            run_colocated_faulty(&fleet, policy, "eq", &traffic, None, plan, None)
                                 .unwrap();
                         let slow =
                             run_colocated_faulty_oracle(&fleet, policy, "eq", &traffic, None, plan)

@@ -97,6 +97,25 @@
 //! everywhere, no swaps) expands the fleet and reuses the plain drivers
 //! bit-identically.
 //!
+//! # Observability
+//!
+//! [`ClusterEngine::run_observed`] (and
+//! [`Scenario::run_observed`](scenario::Scenario::run_observed)) accept
+//! an optional [`SharedRecorder`] — the `cimtpu-obs` flight recorder.
+//! When attached, every driver emits typed lifecycle events (arrival →
+//! queue → prefill → KV handoff → decode → complete, plus preempt /
+//! retry / shed / timeout / park) and fleet events (crash, repair,
+//! straggler windows, scale actions, reconcile ticks) keyed by
+//! simulated time, onto one track per replica slot plus a control
+//! track. The recorder exports a Chrome trace-event JSON
+//! (Perfetto-loadable, via [`Recorder::to_chrome_json`] with a
+//! [`TraceFilter`]), streaming log-bucketed latency/TTFT histograms and
+//! downsampled gauge series ([`TimeseriesStats`], surfaced as the
+//! report's optional `timeseries` section), and a gauge CSV. Traces are
+//! a pure function of the simulated run: same seed, same bytes. Passing
+//! `None` dispatches to code paths with no recording overhead and
+//! byte-identical reports.
+//!
 //! # Reports
 //!
 //! A [`ClusterRun`] carries the fleet [`ClusterReport`] (p50/p95/p99
@@ -152,6 +171,9 @@ pub mod scenario;
 
 pub use cimtpu_autoscale::{
     parse_autoscale, AutoscalePolicy, AutoscaleSpec, GroupPolicy, ScalingAction, ScalingStats,
+};
+pub use cimtpu_obs::{
+    EventKind, Recorder, SharedRecorder, TimeseriesStats, TraceFilter, TraceHandle,
 };
 pub use disagg::InterconnectSpec;
 pub use engine::{ClusterEngine, ClusterRun, ClusterTopology};

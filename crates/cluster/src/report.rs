@@ -172,6 +172,10 @@ pub struct ClusterReport {
     /// Scaling section — present only for runs under an autoscale policy
     /// (plain fleet runs omit the key, keeping old baselines byte-stable).
     pub scaling: Option<ScalingStats>,
+    /// Streaming-telemetry section — present only for traced runs (a
+    /// recorder was attached); recorder-off runs omit the key so every
+    /// pre-existing baseline entry stays byte-identical.
+    pub timeseries: Option<cimtpu_obs::TimeseriesStats>,
 }
 
 impl Serialize for ClusterReport {
@@ -207,6 +211,9 @@ impl Serialize for ClusterReport {
         }
         if let Some(scaling) = &self.scaling {
             map.push(("scaling".to_owned(), scaling.to_value()));
+        }
+        if let Some(timeseries) = &self.timeseries {
+            map.push(("timeseries".to_owned(), timeseries.to_value()));
         }
         Value::Map(map)
     }
@@ -293,6 +300,7 @@ impl ClusterReport {
             per_replica,
             availability,
             scaling: None,
+            timeseries: None,
         }
     }
 }
@@ -368,6 +376,19 @@ impl std::fmt::Display for ClusterReport {
                 s.total_cost_j,
                 s.idle_energy_j,
                 s.slo_violations_ramp
+            )?;
+        }
+        if let Some(ts) = &self.timeseries {
+            writeln!(
+                f,
+                "telemetry   latency p50 {:.3} / p99 {:.3} ms (~{} sample(s), {} bucket(s))  |  \
+                 {} gauge series @ {:.4} s",
+                ts.latency_ms.p50,
+                ts.latency_ms.p99,
+                ts.latency_ms.count,
+                ts.latency_ms.buckets,
+                ts.gauges.len(),
+                ts.interval_s
             )?;
         }
         for r in &self.per_replica {
@@ -563,6 +584,29 @@ mod tests {
         assert!(avail < scaling, "{json}");
         let text = rep.to_string();
         assert!(text.contains("3 scale-up, 2 scale-down (1 to zero)"), "{text}");
+    }
+
+    #[test]
+    fn timeseries_key_is_omitted_without_a_recorder() {
+        // Recorder-off runs must leave every BENCH entry byte-identical:
+        // no `"timeseries": null`.
+        let json = serde_json::to_string(&build(None)).unwrap();
+        assert!(!json.contains("timeseries"), "{json}");
+    }
+
+    #[test]
+    fn timeseries_section_serializes_last_and_round_trips() {
+        let mut rep = build(None);
+        rep.scaling = Some(ScalingStats::default());
+        rep.timeseries = Some(cimtpu_obs::Recorder::new().timeseries());
+        let json = serde_json::to_string(&rep).unwrap();
+        let scaling = json.find("\"scaling\"").expect("scaling key");
+        let ts = json.find("\"timeseries\"").expect("timeseries key");
+        assert!(scaling < ts, "timeseries must be the last key: {json}");
+        let back: ClusterReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+        let text = rep.to_string();
+        assert!(text.contains("telemetry"), "{text}");
     }
 
     #[test]

@@ -35,11 +35,25 @@ impl Scenario {
     ///
     /// Propagates engine errors.
     pub fn run(&self, seed: Option<u64>) -> Result<ClusterRun> {
+        self.run_observed(seed, None)
+    }
+
+    /// Runs the scenario with an optional flight recorder attached (see
+    /// [`ClusterEngine::run_observed`]); `run` is the `None` shorthand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn run_observed(
+        &self,
+        seed: Option<u64>,
+        recorder: Option<&cimtpu_obs::SharedRecorder>,
+    ) -> Result<ClusterRun> {
         let mut traffic = self.traffic;
         if let Some(seed) = seed {
             traffic.seed = seed;
         }
-        self.engine.run(self.name, &traffic)
+        self.engine.run_observed(self.name, &traffic, recorder)
     }
 }
 

@@ -1,0 +1,293 @@
+//! Flight-recorder invariants across every driver: event conservation,
+//! well-formed spans, zero observer effect (recorder-on reports equal
+//! recorder-off), and byte-identical same-seed trace exports.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use cimtpu_cluster::scenario::by_name;
+use cimtpu_cluster::{
+    ChaosSpec, ClusterEngine, ClusterRun, EventKind, FaultEvent, FaultPlan, Recorder,
+    ReplicaSpec, RouterPolicy, SharedRecorder, TraceFilter,
+};
+use cimtpu_core::TpuConfig;
+use cimtpu_serving::{
+    ArrivalPattern, BatchPolicy, LenDist, PrefixTraffic, ServingModel, TrafficSpec,
+};
+use cimtpu_units::Seconds;
+
+fn fresh() -> SharedRecorder {
+    Rc::new(RefCell::new(Recorder::new()))
+}
+
+fn record(name: &str, seed: Option<u64>) -> (ClusterRun, SharedRecorder) {
+    let rec = fresh();
+    let run = by_name(name).unwrap().run_observed(seed, Some(&rec)).unwrap();
+    (run, rec)
+}
+
+/// Conservation: every offered request has exactly one `Arrival` and
+/// exactly one terminal event (`Complete` / `Shed` / `Timeout`), and the
+/// two id sets coincide. Fleet events (crash, reconcile, ...) reuse the
+/// id field for slot indices, so only lifecycle kinds are counted.
+fn assert_conservation(run: &ClusterRun, rec: &SharedRecorder) {
+    let mut arrivals: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut terminals: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in rec.borrow().events() {
+        if e.kind == EventKind::Arrival {
+            *arrivals.entry(e.id).or_default() += 1;
+        }
+        if e.kind.is_terminal() {
+            *terminals.entry(e.id).or_default() += 1;
+        }
+    }
+    assert_eq!(
+        arrivals.len() as u64,
+        run.report.offered,
+        "every offered request must arrive exactly once"
+    );
+    assert!(arrivals.values().all(|&n| n == 1), "duplicate arrival: {arrivals:?}");
+    assert!(terminals.values().all(|&n| n == 1), "duplicate terminal: {terminals:?}");
+    assert_eq!(
+        arrivals.keys().collect::<Vec<_>>(),
+        terminals.keys().collect::<Vec<_>>(),
+        "arrival and terminal id sets must coincide"
+    );
+    let completes = rec
+        .borrow()
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Complete)
+        .count() as u64;
+    assert_eq!(completes, run.report.completed, "one Complete per delivered completion");
+}
+
+/// Spans carry non-negative durations; instants carry none. Timestamps
+/// are finite simulated seconds.
+fn assert_well_formed(rec: &SharedRecorder) {
+    for e in rec.borrow().events() {
+        assert!(e.ts_s.is_finite(), "non-finite timestamp: {e:?}");
+        if e.kind.is_span() {
+            assert!(e.dur_s >= 0.0, "negative span duration: {e:?}");
+        } else {
+            assert_eq!(e.dur_s, 0.0, "instant with a duration: {e:?}");
+        }
+    }
+}
+
+/// Two same-seed recorded runs must export byte-identical traces and
+/// gauge CSVs — the determinism contract Perfetto diffs rely on.
+fn assert_trace_deterministic(name: &str) {
+    let (run_a, rec_a) = record(name, None);
+    let (run_b, rec_b) = record(name, None);
+    assert_eq!(run_a.report, run_b.report);
+    assert_eq!(
+        rec_a.borrow().to_chrome_json(&TraceFilter::default()),
+        rec_b.borrow().to_chrome_json(&TraceFilter::default()),
+        "{name}: same-seed traces must be byte-identical"
+    );
+    assert_eq!(
+        rec_a.borrow().metrics_csv(name),
+        rec_b.borrow().metrics_csv(name),
+        "{name}: same-seed gauge CSVs must be byte-identical"
+    );
+}
+
+/// Attaching the recorder must not change the simulation: recorder-on
+/// and recorder-off runs report identically.
+fn assert_no_observer_effect(name: &str) {
+    let (observed, _rec) = record(name, None);
+    let plain = by_name(name).unwrap().run(None).unwrap();
+    assert_eq!(observed.report, plain.report, "{name}: recorder changed the report");
+    assert_eq!(observed.completions, plain.completions);
+}
+
+/// The scenario set covering all four drivers: colocated plain
+/// (hetero-fleet), colocated faulty (cluster-chaos-crash,
+/// cluster-straggler), disaggregated plain (smoke-cluster),
+/// disaggregated faulty (cluster-degraded-link), and elastic
+/// (smoke-autoscale).
+const DRIVER_SCENARIOS: [&str; 6] = [
+    "hetero-fleet",
+    "cluster-chaos-crash",
+    "cluster-straggler",
+    "smoke-cluster",
+    "cluster-degraded-link",
+    "smoke-autoscale",
+];
+
+#[test]
+fn every_driver_conserves_requests_and_emits_well_formed_spans() {
+    for name in DRIVER_SCENARIOS {
+        let (run, rec) = record(name, None);
+        assert_conservation(&run, &rec);
+        assert_well_formed(&rec);
+    }
+}
+
+#[test]
+fn recorder_is_invisible_to_the_simulation() {
+    for name in DRIVER_SCENARIOS {
+        assert_no_observer_effect(name);
+    }
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    for name in DRIVER_SCENARIOS {
+        assert_trace_deterministic(name);
+    }
+}
+
+#[test]
+fn chaos_trace_shows_crash_and_retry() {
+    let (_run, rec) = record("cluster-chaos-crash", None);
+    let json = rec.borrow().to_chrome_json(&TraceFilter::default());
+    // The exact patterns the CI traced-chaos smoke greps.
+    assert!(json.contains("\"name\":\"crash\",\"ph\":\"i\""), "{json}");
+    assert!(json.contains("\"name\":\"retry\",\"ph\":\"X\""), "{json}");
+    let events = rec.borrow().events().to_vec();
+    assert!(events.iter().any(|e| e.kind == EventKind::Repair));
+    // The filter drops everything else.
+    let only = rec.borrow().to_chrome_json(&TraceFilter::parse("crash").unwrap());
+    assert!(only.contains("\"name\":\"crash\""));
+    assert!(!only.contains("\"name\":\"retry\""), "{only}");
+    assert!(!only.contains("\"name\":\"complete\""), "{only}");
+}
+
+#[test]
+fn autoscale_trace_shows_scaling_lifecycle() {
+    let (run, rec) = record("smoke-autoscale", None);
+    let events = rec.borrow().events().to_vec();
+    let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count() as u64;
+    let s = run.report.scaling.as_ref().expect("elastic run reports scaling");
+    assert_eq!(count(EventKind::ScaleUp) + count(EventKind::SwapIn), s.scale_ups);
+    assert_eq!(
+        count(EventKind::ScaleDown) + count(EventKind::ScaleToZero) + count(EventKind::SwapOut),
+        s.scale_downs
+    );
+    assert_eq!(count(EventKind::ScaleToZero), s.scale_to_zero);
+    assert_eq!(count(EventKind::Reconcile), s.reconciles);
+    assert!(count(EventKind::Up) >= 1, "provisioned slots must turn up");
+    assert!(count(EventKind::Retired) >= 1, "drained slots must retire");
+    assert!(count(EventKind::Park) >= 1, "scale-to-zero must park arrivals");
+}
+
+#[test]
+fn traced_gauges_sample_every_replica() {
+    let (_run, rec) = record("hetero-fleet", None);
+    let ts = rec.borrow().timeseries();
+    let names: Vec<&str> = ts.gauges.iter().map(|g| g.name.as_str()).collect();
+    assert!(names.contains(&"tpuv4i/queued"), "{names:?}");
+    assert!(names.contains(&"design-a/kv_frac"), "{names:?}");
+    assert!(ts.latency_ms.count > 0);
+    for g in &ts.gauges {
+        assert_eq!(g.t_s.len(), g.values.len());
+        assert!(g.t_s.windows(2).all(|w| w[0] <= w[1]), "gauge times must be sorted");
+    }
+}
+
+/// The chaos testbed from the scenario set, parameterized over router
+/// policy and fault plan for the property tests.
+fn chaos_engine(router: RouterPolicy, faults: FaultPlan) -> ClusterEngine {
+    let tiny = || ServingModel::Llm(cimtpu_serving::scenario::tiny_transformer());
+    ClusterEngine::colocated(
+        vec![
+            ReplicaSpec::new("chaos-0", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+            ReplicaSpec::new("chaos-1", TpuConfig::tpuv4i(), tiny())
+                .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+        ],
+        router,
+    )
+    .expect("static fleet is valid")
+    .with_faults(faults)
+}
+
+fn chaos_traffic(seed: u64) -> TrafficSpec {
+    TrafficSpec {
+        requests: 32,
+        arrival: ArrivalPattern::OpenLoop { rate_rps: 20_000.0 },
+        prompt: LenDist::Uniform { lo: 16, hi: 64 },
+        steps: LenDist::Uniform { lo: 8, hi: 16 },
+        prefix: PrefixTraffic::None,
+        seed,
+    }
+}
+
+fn router_strategy() -> impl Strategy<Value = RouterPolicy> {
+    (0u64..3).prop_map(|i| match i {
+        0 => RouterPolicy::RoundRobin,
+        1 => RouterPolicy::LeastOutstanding,
+        _ => RouterPolicy::SessionAffinity,
+    })
+}
+
+fn fault_strategy() -> impl Strategy<Value = FaultPlan> {
+    (0u32..3, any::<u64>(), any::<bool>()).prop_map(|(crashes, seed, straggle)| {
+        let mut plan = if crashes == 0 {
+            FaultPlan::seeded(seed)
+        } else {
+            FaultPlan::seeded(seed).with_chaos(ChaosSpec {
+                crashes,
+                window: (Seconds::new(0.000_5), Seconds::new(0.002)),
+                repair: Seconds::new(0.002),
+            })
+        };
+        if straggle {
+            plan = plan.with_event(FaultEvent::Straggler {
+                replica: 0,
+                from: Seconds::new(0.000_5),
+                until: Seconds::new(0.005),
+                slowdown: 4.0,
+            });
+        }
+        plan
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Across router policies × fault plans × traffic seeds: requests
+    /// are conserved, spans are well-formed, the recorder is invisible,
+    /// and same-seed traces replay byte-for-byte.
+    #[test]
+    fn faulty_traces_hold_invariants(
+        router in router_strategy(),
+        faults in fault_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let engine = chaos_engine(router, faults);
+        let traffic = chaos_traffic(seed);
+        let rec = fresh();
+        let run = engine.run_observed("prop", &traffic, Some(&rec)).unwrap();
+        assert_conservation(&run, &rec);
+        assert_well_formed(&rec);
+        let plain = engine.run("prop", &traffic).unwrap();
+        prop_assert_eq!(&run.report, &plain.report);
+        let rec2 = fresh();
+        let run2 = engine.run_observed("prop", &traffic, Some(&rec2)).unwrap();
+        prop_assert_eq!(&run.report, &run2.report);
+        prop_assert_eq!(
+            rec.borrow().to_chrome_json(&TraceFilter::default()),
+            rec2.borrow().to_chrome_json(&TraceFilter::default())
+        );
+    }
+
+    /// The elastic driver under varied seeds: parked wake-ups and drains
+    /// still deliver every request exactly once, traced or not.
+    #[test]
+    fn autoscale_traces_hold_invariants(seed in 0u64..1_000) {
+        let scenario = by_name("smoke-autoscale").unwrap();
+        let rec = fresh();
+        let run = scenario.run_observed(Some(seed), Some(&rec)).unwrap();
+        assert_conservation(&run, &rec);
+        assert_well_formed(&rec);
+        let plain = scenario.run(Some(seed)).unwrap();
+        prop_assert_eq!(&run.report, &plain.report);
+    }
+}

@@ -1,0 +1,169 @@
+//! Exact nearest-rank selection in O(1) memory.
+//!
+//! Report percentiles are pinned byte-for-byte by the BENCH baselines,
+//! so the streaming [`LogHistogram`](crate::LogHistogram)'s bounded
+//! relative error is not good enough there. This module computes the
+//! *exact* k-th smallest samples without materializing or sorting the
+//! sample buffer: an MSB-first radix selection over a monotone `u64`
+//! key whose order matches [`f64::total_cmp`]. Eight passes over the
+//! data, a 256-entry counting histogram per distinct rank prefix per
+//! pass — O(1) memory however many samples stream through — and the
+//! returned values are bit-identical to `sort` + nearest-rank indexing
+//! for NaN-free data (and still well-defined, by total order, if a NaN
+//! ever slips in).
+
+/// Maps a float to a `u64` key whose unsigned order equals
+/// [`f64::total_cmp`] order (IEEE-754 totalOrder).
+#[must_use]
+pub fn rank_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`rank_key`].
+#[must_use]
+pub fn key_value(k: u64) -> f64 {
+    let b = if k >> 63 == 1 { k & !(1 << 63) } else { !k };
+    f64::from_bits(b)
+}
+
+/// The 1-based nearest rank for quantile `q` over `n` samples:
+/// `ceil(q * n)` clamped to `[1, n]`.
+#[must_use]
+pub fn nearest_rank(q: f64, n: usize) -> usize {
+    ((q * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// Selects the `rank`-th smallest (1-based, [`f64::total_cmp`] order)
+/// value for every requested rank, re-iterating the samples once per
+/// key byte (8 passes total, shared across all ranks).
+///
+/// `samples` is a factory returning a fresh iterator over the same
+/// sequence each call; `n` must equal that iterator's length and every
+/// rank must lie in `[1, n]`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, a rank is out of `[1, n]`, or an iterator pass
+/// yields fewer than the expected matching samples (i.e. the factory
+/// does not replay the same sequence).
+pub fn select_ranks<I, F>(n: usize, ranks: &[usize], mut samples: F) -> Vec<f64>
+where
+    I: Iterator<Item = f64>,
+    F: FnMut() -> I,
+{
+    assert!(n > 0, "cannot select from zero samples");
+    for &r in ranks {
+        assert!((1..=n).contains(&r), "rank {r} out of 1..={n}");
+    }
+    // Per rank: the key prefix resolved so far and the rank *within*
+    // the samples matching that prefix.
+    let mut prefixes: Vec<u64> = vec![0; ranks.len()];
+    let mut remaining: Vec<u64> = ranks.iter().map(|&r| r as u64).collect();
+    let mut counts: Vec<[u64; 256]> = vec![[0; 256]; ranks.len()];
+    for byte in (0..8usize).rev() {
+        let shift = 8 * byte;
+        // Mask covering the bytes already resolved (above this one).
+        let high_mask = if byte == 7 { 0 } else { u64::MAX << (shift + 8) };
+        for c in &mut counts {
+            c.fill(0);
+        }
+        for x in samples() {
+            let key = rank_key(x);
+            let masked = key & high_mask;
+            let bucket = ((key >> shift) & 0xFF) as usize;
+            // Ranks frequently share prefixes; the per-rank histograms
+            // keep the bookkeeping trivial while staying O(1) memory.
+            for (i, &prefix) in prefixes.iter().enumerate() {
+                if masked == prefix {
+                    counts[i][bucket] += 1;
+                }
+            }
+        }
+        for i in 0..ranks.len() {
+            let mut cum = 0u64;
+            let mut chosen = None;
+            for (b, &c) in counts[i].iter().enumerate() {
+                if cum + c >= remaining[i] {
+                    chosen = Some(b as u64);
+                    break;
+                }
+                cum += c;
+            }
+            let b = chosen.expect("sample iterator replayed fewer samples than expected");
+            prefixes[i] |= b << shift;
+            remaining[i] -= cum;
+        }
+    }
+    prefixes.into_iter().map(key_value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_reference(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_by(f64::total_cmp);
+        v
+    }
+
+    #[test]
+    fn key_is_monotone_and_invertible() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-308,
+            0.1,
+            1.0,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(rank_key(w[0]) <= rank_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for v in vals {
+            assert_eq!(key_value(rank_key(v)).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn matches_sort_then_index() {
+        let samples: Vec<f64> = (0..500)
+            .map(|i| {
+                let x = (i * 2654435761u64 % 1000) as f64;
+                (x - 200.0) * 1.7 + 0.001 * i as f64
+            })
+            .collect();
+        let sorted = sorted_reference(samples.clone());
+        let n = samples.len();
+        let ranks = [1, nearest_rank(0.5, n), nearest_rank(0.95, n), nearest_rank(0.99, n), n];
+        let got = select_ranks(n, &ranks, || samples.iter().copied());
+        for (&r, &v) in ranks.iter().zip(&got) {
+            assert_eq!(v.to_bits(), sorted[r - 1].to_bits(), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicates_and_single() {
+        let samples = [3.0, 3.0, 3.0, 3.0];
+        let got = select_ranks(4, &[1, 2, 4], || samples.iter().copied());
+        assert_eq!(got, vec![3.0, 3.0, 3.0]);
+        let one = select_ranks(1, &[1], || [42.5].into_iter());
+        assert_eq!(one, vec![42.5]);
+    }
+
+    #[test]
+    fn nearest_rank_clamps() {
+        assert_eq!(nearest_rank(0.0, 10), 1);
+        assert_eq!(nearest_rank(0.5, 10), 5);
+        assert_eq!(nearest_rank(0.99, 10), 10);
+        assert_eq!(nearest_rank(1.0, 3), 3);
+    }
+}

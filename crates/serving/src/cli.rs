@@ -40,6 +40,23 @@ pub struct SimFlags {
     /// so they go to a sidecar file, never into the byte-diffed
     /// `--json` baselines.
     pub perf_json: Option<String>,
+    /// `--trace PATH`: attach the flight recorder and write a Chrome
+    /// trace-event JSON file per scenario (Perfetto-loadable). With
+    /// several scenarios selected, the scenario name is inserted before
+    /// the extension (`out.json` → `out.<scenario>.json`).
+    pub trace: Option<String>,
+    /// `--trace-filter SPEC`: comma-separated event kinds to keep in the
+    /// `--trace` export (e.g. `crash,retry,scale_up`), passed through
+    /// raw — `cimtpu_obs::TraceFilter` owns the grammar.
+    pub trace_filter: Option<String>,
+    /// `--metrics-csv PATH`: attach the flight recorder and write the
+    /// downsampled gauge series as CSV (`scenario,series,t_s,value`
+    /// rows, all scenarios in one file).
+    pub metrics_csv: Option<String>,
+    /// `--summary`: print a one-screen per-scenario summary table
+    /// (goodput, availability, scaling actions, latency percentiles)
+    /// instead of the full per-replica reports.
+    pub summary: bool,
 }
 
 impl SimFlags {
@@ -75,6 +92,10 @@ impl SimFlags {
             faults: None,
             autoscale: None,
             perf_json: None,
+            trace: None,
+            trace_filter: None,
+            metrics_csv: None,
+            summary: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
@@ -128,10 +149,19 @@ impl SimFlags {
                 "--perf-json" if fleet_flags => {
                     flags.perf_json = Some(value("--perf-json")?);
                 }
+                "--trace" if fleet_flags => flags.trace = Some(value("--trace")?),
+                "--trace-filter" if fleet_flags => {
+                    flags.trace_filter = Some(value("--trace-filter")?);
+                }
+                "--metrics-csv" if fleet_flags => {
+                    flags.metrics_csv = Some(value("--metrics-csv")?);
+                }
+                "--summary" if fleet_flags => flags.summary = true,
                 "--help" | "-h" => {
                     let fault_usage = if fleet_flags {
                         " [--fault-seed N] [--faults SPEC] [--autoscale SPEC] \
-                         [--perf-json PATH]"
+                         [--perf-json PATH] [--trace PATH] [--trace-filter SPEC] \
+                         [--metrics-csv PATH] [--summary]"
                     } else {
                         ""
                     };
@@ -191,6 +221,29 @@ impl SimFlags {
                         println!(
                             "                       'down=0.25', 'up-cd=2s', 'down-cd=5s', \
                              'slo-floor=0.9', 'swap'"
+                        );
+                        println!(
+                            "  --trace PATH         attach the flight recorder and write a \
+                             Chrome trace-event"
+                        );
+                        println!(
+                            "                       JSON file per scenario (Perfetto-loadable; \
+                             runs sequentially)"
+                        );
+                        println!(
+                            "  --trace-filter SPEC  keep only these comma-separated event \
+                             kinds in --trace"
+                        );
+                        println!(
+                            "                       (e.g. 'crash,retry,scale_up')"
+                        );
+                        println!(
+                            "  --metrics-csv PATH   write downsampled gauge series as CSV \
+                             (scenario,series,t_s,value)"
+                        );
+                        println!(
+                            "  --summary            one-screen per-scenario table instead of \
+                             full reports"
                         );
                     }
                     println!("scenarios:");

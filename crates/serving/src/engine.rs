@@ -150,9 +150,30 @@ impl ServingEngine {
     /// operator, chunked prefill on a tensor-parallel ring, or a KV
     /// budget too small to hold even a single request.
     pub fn run(&self, label: &str, traffic: &TrafficSpec) -> Result<ServingRun> {
+        self.run_observed(label, traffic, None)
+    }
+
+    /// [`run`](Self::run) with an optional flight recorder: the engine
+    /// core emits its request lifecycle on a fresh `"engine"` track and
+    /// every delivered completion feeds the recorder's terminal event
+    /// and latency histograms. `None` is exactly [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_observed(
+        &self,
+        label: &str,
+        traffic: &TrafficSpec,
+        recorder: Option<&cimtpu_obs::SharedRecorder>,
+    ) -> Result<ServingRun> {
         traffic.validate()?;
         let session = EngineSession::new(self)?;
         let mut core = session.core()?;
+        if let Some(rec) = recorder {
+            let track = rec.borrow_mut().track("engine");
+            core.attach_trace(cimtpu_obs::TraceHandle::new(std::rc::Rc::clone(rec), track));
+        }
         match traffic.arrival {
             ArrivalPattern::ClosedLoop { .. } => {
                 let mut stream = ArrivalStream::new(traffic)?;
@@ -172,6 +193,19 @@ impl ServingEngine {
             }
         }
         let run = core.finish(label);
+        if let Some(rec) = recorder {
+            let mut rec = rec.borrow_mut();
+            let track = core.trace_track().expect("recorder attached above");
+            for c in &run.completions {
+                rec.complete(
+                    track,
+                    c.id,
+                    c.finish.get(),
+                    c.latency().as_millis(),
+                    c.ttft().as_millis(),
+                );
+            }
+        }
         session.persist_cache(); // best effort; cold is correct
         Ok(run)
     }

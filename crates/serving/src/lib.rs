@@ -152,6 +152,9 @@ mod session;
 mod step;
 
 pub use cimtpu_kv::{KvBudget, PrefixStats};
+pub use cimtpu_obs::{
+    EventKind, Recorder, SharedRecorder, TimeseriesStats, TraceFilter, TraceHandle,
+};
 pub use engine::{Parallelism, ServingEngine, ServingRun};
 pub use memory::{parse_kv_budget, MemoryConfig};
 pub use metrics::{Completion, LatencyStats, MemoryStats, ServingReport};

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use cimtpu_obs::select;
 use cimtpu_units::{Joules, Seconds};
 
 /// The lifecycle record of one completed request.
@@ -66,27 +67,34 @@ impl LatencyStats {
 
     /// Summarizes a set of durations (nearest-rank percentiles).
     ///
+    /// Percentiles are *exact* nearest-rank values in
+    /// [`f64::total_cmp`] order, computed by streaming radix selection
+    /// ([`cimtpu_obs::select`]) in O(1) memory — a 10M-request
+    /// cluster run no longer materializes and sorts a 10M-element
+    /// buffer. The mean is a streaming sum in sample order.
+    ///
     /// # Panics
     ///
     /// Panics if `samples` is empty.
     pub fn from_samples(samples: &[Seconds]) -> Self {
         assert!(!samples.is_empty(), "cannot summarize zero samples");
-        let mut ms: Vec<f64> = samples.iter().map(|s| s.as_millis()).collect();
-        ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+        let n = samples.len();
+        let ranks = [
+            select::nearest_rank(0.50, n),
+            select::nearest_rank(0.95, n),
+            select::nearest_rank(0.99, n),
+            n,
+        ];
+        let picked = select::select_ranks(n, &ranks, || samples.iter().map(|s| s.as_millis()));
+        let sum: f64 = samples.iter().map(|s| s.as_millis()).sum();
         LatencyStats {
-            p50_ms: percentile(&ms, 0.50),
-            p95_ms: percentile(&ms, 0.95),
-            p99_ms: percentile(&ms, 0.99),
-            mean_ms: ms.iter().sum::<f64>() / ms.len() as f64,
-            max_ms: *ms.last().expect("non-empty"),
+            p50_ms: picked[0],
+            p95_ms: picked[1],
+            p99_ms: picked[2],
+            mean_ms: sum / n as f64,
+            max_ms: picked[3],
         }
     }
-}
-
-/// Nearest-rank percentile of an ascending-sorted sample set.
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    let rank = (q * sorted_ms.len() as f64).ceil() as usize;
-    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
 }
 
 /// Memory-subsystem counters aggregated over a serving run.

@@ -25,6 +25,7 @@ use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 
 use cimtpu_kv::{PagedKvAllocator, PrefixIndex, PrefixStats};
+use cimtpu_obs::{EventKind, TraceHandle};
 use cimtpu_units::{Error, Joules, Result, Seconds};
 
 use crate::heap::ActionHeap;
@@ -73,6 +74,9 @@ pub struct EngineCore<'a> {
     /// `(epoch, next_action)` at the last computation; valid while the
     /// epoch still matches.
     cached_action: Cell<Option<(u64, Option<Seconds>)>>,
+    /// Flight-recorder handle ([`attach_trace`](Self::attach_trace));
+    /// `None` costs one branch per emission site and changes nothing.
+    trace: Option<TraceHandle>,
     state: State,
 }
 
@@ -206,8 +210,24 @@ impl<'a> EngineCore<'a> {
             crashed: false,
             epoch: 0,
             cached_action: Cell::new(None),
+            trace: None,
             state,
         }
+    }
+
+    /// Attaches a flight-recorder handle: from now on the core emits
+    /// request-lifecycle events (arrival, queue/prefill/decode spans,
+    /// preemptions) on the handle's track. Emission never feeds back
+    /// into scheduling, so a traced core's report is bit-identical to
+    /// an untraced one.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// The attached trace track, if any (drivers emit their
+    /// delivery-side events on the same track as the core).
+    pub fn trace_track(&self) -> Option<u32> {
+        self.trace.as_ref().map(cimtpu_obs::TraceHandle::track)
     }
 
     /// Marks the scheduling state dirty: the next
@@ -238,6 +258,9 @@ impl<'a> EngineCore<'a> {
             );
         }
         self.touch();
+        if let Some(tr) = &self.trace {
+            tr.arrival(request.id, request.arrival_s);
+        }
         self.arrivals.push(request);
         self.first_token.push(Seconds::ZERO);
         self.ttft_set.push(false);
@@ -655,6 +678,11 @@ impl<'a> EngineCore<'a> {
             (take, start)
         };
         let members: Vec<Request> = self.arrivals[next..next + take].to_vec();
+        if let Some(tr) = &self.trace {
+            for r in &members {
+                tr.span(EventKind::Queue, r.id, r.arrival_s, start.get());
+            }
+        }
         {
             // Between run-to-completion batches only index-held prefix
             // blocks occupy the allocator; admission reserved the worst
@@ -774,6 +802,11 @@ impl<'a> EngineCore<'a> {
                 }
             }
             first_token.fill(t);
+            if let Some(tr) = &self.trace {
+                for r in members {
+                    tr.span(EventKind::Prefill, r.id, start.get(), t.get());
+                }
+            }
         }
         let mut finish = vec![Seconds::ZERO; members.len()];
         for s in 0..max_steps {
@@ -804,12 +837,16 @@ impl<'a> EngineCore<'a> {
         let State::Rtc(st) = &mut self.state else { unreachable!() };
         for (i, r) in members.iter().enumerate() {
             st.allocs[chip].release(r.id);
+            // Padded batches release results when the batch completes.
+            let release = if pads { t } else { finish[i] };
+            if let Some(tr) = &self.trace {
+                tr.span(EventKind::Decode, r.id, first_token[i].get(), release.get());
+            }
             self.completions.push(Completion {
                 id: r.id,
                 arrival: r.arrival(),
                 first_token: first_token[i],
-                // Padded batches release results when the batch completes.
-                finish: if pads { t } else { finish[i] },
+                finish: release,
                 steps: r.steps,
             });
         }
@@ -913,6 +950,16 @@ impl<'a> EngineCore<'a> {
                 chip.alloc.block_tokens(),
             )));
         }
+        if let Some(tr) = &self.trace {
+            // Fresh admissions close their queue span; resumed requests
+            // already emitted theirs on first admission.
+            for &(idx, done, _) in &admitted {
+                if done == 0 {
+                    let r = &self.arrivals[idx];
+                    tr.span(EventKind::Queue, r.id, r.arrival_s, round_start.get());
+                }
+            }
+        }
 
         // Prefill the admitted group. Monolithic: one padded prefill now
         // (resumed members recompute their full context; with sharing,
@@ -931,6 +978,7 @@ impl<'a> EngineCore<'a> {
                             .map(|&&(idx, done, _)| self.arrivals[idx].prompt_len + done)
                             .max()
                             .expect("non-empty");
+                        let before = chip.t;
                         let prefill = self.pricer.prefill(cold.len() as u64, padded)?;
                         chip.t += stretch(prefill.latency, slowdown);
                         self.energy += prefill.total_energy();
@@ -938,6 +986,14 @@ impl<'a> EngineCore<'a> {
                             if !self.ttft_set[idx] {
                                 self.first_token[idx] = chip.t;
                                 self.ttft_set[idx] = true;
+                            }
+                            if let Some(tr) = &self.trace {
+                                tr.span(
+                                    EventKind::Prefill,
+                                    self.arrivals[idx].id,
+                                    before.get(),
+                                    chip.t.get(),
+                                );
                             }
                         }
                     }
@@ -954,6 +1010,7 @@ impl<'a> EngineCore<'a> {
                             .map(|&&(idx, done, s)| self.arrivals[idx].prompt_len + done - s)
                             .max()
                             .expect("non-empty");
+                        let before = chip.t;
                         let cost = self.pricer.prefill_chunk(hits.len() as u64, tail, past)?;
                         chip.t += stretch(cost.latency, slowdown);
                         self.energy += cost.total_energy();
@@ -961,6 +1018,14 @@ impl<'a> EngineCore<'a> {
                             if !self.ttft_set[idx] {
                                 self.first_token[idx] = chip.t;
                                 self.ttft_set[idx] = true;
+                            }
+                            if let Some(tr) = &self.trace {
+                                tr.span(
+                                    EventKind::Prefill,
+                                    self.arrivals[idx].id,
+                                    before.get(),
+                                    chip.t.get(),
+                                );
                             }
                         }
                     }
@@ -1000,6 +1065,7 @@ impl<'a> EngineCore<'a> {
                         .map(|&p| chip.active[p].prefilled)
                         .max()
                         .expect("non-empty");
+                    let before = chip.t;
                     let cost = self.pricer.prefill_chunk(prefilling.len() as u64, c, past)?;
                     chip.t += stretch(cost.latency, slowdown);
                     self.energy += cost.total_energy();
@@ -1010,6 +1076,14 @@ impl<'a> EngineCore<'a> {
                         if a.prefilled == a.target && !self.ttft_set[a.idx] {
                             self.first_token[a.idx] = now;
                             self.ttft_set[a.idx] = true;
+                        }
+                        if let Some(tr) = &self.trace {
+                            tr.span(
+                                EventKind::Prefill,
+                                self.arrivals[a.idx].id,
+                                before.get(),
+                                now.get(),
+                            );
                         }
                     }
                 }
@@ -1047,6 +1121,9 @@ impl<'a> EngineCore<'a> {
                     .expect("non-empty");
                 let victim = chip.active.remove(victim_pos);
                 chip.alloc.release(self.arrivals[victim.idx].id);
+                if let Some(tr) = &self.trace {
+                    tr.instant(EventKind::Preempt, self.arrivals[victim.idx].id, chip.t.get());
+                }
                 chip.resume.push_back((victim.idx, victim.done));
                 chip.preemptions += 1;
                 kv_blocked = true;
@@ -1083,9 +1160,18 @@ impl<'a> EngineCore<'a> {
             let arrivals = &self.arrivals;
             let first_token = &self.first_token;
             let completions = &mut self.completions;
+            let trace = &self.trace;
             active.retain(|a| {
                 if a.prefilled >= a.target && a.done >= arrivals[a.idx].steps {
                     alloc.release(arrivals[a.idx].id);
+                    if let Some(tr) = trace {
+                        tr.span(
+                            EventKind::Decode,
+                            arrivals[a.idx].id,
+                            first_token[a.idx].get(),
+                            now.get(),
+                        );
+                    }
                     completions.push(Completion {
                         id: arrivals[a.idx].id,
                         arrival: arrivals[a.idx].arrival(),
