@@ -108,8 +108,12 @@ fn main() {
             "--help" | "-h" => {
                 println!("usage: repro_all [--workers N] [--shard I/N]");
                 println!();
-                println!("  --shard I/N  run only this process's 1-in-N slice of the");
-                println!("               reproduction binaries (0-based, by position).");
+                println!("  --shard I/N  run only the reproduction binaries at list");
+                println!("               positions congruent to I modulo N (0 <= I < N).");
+                println!("               The assignment is deterministic and depends only");
+                println!("               on positions, so the N shards partition the list");
+                println!("               exactly: their union is one repro_all run, and");
+                println!("               re-running a shard redoes exactly its slice.");
                 println!("               Set CIMTPU_CACHE_DIR to a shared directory so");
                 println!("               the shards warm-start from — and merge their");
                 println!("               mapping caches back into — the same files.");

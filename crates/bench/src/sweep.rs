@@ -80,12 +80,19 @@ impl Shard {
         (count >= 1 && index < count).then_some(Shard { index, count })
     }
 
-    /// Whether this shard owns the item at `position`.
+    /// Whether this shard owns the item at `position`: exactly when
+    /// `position ≡ index (mod count)`. A pure function of the position —
+    /// item values, timing, and the other shards never enter into it.
     pub fn owns(&self, position: usize) -> bool {
         position % self.count == self.index
     }
 
     /// The sub-list of `items` this shard owns, in the original order.
+    ///
+    /// The `n` shards of a list partition it: every item appears in
+    /// exactly one shard's selection, and concatenating the selections
+    /// position-by-position reproduces the one-process list — the
+    /// contract that makes a sharded sweep's union equal a single run.
     pub fn select<'a, T>(&self, items: &'a [T]) -> Vec<&'a T> {
         items.iter().enumerate().filter(|(i, _)| self.owns(*i)).map(|(_, t)| t).collect()
     }
@@ -261,6 +268,40 @@ mod tests {
                 }
             }
             assert!(owners.iter().all(|&c| c == 1), "{n} shards");
+        }
+    }
+
+    #[test]
+    fn shard_union_equals_the_one_process_sweep() {
+        // A tenant-tagged sweep: each work item names a tenant and a
+        // seed, as a sharded multi-tenant repro run would. The union of
+        // the shards' results, reassembled by owned position, must equal
+        // the single-process sweep bit-for-bit.
+        let tenants = ["chat", "api", "bulk"];
+        let items: Vec<(&str, u64)> =
+            (0..23).map(|i| (tenants[i % tenants.len()], 0xBEEF + i as u64)).collect();
+        let work = |&(tenant, seed): &(&str, u64)| format!("{tenant}:{}", seed.wrapping_mul(31));
+        let one_process = parallel_map(&items, work);
+        for n in 1..=4 {
+            let mut union: Vec<Option<String>> = vec![None; items.len()];
+            for i in 0..n {
+                let shard = Shard::parse(&format!("{i}/{n}")).unwrap();
+                let mine: Vec<(&str, u64)> =
+                    shard.select(&items).into_iter().copied().collect();
+                let results = parallel_map(&mine, work);
+                let positions: Vec<usize> =
+                    (0..items.len()).filter(|&p| shard.owns(p)).collect();
+                assert_eq!(positions.len(), results.len());
+                for (p, r) in positions.into_iter().zip(results) {
+                    assert!(union[p].is_none(), "position {p} owned twice under {n} shards");
+                    union[p] = Some(r);
+                }
+            }
+            let union: Vec<String> = union
+                .into_iter()
+                .map(|r| r.expect("every position owned by some shard"))
+                .collect();
+            assert_eq!(union, one_process, "{n} shards");
         }
     }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! cluster_sim [--scenario NAME|all] [--seed N] [--workers N] [--json PATH]
 //!             [--kv-budget BUDGET] [--clients N] [--think-ms MS]
+//!             [--tenants SPEC] [--trace-in PATH] [--trace-out PATH]
 //!             [--fault-seed N] [--faults SPEC] [--autoscale SPEC]
 //!             [--perf-json PATH] [--trace PATH] [--trace-filter SPEC]
 //!             [--metrics-csv PATH] [--summary]
@@ -21,6 +22,24 @@
 //! see `cimtpu_serving::parse_kv_budget`. `--clients N` converts the
 //! scenario's traffic to closed loop with `N` concurrent clients
 //! (`--think-ms` sets their think time; default 10 ms).
+//!
+//! `--tenants SPEC` splits each scenario's traffic across SLO tenants
+//! (comma-separated `name=class[:weight[:slo_ms]]`, grammar in
+//! `cimtpu_cluster::parse_tenants`) and serves it tenant-aware:
+//! colocated replicas schedule weighted-fair (priority admission,
+//! deficit-weighted service, SLO-aware preemption evicting batch-tier
+//! residents first), and reports gain a per-tenant section (goodput, SLO
+//! attainment, Jain's fairness index). The multi-tenant headline
+//! scenarios (`cluster-noisy-neighbor`, `cluster-launch-spike`) carry
+//! their own tenant sets, which the flag replaces. Single-tenant output
+//! is byte-identical to builds without the flag.
+//!
+//! `--trace-out PATH` writes each selected scenario's synthesized
+//! traffic as a JSONL request trace and exits without simulating
+//! (multi-tenant scenarios write their merged, tenant-tagged trace);
+//! `--trace-in PATH` replaces each scenario's traffic with the trace at
+//! PATH (replayed byte-identically, so `--seed` no longer perturbs
+//! arrivals). See `cimtpu_serving::trace` for the format.
 //!
 //! `--faults SPEC` replaces every selected scenario's fault plan with
 //! the comma-separated events in `SPEC` (grammar in
@@ -83,24 +102,11 @@ use std::rc::Rc;
 use cimtpu_bench::sweep;
 use cimtpu_cluster::scenario::{self, Scenario};
 use cimtpu_cluster::{
-    parse_faults, parse_autoscale, ClusterReport, ClusterTopology, FaultPlan, PerfRecord,
-    Recorder, SharedRecorder, TraceFilter,
+    parse_faults, parse_autoscale, parse_tenants, ClusterReport, ClusterTopology, FaultPlan,
+    PerfRecord, Recorder, SharedRecorder, TenantSet, TraceFilter,
 };
 use cimtpu_serving::cli::{self, SimFlags};
 use cimtpu_serving::ArrivalPattern;
-
-/// Derives the per-scenario trace path when several scenarios share one
-/// `--trace` argument: `out.json` → `out.<scenario>.json`.
-fn per_scenario_path(base: &str, scenario: &str) -> String {
-    let p = std::path::Path::new(base);
-    match (p.file_stem().and_then(|s| s.to_str()), p.extension().and_then(|e| e.to_str())) {
-        (Some(stem), Some(ext)) => p
-            .with_file_name(format!("{stem}.{scenario}.{ext}"))
-            .to_string_lossy()
-            .into_owned(),
-        _ => format!("{base}.{scenario}"),
-    }
-}
 
 /// The `--summary` one-screen table: one row per scenario with goodput,
 /// availability, scaling-action counts, and latency percentiles.
@@ -216,6 +222,94 @@ fn main() {
         }
     }
 
+    // `--trace-in` replaces each scenario's traffic wholesale (the trace
+    // carries arrivals, lengths, sessions, tenants, and classes), so it
+    // composes with neither `--clients` nor `--seed` reseeding — and it
+    // clears scenario tenant sets (a replayed trace is served as-is).
+    if let Some(path) = flags.trace_in.as_deref() {
+        let replay = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|text| {
+                cimtpu_serving::parse_jsonl(&text)
+                    .and_then(cimtpu_serving::replay_spec)
+                    .map_err(|e| e.to_string())
+            });
+        match replay {
+            Ok(spec) => {
+                for s in &mut scenarios {
+                    s.traffic = spec.clone();
+                    s.tenants = None;
+                }
+            }
+            Err(e) => {
+                eprintln!("cluster_sim: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let seed = flags.seed;
+    // `--trace-out` is the seeded synthesis tool: write each scenario's
+    // materialized traffic (the merged tenant-tagged trace for
+    // multi-tenant scenarios) as a JSONL trace and exit without
+    // simulating.
+    if let Some(path) = flags.trace_out.as_deref() {
+        let mut traffics: Vec<(&str, cimtpu_serving::TrafficSpec)> = Vec::new();
+        for s in &scenarios {
+            let spec = match (&s.tenants, seed) {
+                (Some(set), Some(seed)) => set.with_seed(seed).merged_spec(),
+                (Some(set), None) => set.merged_spec(),
+                (None, _) => {
+                    let mut traffic = s.traffic.clone();
+                    if let Some(seed) = seed {
+                        traffic.seed = seed;
+                    }
+                    Ok(traffic)
+                }
+            };
+            match spec {
+                Ok(spec) => traffics.push((s.name, spec)),
+                Err(e) => {
+                    eprintln!("cluster_sim: {}: {e}", s.name);
+                    std::process::exit(2);
+                }
+            }
+        }
+        if cli::emit_traces("cluster_sim", path, &traffics) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    // `--tenants` overlays each scenario's base traffic across the given
+    // SLO tiers (replacing any scenario-carried tenant set); the run path
+    // reseeds every tenant's stream under `--seed`.
+    match flags.tenants.as_deref() {
+        None => {}
+        Some(_) if flags.trace_in.is_some() => {
+            // The trace records already carry tenant assignments; there
+            // is no base traffic left to split.
+            eprintln!("cluster_sim: --tenants cannot be combined with --trace-in");
+            std::process::exit(2);
+        }
+        Some(spec) => {
+            let parts = match parse_tenants(spec) {
+                Ok(parts) => parts,
+                Err(e) => {
+                    eprintln!("cluster_sim: {e}");
+                    std::process::exit(2);
+                }
+            };
+            for s in &mut scenarios {
+                match TenantSet::overlay(&s.traffic, &parts) {
+                    Ok(set) => s.tenants = Some(set),
+                    Err(e) => {
+                        eprintln!("cluster_sim: {}: {e}", s.name);
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+    }
+
     let filter = match flags.trace_filter.as_deref() {
         None => TraceFilter::default(),
         Some(spec) => match TraceFilter::parse(spec) {
@@ -227,7 +321,6 @@ fn main() {
         },
     };
 
-    let seed = flags.seed;
     let observing = flags.trace.is_some() || flags.metrics_csv.is_some();
     let mut failed = false;
     let mut csv = String::new();
@@ -249,7 +342,7 @@ fn main() {
                     run.report.timeseries = Some(rec.timeseries());
                     if let Some(base) = flags.trace.as_deref() {
                         let path = if scenarios.len() > 1 {
-                            per_scenario_path(base, s.name)
+                            cli::per_scenario_path(base, s.name)
                         } else {
                             base.to_owned()
                         };

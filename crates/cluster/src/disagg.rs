@@ -62,7 +62,7 @@ use cimtpu_serving::{
 };
 use cimtpu_units::{Bandwidth, Bytes, Error, Joules, Result, Seconds};
 
-use crate::engine::release_client;
+use crate::engine::{release_client, tenant_tag, Tenancy};
 use crate::fault::{AvailabilityStats, FaultEvent, FaultPlan};
 use crate::replica::ReplicaSpec;
 use crate::report::{ClusterReport, KvTransferStats, ReplicaUtilization};
@@ -226,13 +226,20 @@ impl<'a> PrefillUnit<'a> {
         Ok(PrefillBatch { members, start, end })
     }
 
-    fn snapshot(&self, index: usize, assigned: u64) -> ReplicaSnapshot {
+    fn snapshot(&self, index: usize, assigned: u64, classed: bool) -> ReplicaSnapshot {
+        let mut class_outstanding = [0u64; 3];
+        if classed {
+            for r in &self.queue {
+                class_outstanding[r.class.rank()] += 1;
+            }
+        }
         ReplicaSnapshot {
             index,
             outstanding: self.queue.len() as u64,
             queued: self.queue.len() as u64,
             kv_frac: kv_frac(&self.alloc),
             assigned,
+            class_outstanding,
         }
     }
 }
@@ -365,13 +372,23 @@ impl<'a> DecodeUnit<'a> {
         Ok(finished)
     }
 
-    fn snapshot(&self, index: usize, assigned: u64) -> ReplicaSnapshot {
+    fn snapshot(&self, index: usize, assigned: u64, classed: bool) -> ReplicaSnapshot {
+        let mut class_outstanding = [0u64; 3];
+        if classed {
+            for p in &self.pending {
+                class_outstanding[p.req.class.rank()] += 1;
+            }
+            for s in &self.active {
+                class_outstanding[s.req.class.rank()] += 1;
+            }
+        }
         ReplicaSnapshot {
             index,
             outstanding: (self.pending.len() + self.active.len()) as u64,
             queued: self.pending.len() as u64,
             kv_frac: kv_frac(&self.alloc),
             assigned,
+            class_outstanding,
         }
     }
 }
@@ -481,17 +498,19 @@ pub(crate) fn run_disaggregated(
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
     plan: &FaultPlan,
+    tenancy: Option<Tenancy<'_>>,
     recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
     if plan.is_empty() {
         // Zero-fault runs take the untouched driver, bit-for-bit.
         run_disaggregated_plain(
-            prefill, decode, router, decode_router, interconnect, label, traffic, slo_ms, recorder,
+            prefill, decode, router, decode_router, interconnect, label, traffic, slo_ms, tenancy,
+            recorder,
         )
     } else {
         run_disaggregated_faulty(
             prefill, decode, router, decode_router, interconnect, label, traffic, slo_ms, plan,
-            recorder,
+            tenancy, recorder,
         )
     }
 }
@@ -506,8 +525,14 @@ fn run_disaggregated_plain(
     label: &str,
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
+    tenancy: Option<Tenancy<'_>>,
     recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
+    // The pools run FCFS/continuous-batching queues, not `EngineCore`, so
+    // a multi-tenant run keeps tenant identity at the traffic and report
+    // level: classed router snapshots, tagged trace events, and the
+    // per-tenant ledger — no WFQ inside the pools.
+    let classed = tenancy.as_ref().is_some_and(Tenancy::multi);
     let trace = recorder.map(|rec| PoolTrace::attach(rec, prefill, decode));
     let reference = validate_pool_replica(&prefill[0], "prefill")?.clone();
     let pool_members = prefill
@@ -623,15 +648,16 @@ fn run_disaggregated_plain(
                 let request = stream.pop();
                 psnaps.clear();
                 psnaps.extend(
-                    punits.iter().enumerate().map(|(i, u)| u.snapshot(i, p_assigned[i])),
+                    punits.iter().enumerate().map(|(i, u)| u.snapshot(i, p_assigned[i], classed)),
                 );
                 let k = arouter.route(&request, &psnaps).min(punits.len() - 1);
                 p_assigned[k] += 1;
                 if let Some(tr) = &trace {
-                    tr.rec.borrow_mut().request_arrival(
+                    tr.rec.borrow_mut().request_arrival_for(
                         tr.ptracks[k],
                         request.id,
                         request.arrival_s,
+                        tenant_tag(&tenancy, request.id),
                     );
                 }
                 punits[k].queue.push_back(request);
@@ -648,7 +674,10 @@ fn run_disaggregated_plain(
                     // target's allocator (via its pending queue).
                     dsnaps.clear();
                     dsnaps.extend(
-                        dunits.iter().enumerate().map(|(i, u)| u.snapshot(i, d_assigned[i])),
+                        dunits
+                            .iter()
+                            .enumerate()
+                            .map(|(i, u)| u.snapshot(i, d_assigned[i], classed)),
                     );
                     let k = drouter.route(&req, &dsnaps).min(dunits.len() - 1);
                     d_assigned[k] += 1;
@@ -699,12 +728,13 @@ fn run_disaggregated_plain(
                     {
                         let mut rec = tr.rec.borrow_mut();
                         for c in &finished {
-                            rec.complete(
+                            rec.complete_for(
                                 tr.dtracks[idx],
                                 c.id,
                                 c.finish.get(),
                                 c.latency().as_millis(),
                                 c.ttft().as_millis(),
+                                tenant_tag(&tenancy, c.id),
                             );
                         }
                     }
@@ -748,7 +778,7 @@ fn run_disaggregated_plain(
             kv_hwm_frac: unit.alloc.high_water_frac(),
         });
     }
-    let report = ClusterReport::build(
+    let mut report = ClusterReport::build(
         label,
         "disaggregated",
         format!("{}\u{2192}{}", router.name(), decode_router.name()),
@@ -762,6 +792,9 @@ fn run_disaggregated_plain(
         slo_ms,
         None,
     );
+    if let Some(t) = tenancy {
+        report.tenants = Some(t.ledger.report(&completions, report.makespan_s));
+    }
     for session in p_sessions.iter().chain(&d_sessions) {
         session.persist_cache();
     }
@@ -807,8 +840,10 @@ fn run_disaggregated_faulty(
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
     plan: &FaultPlan,
+    mut tenancy: Option<Tenancy<'_>>,
     recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
+    let classed = tenancy.as_ref().is_some_and(Tenancy::multi);
     let trace = recorder.map(|rec| PoolTrace::attach(rec, prefill, decode));
     let recovery = *plan.recovery();
     // Crash events index the DECODE pool; prefill replicas are the
@@ -1078,12 +1113,16 @@ fn run_disaggregated_faulty(
                             };
                         if attempts > recovery.max_attempts {
                             avail.shed += 1;
+                            if let Some(t) = tenancy.as_mut() {
+                                t.ledger.on_shed(r.id);
+                            }
                             if let Some(tr) = &trace {
-                                tr.rec.borrow_mut().instant(
+                                tr.rec.borrow_mut().instant_for(
                                     tr.control,
                                     EventKind::Shed,
                                     r.id,
                                     now.get(),
+                                    tenant_tag(&tenancy, r.id),
                                 );
                             }
                             drop_blocks(&mut punits, source);
@@ -1093,12 +1132,16 @@ fn run_disaggregated_faulty(
                         let fire = now + recovery.backoff_for(attempts);
                         if fire.get() > orig + recovery.deadline.get() {
                             avail.timed_out += 1;
+                            if let Some(t) = tenancy.as_mut() {
+                                t.ledger.on_timeout(r.id);
+                            }
                             if let Some(tr) = &trace {
-                                tr.rec.borrow_mut().instant(
+                                tr.rec.borrow_mut().instant_for(
                                     tr.control,
                                     EventKind::Timeout,
                                     r.id,
                                     now.get(),
+                                    tenant_tag(&tenancy, r.id),
                                 );
                             }
                             drop_blocks(&mut punits, source);
@@ -1106,12 +1149,13 @@ fn run_disaggregated_faulty(
                             continue;
                         }
                         if let Some(tr) = &trace {
-                            tr.rec.borrow_mut().span(
+                            tr.rec.borrow_mut().span_for(
                                 tr.control,
                                 EventKind::Retry,
                                 r.id,
                                 now.get(),
                                 fire.get(),
+                                tenant_tag(&tenancy, r.id),
                             );
                         }
                         attempts_of.insert(r.id, attempts);
@@ -1142,15 +1186,16 @@ fn run_disaggregated_faulty(
                 let snaps: Vec<ReplicaSnapshot> = punits
                     .iter()
                     .enumerate()
-                    .map(|(i, u)| u.snapshot(i, p_assigned[i]))
+                    .map(|(i, u)| u.snapshot(i, p_assigned[i], classed))
                     .collect();
                 let k = arouter.route(&request, &snaps).min(punits.len() - 1);
                 p_assigned[k] += 1;
                 if let Some(tr) = &trace {
-                    tr.rec.borrow_mut().request_arrival(
+                    tr.rec.borrow_mut().request_arrival_for(
                         tr.ptracks[k],
                         request.id,
                         request.arrival_s,
+                        tenant_tag(&tenancy, request.id),
                     );
                 }
                 punits[k].queue.push_back(request);
@@ -1166,8 +1211,17 @@ fn run_disaggregated_faulty(
                 let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
                 if now.get() > orig + recovery.deadline.get() {
                     avail.timed_out += 1;
+                    if let Some(t) = tenancy.as_mut() {
+                        t.ledger.on_timeout(r.id);
+                    }
                     if let Some(tr) = &trace {
-                        tr.rec.borrow_mut().instant(tr.control, EventKind::Timeout, r.id, now.get());
+                        tr.rec.borrow_mut().instant_for(
+                            tr.control,
+                            EventKind::Timeout,
+                            r.id,
+                            now.get(),
+                            tenant_tag(&tenancy, r.id),
+                        );
                     }
                     if let Some(p) = item.source {
                         punits[p].alloc.release(r.id);
@@ -1189,11 +1243,12 @@ fn run_disaggregated_faulty(
                                 )
                             })?;
                             if let Some(tr) = &trace {
-                                tr.rec.borrow_mut().instant(
+                                tr.rec.borrow_mut().instant_for(
                                     tr.control,
                                     EventKind::Park,
                                     r.id,
                                     now.get(),
+                                    tenant_tag(&tenancy, r.id),
                                 );
                             }
                             waiting.push(DisaggRetry { fire, ..item });
@@ -1202,7 +1257,7 @@ fn run_disaggregated_faulty(
                         let snaps: Vec<ReplicaSnapshot> = up
                             .iter()
                             .enumerate()
-                            .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k]))
+                            .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k], classed))
                             .collect();
                         let pos = drouter.route(&r, &snaps).min(up.len() - 1);
                         let k = up[pos];
@@ -1247,7 +1302,7 @@ fn run_disaggregated_faulty(
                         let snaps: Vec<ReplicaSnapshot> = punits
                             .iter()
                             .enumerate()
-                            .map(|(i, u)| u.snapshot(i, p_assigned[i]))
+                            .map(|(i, u)| u.snapshot(i, p_assigned[i], classed))
                             .collect();
                         let mut rr = r;
                         rr.arrival_s = now.get();
@@ -1283,11 +1338,12 @@ fn run_disaggregated_faulty(
                             )
                         })?;
                         if let Some(tr) = &trace {
-                            tr.rec.borrow_mut().instant(
+                            tr.rec.borrow_mut().instant_for(
                                 tr.control,
                                 EventKind::Park,
                                 req.id,
                                 now.get(),
+                                tenant_tag(&tenancy, req.id),
                             );
                         }
                         // The cache stays resident at the source (no
@@ -1304,7 +1360,7 @@ fn run_disaggregated_faulty(
                     let snaps: Vec<ReplicaSnapshot> = up
                         .iter()
                         .enumerate()
-                        .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k]))
+                        .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k], classed))
                         .collect();
                     let pos = drouter.route(&req, &snaps).min(up.len() - 1);
                     let k = up[pos];
@@ -1367,12 +1423,13 @@ fn run_disaggregated_faulty(
                             if let Some(orig) = origin.get(&cc.id) {
                                 cc.arrival = Seconds::new(*orig);
                             }
-                            rec.complete(
+                            rec.complete_for(
                                 tr.dtracks[idx],
                                 cc.id,
                                 cc.finish.get(),
                                 cc.latency().as_millis(),
                                 cc.ttft().as_millis(),
+                                tenant_tag(&tenancy, cc.id),
                             );
                         }
                     }
@@ -1446,7 +1503,7 @@ fn run_disaggregated_faulty(
             kv_hwm_frac: unit.alloc.high_water_frac(),
         });
     }
-    let report = ClusterReport::build(
+    let mut report = ClusterReport::build(
         label,
         "disaggregated",
         format!("{}\u{2192}{}", router.name(), decode_router.name()),
@@ -1460,6 +1517,9 @@ fn run_disaggregated_faulty(
         slo_ms,
         Some(avail),
     );
+    if let Some(t) = tenancy {
+        report.tenants = Some(t.ledger.report(&completions, report.makespan_s));
+    }
     for session in p_sessions.iter().chain(&d_sessions) {
         session.persist_cache();
     }
@@ -1638,7 +1698,7 @@ mod tests {
                     let snaps: Vec<ReplicaSnapshot> = punits
                         .iter()
                         .enumerate()
-                        .map(|(i, u)| u.snapshot(i, p_assigned[i]))
+                        .map(|(i, u)| u.snapshot(i, p_assigned[i], false))
                         .collect();
                     let k = arouter.route(&request, &snaps).min(punits.len() - 1);
                     p_assigned[k] += 1;
@@ -1653,7 +1713,7 @@ mod tests {
                         let snaps: Vec<ReplicaSnapshot> = dunits
                             .iter()
                             .enumerate()
-                            .map(|(i, u)| u.snapshot(i, d_assigned[i]))
+                            .map(|(i, u)| u.snapshot(i, d_assigned[i], false))
                             .collect();
                         let k = drouter.route(&req, &snaps).min(dunits.len() - 1);
                         d_assigned[k] += 1;
@@ -2034,7 +2094,7 @@ mod tests {
                     let snaps: Vec<ReplicaSnapshot> = punits
                         .iter()
                         .enumerate()
-                        .map(|(i, u)| u.snapshot(i, p_assigned[i]))
+                        .map(|(i, u)| u.snapshot(i, p_assigned[i], false))
                         .collect();
                     let k = arouter.route(&request, &snaps).min(punits.len() - 1);
                     p_assigned[k] += 1;
@@ -2071,7 +2131,7 @@ mod tests {
                             let snaps: Vec<ReplicaSnapshot> = up
                                 .iter()
                                 .enumerate()
-                                .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k]))
+                                .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k], false))
                                 .collect();
                             let pos = drouter.route(&r, &snaps).min(up.len() - 1);
                             let k = up[pos];
@@ -2105,7 +2165,7 @@ mod tests {
                             let snaps: Vec<ReplicaSnapshot> = punits
                                 .iter()
                                 .enumerate()
-                                .map(|(i, u)| u.snapshot(i, p_assigned[i]))
+                                .map(|(i, u)| u.snapshot(i, p_assigned[i], false))
                                 .collect();
                             let mut rr = r;
                             rr.arrival_s = now.get();
@@ -2144,7 +2204,7 @@ mod tests {
                         let snaps: Vec<ReplicaSnapshot> = up
                             .iter()
                             .enumerate()
-                            .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k]))
+                            .map(|(pos, &k)| dunits[k].snapshot(pos, d_assigned[k], false))
                             .collect();
                         let pos = drouter.route(&req, &snaps).min(up.len() - 1);
                         let k = up[pos];
@@ -2307,7 +2367,7 @@ mod tests {
             seed,
         };
         [
-            base,
+            base.clone(),
             TrafficSpec {
                 arrival: ArrivalPattern::ClosedLoop { clients: 3, think_ms: 1.0 },
                 ..base
@@ -2336,7 +2396,7 @@ mod tests {
                 for (ap, dp) in PAIRS {
                     let fast = run_disaggregated_plain(
                         &prefill, &decode, ap, dp, InterconnectSpec::ici(), "eq", &traffic,
-                        Some(50.0), None,
+                        Some(50.0), None, None,
                     )
                     .unwrap();
                     let slow = run_disaggregated_plain_oracle(
@@ -2377,7 +2437,7 @@ mod tests {
                     for (ap, dp) in PAIRS {
                         let fast = run_disaggregated_faulty(
                             &prefill, &decode, ap, dp, InterconnectSpec::ici(), "eq",
-                            &traffic, None, plan, None,
+                            &traffic, None, plan, None, None,
                         )
                         .unwrap();
                         let slow = run_disaggregated_faulty_oracle(

@@ -41,7 +41,7 @@ use cimtpu_serving::{
 };
 use cimtpu_units::{Error, Joules, Result, Seconds};
 
-use crate::engine::{ClusterRun, ReplicaAccum};
+use crate::engine::{tenant_tag, ClusterRun, ReplicaAccum, Tenancy};
 use crate::replica::ReplicaSpec;
 use crate::report::{ClusterReport, KvTransferStats, ReplicaUtilization};
 use crate::router::{splitmix64, HealthView, ReplicaHealth, ReplicaSnapshot, Router, RouterPolicy};
@@ -80,6 +80,7 @@ struct ElasticTrace {
     gseries: Vec<[usize; 2]>,
 }
 
+#[allow(clippy::too_many_arguments)] // one call site, in the engine's dispatch
 pub(crate) fn run_colocated_elastic(
     replicas: &[ReplicaSpec],
     policy: RouterPolicy,
@@ -87,6 +88,7 @@ pub(crate) fn run_colocated_elastic(
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
     autoscale: &AutoscalePolicy,
+    mut tenancy: Option<Tenancy<'_>>,
     recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
     // ---- static wiring ------------------------------------------------
@@ -115,6 +117,12 @@ pub(crate) fn run_colocated_elastic(
         .collect::<Result<_>>()?;
     let mut cores: Vec<EngineCore<'_>> =
         sessions.iter().map(EngineSession::core).collect::<Result<_>>()?;
+    if let Some(t) = &tenancy {
+        for core in &mut cores {
+            core.set_tenancy(t.sched);
+        }
+    }
+    let classed = tenancy.as_ref().is_some_and(Tenancy::multi);
     let trace = recorder.map(|rec| {
         let mut r = rec.borrow_mut();
         let tracks: Vec<u32> = slots.iter().map(|s| r.track(&s.spec.name)).collect();
@@ -275,6 +283,9 @@ pub(crate) fn run_colocated_elastic(
                     // Warmup starts on a fresh core: empty allocator, cold
                     // mapping cache — the boot pays real warm-up work.
                     cores[k] = sessions[k].core()?;
+                    if let Some(t) = &tenancy {
+                        cores[k].set_tenancy(t.sched);
+                    }
                     if let Some(tr) = &trace {
                         cores[k].attach_trace(TraceHandle::new(Rc::clone(&tr.rec), tr.tracks[k]));
                     }
@@ -318,7 +329,7 @@ pub(crate) fn run_colocated_elastic(
                     if woke && !parked[g].is_empty() {
                         let up = routable(&health, &draining, g);
                         for r in std::mem::take(&mut parked[g]) {
-                            let snaps = group_snapshots(&cores, &up, now, &assigned);
+                            let snaps = group_snapshots(&cores, &up, now, &assigned, classed);
                             let pos = routers[g].route(&r, &snaps).min(up.len() - 1);
                             push_to!(up[pos], r);
                         }
@@ -457,7 +468,7 @@ pub(crate) fn run_colocated_elastic(
                 held_now -= retire_idle(
                     now, &mut cores, &mut health, &mut live, &mut draining, &mut held,
                     &mut accum, &mut step_heap, &slots, replicas, &mut stats, offline_until,
-                    trace.as_ref(),
+                    tenancy.as_mut(), trace.as_ref(),
                 );
             }
             // Arrival: hash the session onto its group, route or park.
@@ -467,7 +478,12 @@ pub(crate) fn run_colocated_elastic(
                 if let Some(tr) = &trace {
                     // Emitted by the driver: a parked arrival may wait a
                     // long time before any core sees it.
-                    tr.rec.borrow_mut().request_arrival(tr.control, r.id, r.arrival_s);
+                    tr.rec.borrow_mut().request_arrival_for(
+                        tr.control,
+                        r.id,
+                        r.arrival_s,
+                        tenant_tag(&tenancy, r.id),
+                    );
                 }
                 if stream.exhausted() {
                     exhausted_closed = true;
@@ -486,11 +502,17 @@ pub(crate) fn run_colocated_elastic(
                     // preserved, so the wake-up wait lands in the
                     // request's latency.
                     if let Some(tr) = &trace {
-                        tr.rec.borrow_mut().instant(tr.control, EventKind::Park, r.id, now.get());
+                        tr.rec.borrow_mut().instant_for(
+                            tr.control,
+                            EventKind::Park,
+                            r.id,
+                            now.get(),
+                            tenant_tag(&tenancy, r.id),
+                        );
                     }
                     parked[g].push(r);
                 } else {
-                    let snaps = group_snapshots(&cores, &up, now, &assigned);
+                    let snaps = group_snapshots(&cores, &up, now, &assigned, classed);
                     let pos = routers[g].route(&r, &snaps).min(up.len() - 1);
                     push_to!(up[pos], r);
                 }
@@ -518,12 +540,13 @@ pub(crate) fn run_colocated_elastic(
                         stats.slo_violations_ramp += 1;
                     }
                     if let Some(tr) = &trace {
-                        tr.rec.borrow_mut().complete(
+                        tr.rec.borrow_mut().complete_for(
                             tr.tracks[k],
                             c.id,
                             c.finish.get(),
                             c.latency().as_millis(),
                             c.ttft().as_millis(),
+                            tenant_tag(&tenancy, c.id),
                         );
                     }
                     delivered.push(c);
@@ -532,7 +555,7 @@ pub(crate) fn run_colocated_elastic(
                     held_now -= retire_idle(
                         now, &mut cores, &mut health, &mut live, &mut draining, &mut held,
                         &mut accum, &mut step_heap, &slots, replicas, &mut stats,
-                        offline_until, trace.as_ref(),
+                        offline_until, tenancy.as_mut(), trace.as_ref(),
                     );
                 }
             }
@@ -543,6 +566,11 @@ pub(crate) fn run_colocated_elastic(
     for (k, core) in cores.iter().enumerate() {
         if live[k] {
             accum[k].harvest(core);
+            if let Some(t) = tenancy.as_mut() {
+                if let Some(p) = core.tenant_preemptions() {
+                    t.ledger.absorb_preemptions(p);
+                }
+            }
         }
     }
     delivered.sort_by_key(|c| c.id);
@@ -604,6 +632,9 @@ pub(crate) fn run_colocated_elastic(
         None,
     );
     report.scaling = Some(stats);
+    if let Some(t) = tenancy {
+        report.tenants = Some(t.ledger.report(&delivered, report.makespan_s));
+    }
     for session in &sessions {
         session.persist_cache();
     }
@@ -619,6 +650,7 @@ fn group_snapshots(
     up: &[usize],
     t: Seconds,
     assigned: &[u64],
+    classed: bool,
 ) -> Vec<ReplicaSnapshot> {
     up.iter()
         .enumerate()
@@ -628,6 +660,11 @@ fn group_snapshots(
             queued: cores[k].queued(),
             kv_frac: cores[k].kv_frac(),
             assigned: assigned[k],
+            class_outstanding: if classed {
+                cores[k].outstanding_by_class_at(t)
+            } else {
+                [0; 3]
+            },
         })
         .collect()
 }
@@ -714,6 +751,7 @@ fn retire_idle(
     replicas: &[ReplicaSpec],
     stats: &mut ScalingStats,
     offline_until: Seconds,
+    mut tenancy: Option<&mut Tenancy<'_>>,
     trace: Option<&ElasticTrace>,
 ) -> u64 {
     let mut retired = 0;
@@ -724,7 +762,14 @@ fn retire_idle(
         if cores[k].next_action().is_some() || cores[k].queued() > 0 {
             continue;
         }
+        // Harvested now: a later boot replaces this core, so its ledgers
+        // (including per-tenant preemption counters) are read here or lost.
         accum[k].harvest(&cores[k]);
+        if let Some(t) = tenancy.as_deref_mut() {
+            if let Some(p) = cores[k].tenant_preemptions() {
+                t.ledger.absorb_preemptions(p);
+            }
+        }
         live[k] = false;
         draining[k] = false;
         health.mark_down(k, offline_until);

@@ -6,7 +6,7 @@ use std::rc::Rc;
 use cimtpu_obs::{EventKind, SharedRecorder, TraceHandle, TraceSink as _};
 use cimtpu_serving::{
     drive_with, ActionHeap, ArrivalStream, Completion, DriveHooks, EngineCore, EngineSession,
-    PrefixStats, Request, ServingReport, TrafficSpec,
+    PrefixStats, Request, ServingReport, TenantLedger, TenantSched, TenantSet, TrafficSpec,
 };
 use cimtpu_autoscale::{AutoscalePolicy, ScalingStats};
 use cimtpu_units::{Error, Joules, Result, Seconds};
@@ -47,6 +47,31 @@ pub enum ClusterTopology {
         /// The link KV caches migrate over.
         interconnect: InterconnectSpec,
     },
+}
+
+/// Tenancy wiring threaded through the fleet drivers: the weighted-fair
+/// schedule armed on every engine core plus the driver-side ledger that
+/// attributes sheds, timeouts, and preemptions back to tenants.
+pub(crate) struct Tenancy<'a> {
+    pub(crate) sched: &'a TenantSched,
+    pub(crate) ledger: &'a mut TenantLedger,
+}
+
+impl Tenancy<'_> {
+    /// Whether the run has more than one tenant — the gate for class-split
+    /// snapshot maintenance and tenant-tagged trace events (single-tenant
+    /// runs stay bit-identical to runs without tenancy).
+    pub(crate) fn multi(&self) -> bool {
+        self.sched.classes.len() > 1
+    }
+}
+
+/// The tenant tag for request `id`'s flight-recorder events: present only
+/// for multi-tenant runs, so single-tenant traces stay byte-identical.
+pub(crate) fn tenant_tag(tenancy: &Option<Tenancy<'_>>, id: u64) -> Option<u32> {
+    tenancy
+        .as_ref()
+        .and_then(|t| t.multi().then(|| t.ledger.tenant_of(id) as u32))
 }
 
 /// A complete fleet-simulation configuration.
@@ -225,13 +250,63 @@ impl ClusterEngine {
         traffic: &TrafficSpec,
         recorder: Option<&SharedRecorder>,
     ) -> Result<ClusterRun> {
+        self.dispatch(label, traffic, None, recorder)
+    }
+
+    /// Simulates a multi-tenant [`TenantSet`] across the fleet: merges the
+    /// per-tenant traffics into one trace, arms weighted-fair scheduling
+    /// on every replica's engine core, and fills the report's per-tenant
+    /// section (goodput, SLO attainment, Jain's fairness). A
+    /// single-tenant set produces a report bit-identical to
+    /// [`run`](Self::run) on that tenant's traffic, plus the tenant
+    /// section.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run), plus invalid tenant sets.
+    pub fn run_tenants(&self, label: &str, tenants: &TenantSet) -> Result<ClusterRun> {
+        self.run_tenants_observed(label, tenants, None)
+    }
+
+    /// [`run_tenants`](Self::run_tenants) with an optional flight
+    /// recorder; multi-tenant runs tag every request-lifecycle event
+    /// (arrival, retry, shed, timeout, park, complete) with its tenant
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_tenants`](Self::run_tenants).
+    pub fn run_tenants_observed(
+        &self,
+        label: &str,
+        tenants: &TenantSet,
+        recorder: Option<&SharedRecorder>,
+    ) -> Result<ClusterRun> {
+        let merged = tenants.merged_spec()?;
+        let sched = tenants.sched();
+        let mut ledger = TenantLedger::new(tenants, &merged);
+        self.dispatch(
+            label,
+            &merged,
+            Some(Tenancy { sched: &sched, ledger: &mut ledger }),
+            recorder,
+        )
+    }
+
+    fn dispatch(
+        &self,
+        label: &str,
+        traffic: &TrafficSpec,
+        tenancy: Option<Tenancy<'_>>,
+        recorder: Option<&SharedRecorder>,
+    ) -> Result<ClusterRun> {
         if let Some(policy) = &self.autoscale {
-            return self.run_autoscaled(policy, label, traffic, recorder);
+            return self.run_autoscaled(policy, label, traffic, tenancy, recorder);
         }
         match &self.topology {
             ClusterTopology::Colocated { replicas, router } => {
                 if self.faults.is_empty() {
-                    run_colocated(replicas, *router, label, traffic, self.slo_ms, recorder)
+                    run_colocated(replicas, *router, label, traffic, self.slo_ms, tenancy, recorder)
                 } else {
                     run_colocated_faulty(
                         replicas,
@@ -240,6 +315,7 @@ impl ClusterEngine {
                         traffic,
                         self.slo_ms,
                         &self.faults,
+                        tenancy,
                         recorder,
                     )
                 }
@@ -260,6 +336,7 @@ impl ClusterEngine {
                 traffic,
                 self.slo_ms,
                 &self.faults,
+                tenancy,
                 recorder,
             ),
         }
@@ -273,6 +350,7 @@ impl ClusterEngine {
         policy: &AutoscalePolicy,
         label: &str,
         traffic: &TrafficSpec,
+        tenancy: Option<Tenancy<'_>>,
         recorder: Option<&SharedRecorder>,
     ) -> Result<ClusterRun> {
         policy.validate()?;
@@ -330,7 +408,7 @@ impl ClusterEngine {
                 faults: self.faults.clone(),
                 autoscale: None,
             };
-            let mut run = pinned.run_observed(label, traffic, recorder)?;
+            let mut run = pinned.dispatch(label, traffic, tenancy, recorder)?;
             let chip_seconds = run.report.chips as f64 * run.report.makespan_s;
             let busy_chip_s: f64 = run
                 .report
@@ -350,7 +428,7 @@ impl ClusterEngine {
         match &self.topology {
             ClusterTopology::Colocated { replicas, router } if self.faults.is_empty() => {
                 run_colocated_elastic(
-                    replicas, *router, label, traffic, self.slo_ms, policy, recorder,
+                    replicas, *router, label, traffic, self.slo_ms, policy, tenancy, recorder,
                 )
             }
             ClusterTopology::Colocated { .. } => Err(Error::invalid_config(
@@ -374,6 +452,10 @@ impl ClusterEngine {
 struct ColocatedHooks {
     router: Box<dyn Router>,
     tracker: SnapshotTracker,
+    /// Multi-tenant run: refresh per-class outstanding splits before every
+    /// routing decision (the `SloAware` policy reads them). Off for
+    /// single-tenant runs, preserving the tracker's `O(1)`-per-event path.
+    classed: bool,
     /// Recorder + per-replica `[queued, kv_frac]` gauge series, when the
     /// run is observed.
     gauges: Option<(SharedRecorder, Vec<[usize; 2]>)>,
@@ -388,6 +470,9 @@ impl DriveHooks for ColocatedHooks {
             self.tracker.resync(t, cores);
         } else {
             self.tracker.advance_to(t);
+        }
+        if self.classed {
+            self.tracker.refresh_classes(cores);
         }
         self.router.route(request, self.tracker.snapshots())
     }
@@ -465,6 +550,7 @@ fn run_colocated(
     label: &str,
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
+    mut tenancy: Option<Tenancy<'_>>,
     recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
     let sessions: Vec<EngineSession> = replicas
@@ -473,6 +559,11 @@ fn run_colocated(
         .collect::<Result<_>>()?;
     let mut cores: Vec<EngineCore<'_>> =
         sessions.iter().map(EngineSession::core).collect::<Result<_>>()?;
+    if let Some(t) = &tenancy {
+        for core in &mut cores {
+            core.set_tenancy(t.sched);
+        }
+    }
     let mut stream = ArrivalStream::new(traffic)?;
     let offered = stream.total();
     let gauges = recorder.map(|rec| {
@@ -486,6 +577,7 @@ fn run_colocated(
         ColocatedHooks {
             router: policy.build(),
             tracker: SnapshotTracker::new(replicas.len()),
+            classed: tenancy.as_ref().is_some_and(Tenancy::multi),
             gauges,
         },
     )?;
@@ -504,16 +596,22 @@ fn run_colocated(
         prefix.absorb(&core.prefix_stats());
         chip_energy += core.energy();
         completions.extend_from_slice(core.completions());
+        if let Some(t) = tenancy.as_mut() {
+            if let Some(per_tenant) = core.tenant_preemptions() {
+                t.ledger.absorb_preemptions(per_tenant);
+            }
+        }
         if let Some(rec) = recorder {
             let track = core.trace_track().expect("recorder attached above");
             let mut rec = rec.borrow_mut();
             for c in core.completions() {
-                rec.complete(
+                rec.complete_for(
                     track,
                     c.id,
                     c.finish.get(),
                     c.latency().as_millis(),
                     c.ttft().as_millis(),
+                    tenant_tag(&tenancy, c.id),
                 );
             }
         }
@@ -533,7 +631,7 @@ fn run_colocated(
         }
     }
     completions.sort_by_key(|c| c.id);
-    let report = ClusterReport::build(
+    let mut report = ClusterReport::build(
         label,
         "colocated",
         policy.name().to_owned(),
@@ -547,6 +645,9 @@ fn run_colocated(
         slo_ms,
         None,
     );
+    if let Some(t) = tenancy {
+        report.tenants = Some(t.ledger.report(&completions, report.makespan_s));
+    }
     for session in &sessions {
         session.persist_cache();
     }
@@ -622,6 +723,7 @@ fn healthy_snapshots(
     up: &[usize],
     t: Seconds,
     assigned: &[u64],
+    classed: bool,
 ) -> Vec<ReplicaSnapshot> {
     up.iter()
         .enumerate()
@@ -631,6 +733,11 @@ fn healthy_snapshots(
             queued: cores[k].queued(),
             kv_frac: cores[k].kv_frac(),
             assigned: assigned[k],
+            class_outstanding: if classed {
+                cores[k].outstanding_by_class_at(t)
+            } else {
+                [0; 3]
+            },
         })
         .collect()
 }
@@ -661,6 +768,7 @@ pub(crate) fn release_client(stream: &mut ArrivalStream, id: u64, orig_arrival: 
 /// added to the run ledger) at their finish time rather than inside the
 /// step that produced them, which is what lets a crash revoke
 /// in-flight-but-undelivered completions.
+#[allow(clippy::too_many_arguments)] // one call site, in `dispatch`
 fn run_colocated_faulty(
     replicas: &[ReplicaSpec],
     policy: RouterPolicy,
@@ -668,6 +776,7 @@ fn run_colocated_faulty(
     traffic: &TrafficSpec,
     slo_ms: Option<f64>,
     plan: &FaultPlan,
+    mut tenancy: Option<Tenancy<'_>>,
     recorder: Option<&SharedRecorder>,
 ) -> Result<ClusterRun> {
     let recovery = *plan.recovery();
@@ -698,6 +807,12 @@ fn run_colocated_faulty(
         .collect::<Result<_>>()?;
     let mut cores: Vec<EngineCore<'_>> =
         sessions.iter().map(EngineSession::core).collect::<Result<_>>()?;
+    if let Some(t) = &tenancy {
+        for core in &mut cores {
+            core.set_tenancy(t.sched);
+        }
+    }
+    let classed = tenancy.as_ref().is_some_and(Tenancy::multi);
     let mut stream = ArrivalStream::new(traffic)?;
     let offered = stream.total();
     let mut router = policy.build();
@@ -825,6 +940,9 @@ fn run_colocated_faulty(
                 // crash scripted for the same instant.
                 for k in health.advance(now, recovery.warmup) {
                     cores[k] = sessions[k].core()?;
+                    if let Some(t) = &tenancy {
+                        cores[k].set_tenancy(t.sched);
+                    }
                     stale[k] = false;
                     last_push[k] = f64::NEG_INFINITY;
                     if let Some(tr) = &trace {
@@ -855,6 +973,11 @@ fn run_colocated_faulty(
                             }
                             let lost = cores[replica].crash(now);
                             accum[replica].harvest(&cores[replica]);
+                            if let Some(t) = tenancy.as_mut() {
+                                if let Some(p) = cores[replica].tenant_preemptions() {
+                                    t.ledger.absorb_preemptions(p);
+                                }
+                            }
                             stale[replica] = true;
                             step_heap.set(replica, None);
                             health.mark_down(replica, now + repair);
@@ -883,12 +1006,16 @@ fn run_colocated_faulty(
                                 let attempts = attempts_of.get(&r.id).copied().unwrap_or(0) + 1;
                                 if attempts > recovery.max_attempts {
                                     avail.shed += 1;
+                                    if let Some(t) = tenancy.as_mut() {
+                                        t.ledger.on_shed(r.id);
+                                    }
                                     if let Some(tr) = &trace {
-                                        tr.rec.borrow_mut().instant(
+                                        tr.rec.borrow_mut().instant_for(
                                             tr.control,
                                             EventKind::Shed,
                                             r.id,
                                             now.get(),
+                                            tenant_tag(&tenancy, r.id),
                                         );
                                     }
                                     release_client(&mut stream, r.id, orig, now);
@@ -897,24 +1024,29 @@ fn run_colocated_faulty(
                                 let fire = now + recovery.backoff_for(attempts);
                                 if fire.get() > orig + recovery.deadline.get() {
                                     avail.timed_out += 1;
+                                    if let Some(t) = tenancy.as_mut() {
+                                        t.ledger.on_timeout(r.id);
+                                    }
                                     if let Some(tr) = &trace {
-                                        tr.rec.borrow_mut().instant(
+                                        tr.rec.borrow_mut().instant_for(
                                             tr.control,
                                             EventKind::Timeout,
                                             r.id,
                                             now.get(),
+                                            tenant_tag(&tenancy, r.id),
                                         );
                                     }
                                     release_client(&mut stream, r.id, orig, now);
                                     continue;
                                 }
                                 if let Some(tr) = &trace {
-                                    tr.rec.borrow_mut().span(
+                                    tr.rec.borrow_mut().span_for(
                                         tr.control,
                                         EventKind::Retry,
                                         r.id,
                                         now.get(),
                                         fire.get(),
+                                        tenant_tag(&tenancy, r.id),
                                     );
                                 }
                                 attempts_of.insert(r.id, attempts);
@@ -960,7 +1092,12 @@ fn run_colocated_faulty(
                 if let Some(tr) = &trace {
                     // Emitted by the driver, not the core: a request can
                     // be shed or time out before ever reaching a core.
-                    tr.rec.borrow_mut().request_arrival(tr.control, request.id, request.arrival_s);
+                    tr.rec.borrow_mut().request_arrival_for(
+                        tr.control,
+                        request.id,
+                        request.arrival_s,
+                        tenant_tag(&tenancy, request.id),
+                    );
                 }
                 waiting.push(WaitingRetry { fire: now, request, attempts: 0 });
                 if stream.exhausted() {
@@ -992,12 +1129,13 @@ fn run_colocated_faulty(
                     }
                 }
                 if let Some(tr) = &trace {
-                    tr.rec.borrow_mut().complete(
+                    tr.rec.borrow_mut().complete_for(
                         tr.tracks[k],
                         c.id,
                         c.finish.get(),
                         c.latency().as_millis(),
                         c.ttft().as_millis(),
+                        tenant_tag(&tenancy, c.id),
                     );
                 }
                 delivered.push(c);
@@ -1011,8 +1149,17 @@ fn run_colocated_faulty(
                 let orig = *origin.get(&r.id).unwrap_or(&r.arrival_s);
                 if now.get() > orig + recovery.deadline.get() {
                     avail.timed_out += 1;
+                    if let Some(t) = tenancy.as_mut() {
+                        t.ledger.on_timeout(r.id);
+                    }
                     if let Some(tr) = &trace {
-                        tr.rec.borrow_mut().instant(tr.control, EventKind::Timeout, r.id, now.get());
+                        tr.rec.borrow_mut().instant_for(
+                            tr.control,
+                            EventKind::Timeout,
+                            r.id,
+                            now.get(),
+                            tenant_tag(&tenancy, r.id),
+                        );
                     }
                     release_client(&mut stream, r.id, orig, now);
                     continue;
@@ -1027,7 +1174,13 @@ fn run_colocated_faulty(
                         )
                     })?;
                     if let Some(tr) = &trace {
-                        tr.rec.borrow_mut().instant(tr.control, EventKind::Park, r.id, now.get());
+                        tr.rec.borrow_mut().instant_for(
+                            tr.control,
+                            EventKind::Park,
+                            r.id,
+                            now.get(),
+                            tenant_tag(&tenancy, r.id),
+                        );
                     }
                     waiting.push(WaitingRetry { fire, ..item });
                     continue;
@@ -1051,15 +1204,24 @@ fn run_colocated_faulty(
                         });
                         for (id, worig) in doomed {
                             avail.shed += 1;
+                            if let Some(t) = tenancy.as_mut() {
+                                t.ledger.on_shed(id);
+                            }
                             if let Some(tr) = &trace {
-                                tr.rec.borrow_mut().instant(tr.control, EventKind::Shed, id, now.get());
+                                tr.rec.borrow_mut().instant_for(
+                                    tr.control,
+                                    EventKind::Shed,
+                                    id,
+                                    now.get(),
+                                    tenant_tag(&tenancy, id),
+                                );
                             }
                             release_client(&mut stream, id, worig, now);
                         }
                         continue;
                     }
                 }
-                let snaps = healthy_snapshots(&cores, &up, now, &assigned);
+                let snaps = healthy_snapshots(&cores, &up, now, &assigned, classed);
                 let pos = router.route(&r, &snaps).min(up.len() - 1);
                 let k = up[pos];
                 assigned[k] += 1;
@@ -1105,6 +1267,11 @@ fn run_colocated_faulty(
     for (k, core) in cores.iter().enumerate() {
         if !stale[k] {
             accum[k].harvest(core);
+            if let Some(t) = tenancy.as_mut() {
+                if let Some(p) = core.tenant_preemptions() {
+                    t.ledger.absorb_preemptions(p);
+                }
+            }
         }
     }
     delivered.sort_by_key(|c| c.id);
@@ -1153,7 +1320,7 @@ fn run_colocated_faulty(
             kv_hwm_frac: a.kv_hwm,
         });
     }
-    let report = ClusterReport::build(
+    let mut report = ClusterReport::build(
         label,
         "colocated",
         policy.name().to_owned(),
@@ -1167,6 +1334,9 @@ fn run_colocated_faulty(
         slo_ms,
         Some(avail),
     );
+    if let Some(t) = tenancy {
+        report.tenants = Some(t.ledger.report(&delivered, report.makespan_s));
+    }
     for session in &sessions {
         session.persist_cache();
     }
@@ -1203,6 +1373,7 @@ mod tests {
                 queued: core.queued(),
                 kv_frac: core.kv_frac(),
                 assigned: assigned[index],
+                class_outstanding: [0; 3],
             })
             .collect()
     }
@@ -1578,7 +1749,7 @@ mod tests {
                             continue;
                         }
                     }
-                    let snaps = healthy_snapshots(&cores, &up, now, &assigned);
+                    let snaps = healthy_snapshots(&cores, &up, now, &assigned, false);
                     let pos = router.route(&r, &snaps).min(up.len() - 1);
                     let k = up[pos];
                     assigned[k] += 1;
@@ -1738,7 +1909,7 @@ mod tests {
             for traffic in traffics(seed) {
                 for policy in POLICIES {
                     let fast =
-                        run_colocated(&fleet, policy, "eq", &traffic, Some(50.0), None).unwrap();
+                        run_colocated(&fleet, policy, "eq", &traffic, Some(50.0), None, None).unwrap();
                     let slow =
                         run_colocated_oracle(&fleet, policy, "eq", &traffic, Some(50.0)).unwrap();
                     prop_assert_eq!(&fast, &slow, "policy {}", policy.name());
@@ -1773,7 +1944,7 @@ mod tests {
                 for plan in [&scripted, &chaos] {
                     for policy in POLICIES {
                         let fast =
-                            run_colocated_faulty(&fleet, policy, "eq", &traffic, None, plan, None)
+                            run_colocated_faulty(&fleet, policy, "eq", &traffic, None, plan, None, None)
                                 .unwrap();
                         let slow =
                             run_colocated_faulty_oracle(&fleet, policy, "eq", &traffic, None, plan)

@@ -63,6 +63,21 @@
 //! the fleet schedule that client's next arrival, so saturation studies
 //! (throughput and latency versus client count) run fleet-wide.
 //!
+//! # Multi-tenancy
+//!
+//! [`ClusterEngine::run_tenants`] serves a [`TenantSet`] — named tenants
+//! with [`SloClass`] tiers, weights, and their own open-loop traffic —
+//! merged into one deterministic trace. Colocated replicas arm each
+//! [`EngineCore`](cimtpu_serving::EngineCore)'s weighted-fair scheduler
+//! (priority admission, deficit-weighted service, SLO-aware preemption
+//! that evicts batch-tier residents first); the
+//! [`RouterPolicy::SloAware`] router reads per-class outstanding splits
+//! from the [`ReplicaSnapshot`]s. Disaggregated pools keep tenancy at
+//! the traffic and report level (the FCFS/continuous pools schedule
+//! tenant-blind). Reports gain a `tenants` section — per-tenant goodput,
+//! SLO attainment, preemptions, and Jain's fairness index — and
+//! single-tenant runs stay byte-identical with the section omitted.
+//!
 //! # Faults
 //!
 //! The [`fault`] module injects failures into either topology: replica
@@ -179,6 +194,9 @@ pub use disagg::InterconnectSpec;
 pub use engine::{ClusterEngine, ClusterRun, ClusterTopology};
 pub use fault::{
     parse_faults, AvailabilityStats, ChaosSpec, FaultEvent, FaultPlan, RecoveryPolicy,
+};
+pub use cimtpu_serving::{
+    parse_tenants, SloClass, TenantPart, TenantReport, TenantSet, TenantSpec, TenantUsage,
 };
 pub use replica::ReplicaSpec;
 pub use report::{ClusterReport, KvTransferStats, PerfRecord, ReplicaUtilization};

@@ -4,7 +4,7 @@
 use serde::{Deserialize, Serialize, Value};
 
 use cimtpu_autoscale::ScalingStats;
-use cimtpu_serving::{Completion, LatencyStats};
+use cimtpu_serving::{Completion, LatencyStats, TenantReport};
 use cimtpu_units::{Joules, Seconds};
 
 use crate::fault::AvailabilityStats;
@@ -176,6 +176,11 @@ pub struct ClusterReport {
     /// recorder was attached); recorder-off runs omit the key so every
     /// pre-existing baseline entry stays byte-identical.
     pub timeseries: Option<cimtpu_obs::TimeseriesStats>,
+    /// Per-tenant section — present only for multi-tenant runs
+    /// ([`ClusterEngine::run_tenants`](crate::ClusterEngine::run_tenants));
+    /// single-tenant runs omit the key so every pre-existing baseline
+    /// entry stays byte-identical.
+    pub tenants: Option<TenantReport>,
 }
 
 impl Serialize for ClusterReport {
@@ -214,6 +219,9 @@ impl Serialize for ClusterReport {
         }
         if let Some(timeseries) = &self.timeseries {
             map.push(("timeseries".to_owned(), timeseries.to_value()));
+        }
+        if let Some(tenants) = &self.tenants {
+            map.push(("tenants".to_owned(), tenants.to_value()));
         }
         Value::Map(map)
     }
@@ -301,6 +309,7 @@ impl ClusterReport {
             availability,
             scaling: None,
             timeseries: None,
+            tenants: None,
         }
     }
 }
@@ -390,6 +399,9 @@ impl std::fmt::Display for ClusterReport {
                 ts.gauges.len(),
                 ts.interval_s
             )?;
+        }
+        if let Some(tenants) = &self.tenants {
+            write!(f, "{tenants}")?;
         }
         for r in &self.per_replica {
             writeln!(
@@ -630,6 +642,46 @@ mod tests {
         assert!(text.contains("1 crash(es)"), "{text}");
         let back: ClusterReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn tenants_key_is_omitted_for_single_tenant_runs() {
+        // Same byte-stability contract as availability/scaling: a run
+        // without tenancy must not even mention tenants (no `null`).
+        let json = serde_json::to_string(&build(None)).unwrap();
+        assert!(!json.contains("tenants"), "{json}");
+    }
+
+    #[test]
+    fn tenants_section_serializes_last_and_round_trips() {
+        use cimtpu_serving::{SloClass, TenantUsage};
+        let mut rep = build(None);
+        rep.timeseries = Some(cimtpu_obs::Recorder::new().timeseries());
+        rep.tenants = Some(TenantReport {
+            fairness: 0.975,
+            tenants: vec![TenantUsage {
+                name: "chat".to_owned(),
+                class: SloClass::Interactive,
+                weight: 2.0,
+                offered: 4,
+                completed: 3,
+                shed: 1,
+                timed_out: 0,
+                preemptions: 2,
+                goodput_rps: 1.5,
+                slo_attainment: 1.0,
+                service_share: 0.5,
+            }],
+        });
+        let json = serde_json::to_string(&rep).unwrap();
+        let ts = json.find("\"timeseries\"").expect("timeseries key");
+        let tenants = json.find("\"tenants\"").expect("tenants key");
+        assert!(ts < tenants, "tenants must be the last key: {json}");
+        let back: ClusterReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+        let text = rep.to_string();
+        assert!(text.contains("fairness (Jain)"), "{text}");
+        assert!(text.contains("chat"), "{text}");
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub struct ReplicaSnapshot {
     pub kv_frac: f64,
     /// Requests ever assigned to this replica.
     pub assigned: u64,
+    /// Outstanding requests split by SLO class rank (interactive,
+    /// standard, batch) at this instant. Maintained only when a run is
+    /// multi-tenant — single-tenant drivers leave the zeros, and every
+    /// policy except [`RouterPolicy::SloAware`] ignores the field.
+    pub class_outstanding: [u64; 3],
 }
 
 /// A routing strategy (see the [module docs](self) for the contract).
@@ -104,6 +109,15 @@ pub enum RouterPolicy {
     /// already resident (falls back to the session hash for requests with
     /// no shared head). See the [module docs](self) on affinity routing.
     PrefixAffinity,
+    /// Tier-aware least-loaded routing for multi-tenant fleets: each
+    /// request goes to the replica with the fewest in-flight requests of
+    /// its *own* SLO class (ties break by total outstanding, then index),
+    /// so interactive traffic lands on the healthy replica least busy
+    /// with interactive work instead of queueing behind another tenant's
+    /// batch backlog. In a single-tenant run every
+    /// [`ReplicaSnapshot::class_outstanding`] is zero and the policy
+    /// degenerates to [`RouterPolicy::LeastOutstanding`].
+    SloAware,
 }
 
 impl RouterPolicy {
@@ -116,6 +130,7 @@ impl RouterPolicy {
             RouterPolicy::LeastKv => "least-kv",
             RouterPolicy::SessionAffinity => "session-affinity",
             RouterPolicy::PrefixAffinity => "prefix-affinity",
+            RouterPolicy::SloAware => "slo-aware",
         }
     }
 
@@ -128,6 +143,7 @@ impl RouterPolicy {
             RouterPolicy::LeastKv => Box::new(LeastKv),
             RouterPolicy::SessionAffinity => Box::new(SessionAffinity),
             RouterPolicy::PrefixAffinity => Box::new(PrefixAffinity),
+            RouterPolicy::SloAware => Box::new(SloAware),
         }
     }
 
@@ -144,6 +160,7 @@ impl RouterPolicy {
             RouterPolicy::LeastKv,
             RouterPolicy::SessionAffinity,
             RouterPolicy::PrefixAffinity,
+            RouterPolicy::SloAware,
         ]
         .into_iter()
         .find(|p| p.name() == name)
@@ -245,6 +262,22 @@ impl Router for PrefixAffinity {
             request.session
         };
         (splitmix64(key) % replicas.len().max(1) as u64) as usize
+    }
+}
+
+struct SloAware;
+
+impl Router for SloAware {
+    fn name(&self) -> &'static str {
+        RouterPolicy::SloAware.name()
+    }
+
+    fn route(&mut self, request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
+        let rank = request.class.rank();
+        replicas
+            .iter()
+            .min_by_key(|r| (r.class_outstanding[rank], r.outstanding, r.index))
+            .map_or(0, |r| r.index)
     }
 }
 
@@ -416,6 +449,7 @@ impl SnapshotTracker {
                     queued: 0,
                     kv_frac: 0.0,
                     assigned: 0,
+                    class_outstanding: [0; 3],
                 })
                 .collect(),
             expiry: BinaryHeap::new(),
@@ -474,6 +508,18 @@ impl SnapshotTracker {
         }
     }
 
+    /// Refreshes every snapshot's per-class outstanding split from the
+    /// cores' ledgers at the current routing instant. Multi-tenant
+    /// drivers call this before consulting a router; single-tenant runs
+    /// skip it (the zeros stand, and no policy reads them), keeping the
+    /// tracker's `O(1)`-per-event path intact. `O(replicas × residents +
+    /// future completions)` per call — paid only when tenancy is armed.
+    pub fn refresh_classes(&mut self, cores: &[EngineCore<'_>]) {
+        for (k, core) in cores.iter().enumerate() {
+            self.snaps[k].class_outstanding = core.outstanding_by_class_at(self.now);
+        }
+    }
+
     /// Records a request pushed into replica `k` (whose queue depth is
     /// now `queued`).
     pub fn on_push(&mut self, k: usize, queued: u64) {
@@ -516,7 +562,14 @@ mod tests {
     use super::*;
 
     fn snap(index: usize, outstanding: u64, kv_frac: f64) -> ReplicaSnapshot {
-        ReplicaSnapshot { index, outstanding, queued: 0, kv_frac, assigned: 0 }
+        ReplicaSnapshot {
+            index,
+            outstanding,
+            queued: 0,
+            kv_frac,
+            assigned: 0,
+            class_outstanding: [0; 3],
+        }
     }
 
     fn req(id: u64, session: u64) -> Request {
@@ -526,6 +579,8 @@ mod tests {
             prompt_len: 8,
             steps: 4,
             session,
+            tenant: 0,
+            class: cimtpu_serving::SloClass::Standard,
             prefix: cimtpu_serving::PromptPrefix::UNIQUE,
         }
     }
@@ -609,6 +664,30 @@ mod tests {
     }
 
     #[test]
+    fn slo_aware_routes_by_own_class_then_total_load() {
+        use cimtpu_serving::SloClass;
+        let mut r = RouterPolicy::SloAware.build();
+        let classed = |index: usize, outstanding: u64, split: [u64; 3]| ReplicaSnapshot {
+            class_outstanding: split,
+            ..snap(index, outstanding, 0.0)
+        };
+        let by_class = |class: SloClass| Request { class, ..req(0, 0) };
+        // Replica 0 is drowning in batch work but idle on interactive;
+        // interactive traffic still lands there, batch traffic avoids it.
+        let snaps = [classed(0, 9, [0, 0, 9]), classed(1, 3, [2, 0, 1])];
+        assert_eq!(r.route(&by_class(SloClass::Interactive), &snaps), 0);
+        assert_eq!(r.route(&by_class(SloClass::Batch), &snaps), 1);
+        // Equal own-class load: total outstanding breaks the tie.
+        let snaps = [classed(0, 9, [1, 0, 8]), classed(1, 3, [1, 0, 2])];
+        assert_eq!(r.route(&by_class(SloClass::Interactive), &snaps), 1);
+        // All-zero splits (a single-tenant run): degenerates to
+        // least-outstanding.
+        let snaps = [snap(0, 3, 0.0), snap(1, 1, 0.0), snap(2, 1, 0.0)];
+        let mut lo = RouterPolicy::LeastOutstanding.build();
+        assert_eq!(r.route(&req(0, 0), &snaps), lo.route(&req(0, 0), &snaps));
+    }
+
+    #[test]
     fn health_view_walks_down_warming_up() {
         let mut h = HealthView::all_up(3);
         assert!(h.is_up(1));
@@ -655,6 +734,7 @@ mod tests {
             RouterPolicy::LeastKv,
             RouterPolicy::SessionAffinity,
             RouterPolicy::PrefixAffinity,
+            RouterPolicy::SloAware,
         ] {
             assert_eq!(RouterPolicy::by_name(p.name()).unwrap(), p);
             assert_eq!(p.build().name(), p.name());

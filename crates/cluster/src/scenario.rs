@@ -5,7 +5,8 @@ use cimtpu_autoscale::{AutoscalePolicy, GroupPolicy};
 use cimtpu_core::TpuConfig;
 use cimtpu_models::presets;
 use cimtpu_serving::{
-    ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, PrefixTraffic, ServingModel, TrafficSpec,
+    ArrivalPattern, BatchPolicy, LenDist, MemoryConfig, PrefixTraffic, ServingModel, SloClass,
+    TenantPart, TenantSet, TenantSpec, TrafficSpec,
 };
 use cimtpu_units::{Bytes, Error, Result, Seconds};
 
@@ -26,6 +27,10 @@ pub struct Scenario {
     pub engine: ClusterEngine,
     /// Traffic to offer.
     pub traffic: TrafficSpec,
+    /// Multi-tenant scenarios carry their tenant set here; when present
+    /// it supersedes `traffic` (which then only anchors the base shape
+    /// `--tenants` overlays would split).
+    pub tenants: Option<TenantSet>,
 }
 
 impl Scenario {
@@ -49,11 +54,35 @@ impl Scenario {
         seed: Option<u64>,
         recorder: Option<&cimtpu_obs::SharedRecorder>,
     ) -> Result<ClusterRun> {
-        let mut traffic = self.traffic;
+        if let Some(set) = &self.tenants {
+            let set = match seed {
+                Some(seed) => set.with_seed(seed),
+                None => set.clone(),
+            };
+            return self.engine.run_tenants_observed(self.name, &set, recorder);
+        }
+        let mut traffic = self.traffic.clone();
         if let Some(seed) = seed {
             traffic.seed = seed;
         }
         self.engine.run_observed(self.name, &traffic, recorder)
+    }
+
+    /// Runs the scenario with its base traffic split across `parts`
+    /// tenants ([`TenantSet::overlay`]) under tenant-aware scheduling.
+    /// The seed override reseeds every tenant's stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors and invalid tenant overlays (closed-loop
+    /// or prefix base traffic, fewer requests than tenants).
+    pub fn run_tenants(&self, seed: Option<u64>, parts: &[TenantPart]) -> Result<ClusterRun> {
+        let mut traffic = self.traffic.clone();
+        if let Some(seed) = seed {
+            traffic.seed = seed;
+        }
+        let tenants = TenantSet::overlay(&traffic, parts)?;
+        self.engine.run_tenants(self.name, &tenants)
     }
 }
 
@@ -76,6 +105,7 @@ fn closed_loop_point(
 ) -> Scenario {
     Scenario {
         name,
+        tenants: None,
         description,
         engine: ClusterEngine::colocated(
             vec![
@@ -103,9 +133,11 @@ fn closed_loop_point(
 /// prefill/decode versus colocated at matched hardware, a closed-loop
 /// saturation sweep (2 → 8 → 32 clients on one tiny fleet), the
 /// chaos set (seeded crashes, a straggler window, a degraded handoff
-/// link) exercising the failure-aware drivers, and the `cluster-day`
+/// link) exercising the failure-aware drivers, the `cluster-day`
 /// scale point (10M requests over 100 replicas) exercising the
-/// heap-scheduled event core.
+/// heap-scheduled event core, and the multi-tenant pair
+/// (`cluster-noisy-neighbor`, `cluster-launch-spike`) exercising SLO
+/// tiers under weighted-fair scheduling.
 pub fn headline() -> Vec<Scenario> {
     let disagg_traffic = TrafficSpec {
         requests: 24,
@@ -118,6 +150,7 @@ pub fn headline() -> Vec<Scenario> {
     vec![
         Scenario {
             name: "hetero-fleet",
+            tenants: None,
             description: "GPT-3 6.7B on one baseline TPUv4i + one CIM Design A chip, \
                           least-outstanding routing",
             engine: ClusterEngine::colocated(
@@ -141,6 +174,7 @@ pub fn headline() -> Vec<Scenario> {
         },
         Scenario {
             name: "two-model-skew",
+            tenants: None,
             description: "a 6.7B and a 13B replica behind session-affinity routing under \
                           a 6-session pool (skew shows up as imbalance)",
             engine: ClusterEngine::colocated(
@@ -168,6 +202,7 @@ pub fn headline() -> Vec<Scenario> {
         },
         Scenario {
             name: "disagg-prefill-decode",
+            tenants: None,
             description: "1 prefill + 2 decode Design A chips with paged KV handoff over \
                           an ICI-class link, least-KV decode placement",
             engine: ClusterEngine::disaggregated(
@@ -184,10 +219,11 @@ pub fn headline() -> Vec<Scenario> {
                 InterconnectSpec::ici(),
             )
             .expect("static fleet is valid"),
-            traffic: disagg_traffic,
+            traffic: disagg_traffic.clone(),
         },
         Scenario {
             name: "colo-matched",
+            tenants: None,
             description: "the disagg-prefill-decode hardware (3 Design A chips) serving \
                           the same traffic colocated — the comparison baseline",
             engine: ClusterEngine::colocated(
@@ -221,6 +257,7 @@ pub fn headline() -> Vec<Scenario> {
         ),
         Scenario {
             name: "cluster-shared-prefix",
+            tenants: None,
             description: "4 shared system prompts over a 2-replica Design A fleet with \
                           prefix sharing + prefix-affinity routing",
             engine: prefix_fleet(true),
@@ -228,6 +265,7 @@ pub fn headline() -> Vec<Scenario> {
         },
         Scenario {
             name: "cluster-cold-prefix",
+            tenants: None,
             description: "the cluster-shared-prefix fleet and traffic with sharing \
                           disabled — the matched-hardware control",
             engine: prefix_fleet(false),
@@ -235,6 +273,7 @@ pub fn headline() -> Vec<Scenario> {
         },
         Scenario {
             name: "cluster-chaos-crash",
+            tenants: None,
             description: "2 seeded replica crashes (cold restart) under open-loop load \
                           on a 2-replica tiny fleet; lost work retries with backoff",
             engine: chaos_fleet(FaultPlan::seeded(0xFA17).with_chaos(ChaosSpec {
@@ -246,6 +285,7 @@ pub fn headline() -> Vec<Scenario> {
         },
         Scenario {
             name: "cluster-straggler",
+            tenants: None,
             description: "replica 0 runs 4x slow for a mid-run window; least-outstanding \
                           routing shifts load to the healthy replica",
             engine: chaos_fleet(FaultPlan::none().with_event(FaultEvent::Straggler {
@@ -258,6 +298,7 @@ pub fn headline() -> Vec<Scenario> {
         },
         Scenario {
             name: "cluster-degraded-link",
+            tenants: None,
             description: "tiny 1-prefill + 2-decode fleet with the handoff interconnect \
                           at one-tenth bandwidth (and double energy) all run",
             engine: ClusterEngine::disaggregated(
@@ -298,7 +339,132 @@ pub fn headline() -> Vec<Scenario> {
              size all day — the cost baseline the autoscaled run must beat",
             true,
         ),
+        noisy_neighbor(),
+        launch_spike(),
     ]
+}
+
+/// The multi-tenant headline scenario: three equal-weight tenants — an
+/// interactive chat tier, a standard API tier, and a batch bulk tier —
+/// share a two-replica tiny fleet squeezed into the smoke-kv 4-block KV
+/// budget, behind SLO-aware routing. Every tenant offers the same decode
+/// tokens, so Jain's fairness index sits at 1.0; the KV squeeze forces
+/// preemptions, and the SLO-aware victim order makes the batch tier
+/// absorb them while interactive attainment holds (CI asserts both).
+fn noisy_neighbor() -> Scenario {
+    let tight_kv = MemoryConfig::unlimited()
+        .with_budget_bytes(Bytes::from_kib(64))
+        .with_block_tokens(16);
+    let tenant_traffic = |rate_rps: f64, seed: u64| TrafficSpec {
+        requests: 16,
+        arrival: ArrivalPattern::OpenLoop { rate_rps },
+        prompt: LenDist::Fixed(32),
+        steps: LenDist::Fixed(8),
+        prefix: PrefixTraffic::None,
+        seed,
+    };
+    Scenario {
+        name: "cluster-noisy-neighbor",
+        tenants: Some(
+            TenantSet::new(vec![
+                TenantSpec::new(
+                    "chat",
+                    SloClass::Interactive,
+                    1.0,
+                    tenant_traffic(4_000.0, 0xC1A0),
+                ),
+                TenantSpec::new("api", SloClass::Standard, 1.0, tenant_traffic(4_000.0, 0xC1A1)),
+                TenantSpec::new("bulk", SloClass::Batch, 1.0, tenant_traffic(20_000.0, 0xC1A2)),
+            ])
+            .expect("static tenant set is valid"),
+        ),
+        description: "3 equal-weight SLO tiers (chat/api/bulk) on a 2-replica tiny \
+                      fleet under the smoke-kv 4-block KV squeeze, SLO-aware routing \
+                      (CI: fairness, batch-absorbed preemptions, interactive SLO)",
+        engine: ClusterEngine::colocated(
+            vec![
+                ReplicaSpec::new("shared-0", TpuConfig::tpuv4i(), tiny())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 4 })
+                    .with_memory(tight_kv),
+                ReplicaSpec::new("shared-1", TpuConfig::tpuv4i(), tiny())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 4 })
+                    .with_memory(tight_kv),
+            ],
+            RouterPolicy::SloAware,
+        )
+        .expect("static fleet is valid"),
+        // The base shape `--tenants` overlays split; `tenants` above
+        // supersedes it for plain runs.
+        traffic: tenant_traffic(8_000.0, 0xC1A0),
+    }
+}
+
+/// The launch-day spike: an interactive tenant whose traffic bursts hard
+/// (a compressed diurnal day at double-rate burst) rides alongside a
+/// steady batch backfill tenant at half its weight. Weighted-fair
+/// scheduling keeps the backfill flowing through the spike instead of
+/// starving it.
+fn launch_spike() -> Scenario {
+    Scenario {
+        name: "cluster-launch-spike",
+        tenants: Some(
+            TenantSet::new(vec![
+                TenantSpec::new(
+                    "launch",
+                    SloClass::Interactive,
+                    2.0,
+                    TrafficSpec {
+                        requests: 32,
+                        arrival: ArrivalPattern::Diurnal {
+                            peak_rps: 24_000.0,
+                            day_s: 0.012,
+                            burst_x: 2.0,
+                            bursts: 1,
+                        },
+                        prompt: LenDist::Uniform { lo: 16, hi: 48 },
+                        steps: LenDist::Uniform { lo: 4, hi: 8 },
+                        prefix: PrefixTraffic::None,
+                        seed: 0x5B1E,
+                    },
+                ),
+                TenantSpec::new(
+                    "backfill",
+                    SloClass::Batch,
+                    1.0,
+                    TrafficSpec {
+                        requests: 16,
+                        arrival: ArrivalPattern::OpenLoop { rate_rps: 2_000.0 },
+                        prompt: LenDist::Fixed(64),
+                        steps: LenDist::Fixed(16),
+                        prefix: PrefixTraffic::None,
+                        seed: 0x5B1F,
+                    },
+                ),
+            ])
+            .expect("static tenant set is valid"),
+        ),
+        description: "an interactive launch-day spike (diurnal burst, weight 2) over a \
+                      steady weight-1 batch backfill on a 2-replica tiny fleet — \
+                      weighted-fair scheduling keeps the backfill alive through the peak",
+        engine: ClusterEngine::colocated(
+            vec![
+                ReplicaSpec::new("spike-0", TpuConfig::tpuv4i(), tiny())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+                ReplicaSpec::new("spike-1", TpuConfig::tpuv4i(), tiny())
+                    .with_policy(BatchPolicy::Continuous { max_batch: 8 }),
+            ],
+            RouterPolicy::SloAware,
+        )
+        .expect("static fleet is valid"),
+        traffic: TrafficSpec {
+            requests: 48,
+            arrival: ArrivalPattern::OpenLoop { rate_rps: 8_000.0 },
+            prompt: LenDist::Uniform { lo: 16, hi: 64 },
+            steps: LenDist::Uniform { lo: 4, hi: 12 },
+            prefix: PrefixTraffic::None,
+            seed: 0x5B1E,
+        },
+    }
 }
 
 /// The million-request scale point: `cluster-day` offers ten million
@@ -320,6 +486,7 @@ fn cluster_day_point(
         .collect();
     Scenario {
         name,
+        tenants: None,
         description,
         engine: ClusterEngine::colocated(replicas, RouterPolicy::RoundRobin)
             .expect("static fleet is valid"),
@@ -396,6 +563,7 @@ fn diurnal_point(
     };
     Scenario {
         name,
+        tenants: None,
         description,
         engine: ClusterEngine::colocated(
             vec![ReplicaSpec::new("diurnal", TpuConfig::tpuv4i(), tiny())
@@ -444,6 +612,7 @@ pub fn smoke_autoscale() -> Scenario {
     };
     Scenario {
         name: "smoke-autoscale",
+        tenants: None,
         description: "bursty compressed day on a scale-to-zero 0..2-replica tiny \
                       group (CI grep: scale-up, scale-down, scale-to-zero)",
         engine: ClusterEngine::colocated(
@@ -544,6 +713,7 @@ fn cluster_prefix_traffic() -> TrafficSpec {
 pub fn smoke_cluster() -> Scenario {
     Scenario {
         name: "smoke-cluster",
+        tenants: None,
         description: "tiny 1-prefill + 1-decode fleet, 4-block decode KV budget \
                       (CI handoff determinism check)",
         engine: ClusterEngine::disaggregated(
@@ -793,6 +963,58 @@ mod tests {
             clean.report.kv_transfer_s
         );
         assert!(degraded.report.kv_transfer_energy_j > clean.report.kv_transfer_energy_j);
+    }
+
+    #[test]
+    fn noisy_neighbor_isolates_the_interactive_tenant() {
+        let run = by_name("cluster-noisy-neighbor").unwrap().run(None).unwrap();
+        assert_eq!(run.report.completed, run.report.offered);
+        let t = run.report.tenants.as_ref().expect("multi-tenant run reports tenants");
+        // Equal weights, equal decode tokens per tenant: Jain's index
+        // should sit essentially at 1 (CI asserts > 0.9).
+        assert!(t.fairness > 0.9, "fairness {}", t.fairness);
+        let chat = t.tenants.iter().find(|u| u.name == "chat").unwrap();
+        let bulk = t.tenants.iter().find(|u| u.name == "bulk").unwrap();
+        // The headline acceptance: interactive SLO attainment under
+        // contention, with the batch tenant absorbing every KV eviction.
+        assert!(chat.slo_attainment >= 0.95, "chat SLO {}", chat.slo_attainment);
+        assert!(bulk.preemptions >= 1, "expected batch preemptions, tenants: {t:?}");
+        assert_eq!(chat.preemptions, 0, "interactive tenant was preempted: {t:?}");
+        let total: u64 = t.tenants.iter().map(|u| u.preemptions).sum();
+        assert_eq!(total, run.report.preemptions, "ledger must conserve preemptions");
+        let again = by_name("cluster-noisy-neighbor").unwrap().run(None).unwrap();
+        assert_eq!(run.report, again.report);
+        assert_eq!(run.completions, again.completions);
+    }
+
+    #[test]
+    fn launch_spike_completes_deterministically() {
+        let run = by_name("cluster-launch-spike").unwrap().run(None).unwrap();
+        assert_eq!(run.report.completed, run.report.offered);
+        let t = run.report.tenants.as_ref().expect("multi-tenant run reports tenants");
+        assert_eq!(t.tenants.len(), 2);
+        let launch = t.tenants.iter().find(|u| u.name == "launch").unwrap();
+        assert_eq!(launch.completed, 32);
+        assert!(launch.slo_attainment >= 0.95, "launch SLO {}", launch.slo_attainment);
+        let again = by_name("cluster-launch-spike").unwrap().run(None).unwrap();
+        assert_eq!(run.report, again.report);
+        // Reseeding moves the merged trace, hence the report.
+        let reseeded = by_name("cluster-launch-spike").unwrap().run(Some(7)).unwrap();
+        assert_ne!(run.report, reseeded.report);
+    }
+
+    #[test]
+    fn tenant_overlay_preserves_the_fleet_total() {
+        // `--tenants` overlays split the scenario's base traffic across
+        // equal-weight tenants; the fleet-level totals must be conserved.
+        let base = by_name("hetero-fleet").unwrap();
+        let parts = crate::parse_tenants("a=interactive,b=batch").unwrap();
+        let split = base.run_tenants(None, &parts).unwrap();
+        assert_eq!(split.report.offered, base.traffic.requests);
+        assert_eq!(split.report.completed, split.report.offered);
+        let t = split.report.tenants.as_ref().expect("overlay reports tenants");
+        let done: u64 = t.tenants.iter().map(|u| u.completed).sum();
+        assert_eq!(done, split.report.completed);
     }
 
     #[test]

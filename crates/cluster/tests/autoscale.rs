@@ -48,7 +48,10 @@ fn traffics(seed: u64) -> [TrafficSpec; 2] {
         prefix: PrefixTraffic::None,
         seed,
     };
-    [base, TrafficSpec { arrival: ArrivalPattern::ClosedLoop { clients: 3, think_ms: 1.0 }, ..base }]
+    [
+        base.clone(),
+        TrafficSpec { arrival: ArrivalPattern::ClosedLoop { clients: 3, think_ms: 1.0 }, ..base },
+    ]
 }
 
 /// A 2-group colocated fleet, pinned at sizes (2, 1) via the policy, vs
@@ -286,7 +289,7 @@ fn skewed_traffic_swaps_a_replica_between_groups() {
 
 #[test]
 fn elastic_restrictions_are_typed_errors() {
-    let traffic = traffics(1)[0];
+    let traffic = traffics(1)[0].clone();
     let elastic = AutoscalePolicy::new(vec![GroupPolicy::default()]);
 
     // Elastic + fault plan: rejected.

@@ -37,7 +37,7 @@ fn traffics() -> [TrafficSpec; 2] {
         seed: 0xA11C,
     };
     [
-        base,
+        base.clone(),
         TrafficSpec {
             arrival: ArrivalPattern::ClosedLoop { clients: 3, think_ms: 5.0 },
             ..base
@@ -132,7 +132,7 @@ fn anchor_holds_under_kv_pressure() {
 fn anchor_holds_for_multi_executor_replicas() {
     // A replica with two replicated executors behind pass-through equals
     // the 2-chip single engine.
-    let traffic = traffics()[0];
+    let traffic = traffics()[0].clone();
     let policy = BatchPolicy::Continuous { max_batch: 2 };
     let single = ServingEngine::new(
         TpuConfig::tpuv4i(),

@@ -69,7 +69,10 @@ fn traffics(seed: u64) -> [TrafficSpec; 2] {
         prefix: PrefixTraffic::None,
         seed,
     };
-    [base, TrafficSpec { arrival: ArrivalPattern::ClosedLoop { clients: 3, think_ms: 1.0 }, ..base }]
+    [
+        base.clone(),
+        TrafficSpec { arrival: ArrivalPattern::ClosedLoop { clients: 3, think_ms: 1.0 }, ..base },
+    ]
 }
 
 /// A non-empty plan that injects nothing observable: a 1.0× straggler
@@ -165,7 +168,7 @@ proptest! {
             window: (Seconds::new(0.000_2), Seconds::new(0.003)),
             repair: Seconds::new(0.002),
         });
-        let traffic = traffics(0xBEEF)[0];
+        let traffic = traffics(0xBEEF)[0].clone();
         let a = fleet(RouterPolicy::LeastOutstanding, chaos.clone())
             .run("chaos", &traffic)
             .unwrap();
@@ -303,7 +306,7 @@ fn disagg_decode_crash_recovers_and_conserves() {
 /// errors, not silent no-ops.
 #[test]
 fn cross_topology_faults_are_rejected() {
-    let traffic = traffics(1)[0];
+    let traffic = traffics(1)[0].clone();
     let err = disagg_fleet(benign_colocated_plan()).run("bad", &traffic).unwrap_err();
     assert!(err.to_string().contains("straggler"), "{err}");
     let err = fleet(RouterPolicy::RoundRobin, benign_disagg_plan())

@@ -165,6 +165,9 @@ pub struct Event {
     pub ts_s: f64,
     /// Duration, simulated seconds (zero for instants).
     pub dur_s: f64,
+    /// Tenant index for multi-tenant runs; `None` in single-tenant runs,
+    /// keeping their exports byte-identical to the pre-tenancy format.
+    pub tenant: Option<u32>,
 }
 
 /// An event-type allowlist parsed from `--trace-filter`.

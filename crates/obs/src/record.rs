@@ -106,17 +106,62 @@ impl Recorder {
     ///
     /// [arrival]: EventKind::Arrival
     pub fn request_arrival(&mut self, track: u32, id: u64, ts_s: f64) {
+        self.request_arrival_for(track, id, ts_s, None);
+    }
+
+    /// [`Recorder::request_arrival`] with an optional tenant tag.
+    pub fn request_arrival_for(&mut self, track: u32, id: u64, ts_s: f64, tenant: Option<u32>) {
         if self.seen.insert(id) {
-            self.instant(track, EventKind::Arrival, id, ts_s);
+            self.instant_for(track, EventKind::Arrival, id, ts_s, tenant);
         }
     }
 
     /// Records a delivered completion: the terminal [`EventKind::Complete`]
     /// instant plus latency/TTFT histogram samples.
     pub fn complete(&mut self, track: u32, id: u64, finish_s: f64, latency_ms: f64, ttft_ms: f64) {
-        self.instant(track, EventKind::Complete, id, finish_s);
+        self.complete_for(track, id, finish_s, latency_ms, ttft_ms, None);
+    }
+
+    /// [`Recorder::complete`] with an optional tenant tag.
+    pub fn complete_for(
+        &mut self,
+        track: u32,
+        id: u64,
+        finish_s: f64,
+        latency_ms: f64,
+        ttft_ms: f64,
+        tenant: Option<u32>,
+    ) {
+        self.instant_for(track, EventKind::Complete, id, finish_s, tenant);
         self.latency_ms.observe(latency_ms);
         self.ttft_ms.observe(ttft_ms);
+    }
+
+    /// Records a tenant-tagged instant event at `ts_s` (`None` emits the
+    /// untagged single-tenant form).
+    pub fn instant_for(
+        &mut self,
+        track: u32,
+        kind: EventKind,
+        id: u64,
+        ts_s: f64,
+        tenant: Option<u32>,
+    ) {
+        self.events.push(Event { kind, track, id, ts_s, dur_s: 0.0, tenant });
+    }
+
+    /// Records a tenant-tagged span covering `[start_s, end_s]` (`None`
+    /// emits the untagged single-tenant form).
+    pub fn span_for(
+        &mut self,
+        track: u32,
+        kind: EventKind,
+        id: u64,
+        start_s: f64,
+        end_s: f64,
+        tenant: Option<u32>,
+    ) {
+        self.events.push(Event { kind, track, id, ts_s: start_s, dur_s: end_s - start_s, tenant });
     }
 
     /// The buffered events, in emission order.
@@ -177,24 +222,26 @@ impl Recorder {
         for e in picked {
             sep(&mut out, &mut first);
             let ts = e.ts_s * 1e6;
+            let args = match e.tenant {
+                Some(t) => format!("{{\"id\":{},\"tenant\":{t}}}", e.id),
+                None => format!("{{\"id\":{}}}", e.id),
+            };
             if e.kind.is_span() {
                 let dur = e.dur_s * 1e6;
                 let _ = write!(
                     out,
                     "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts:?},\"dur\":{dur:?},\
-                     \"pid\":0,\"tid\":{},\"args\":{{\"id\":{}}}}}",
+                     \"pid\":0,\"tid\":{},\"args\":{args}}}",
                     e.kind.name(),
                     e.track,
-                    e.id
                 );
             } else {
                 let _ = write!(
                     out,
                     "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts:?},\
-                     \"pid\":0,\"tid\":{},\"args\":{{\"id\":{}}}}}",
+                     \"pid\":0,\"tid\":{},\"args\":{args}}}",
                     e.kind.name(),
                     e.track,
-                    e.id
                 );
             }
         }
@@ -236,11 +283,11 @@ fn json_str(s: &str) -> String {
 
 impl TraceSink for Recorder {
     fn instant(&mut self, track: u32, kind: EventKind, id: u64, ts_s: f64) {
-        self.events.push(Event { kind, track, id, ts_s, dur_s: 0.0 });
+        self.instant_for(track, kind, id, ts_s, None);
     }
 
     fn span(&mut self, track: u32, kind: EventKind, id: u64, start_s: f64, end_s: f64) {
-        self.events.push(Event { kind, track, id, ts_s: start_s, dur_s: end_s - start_s });
+        self.span_for(track, kind, id, start_s, end_s, None);
     }
 }
 
@@ -272,22 +319,49 @@ impl TraceHandle {
 
     /// See [`Recorder::request_arrival`].
     pub fn arrival(&self, id: u64, ts_s: f64) {
-        self.rec.borrow_mut().request_arrival(self.track, id, ts_s);
+        self.arrival_for(id, ts_s, None);
+    }
+
+    /// See [`Recorder::request_arrival_for`].
+    pub fn arrival_for(&self, id: u64, ts_s: f64, tenant: Option<u32>) {
+        self.rec.borrow_mut().request_arrival_for(self.track, id, ts_s, tenant);
     }
 
     /// Emits an instant on this handle's track.
     pub fn instant(&self, kind: EventKind, id: u64, ts_s: f64) {
-        self.rec.borrow_mut().instant(self.track, kind, id, ts_s);
+        self.instant_for(kind, id, ts_s, None);
+    }
+
+    /// Emits a tenant-tagged instant on this handle's track.
+    pub fn instant_for(&self, kind: EventKind, id: u64, ts_s: f64, tenant: Option<u32>) {
+        self.rec.borrow_mut().instant_for(self.track, kind, id, ts_s, tenant);
     }
 
     /// Emits a span on this handle's track.
     pub fn span(&self, kind: EventKind, id: u64, start_s: f64, end_s: f64) {
-        self.rec.borrow_mut().span(self.track, kind, id, start_s, end_s);
+        self.span_for(kind, id, start_s, end_s, None);
+    }
+
+    /// Emits a tenant-tagged span on this handle's track.
+    pub fn span_for(&self, kind: EventKind, id: u64, start_s: f64, end_s: f64, tenant: Option<u32>) {
+        self.rec.borrow_mut().span_for(self.track, kind, id, start_s, end_s, tenant);
     }
 
     /// See [`Recorder::complete`].
     pub fn complete(&self, id: u64, finish_s: f64, latency_ms: f64, ttft_ms: f64) {
-        self.rec.borrow_mut().complete(self.track, id, finish_s, latency_ms, ttft_ms);
+        self.complete_for(id, finish_s, latency_ms, ttft_ms, None);
+    }
+
+    /// See [`Recorder::complete_for`].
+    pub fn complete_for(
+        &self,
+        id: u64,
+        finish_s: f64,
+        latency_ms: f64,
+        ttft_ms: f64,
+        tenant: Option<u32>,
+    ) {
+        self.rec.borrow_mut().complete_for(self.track, id, finish_s, latency_ms, ttft_ms, tenant);
     }
 
     /// See [`Recorder::sample`].
@@ -336,6 +410,17 @@ mod tests {
         let only_crash = r.to_chrome_json(&TraceFilter::parse("crash").unwrap());
         assert!(only_crash.contains("\"name\":\"crash\""));
         assert!(!only_crash.contains("\"name\":\"prefill\""));
+    }
+
+    #[test]
+    fn tenant_tags_render_only_when_present() {
+        let mut r = Recorder::new();
+        let t = r.track("r0");
+        r.instant_for(t, EventKind::Preempt, 3, 1.0, Some(2));
+        r.span_for(t, EventKind::Decode, 4, 1.0, 2.0, None);
+        let json = r.to_chrome_json(&TraceFilter::default());
+        assert!(json.contains("\"args\":{\"id\":3,\"tenant\":2}"), "{json}");
+        assert!(json.contains("\"args\":{\"id\":4}"), "{json}");
     }
 
     #[test]

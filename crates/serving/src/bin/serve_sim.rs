@@ -3,6 +3,7 @@
 //! ```text
 //! serve_sim [--scenario NAME|all] [--seed N] [--workers N] [--json PATH]
 //!           [--kv-budget BUDGET] [--clients N] [--think-ms MS]
+//!           [--tenants SPEC] [--trace-in PATH] [--trace-out PATH]
 //! ```
 //!
 //! Runs the named serving scenario (default: all headline scenarios) and
@@ -22,6 +23,21 @@
 //! one request in flight, re-issuing after a think time (`--think-ms`,
 //! default 10 ms).
 //!
+//! `--tenants SPEC` splits each scenario's traffic across SLO tenants
+//! (comma-separated `name=class[:weight[:slo_ms]]`, grammar in
+//! [`cimtpu_serving::parse_tenants`]) and schedules it weighted-fair:
+//! admission is priority-first then deficit-weighted-fair, KV preemption
+//! evicts batch-tier residents before interactive ones, and reports gain
+//! a per-tenant section (goodput, SLO attainment, Jain's fairness
+//! index). Single-tenant output is byte-identical to builds without the
+//! flag.
+//!
+//! `--trace-out PATH` writes each selected scenario's synthesized
+//! traffic as a JSONL request trace and exits without simulating;
+//! `--trace-in PATH` replaces each scenario's traffic with the trace at
+//! PATH (replayed byte-identically, so `--seed` no longer perturbs
+//! arrivals). See [`cimtpu_serving::trace`] for the format.
+//!
 //! `--json PATH` additionally writes the full `ServingReport` list as
 //! pretty-printed JSON (`-` writes JSON to stdout instead of the text
 //! report). The committed `BENCH_serving.json` baseline is exactly
@@ -30,7 +46,7 @@
 use cimtpu_bench::sweep;
 use cimtpu_serving::cli::{self, SimFlags};
 use cimtpu_serving::scenario::{self, Scenario};
-use cimtpu_serving::{ArrivalPattern, ServingReport};
+use cimtpu_serving::{parse_tenants, ArrivalPattern, ServingReport};
 
 fn main() {
     let flags = match SimFlags::parse("serve_sim", "the scenario's", false, || {
@@ -68,11 +84,71 @@ fn main() {
                 ArrivalPattern::ClosedLoop { clients, think_ms: flags.think_ms };
         }
     }
+    // `--trace-in` replaces each scenario's traffic wholesale (the trace
+    // carries arrivals, lengths, sessions, tenants, and classes), so it
+    // composes with neither `--clients` nor `--seed` reseeding.
+    if let Some(path) = flags.trace_in.as_deref() {
+        let replay = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|text| {
+                cimtpu_serving::parse_jsonl(&text)
+                    .and_then(cimtpu_serving::replay_spec)
+                    .map_err(|e| e.to_string())
+            });
+        match replay {
+            Ok(spec) => {
+                for s in &mut scenarios {
+                    s.traffic = spec.clone();
+                }
+            }
+            Err(e) => {
+                eprintln!("serve_sim: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let seed = flags.seed;
+    // `--trace-out` is the seeded synthesis tool: write each scenario's
+    // materialized traffic as a JSONL trace and exit without simulating.
+    if let Some(path) = flags.trace_out.as_deref() {
+        let traffics: Vec<(&str, cimtpu_serving::TrafficSpec)> = scenarios
+            .iter()
+            .map(|s| {
+                let mut traffic = s.traffic.clone();
+                if let Some(seed) = seed {
+                    traffic.seed = seed;
+                }
+                (s.name, traffic)
+            })
+            .collect();
+        if cli::emit_traces("serve_sim", path, &traffics) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let tenants = match flags.tenants.as_deref() {
+        None => None,
+        Some(_) if flags.trace_in.is_some() => {
+            // The trace records already carry tenant assignments; there
+            // is no base traffic left to split.
+            eprintln!("serve_sim: --tenants cannot be combined with --trace-in");
+            std::process::exit(2);
+        }
+        Some(spec) => match parse_tenants(spec) {
+            Ok(parts) => Some(parts),
+            Err(e) => {
+                eprintln!("serve_sim: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
 
     // Scenarios are independent simulations: fan them out over the sweep
     // worker pool (results return in scenario order, so output is stable).
-    let seed = flags.seed;
-    let results = sweep::parallel_map(&scenarios, |s| s.run(seed));
+    let results = sweep::parallel_map(&scenarios, |s| match &tenants {
+        Some(parts) => s.run_tenants(seed, parts),
+        None => s.run(seed),
+    });
 
     let mut reports: Vec<ServingReport> = Vec::new();
     let mut prefix_lines: Vec<(&str, cimtpu_serving::PrefixStats)> = Vec::new();

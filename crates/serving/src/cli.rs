@@ -57,6 +57,20 @@ pub struct SimFlags {
     /// (goodput, availability, scaling actions, latency percentiles)
     /// instead of the full per-replica reports.
     pub summary: bool,
+    /// `--tenants SPEC`: split each scenario's traffic across SLO
+    /// tenants and schedule it weighted-fair. Comma-separated
+    /// `name=class[:weight[:slo_ms]]` entries, passed through raw —
+    /// [`parse_tenants`](crate::parse_tenants) owns the grammar.
+    pub tenants: Option<String>,
+    /// `--trace-in PATH`: replace each scenario's traffic with the JSONL
+    /// request trace at PATH (replayed byte-identically; `--seed` then
+    /// has no effect on arrivals).
+    pub trace_in: Option<String>,
+    /// `--trace-out PATH`: synthesize each selected scenario's traffic
+    /// into a JSONL request trace at PATH and exit without simulating
+    /// (with several scenarios selected the scenario name is inserted
+    /// before the extension, as for `--trace`).
+    pub trace_out: Option<String>,
 }
 
 impl SimFlags {
@@ -96,6 +110,9 @@ impl SimFlags {
             trace_filter: None,
             metrics_csv: None,
             summary: false,
+            tenants: None,
+            trace_in: None,
+            trace_out: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
@@ -157,6 +174,9 @@ impl SimFlags {
                     flags.metrics_csv = Some(value("--metrics-csv")?);
                 }
                 "--summary" if fleet_flags => flags.summary = true,
+                "--tenants" => flags.tenants = Some(value("--tenants")?),
+                "--trace-in" => flags.trace_in = Some(value("--trace-in")?),
+                "--trace-out" => flags.trace_out = Some(value("--trace-out")?),
                 "--help" | "-h" => {
                     let fault_usage = if fleet_flags {
                         " [--fault-seed N] [--faults SPEC] [--autoscale SPEC] \
@@ -168,7 +188,8 @@ impl SimFlags {
                     println!(
                         "usage: {binary} [--scenario NAME|all] [--seed N] [--workers N] \
                          [--json PATH] [--kv-budget BUDGET] [--clients N] \
-                         [--think-ms MS]{fault_usage}"
+                         [--think-ms MS] [--tenants SPEC] [--trace-in PATH] \
+                         [--trace-out PATH]{fault_usage}"
                     );
                     println!(
                         "  --kv-budget BUDGET   override {budget_scope} KV budget: 'unlimited',"
@@ -181,6 +202,26 @@ impl SimFlags {
                         "  --clients N          convert traffic to closed loop with N clients"
                     );
                     println!("  --think-ms MS        closed-loop think time (default 10)");
+                    println!(
+                        "  --tenants SPEC       split traffic across SLO tenants and schedule \
+                         weighted-fair:"
+                    );
+                    println!(
+                        "                       comma-separated name=class[:weight[:slo_ms]] \
+                         (class: interactive,"
+                    );
+                    println!(
+                        "                       standard, or batch; weight defaults to 1), \
+                         e.g. 'chat=interactive:3,bulk=batch'"
+                    );
+                    println!(
+                        "  --trace-in PATH      replay the JSONL request trace at PATH as each \
+                         scenario's traffic"
+                    );
+                    println!(
+                        "  --trace-out PATH     write each scenario's synthesized traffic as a \
+                         JSONL trace and exit"
+                    );
                     if fleet_flags {
                         println!(
                             "  --perf-json PATH     also write wall-clock driver-throughput \
@@ -255,6 +296,49 @@ impl SimFlags {
         }
         Ok(flags)
     }
+}
+
+/// Derives the per-scenario output path when several scenarios share one
+/// `--trace` / `--trace-out` argument: `out.json` → `out.<scenario>.json`
+/// (extensionless paths get the scenario appended).
+pub fn per_scenario_path(base: &str, scenario: &str) -> String {
+    let p = std::path::Path::new(base);
+    match (p.file_stem().and_then(|s| s.to_str()), p.extension().and_then(|e| e.to_str())) {
+        (Some(stem), Some(ext)) => p
+            .with_file_name(format!("{stem}.{scenario}.{ext}"))
+            .to_string_lossy()
+            .into_owned(),
+        _ => format!("{base}.{scenario}"),
+    }
+}
+
+/// Implements `--trace-out` for the simulation binaries: synthesizes each
+/// named traffic spec ([`synthesize`](crate::synthesize)) and writes it
+/// as a JSONL request trace. With several scenarios selected, the
+/// scenario name is inserted before the extension
+/// ([`per_scenario_path`]). Returns whether anything failed.
+pub fn emit_traces(binary: &str, path: &str, traffics: &[(&str, crate::TrafficSpec)]) -> bool {
+    let mut failed = false;
+    for (name, spec) in traffics {
+        let body = match crate::synthesize(spec) {
+            Ok(records) => crate::to_jsonl(&records),
+            Err(e) => {
+                eprintln!("{binary}: {name}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let target = if traffics.len() > 1 {
+            per_scenario_path(path, name)
+        } else {
+            path.to_owned()
+        };
+        if let Err(e) = std::fs::write(&target, body) {
+            eprintln!("{binary}: writing {target}: {e}");
+            failed = true;
+        }
+    }
+    failed
 }
 
 /// Prints the text reports and, with `--json`, writes them as pretty

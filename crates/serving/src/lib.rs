@@ -150,6 +150,8 @@ pub mod scenario;
 mod request;
 mod session;
 mod step;
+pub mod tenant;
+pub mod trace;
 
 pub use cimtpu_kv::{KvBudget, PrefixStats};
 pub use cimtpu_obs::{
@@ -167,3 +169,8 @@ pub use request::{
 pub use heap::ActionHeap;
 pub use session::EngineSession;
 pub use step::{drive, drive_with, DriveHooks, EngineCore};
+pub use tenant::{
+    parse_tenants, SloClass, TenantLedger, TenantPart, TenantReport, TenantSched, TenantSet,
+    TenantSpec, TenantUsage,
+};
+pub use trace::{parse_jsonl, replay_spec, synthesize, to_jsonl, TraceRecord};

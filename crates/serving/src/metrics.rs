@@ -1,9 +1,11 @@
 //! Serving metrics: completions, latency percentiles, throughput.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use cimtpu_obs::select;
 use cimtpu_units::{Joules, Seconds};
+
+use crate::tenant::TenantReport;
 
 /// The lifecycle record of one completed request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -134,8 +136,9 @@ impl MemoryStats {
 /// diffed byte-for-byte in CI, so **reordering, adding, or removing
 /// fields here changes the baseline format** and requires regenerating
 /// the baselines in the same commit. A unit test pins the current key
-/// order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// order. `tenants` is omitted when absent (manual [`Serialize`] below),
+/// so single-tenant reports stay byte-identical.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct ServingReport {
     /// Scenario / run label.
     pub label: String,
@@ -168,6 +171,35 @@ pub struct ServingReport {
     pub queue_full_s: f64,
     /// KV occupancy high-water mark (fraction of capacity; 0 = unlimited).
     pub kv_hwm_frac: f64,
+    /// Per-tenant section (goodput, SLO attainment, fairness); `None` —
+    /// and omitted from JSON — for single-tenant runs.
+    pub tenants: Option<TenantReport>,
+}
+
+impl Serialize for ServingReport {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            ("label".to_owned(), self.label.to_value()),
+            ("policy".to_owned(), self.policy.to_value()),
+            ("chips".to_owned(), self.chips.to_value()),
+            ("offered".to_owned(), self.offered.to_value()),
+            ("completed".to_owned(), self.completed.to_value()),
+            ("makespan_s".to_owned(), self.makespan_s.to_value()),
+            ("throughput_rps".to_owned(), self.throughput_rps.to_value()),
+            ("steps_per_second".to_owned(), self.steps_per_second.to_value()),
+            ("latency".to_owned(), self.latency.to_value()),
+            ("ttft".to_owned(), self.ttft.to_value()),
+            ("total_energy_j".to_owned(), self.total_energy_j.to_value()),
+            ("energy_per_request_j".to_owned(), self.energy_per_request_j.to_value()),
+            ("preemptions".to_owned(), self.preemptions.to_value()),
+            ("queue_full_s".to_owned(), self.queue_full_s.to_value()),
+            ("kv_hwm_frac".to_owned(), self.kv_hwm_frac.to_value()),
+        ];
+        if let Some(tenants) = &self.tenants {
+            map.push(("tenants".to_owned(), tenants.to_value()));
+        }
+        Value::Map(map)
+    }
 }
 
 impl ServingReport {
@@ -213,6 +245,7 @@ impl ServingReport {
             preemptions: memory.preemptions,
             queue_full_s: memory.queue_full_s,
             kv_hwm_frac: memory.kv_hwm_frac,
+            tenants: None,
         }
     }
 }
@@ -256,7 +289,11 @@ impl std::fmt::Display for ServingReport {
             self.preemptions,
             self.queue_full_s,
             self.kv_hwm_frac * 100.0
-        )
+        )?;
+        if let Some(tenants) = &self.tenants {
+            write!(f, "{tenants}")?;
+        }
+        Ok(())
     }
 }
 
@@ -393,5 +430,8 @@ mod tests {
             assert!(json.contains(k), "{k} missing");
         }
         assert!(json.find("\"p50_ms\"").unwrap() < json.find("\"p95_ms\"").unwrap());
+        // The per-tenant section is omitted entirely when absent — the
+        // single-tenant baseline bytes cannot change.
+        assert!(!json.contains("tenants"), "{json}");
     }
 }

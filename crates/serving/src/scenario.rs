@@ -10,6 +10,7 @@ use crate::memory::MemoryConfig;
 use crate::policy::BatchPolicy;
 use crate::pricer::ServingModel;
 use crate::request::{ArrivalPattern, LenDist, PrefixTraffic, TrafficSpec};
+use crate::tenant::{TenantPart, TenantSet};
 
 /// A named, fully specified serving experiment.
 #[derive(Debug, Clone)]
@@ -39,7 +40,7 @@ impl Scenario {
     ///
     /// Propagates engine errors.
     pub fn run(&self, seed: Option<u64>) -> Result<ServingRun> {
-        let mut traffic = self.traffic;
+        let mut traffic = self.traffic.clone();
         if let Some(seed) = seed {
             traffic.seed = seed;
         }
@@ -51,6 +52,30 @@ impl Scenario {
         )?
         .with_memory(self.memory)
         .run(self.name, &traffic)
+    }
+
+    /// Runs the scenario with its traffic split across `parts` tenants
+    /// ([`TenantSet::overlay`]) under weighted-fair multi-tenant
+    /// scheduling. The seed override reseeds every tenant's stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors and invalid tenant overlays (closed-loop
+    /// or prefix base traffic, fewer requests than tenants).
+    pub fn run_tenants(&self, seed: Option<u64>, parts: &[TenantPart]) -> Result<ServingRun> {
+        let mut traffic = self.traffic.clone();
+        if let Some(seed) = seed {
+            traffic.seed = seed;
+        }
+        let tenants = TenantSet::overlay(&traffic, parts)?;
+        ServingEngine::new(
+            self.chip.clone(),
+            self.model.clone(),
+            self.parallelism,
+            self.policy,
+        )?
+        .with_memory(self.memory)
+        .run_tenants(self.name, &tenants)
     }
 }
 

@@ -35,6 +35,7 @@ use crate::metrics::{Completion, MemoryStats, ServingReport};
 use crate::policy::BatchPolicy;
 use crate::pricer::PhasePricer;
 use crate::request::{ArrivalStream, Request};
+use crate::tenant::{SloClass, TenantSched};
 use crate::ServingRun;
 
 /// One serving engine as an incremental state machine. See
@@ -77,7 +78,35 @@ pub struct EngineCore<'a> {
     /// Flight-recorder handle ([`attach_trace`](Self::attach_trace));
     /// `None` costs one branch per emission site and changes nothing.
     trace: Option<TraceHandle>,
+    /// Tenant-aware scheduling state ([`set_tenancy`](Self::set_tenancy));
+    /// `None` runs the original single-tenant FIFO scheduler bit-exactly.
+    tenancy: Option<TenancyState>,
+    /// Class of each completion, index-aligned with `completions`
+    /// (completions carry no tenancy; reports and snapshots need it).
+    comp_class: Vec<SloClass>,
     state: State,
+}
+
+/// Scheduling state for tenant-aware weighted-fair admission.
+#[derive(Debug)]
+struct TenancyState {
+    /// Per-tenant service tier.
+    classes: Vec<SloClass>,
+    /// Per-tenant fair-share weight (positive, finite).
+    weights: Vec<f64>,
+    /// Tokens of service charged per tenant (prompt + decode tokens,
+    /// charged once at first admission; resumption after preemption is
+    /// free — the tenant already paid for the work being redone).
+    service: Vec<u64>,
+    /// Preemptions absorbed per tenant.
+    preempted: Vec<u64>,
+    /// Whether each arrival (index-aligned with `arrivals`) has been
+    /// admitted; weighted-fair admission may leave earlier arrivals
+    /// queued behind later ones, so `next` alone cannot partition the
+    /// queue. `next` still marks the first unadmitted index.
+    admitted: Vec<bool>,
+    /// Count of `true` bits in `admitted`.
+    admitted_count: usize,
 }
 
 #[derive(Debug)]
@@ -211,6 +240,8 @@ impl<'a> EngineCore<'a> {
             epoch: 0,
             cached_action: Cell::new(None),
             trace: None,
+            tenancy: None,
+            comp_class: Vec::new(),
             state,
         }
     }
@@ -228,6 +259,42 @@ impl<'a> EngineCore<'a> {
     /// delivery-side events on the same track as the core).
     pub fn trace_track(&self) -> Option<u32> {
         self.trace.as_ref().map(cimtpu_obs::TraceHandle::track)
+    }
+
+    /// Arms tenant-aware scheduling: continuous batching admits by
+    /// (class priority, deficit-weighted service, tenant id) instead of
+    /// FIFO, and preemption evicts the lowest-priority (then youngest)
+    /// resident. A single-tenant schedule is bit-identical to leaving
+    /// tenancy off. Run-to-completion policies keep FIFO batch formation
+    /// but maintain the same per-tenant ledgers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arrival was already pushed, or the schedule's
+    /// classes and weights disagree in length.
+    pub fn set_tenancy(&mut self, sched: &TenantSched) {
+        assert!(self.arrivals.is_empty(), "set_tenancy must precede the first push");
+        assert_eq!(
+            sched.classes.len(),
+            sched.weights.len(),
+            "tenant classes and weights must align"
+        );
+        self.touch();
+        self.tenancy = Some(TenancyState {
+            classes: sched.classes.clone(),
+            weights: sched.weights.clone(),
+            service: vec![0; sched.classes.len()],
+            preempted: vec![0; sched.classes.len()],
+            admitted: Vec::new(),
+            admitted_count: 0,
+        });
+    }
+
+    /// Whether multi-tenant scheduling is armed with more than one
+    /// tenant — the condition under which trace events carry tenant tags
+    /// (single-tenant traces stay byte-identical to pre-tenancy ones).
+    fn multi_tenant(&self) -> bool {
+        self.tenancy.as_ref().is_some_and(|ts| ts.classes.len() > 1)
     }
 
     /// Marks the scheduling state dirty: the next
@@ -259,11 +326,18 @@ impl<'a> EngineCore<'a> {
         }
         self.touch();
         if let Some(tr) = &self.trace {
-            tr.arrival(request.id, request.arrival_s);
+            tr.arrival_for(
+                request.id,
+                request.arrival_s,
+                self.multi_tenant().then_some(request.tenant),
+            );
         }
         self.arrivals.push(request);
         self.first_token.push(Seconds::ZERO);
         self.ttft_set.push(false);
+        if let Some(ts) = &mut self.tenancy {
+            ts.admitted.push(false);
+        }
     }
 
     /// Declares the arrival stream finished: tail batches smaller than a
@@ -410,16 +484,23 @@ impl<'a> EngineCore<'a> {
         assert!(!self.crashed, "crash on an already-crashed core");
         self.touch();
         self.crashed = true;
-        // Revoke completions scheduled past the crash instant.
+        // Revoke completions scheduled past the crash instant (keeping
+        // the class ledger index-aligned).
         let mut lost_ids: Vec<u64> = Vec::new();
-        self.completions.retain(|c| {
-            if c.finish > at {
-                lost_ids.push(c.id);
-                false
-            } else {
-                true
+        {
+            let mut keep = Vec::with_capacity(self.completions.len());
+            let mut keep_class = Vec::with_capacity(self.comp_class.len());
+            for (c, k) in self.completions.iter().zip(&self.comp_class) {
+                if c.finish > at {
+                    lost_ids.push(c.id);
+                } else {
+                    keep.push(*c);
+                    keep_class.push(*k);
+                }
             }
-        });
+            self.completions = keep;
+            self.comp_class = keep_class;
+        }
         self.drained = self.drained.min(self.completions.len());
         let mut lost_idx: Vec<usize> = Vec::new();
         match &mut self.state {
@@ -443,7 +524,21 @@ impl<'a> EngineCore<'a> {
                 }
             }
         }
-        lost_idx.extend(self.next..self.arrivals.len());
+        match &mut self.tenancy {
+            Some(ts) => {
+                // Weighted-fair admission may have left earlier arrivals
+                // queued behind admitted later ones: the bitset, not
+                // `next`, says who was still waiting.
+                for (i, admitted) in ts.admitted.iter_mut().enumerate() {
+                    if !*admitted {
+                        lost_idx.push(i);
+                        *admitted = true;
+                    }
+                }
+                ts.admitted_count = ts.admitted.len();
+            }
+            None => lost_idx.extend(self.next..self.arrivals.len()),
+        }
         for (i, r) in self.arrivals.iter().enumerate() {
             if lost_ids.contains(&r.id) {
                 lost_idx.push(i);
@@ -459,7 +554,7 @@ impl<'a> EngineCore<'a> {
     /// Whether every pushed request has been completed and the stream is
     /// closed.
     pub fn is_done(&self) -> bool {
-        self.closed && self.next >= self.arrivals.len() && self.resident() == 0
+        self.closed && self.queued() == 0 && self.resident() == 0
     }
 
     /// Requests currently resident on an executor (being computed or
@@ -478,7 +573,10 @@ impl<'a> EngineCore<'a> {
 
     /// Requests pushed but not yet scheduled.
     pub fn queued(&self) -> u64 {
-        (self.arrivals.len() - self.next) as u64
+        match &self.tenancy {
+            Some(ts) => (self.arrivals.len() - ts.admitted_count) as u64,
+            None => (self.arrivals.len() - self.next) as u64,
+        }
     }
 
     /// Requests in flight at simulated time `t`: queued, resident, or
@@ -488,6 +586,55 @@ impl<'a> EngineCore<'a> {
         self.queued()
             + self.resident()
             + self.completions.iter().filter(|c| c.finish > t).count() as u64
+    }
+
+    /// Requests in flight at simulated time `t`, broken out by service
+    /// tier (indexed by [`SloClass::rank`]; untenanted requests count as
+    /// their default `Standard` class). Entries always sum to
+    /// [`outstanding_at`](Self::outstanding_at).
+    pub fn outstanding_by_class_at(&self, t: Seconds) -> [u64; 3] {
+        let mut out = [0u64; 3];
+        match &self.tenancy {
+            Some(ts) => {
+                for (i, r) in self.arrivals.iter().enumerate() {
+                    if !ts.admitted[i] {
+                        out[r.class.rank()] += 1;
+                    }
+                }
+            }
+            None => {
+                for r in &self.arrivals[self.next..] {
+                    out[r.class.rank()] += 1;
+                }
+            }
+        }
+        if let State::Cont(st) = &self.state {
+            for chip in &st.chips {
+                for a in &chip.active {
+                    out[self.arrivals[a.idx].class.rank()] += 1;
+                }
+                for &(idx, _) in &chip.resume {
+                    out[self.arrivals[idx].class.rank()] += 1;
+                }
+            }
+        }
+        for (c, k) in self.completions.iter().zip(&self.comp_class) {
+            if c.finish > t {
+                out[k.rank()] += 1;
+            }
+        }
+        out
+    }
+
+    /// Per-tenant service charged so far (prompt + decode tokens,
+    /// charged once at first admission), when tenancy is armed.
+    pub fn tenant_service(&self) -> Option<&[u64]> {
+        self.tenancy.as_ref().map(|ts| ts.service.as_slice())
+    }
+
+    /// Per-tenant preemption counts, when tenancy is armed.
+    pub fn tenant_preemptions(&self) -> Option<&[u64]> {
+        self.tenancy.as_ref().map(|ts| ts.preempted.as_slice())
     }
 
     /// Live KV occupancy as a fraction of capacity (max over executors;
@@ -678,9 +825,16 @@ impl<'a> EngineCore<'a> {
             (take, start)
         };
         let members: Vec<Request> = self.arrivals[next..next + take].to_vec();
+        let multi = self.multi_tenant();
         if let Some(tr) = &self.trace {
             for r in &members {
-                tr.span(EventKind::Queue, r.id, r.arrival_s, start.get());
+                tr.span_for(
+                    EventKind::Queue,
+                    r.id,
+                    r.arrival_s,
+                    start.get(),
+                    multi.then_some(r.tenant),
+                );
             }
         }
         {
@@ -706,6 +860,17 @@ impl<'a> EngineCore<'a> {
         let State::Rtc(st) = &mut self.state else { unreachable!() };
         st.free_at[chip] = end;
         self.next += take;
+        if let Some(ts) = &mut self.tenancy {
+            // Run-to-completion batch formation stays FIFO; the ledgers
+            // still account service and admission per tenant.
+            for r in &members {
+                ts.service[r.tenant as usize] += r.prompt_len + r.steps;
+            }
+            for admitted in &mut ts.admitted[next..next + take] {
+                *admitted = true;
+            }
+            ts.admitted_count += take;
+        }
         Ok(())
     }
 
@@ -716,6 +881,7 @@ impl<'a> EngineCore<'a> {
     /// blocks grow with each generated token and release when the batch
     /// retires.
     fn run_batch(&mut self, members: &[Request], start: Seconds, chip: usize) -> Result<Seconds> {
+        let multi = self.multi_tenant();
         let b = members.len() as u64;
         let max_prompt = members.iter().map(|r| r.prompt_len).max().expect("non-empty");
         let max_steps = members.iter().map(|r| r.steps).max().expect("non-empty");
@@ -804,7 +970,13 @@ impl<'a> EngineCore<'a> {
             first_token.fill(t);
             if let Some(tr) = &self.trace {
                 for r in members {
-                    tr.span(EventKind::Prefill, r.id, start.get(), t.get());
+                    tr.span_for(
+                        EventKind::Prefill,
+                        r.id,
+                        start.get(),
+                        t.get(),
+                        multi.then_some(r.tenant),
+                    );
                 }
             }
         }
@@ -840,7 +1012,13 @@ impl<'a> EngineCore<'a> {
             // Padded batches release results when the batch completes.
             let release = if pads { t } else { finish[i] };
             if let Some(tr) = &self.trace {
-                tr.span(EventKind::Decode, r.id, first_token[i].get(), release.get());
+                tr.span_for(
+                    EventKind::Decode,
+                    r.id,
+                    first_token[i].get(),
+                    release.get(),
+                    multi.then_some(r.tenant),
+                );
             }
             self.completions.push(Completion {
                 id: r.id,
@@ -849,6 +1027,7 @@ impl<'a> EngineCore<'a> {
                 finish: release,
                 steps: r.steps,
             });
+            self.comp_class.push(r.class);
         }
         self.busy += t - start;
         Ok(t)
@@ -902,6 +1081,7 @@ impl<'a> EngineCore<'a> {
         let has_prefill = self.has_prefill;
         let chunking = self.memory.chunk_tokens;
         let slowdown = self.slowdown;
+        let multi = self.multi_tenant();
         let State::Cont(st) = &mut self.state else { unreachable!() };
         let max_batch = st.max_batch;
         let chip = &mut st.chips[ci];
@@ -922,6 +1102,52 @@ impl<'a> EngineCore<'a> {
                 if let Some(shared) = cont_admit(chip, &self.arrivals[idx], done) {
                     admitted.push((idx, done, shared));
                     chip.resume.pop_front();
+                } else {
+                    kv_blocked = true;
+                    break;
+                }
+            } else if let Some(ts) = &mut self.tenancy {
+                // Deficit-weighted-fair admission: among tenants with an
+                // arrival queued by now, pick the most senior class, then
+                // the lowest weighted service (deficit), then the lowest
+                // tenant id; within a tenant, FIFO. A KV refusal blocks
+                // the round's head, exactly like the FIFO path.
+                let mut pick: Option<(usize, (usize, f64, u32))> = None;
+                let mut seen = vec![false; ts.classes.len()];
+                let mut i = self.next;
+                while i < self.arrivals.len() && self.arrivals[i].arrival() <= chip.t {
+                    let r = &self.arrivals[i];
+                    let tenant = r.tenant as usize;
+                    if !ts.admitted[i] && !seen[tenant] {
+                        seen[tenant] = true;
+                        let key = (
+                            ts.classes[tenant].rank(),
+                            ts.service[tenant] as f64 / ts.weights[tenant],
+                            r.tenant,
+                        );
+                        let better = pick.is_none_or(|(_, best)| {
+                            key.0
+                                .cmp(&best.0)
+                                .then(key.1.total_cmp(&best.1))
+                                .then(key.2.cmp(&best.2))
+                                .is_lt()
+                        });
+                        if better {
+                            pick = Some((i, key));
+                        }
+                    }
+                    i += 1;
+                }
+                let Some((idx, _)) = pick else { break };
+                if let Some(shared) = cont_admit(chip, &self.arrivals[idx], 0) {
+                    let r = &self.arrivals[idx];
+                    ts.service[r.tenant as usize] += r.prompt_len + r.steps;
+                    ts.admitted[idx] = true;
+                    ts.admitted_count += 1;
+                    admitted.push((idx, 0, shared));
+                    while self.next < self.arrivals.len() && ts.admitted[self.next] {
+                        self.next += 1;
+                    }
                 } else {
                     kv_blocked = true;
                     break;
@@ -956,7 +1182,13 @@ impl<'a> EngineCore<'a> {
             for &(idx, done, _) in &admitted {
                 if done == 0 {
                     let r = &self.arrivals[idx];
-                    tr.span(EventKind::Queue, r.id, r.arrival_s, round_start.get());
+                    tr.span_for(
+                        EventKind::Queue,
+                        r.id,
+                        r.arrival_s,
+                        round_start.get(),
+                        multi.then_some(r.tenant),
+                    );
                 }
             }
         }
@@ -988,11 +1220,12 @@ impl<'a> EngineCore<'a> {
                                 self.ttft_set[idx] = true;
                             }
                             if let Some(tr) = &self.trace {
-                                tr.span(
+                                tr.span_for(
                                     EventKind::Prefill,
                                     self.arrivals[idx].id,
                                     before.get(),
                                     chip.t.get(),
+                                    multi.then_some(self.arrivals[idx].tenant),
                                 );
                             }
                         }
@@ -1020,11 +1253,12 @@ impl<'a> EngineCore<'a> {
                                 self.ttft_set[idx] = true;
                             }
                             if let Some(tr) = &self.trace {
-                                tr.span(
+                                tr.span_for(
                                     EventKind::Prefill,
                                     self.arrivals[idx].id,
                                     before.get(),
                                     chip.t.get(),
+                                    multi.then_some(self.arrivals[idx].tenant),
                                 );
                             }
                         }
@@ -1078,11 +1312,12 @@ impl<'a> EngineCore<'a> {
                             self.ttft_set[a.idx] = true;
                         }
                         if let Some(tr) = &self.trace {
-                            tr.span(
+                            tr.span_for(
                                 EventKind::Prefill,
                                 self.arrivals[a.idx].id,
                                 before.get(),
                                 now.get(),
+                                multi.then_some(self.arrivals[a.idx].tenant),
                             );
                         }
                     }
@@ -1115,14 +1350,34 @@ impl<'a> EngineCore<'a> {
                         continue;
                     }
                 }
-                // Youngest = latest arrival (ids are arrival-ordered).
-                let victim_pos = (0..chip.active.len())
-                    .max_by_key(|&p| chip.active[p].idx)
-                    .expect("non-empty");
+                // Youngest = latest arrival (ids are arrival-ordered);
+                // with tenancy armed, the lowest-priority class goes
+                // first — batch-tier residents absorb preemptions before
+                // any interactive-tier KV is touched — youngest-first
+                // within a tier.
+                let victim_pos = match &self.tenancy {
+                    Some(ts) => (0..chip.active.len())
+                        .max_by_key(|&p| {
+                            let idx = chip.active[p].idx;
+                            (ts.classes[self.arrivals[idx].tenant as usize].rank(), idx)
+                        })
+                        .expect("non-empty"),
+                    None => (0..chip.active.len())
+                        .max_by_key(|&p| chip.active[p].idx)
+                        .expect("non-empty"),
+                };
                 let victim = chip.active.remove(victim_pos);
                 chip.alloc.release(self.arrivals[victim.idx].id);
+                if let Some(ts) = &mut self.tenancy {
+                    ts.preempted[self.arrivals[victim.idx].tenant as usize] += 1;
+                }
                 if let Some(tr) = &self.trace {
-                    tr.instant(EventKind::Preempt, self.arrivals[victim.idx].id, chip.t.get());
+                    tr.instant_for(
+                        EventKind::Preempt,
+                        self.arrivals[victim.idx].id,
+                        chip.t.get(),
+                        multi.then_some(self.arrivals[victim.idx].tenant),
+                    );
                 }
                 chip.resume.push_back((victim.idx, victim.done));
                 chip.preemptions += 1;
@@ -1160,16 +1415,18 @@ impl<'a> EngineCore<'a> {
             let arrivals = &self.arrivals;
             let first_token = &self.first_token;
             let completions = &mut self.completions;
+            let comp_class = &mut self.comp_class;
             let trace = &self.trace;
             active.retain(|a| {
                 if a.prefilled >= a.target && a.done >= arrivals[a.idx].steps {
                     alloc.release(arrivals[a.idx].id);
                     if let Some(tr) = trace {
-                        tr.span(
+                        tr.span_for(
                             EventKind::Decode,
                             arrivals[a.idx].id,
                             first_token[a.idx].get(),
                             now.get(),
+                            multi.then_some(arrivals[a.idx].tenant),
                         );
                     }
                     completions.push(Completion {
@@ -1179,6 +1436,7 @@ impl<'a> EngineCore<'a> {
                         finish: now,
                         steps: arrivals[a.idx].steps,
                     });
+                    comp_class.push(arrivals[a.idx].class);
                     false
                 } else {
                     true
@@ -1740,10 +1998,10 @@ mod tests {
                 seed,
             };
             let traffics = [
-                base,
+                base.clone(),
                 TrafficSpec {
                     arrival: ArrivalPattern::ClosedLoop { clients: 3, think_ms: 0.5 },
-                    ..base
+                    ..base.clone()
                 },
                 TrafficSpec { arrival: ArrivalPattern::Burst, ..base },
             ];
